@@ -1,0 +1,75 @@
+// Simulator scalability: wall-clock cost of simulating bigger clusters
+// and longer traces. Useful for sizing future "thorough experimental
+// campaigns with realistic workloads" (§VI) on this substrate.
+#include <chrono>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sched/hfsp.hpp"
+#include "workload/swim.hpp"
+
+namespace osap {
+namespace {
+
+struct ScaleResult {
+  double wall_ms;
+  double sim_seconds;
+  std::uint64_t events;
+  double mean_sojourn;
+};
+
+ScaleResult run_scale(int nodes, int jobs) {
+  const auto start = std::chrono::steady_clock::now();
+  ClusterConfig cfg = paper_cluster();
+  cfg.num_nodes = nodes;
+  cfg.hadoop.map_slots = 2;
+  Cluster cluster(cfg);
+  HfspScheduler::Options options;
+  options.primitive = PreemptPrimitive::Suspend;
+  cluster.set_scheduler(std::make_unique<HfspScheduler>(options));
+
+  SwimConfig swim;
+  swim.jobs = jobs;
+  swim.mean_interarrival = seconds(600.0 / jobs);
+  swim.max_tasks = 12;
+  swim.stateful_fraction = 0.2;
+  Rng rng(11);
+  auto ids = std::make_shared<std::vector<JobId>>();
+  for (SwimJob& job : generate_swim_trace(swim, rng)) {
+    cluster.sim().at(job.arrival, [&cluster, ids, spec = std::move(job.spec)]() mutable {
+      ids->push_back(cluster.submit(std::move(spec)));
+    });
+  }
+  cluster.run();
+  const auto end = std::chrono::steady_clock::now();
+
+  RunningStat sojourn;
+  for (JobId id : *ids) sojourn.add(cluster.job_tracker().job(id).sojourn());
+  return ScaleResult{
+      std::chrono::duration<double, std::milli>(end - start).count(),
+      cluster.sim().now(),
+      cluster.sim().events_processed(),
+      sojourn.mean(),
+  };
+}
+
+}  // namespace
+}  // namespace osap
+
+int main() {
+  using namespace osap;
+  bench::print_header("Simulator scalability (HFSP over SWIM traces)",
+                      "substrate capability, not a paper figure");
+  Table table({"nodes", "jobs", "sim time (s)", "events", "wall (ms)", "mean sojourn (s)"});
+  for (const auto& [nodes, jobs] :
+       {std::pair{1, 10}, {4, 25}, {8, 50}, {16, 100}, {32, 200}}) {
+    const ScaleResult res = run_scale(nodes, jobs);
+    table.row({std::to_string(nodes), std::to_string(jobs), Table::num(res.sim_seconds, 0),
+               std::to_string(res.events), Table::num(res.wall_ms, 1),
+               Table::num(res.mean_sojourn)});
+  }
+  table.print();
+  std::printf("\nHours of cluster time simulate in milliseconds; seed-for-seed\n"
+              "deterministic, so whole parameter studies are cheap.\n");
+  return 0;
+}

@@ -1,0 +1,47 @@
+// Figure 3: worst-case experiments — memory-hungry tasks.
+//
+// Both tl and th allocate 2 GiB of state (dirtied at startup, read back at
+// finalization) on a 4 GiB node, so suspending tl forces the OS to page it
+// out and resume pages it back in. Expected shape: susp still beats wait
+// on sojourn and kill on makespan, but paging makes kill's sojourn
+// slightly lower than susp's and wait's makespan slightly lower than
+// susp's (§IV-C, "the overheads related to paging are visible").
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace osap;
+  using bench::run_point;
+
+  bench::print_header("Worst case: memory-hungry tasks (2 GiB state each)",
+                      "Figures 3a and 3b");
+
+  const PreemptPrimitive primitives[] = {PreemptPrimitive::Wait, PreemptPrimitive::Kill,
+                                         PreemptPrimitive::Suspend};
+  const Bytes state = 2 * GiB;
+
+  Table sojourn({"tl progress at launch of th (%)", "wait (s)", "kill (s)", "susp (s)",
+                 "susp swap-out (MiB)"});
+  Table makespan({"tl progress at launch of th (%)", "wait (s)", "kill (s)", "susp (s)"});
+  for (int rp = 10; rp <= 90; rp += 10) {
+    const double r = rp / 100.0;
+    std::vector<std::string> srow{std::to_string(rp)};
+    std::vector<std::string> mrow{std::to_string(rp)};
+    double swap = 0;
+    for (PreemptPrimitive p : primitives) {
+      const auto stats = run_point(p, r, state, state);
+      srow.push_back(Table::num(stats.sojourn_th.mean()));
+      mrow.push_back(Table::num(stats.makespan.mean()));
+      if (p == PreemptPrimitive::Suspend) swap = stats.tl_swapped_out_mib.mean();
+    }
+    srow.push_back(Table::num(swap, 0));
+    sojourn.row(srow);
+    makespan.row(mrow);
+  }
+  std::printf("\nFig. 3a — sojourn time of th (memory-hungry)\n");
+  sojourn.print();
+  std::printf("\nFig. 3b — makespan (memory-hungry)\n");
+  makespan.print();
+  return 0;
+}

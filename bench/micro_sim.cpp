@@ -1,0 +1,108 @@
+// Micro-benchmarks of the simulator substrate (google-benchmark): event
+// queue throughput, fluid-resource churn, VMM reclaim, and a full
+// two-job experiment per iteration.
+#include <benchmark/benchmark.h>
+
+#include "os/kernel.hpp"
+#include "sim/event_queue.hpp"
+#include "sim/fluid_resource.hpp"
+#include "workload/two_job.hpp"
+
+namespace osap {
+namespace {
+
+void BM_EventQueuePushPop(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    for (int i = 0; i < 1000; ++i) q.push(static_cast<double>(i % 37), [] {});
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().id);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueuePushPop);
+
+void BM_EventQueueCancelHeavy(benchmark::State& state) {
+  for (auto _ : state) {
+    EventQueue q;
+    std::vector<EventId> ids;
+    ids.reserve(1000);
+    for (int i = 0; i < 1000; ++i) ids.push_back(q.push(static_cast<double>(i), [] {}));
+    for (std::size_t i = 0; i < ids.size(); i += 2) q.cancel(ids[i]);
+    while (!q.empty()) benchmark::DoNotOptimize(q.pop().id);
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventQueueCancelHeavy);
+
+void BM_FluidResourceChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulation sim;
+    FluidResource disk(sim, 100.0, "disk");
+    int done = 0;
+    for (int i = 1; i <= 100; ++i) {
+      disk.add(static_cast<double>(i), [&done] { ++done; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(done);
+  }
+  state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_FluidResourceChurn);
+
+void BM_VmmPressureCycle(benchmark::State& state) {
+  for (auto _ : state) {
+    Simulation sim;
+    OsConfig cfg;
+    cfg.ram = 1024 * MiB;
+    cfg.os_reserved = 0;
+    Disk disk(sim, cfg.disk_bandwidth, 0, "d");
+    Vmm vmm(sim, disk, cfg);
+    const Pid a{1}, b{2};
+    vmm.register_process(a);
+    vmm.register_process(b);
+    const RegionId ra = vmm.create_region(a, "state");
+    vmm.commit(ra, 700 * MiB, [] {});
+    sim.run();
+    vmm.set_stopped(a, true);
+    const RegionId rb = vmm.create_region(b, "heap");
+    vmm.commit(rb, 600 * MiB, [] {});
+    sim.run();
+    vmm.release_process(b);
+    vmm.set_stopped(a, false);
+    vmm.page_in(ra, false, [] {});
+    sim.run();
+    benchmark::DoNotOptimize(vmm.swap_used());
+  }
+}
+BENCHMARK(BM_VmmPressureCycle);
+
+void BM_TwoJobLightExperiment(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    TwoJobParams params;
+    params.primitive = PreemptPrimitive::Suspend;
+    params.progress_at_launch = 0.5;
+    params.seed = seed++;
+    benchmark::DoNotOptimize(run_two_job(params).makespan);
+  }
+}
+BENCHMARK(BM_TwoJobLightExperiment);
+
+void BM_TwoJobWorstCaseExperiment(benchmark::State& state) {
+  std::uint64_t seed = 1;
+  for (auto _ : state) {
+    TwoJobParams params;
+    params.primitive = PreemptPrimitive::Suspend;
+    params.progress_at_launch = 0.5;
+    params.tl_state = gib(2.5);
+    params.th_state = gib(2.5);
+    params.seed = seed++;
+    benchmark::DoNotOptimize(run_two_job(params).makespan);
+  }
+}
+BENCHMARK(BM_TwoJobWorstCaseExperiment);
+
+}  // namespace
+}  // namespace osap
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Ablation: how much of the suspend primitive's latency advantage comes
+// from the heartbeat protocol?
+//
+// The suspension command and its acknowledgement each ride a heartbeat
+// (§III-B). We sweep the heartbeat interval and toggle the out-of-band
+// heartbeat on suspension, measuring th's sojourn time at r = 50%.
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace osap {
+namespace {
+
+double sojourn_with(Duration heartbeat, bool oob_on_suspend) {
+  const auto agg = ExperimentRunner::run(
+      [&](std::uint64_t seed, int) {
+        TwoJobParams params;
+        params.primitive = PreemptPrimitive::Suspend;
+        params.progress_at_launch = 0.5;
+        params.seed = seed;
+        params.cluster.hadoop.heartbeat_interval = heartbeat;
+        params.cluster.hadoop.oob_on_suspend = oob_on_suspend;
+        return MetricMap{{"sojourn", run_two_job(params).sojourn_th}};
+      },
+      bench::kRuns);
+  return agg.at("sojourn").mean();
+}
+
+}  // namespace
+}  // namespace osap
+
+int main() {
+  using namespace osap;
+  bench::print_header("Heartbeat-protocol ablation for the suspend primitive",
+                      "§III-B protocol (suspend latency decomposition)");
+  Table table({"heartbeat interval (s)", "susp sojourn, OOB ack (s)",
+               "susp sojourn, periodic ack (s)"});
+  for (double hb : {1.0, 3.0, 5.0, 10.0}) {
+    table.row({Table::num(hb, 0), Table::num(sojourn_with(hb, true)),
+               Table::num(sojourn_with(hb, false))});
+  }
+  table.print();
+  std::printf(
+      "\nWith the ack deferred to the next periodic heartbeat, suspension\n"
+      "latency grows with the heartbeat interval; the out-of-band ack\n"
+      "makes the primitive's latency essentially protocol-independent.\n");
+  return 0;
+}

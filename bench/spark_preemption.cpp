@@ -1,0 +1,75 @@
+// §VI outlook: the primitive applied to a Spark-like framework.
+//
+// An iterative application (read + parse 512 MB, cache 1.5 GiB, three
+// cached iterations) is preempted mid-run by a memory-hungry batch job.
+// Spark raises the stakes relative to Hadoop: killing an executor loses
+// not just a task's progress but the *RDD cache*, forcing whole-stage
+// recomputation. Suspension parks the cache and pays only the paging.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sched/dummy.hpp"
+#include "spark/driver.hpp"
+
+namespace osap {
+namespace {
+
+MetricMap run_primitive(PreemptPrimitive primitive, std::uint64_t seed) {
+  ClusterConfig cfg = paper_cluster();
+  cfg.hadoop.map_slots = 1;
+  cfg.seed = seed;
+  Cluster cluster(cfg);
+  Rng rng(seed);
+  auto sched = std::make_unique<DummyScheduler>(cluster);
+  DummyScheduler& ds = *sched;
+  cluster.set_scheduler(std::move(sched));
+
+  SparkDriver driver(cluster, iterative_app("iterative", 512 * MiB, gib(1.5), 3),
+                     cluster.node(0));
+  cluster.sim().at(0.05, [&] { driver.start(); });
+
+  SimTime intruder_done = -1;
+  const SimTime intruder_at = 90.0 + rng.uniform(0, 5);
+  cluster.sim().at(intruder_at, [&cluster, &driver, &ds, primitive] {
+    driver.preempt(primitive);
+    cluster.submit(single_task_job("intruder", 10, hungry_map_task(2 * GiB)));
+  });
+  ds.on_complete("intruder", [&cluster, &driver, &intruder_done, primitive] {
+    intruder_done = cluster.sim().now();
+    driver.restore(primitive);
+  });
+  cluster.run();
+
+  return MetricMap{
+      {"app_runtime", driver.runtime()},
+      {"intruder_sojourn", intruder_done - intruder_at},
+      {"recomputations", static_cast<double>(driver.recomputations())},
+      {"cache_swapped_mib", to_mib(driver.cache_swapped_out())},
+  };
+}
+
+}  // namespace
+}  // namespace osap
+
+int main() {
+  using namespace osap;
+  bench::print_header("Spark-style executor preemption (iterative app + intruder)",
+                      "§VI outlook: other DISC frameworks");
+  Table table({"primitive", "app runtime (s)", "intruder sojourn (s)",
+               "stage recomputations", "cache paged out (MiB)"});
+  for (PreemptPrimitive primitive :
+       {PreemptPrimitive::Wait, PreemptPrimitive::Kill, PreemptPrimitive::Suspend}) {
+    const auto agg = ExperimentRunner::run(
+        [&](std::uint64_t seed, int) { return run_primitive(primitive, seed); }, 10);
+    table.row({to_string(primitive), Table::num(agg.at("app_runtime").mean()),
+               Table::num(agg.at("intruder_sojourn").mean()),
+               Table::num(agg.at("recomputations").mean(), 1),
+               Table::num(agg.at("cache_swapped_mib").mean(), 0)});
+  }
+  table.print();
+  std::printf(
+      "\nKilling the executor erases the RDD cache (stage recomputations);\n"
+      "suspension keeps it, trading a bounded paging cost — the gap is\n"
+      "wider than in Hadoop because Spark holds more state per process.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// The primitive under YARN (§III-B): container leases instead of slots.
+// A low-priority container holds the node's lease budget; a high-priority
+// application arrives, and the ResourceManager preempts with the chosen
+// primitive. Suspension releases the lease instantly while the OS decides
+// what (if anything) to page.
+//
+//   $ ./yarn_containers          # susp
+//   $ ./yarn_containers kill     # YARN's stock behaviour
+//   $ ./yarn_containers wait
+#include <cstdio>
+
+#include "workload/profiles.hpp"
+#include "yarn/yarn_cluster.hpp"
+
+using namespace osap;
+
+int main(int argc, char** argv) {
+  const PreemptPrimitive primitive =
+      argc > 1 ? parse_primitive(argv[1]) : PreemptPrimitive::Suspend;
+
+  YarnClusterConfig cfg;
+  cfg.num_nodes = 1;
+  cfg.os = paper_cluster().os;
+  cfg.container_capacity = gib(2.5);
+  cfg.primitive = primitive;
+  YarnCluster cluster(cfg);
+
+  YarnAppSpec low;
+  low.name = "low";
+  low.priority = 0;
+  low.container_memory = gib(2.5);
+  low.tasks.push_back(hungry_map_task(2 * GiB));
+  const AppId low_id = cluster.submit(low);
+
+  YarnAppSpec high;
+  high.name = "high";
+  high.priority = 10;
+  high.container_memory = gib(2.5);
+  high.tasks.push_back(hungry_map_task(2 * GiB));
+  auto high_id = std::make_shared<AppId>();
+  cluster.sim().at(40.0, [&cluster, high_id, high] { *high_id = cluster.submit(high); });
+  cluster.run();
+
+  const YarnApp& h = cluster.rm().app(*high_id);
+  const YarnApp& l = cluster.rm().app(low_id);
+  Kernel& kernel = cluster.kernel(cluster.node(0));
+  std::printf("primitive: %s\n", to_string(primitive));
+  std::printf("high app sojourn: %6.1f s\n", h.sojourn());
+  std::printf("low app sojourn:  %6.1f s\n", l.sojourn());
+  std::printf("preemptions: %d, containers killed: %d\n", cluster.rm().preemptions_issued(),
+              cluster.rm().containers_killed());
+  std::printf("swap traffic: %s out, %s in\n",
+              format_bytes(kernel.disk().transferred(IoClass::SwapOut)).c_str(),
+              format_bytes(kernel.disk().transferred(IoClass::SwapIn)).c_str());
+  return 0;
+}

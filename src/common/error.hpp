@@ -1,0 +1,47 @@
+// Error handling for the simulator.
+//
+// Invariant violations are programming errors: OSAP_CHECK throws SimError
+// with the failed condition and location. Tests exercise the checks;
+// production callers treat SimError as fatal.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace osap {
+
+/// Thrown when a simulator invariant is violated.
+class SimError : public std::logic_error {
+ public:
+  explicit SimError(const std::string& what) : std::logic_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void check_failed(const char* cond, const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw SimError(os.str());
+}
+}  // namespace detail
+
+}  // namespace osap
+
+/// Verify an invariant; throws osap::SimError on failure. Always enabled —
+/// the simulator is cheap enough that checks stay on in release builds.
+#define OSAP_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) ::osap::detail::check_failed(#cond, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define OSAP_CHECK_MSG(cond, msg)                                         \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      std::ostringstream osap_check_os_;                                  \
+      osap_check_os_ << msg;                                              \
+      ::osap::detail::check_failed(#cond, __FILE__, __LINE__,             \
+                                   osap_check_os_.str());                 \
+    }                                                                     \
+  } while (false)

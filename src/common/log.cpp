@@ -1,0 +1,36 @@
+#include "common/log.hpp"
+
+#include <cstdio>
+
+namespace osap {
+
+const char* to_string(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& component, const std::string& message) {
+  if (!enabled(level) || sink_ == nullptr) return;
+  char stamp[32];
+  if (clock_) {
+    std::snprintf(stamp, sizeof stamp, "%10.3f", clock_());
+  } else {
+    std::snprintf(stamp, sizeof stamp, "%10s", "-");
+  }
+  (*sink_) << "[" << stamp << "s] " << to_string(level) << " " << component << ": " << message
+           << '\n';
+}
+
+}  // namespace osap

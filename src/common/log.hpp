@@ -1,0 +1,74 @@
+// Leveled logging with simulated-time prefixes.
+//
+// The logger is a process-wide singleton configured once per binary.
+// Components log through OSAP_LOG(level, component) << ...; each line is
+// prefixed with the current simulated time supplied by a clock callback
+// (installed by Simulation). Default level is Warn so tests stay quiet.
+#pragma once
+
+#include <functional>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/time.hpp"
+
+namespace osap {
+
+enum class LogLevel { Trace = 0, Debug = 1, Info = 2, Warn = 3, Error = 4, Off = 5 };
+
+const char* to_string(LogLevel level) noexcept;
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) noexcept { level_ = level; }
+  [[nodiscard]] LogLevel level() const noexcept { return level_; }
+  [[nodiscard]] bool enabled(LogLevel level) const noexcept { return level >= level_; }
+
+  /// Install the callback used to stamp lines with simulated time.
+  void set_clock(std::function<SimTime()> clock) { clock_ = std::move(clock); }
+  void clear_clock() { clock_ = nullptr; }
+
+  /// Redirect output (default std::cerr). The stream must outlive use.
+  void set_sink(std::ostream* sink) noexcept { sink_ = sink; }
+
+  void write(LogLevel level, const std::string& component, const std::string& message);
+
+ private:
+  Logger() = default;
+  LogLevel level_ = LogLevel::Warn;
+  std::function<SimTime()> clock_;
+  std::ostream* sink_ = &std::cerr;
+};
+
+namespace detail {
+/// Collects one log statement and flushes it on destruction.
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+  ~LogLine() { Logger::instance().write(level_, component_, os_.str()); }
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace osap
+
+/// Usage: OSAP_LOG(Info, "jobtracker") << "job " << id << " submitted";
+#define OSAP_LOG(level, component)                                        \
+  if (::osap::Logger::instance().enabled(::osap::LogLevel::level))        \
+  ::osap::detail::LogLine(::osap::LogLevel::level, (component))

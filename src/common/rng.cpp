@@ -1,0 +1,79 @@
+#include "common/rng.hpp"
+
+#include <cmath>
+
+namespace osap {
+
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) noexcept {
+  x += 0x9E3779B97f4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) noexcept {
+  for (auto& s : s_) s = splitmix64(seed);
+  // Avoid the all-zero state (splitmix64 makes this astronomically
+  // unlikely, but the guarantee is cheap).
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
+std::uint64_t Rng::next_u64() noexcept {
+  const std::uint64_t result = rotl(s_[0] + s_[3], 23) + s_[0];
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() noexcept {
+  // 53 high bits -> double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) noexcept { return lo + (hi - lo) * uniform(); }
+
+std::uint64_t Rng::uniform_int(std::uint64_t lo, std::uint64_t hi) noexcept {
+  if (lo >= hi) return lo;
+  const std::uint64_t span = hi - lo + 1;
+  return lo + next_u64() % span;
+}
+
+double Rng::exponential(double mean) noexcept {
+  double u = uniform();
+  if (u <= 0.0) u = 0x1.0p-53;
+  return -mean * std::log(u);
+}
+
+double Rng::normal(double mean, double stddev) noexcept {
+  double u1 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  return mean + stddev * r * std::cos(6.283185307179586 * u2);
+}
+
+double Rng::normal_at_least(double mean, double stddev, double lo) noexcept {
+  for (int i = 0; i < 64; ++i) {
+    const double v = normal(mean, stddev);
+    if (v >= lo) return v;
+  }
+  return lo;
+}
+
+Rng Rng::fork() noexcept { return Rng(next_u64()); }
+
+}  // namespace osap

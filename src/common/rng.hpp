@@ -1,0 +1,47 @@
+// Deterministic random number generation.
+//
+// Experiments average over N seeded runs; all randomness flows through Rng
+// (xoshiro256++ seeded via splitmix64) so a (seed, run-index) pair fully
+// reproduces a run on any platform. std::<random> distributions are
+// deliberately avoided: their outputs differ across standard libraries.
+#pragma once
+
+#include <cstdint>
+
+namespace osap {
+
+class Rng {
+ public:
+  /// Seeds the four xoshiro words from `seed` via splitmix64.
+  explicit Rng(std::uint64_t seed) noexcept;
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64() noexcept;
+
+  /// Uniform in [0, 1).
+  double uniform() noexcept;
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::uint64_t uniform_int(std::uint64_t lo, std::uint64_t hi) noexcept;
+
+  /// Exponential with the given mean (mean = 1/rate).
+  double exponential(double mean) noexcept;
+
+  /// Normal via Box–Muller (no internal cache, deterministic).
+  double normal(double mean, double stddev) noexcept;
+
+  /// Normal truncated to be >= lo (resamples; lo should be well within
+  /// a few stddevs of the mean).
+  double normal_at_least(double mean, double stddev, double lo) noexcept;
+
+  /// Derive an independent child generator (e.g. one per experiment run).
+  Rng fork() noexcept;
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace osap

@@ -1,0 +1,24 @@
+// Simulated time.
+//
+// The whole simulator runs on a single virtual clock expressed in seconds
+// as a double. Single-threaded discrete-event execution keeps this fully
+// deterministic. Helpers make call sites read naturally: `after(ms(500))`,
+// `after(minutes(2))`.
+#pragma once
+
+#include <limits>
+
+namespace osap {
+
+/// Absolute simulated time, in seconds since simulation start.
+using SimTime = double;
+/// Relative simulated time, in seconds.
+using Duration = double;
+
+inline constexpr SimTime kTimeNever = std::numeric_limits<double>::infinity();
+
+constexpr Duration seconds(double s) noexcept { return s; }
+constexpr Duration ms(double m) noexcept { return m / 1000.0; }
+constexpr Duration minutes(double m) noexcept { return m * 60.0; }
+
+}  // namespace osap

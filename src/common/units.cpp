@@ -1,0 +1,21 @@
+#include "common/units.hpp"
+
+#include <cstdio>
+
+namespace osap {
+
+std::string format_bytes(Bytes b) {
+  char buf[48];
+  if (b >= GiB) {
+    std::snprintf(buf, sizeof buf, "%.2f GiB", to_gib(b));
+  } else if (b >= MiB) {
+    std::snprintf(buf, sizeof buf, "%.1f MiB", to_mib(b));
+  } else if (b >= KiB) {
+    std::snprintf(buf, sizeof buf, "%.1f KiB", static_cast<double>(b) / static_cast<double>(KiB));
+  } else {
+    std::snprintf(buf, sizeof buf, "%llu B", static_cast<unsigned long long>(b));
+  }
+  return buf;
+}
+
+}  // namespace osap

@@ -1,0 +1,36 @@
+// Byte-size units used throughout the simulator.
+//
+// All memory, disk and network volumes are expressed in bytes as a
+// `Bytes` (unsigned 64-bit) value. Helpers build readable constants:
+// `512 * MiB`, `gib(2.5)`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace osap {
+
+/// Volume in bytes. Unsigned: the simulator never deals in negative sizes;
+/// subtraction helpers below saturate instead of wrapping.
+using Bytes = std::uint64_t;
+
+inline constexpr Bytes KiB = 1024;
+inline constexpr Bytes MiB = 1024 * KiB;
+inline constexpr Bytes GiB = 1024 * MiB;
+
+/// Fractional gibibytes, e.g. gib(2.5) == 2.5 * GiB rounded to bytes.
+constexpr Bytes gib(double g) noexcept { return static_cast<Bytes>(g * static_cast<double>(GiB)); }
+/// Fractional mebibytes.
+constexpr Bytes mib(double m) noexcept { return static_cast<Bytes>(m * static_cast<double>(MiB)); }
+
+/// Saturating subtraction: returns a-b, or 0 when b > a.
+constexpr Bytes sat_sub(Bytes a, Bytes b) noexcept { return a >= b ? a - b : 0; }
+
+/// Convert to floating mebibytes/gibibytes for reporting.
+constexpr double to_mib(Bytes b) noexcept { return static_cast<double>(b) / static_cast<double>(MiB); }
+constexpr double to_gib(Bytes b) noexcept { return static_cast<double>(b) / static_cast<double>(GiB); }
+
+/// Human-readable rendering, e.g. "512.0 MiB", "2.50 GiB".
+std::string format_bytes(Bytes b);
+
+}  // namespace osap

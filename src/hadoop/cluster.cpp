@@ -1,0 +1,85 @@
+#include "hadoop/cluster.hpp"
+
+#include "common/error.hpp"
+
+namespace osap {
+
+Cluster::Cluster(ClusterConfig cfg)
+    : cfg_(cfg),
+      net_(sim_, cfg.net),
+      namenode_(cfg.hdfs, cfg.seed),
+      master_(NodeId{static_cast<std::uint64_t>(cfg.num_nodes)}),
+      jt_(sim_, net_, master_, cfg.hadoop) {
+  OSAP_CHECK(cfg_.num_nodes >= 1);
+  net_.register_node(master_);
+  for (int i = 0; i < cfg_.num_nodes; ++i) {
+    const NodeId node{static_cast<std::uint64_t>(i)};
+    net_.register_node(node);
+    namenode_.add_datanode(node);
+    kernels_.push_back(
+        std::make_unique<Kernel>(sim_, cfg_.os, "node" + std::to_string(i)));
+    trackers_.push_back(std::make_unique<TaskTracker>(
+        sim_, *kernels_.back(), net_, TrackerId{static_cast<std::uint64_t>(i)}, node,
+        cfg_.hadoop));
+    jt_.register_tracker(*trackers_.back());
+    trackers_.back()->connect(jt_, master_);
+  }
+}
+
+NodeId Cluster::node(int index) const {
+  OSAP_CHECK(index >= 0 && index < cfg_.num_nodes);
+  return NodeId{static_cast<std::uint64_t>(index)};
+}
+
+Kernel& Cluster::kernel(NodeId node) {
+  OSAP_CHECK_MSG(node.value() < kernels_.size(), "unknown " << node);
+  return *kernels_[node.value()];
+}
+
+TaskTracker& Cluster::tracker(NodeId node) {
+  OSAP_CHECK_MSG(node.value() < trackers_.size(), "unknown " << node);
+  return *trackers_[node.value()];
+}
+
+void Cluster::set_scheduler(std::unique_ptr<Scheduler> scheduler) {
+  scheduler_ = std::move(scheduler);
+  jt_.set_scheduler(scheduler_.get());
+}
+
+std::vector<BlockId> Cluster::create_input(const std::string& name, Bytes size, NodeId writer) {
+  const FileId file = namenode_.create_file(name, size, writer);
+  return namenode_.file(file).blocks;
+}
+
+void Cluster::watch_task_progress(TaskId id, double fraction, std::function<void()> fn) {
+  auto poll = std::make_shared<std::function<void()>>();
+  *poll = [this, id, fraction, fn = std::move(fn), poll] {
+    const Task& t = jt_.task(id);
+    if (t.done()) return;  // finished before the threshold: never fires
+    double progress = t.progress;
+    // Prefer the live attempt's instantaneous progress over the last
+    // heartbeat snapshot.
+    if (t.tracker.valid()) {
+      TaskTracker* tt = jt_.tracker(t.tracker);
+      if (tt != nullptr && tt->hosts_task(id)) progress = tt->attempt_progress(id);
+    }
+    if (progress >= fraction) {
+      fn();
+      return;
+    }
+    sim_.after(ms(100), *poll);
+  };
+  sim_.after(0, *poll);
+}
+
+void Cluster::run() {
+  // Heartbeat timers re-arm forever, so "queue empty" never happens; stop
+  // once every submitted job has completed (trigger-submitted jobs arrive
+  // while their predecessors still run, so this is safe for experiments).
+  while (!(!jt_.jobs_in_order().empty() && jt_.all_jobs_done()) && sim_.step()) {
+  }
+}
+
+void Cluster::run_until(SimTime t) { sim_.run_until(t); }
+
+}  // namespace osap

@@ -1,0 +1,82 @@
+// Cluster: one-stop assembly of the full simulated stack.
+//
+// Builds the simulation, per-node kernels (OS model), the network, HDFS,
+// the JobTracker (on a dedicated master node) and one TaskTracker per
+// worker node. This is the library's main entry point:
+//
+//   ClusterConfig cfg;            // paper defaults: 4 GB RAM, 512 MB blocks
+//   Cluster cluster(cfg);
+//   cluster.set_scheduler(std::make_unique<FifoScheduler>());
+//   JobId j = cluster.submit(job_spec);
+//   cluster.run();
+//   Duration sojourn = cluster.job_tracker().job(j).sojourn();
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hadoop/config.hpp"
+#include "hadoop/job_tracker.hpp"
+#include "hadoop/task_tracker.hpp"
+#include "hdfs/namenode.hpp"
+#include "net/network.hpp"
+#include "os/kernel.hpp"
+#include "sim/simulation.hpp"
+
+namespace osap {
+
+struct ClusterConfig {
+  int num_nodes = 1;
+  OsConfig os;
+  HadoopConfig hadoop;
+  NetConfig net;
+  HdfsConfig hdfs;
+  std::uint64_t seed = 1;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterConfig cfg);
+
+  [[nodiscard]] Simulation& sim() noexcept { return sim_; }
+  [[nodiscard]] JobTracker& job_tracker() noexcept { return jt_; }
+  [[nodiscard]] NameNode& namenode() noexcept { return namenode_; }
+  [[nodiscard]] Network& network() noexcept { return net_; }
+
+  [[nodiscard]] int num_nodes() const noexcept { return cfg_.num_nodes; }
+  [[nodiscard]] NodeId node(int index) const;
+  [[nodiscard]] Kernel& kernel(NodeId node);
+  [[nodiscard]] TaskTracker& tracker(NodeId node);
+
+  /// The scheduler must outlive all heartbeats; the cluster owns it.
+  void set_scheduler(std::unique_ptr<Scheduler> scheduler);
+  [[nodiscard]] Scheduler* scheduler() noexcept { return scheduler_.get(); }
+
+  JobId submit(JobSpec spec) { return jt_.submit_job(std::move(spec)); }
+
+  /// Create an input file and return its single-block id list — the
+  /// experiments use "a single-block file stored on HDFS, with size 512 MB".
+  std::vector<BlockId> create_input(const std::string& name, Bytes size,
+                                    NodeId writer = NodeId{});
+
+  /// Fire `fn` once the task's live attempt reaches `fraction` progress
+  /// (fine-grained poll; experiment instrumentation, not a Hadoop API).
+  void watch_task_progress(TaskId id, double fraction, std::function<void()> fn);
+
+  /// Run until the event queue drains (all jobs done) or `deadline`.
+  void run();
+  void run_until(SimTime t);
+
+ private:
+  ClusterConfig cfg_;
+  Simulation sim_;
+  Network net_;
+  NameNode namenode_;
+  std::vector<std::unique_ptr<Kernel>> kernels_;
+  std::vector<std::unique_ptr<TaskTracker>> trackers_;
+  NodeId master_;
+  JobTracker jt_;
+  std::unique_ptr<Scheduler> scheduler_;
+};
+
+}  // namespace osap

@@ -1,0 +1,30 @@
+// Hadoop-1 framework parameters.
+#pragma once
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace osap {
+
+struct HadoopConfig {
+  /// TaskTracker → JobTracker heartbeat period (Hadoop 1 default 3 s).
+  Duration heartbeat_interval = seconds(3);
+  /// Send an immediate out-of-band heartbeat when a task finishes.
+  bool out_of_band_heartbeat = true;
+  /// Also send one when a suspension takes effect, so the freed slot is
+  /// usable right away rather than at the next periodic heartbeat. The
+  /// ablation bench studies the difference.
+  bool oob_on_suspend = true;
+  /// Concurrent task slots per TaskTracker. The paper's single-slot setup
+  /// ("the number of running tasks per machine is limited") maps to 1.
+  int map_slots = 2;
+  int reduce_slots = 2;
+  /// Upper bound on suspended tasks parked on one TaskTracker, ensuring
+  /// aggregate memory stays under RAM + swap (§III-A).
+  int max_suspended_per_tracker = 4;
+  /// Duration of the cleanup attempt that removes a killed task's
+  /// temporary output; it occupies the slot before a successor can start.
+  Duration kill_cleanup_duration = seconds(4.0);
+};
+
+}  // namespace osap

@@ -1,0 +1,35 @@
+#include "hadoop/events.hpp"
+
+#include "hadoop/heartbeat.hpp"
+
+namespace osap {
+
+const char* to_string(ClusterEventType t) noexcept {
+  switch (t) {
+    case ClusterEventType::JobSubmitted: return "job-submitted";
+    case ClusterEventType::JobCompleted: return "job-completed";
+    case ClusterEventType::TaskLaunched: return "task-launched";
+    case ClusterEventType::TaskSuspendRequested: return "task-suspend-requested";
+    case ClusterEventType::TaskSuspended: return "task-suspended";
+    case ClusterEventType::TaskResumeRequested: return "task-resume-requested";
+    case ClusterEventType::TaskResumed: return "task-resumed";
+    case ClusterEventType::TaskKillRequested: return "task-kill-requested";
+    case ClusterEventType::TaskKilled: return "task-killed";
+    case ClusterEventType::TaskSucceeded: return "task-succeeded";
+    case ClusterEventType::TaskFailed: return "task-failed";
+  }
+  return "?";
+}
+
+const char* to_string(ActionKind k) noexcept {
+  switch (k) {
+    case ActionKind::Launch: return "launch";
+    case ActionKind::Kill: return "kill";
+    case ActionKind::Suspend: return "suspend";
+    case ActionKind::Resume: return "resume";
+    case ActionKind::CheckpointSuspend: return "checkpoint-suspend";
+  }
+  return "?";
+}
+
+}  // namespace osap

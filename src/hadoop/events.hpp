@@ -1,0 +1,33 @@
+// Cluster lifecycle events, consumed by the metrics/timeline recorders.
+#pragma once
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+
+namespace osap {
+
+enum class ClusterEventType {
+  JobSubmitted,
+  JobCompleted,
+  TaskLaunched,
+  TaskSuspendRequested,
+  TaskSuspended,
+  TaskResumeRequested,
+  TaskResumed,
+  TaskKillRequested,
+  TaskKilled,
+  TaskSucceeded,
+  TaskFailed,
+};
+
+const char* to_string(ClusterEventType t) noexcept;
+
+struct ClusterEvent {
+  SimTime time = 0;
+  ClusterEventType type = ClusterEventType::JobSubmitted;
+  JobId job;
+  TaskId task;
+  NodeId node;
+};
+
+}  // namespace osap

@@ -1,0 +1,42 @@
+// Jobs: collections of tasks with priorities and completion tracking.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "hadoop/task.hpp"
+
+namespace osap {
+
+enum class JobState { Running, Succeeded, Killed };
+
+struct JobSpec {
+  std::string name = "job";
+  /// Higher runs first for priority-aware schedulers.
+  int priority = 0;
+  /// Submission queue, used by the Capacity scheduler.
+  std::string queue = "default";
+  /// Completion deadline (absolute simulation time; <0 = none), used by
+  /// the deadline scheduler.
+  SimTime deadline = -1;
+  std::vector<TaskSpec> tasks;
+};
+
+struct Job {
+  JobId id;
+  JobSpec spec;
+  JobState state = JobState::Running;
+  std::vector<TaskId> tasks;
+  int tasks_completed = 0;
+  SimTime submitted_at = -1;
+  SimTime completed_at = -1;
+
+  /// Sojourn time: submission to completion (§IV-B).
+  [[nodiscard]] Duration sojourn() const noexcept {
+    return (completed_at >= 0 && submitted_at >= 0) ? completed_at - submitted_at : -1;
+  }
+};
+
+}  // namespace osap

@@ -1,0 +1,284 @@
+#include "hadoop/job_tracker.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "hadoop/task_tracker.hpp"
+
+namespace osap {
+
+namespace {
+constexpr const char* kLog = "jobtracker";
+}
+
+JobTracker::JobTracker(Simulation& sim, Network& net, NodeId master, HadoopConfig cfg)
+    : sim_(sim), net_(net), master_(master), cfg_(cfg) {}
+
+void JobTracker::register_tracker(TaskTracker& tracker) {
+  const bool inserted = trackers_.emplace(tracker.id(), &tracker).second;
+  OSAP_CHECK_MSG(inserted, tracker.id() << " registered twice");
+}
+
+void JobTracker::set_scheduler(Scheduler* scheduler) {
+  scheduler_ = scheduler;
+  if (scheduler_ != nullptr) scheduler_->attach(*this);
+}
+
+TaskTracker* JobTracker::tracker(TrackerId id) {
+  const auto it = trackers_.find(id);
+  return it == trackers_.end() ? nullptr : it->second;
+}
+
+void JobTracker::emit(ClusterEventType type, JobId job, TaskId task, NodeId node) {
+  if (event_hooks_.empty()) return;
+  const ClusterEvent event{sim_.now(), type, job, task, node};
+  for (const auto& hook : event_hooks_) hook(event);
+}
+
+JobId JobTracker::submit_job(JobSpec spec) {
+  Job job;
+  job.id = job_ids_.next();
+  job.submitted_at = sim_.now();
+  for (TaskSpec& ts : spec.tasks) {
+    Task task;
+    task.id = task_ids_.next();
+    task.job = job.id;
+    if (ts.name == "task") ts.name = spec.name + "/" + std::to_string(job.tasks.size());
+    task.spec = ts;
+    job.tasks.push_back(task.id);
+    tasks_.emplace(task.id, std::move(task));
+  }
+  job.spec = std::move(spec);
+  const JobId id = job.id;
+  OSAP_LOG(Info, kLog) << "job " << id << " (" << job.spec.name << ") submitted with "
+                       << job.tasks.size() << " tasks";
+  jobs_.emplace(id, std::move(job));
+  job_order_.push_back(id);
+  emit(ClusterEventType::JobSubmitted, id, TaskId{}, NodeId{});
+  if (scheduler_ != nullptr) scheduler_->job_added(id);
+  return id;
+}
+
+bool JobTracker::suspend_task(TaskId id) {
+  Task& t = task_mutable(id);
+  if (t.state != TaskState::Running) {
+    OSAP_LOG(Warn, kLog) << "suspend " << id << " rejected in state " << to_string(t.state);
+    return false;
+  }
+  t.state = TaskState::MustSuspend;
+  command_sent_[id] = false;
+  emit(ClusterEventType::TaskSuspendRequested, t.job, id, t.node);
+  return true;
+}
+
+bool JobTracker::checkpoint_suspend_task(TaskId id) {
+  Task& t = task_mutable(id);
+  if (t.state != TaskState::Running) {
+    OSAP_LOG(Warn, kLog) << "checkpoint-suspend " << id << " rejected in state "
+                         << to_string(t.state);
+    return false;
+  }
+  t.state = TaskState::MustSuspend;
+  t.use_checkpoint = true;
+  command_sent_[id] = false;
+  emit(ClusterEventType::TaskSuspendRequested, t.job, id, t.node);
+  return true;
+}
+
+bool JobTracker::resume_task(TaskId id) {
+  Task& t = task_mutable(id);
+  if (t.state != TaskState::Suspended) {
+    OSAP_LOG(Warn, kLog) << "resume " << id << " rejected in state " << to_string(t.state);
+    return false;
+  }
+  emit(ClusterEventType::TaskResumeRequested, t.job, id, t.node);
+  if (t.checkpointed) {
+    // No process to SIGCONT: relaunch with fast-forward from the saved
+    // counters (and re-read of any serialized state).
+    t.spec.checkpoint_progress = t.progress;
+    t.spec.checkpoint_state = t.spec.state_memory + 64 * KiB;
+    t.checkpointed = false;
+    t.use_checkpoint = false;
+    t.progress = 0;
+    task_terminal(t, TaskState::Unassigned);
+    return true;
+  }
+  t.state = TaskState::MustResume;
+  command_sent_[id] = false;
+  return true;
+}
+
+bool JobTracker::kill_task(TaskId id) {
+  Task& t = task_mutable(id);
+  if (!t.live()) {
+    OSAP_LOG(Warn, kLog) << "kill " << id << " rejected in state " << to_string(t.state);
+    return false;
+  }
+  must_kill_[id] = false;  // false = not yet sent
+  emit(ClusterEventType::TaskKillRequested, t.job, id, t.node);
+  return true;
+}
+
+void JobTracker::apply_report(const TrackerStatus& status, const TaskStatusReport& report) {
+  const auto it = tasks_.find(report.task);
+  if (it == tasks_.end()) return;
+  Task& t = it->second;
+  t.swapped_out = std::max(t.swapped_out, report.swapped_out);
+  t.swapped_in = std::max(t.swapped_in, report.swapped_in);
+  switch (report.kind) {
+    case ReportKind::Progress:
+      if (t.live()) t.progress = report.progress;
+      break;
+    case ReportKind::Suspended:
+      if (t.state == TaskState::MustSuspend) {
+        t.state = TaskState::Suspended;
+        emit(ClusterEventType::TaskSuspended, t.job, t.id, status.node);
+      }
+      break;
+    case ReportKind::Resumed:
+      if (t.state == TaskState::MustResume || t.state == TaskState::Suspended) {
+        t.state = TaskState::Running;
+        emit(ClusterEventType::TaskResumed, t.job, t.id, status.node);
+      }
+      break;
+    case ReportKind::Succeeded:
+      if (!t.done()) {
+        t.progress = 1.0;
+        t.completed_at = sim_.now();
+        task_terminal(t, TaskState::Succeeded);
+        emit(ClusterEventType::TaskSucceeded, t.job, t.id, status.node);
+        Job& job = jobs_.at(t.job);
+        ++job.tasks_completed;
+        maybe_complete_job(t.job);
+      }
+      break;
+    case ReportKind::KilledAck: {
+      // The attempt is gone and its temporary output cleaned; the task
+      // itself goes back to the pool, losing all progress — the kill
+      // primitive's defining cost.
+      emit(ClusterEventType::TaskKilled, t.job, t.id, status.node);
+      task_terminal(t, TaskState::Unassigned);
+      t.progress = 0;
+      break;
+    }
+    case ReportKind::Failed:
+      emit(ClusterEventType::TaskFailed, t.job, t.id, status.node);
+      task_terminal(t, TaskState::Unassigned);
+      t.progress = 0;
+      break;
+    case ReportKind::Checkpointed:
+      if (t.state == TaskState::MustSuspend) {
+        t.state = TaskState::Suspended;
+        t.checkpointed = true;
+        t.progress = report.progress;
+        // The JVM is gone; the task is no longer bound to the tracker
+        // (though checkpoint files make same-node relaunches cheaper).
+        t.node = NodeId{};
+        t.tracker = TrackerId{};
+        command_sent_.erase(t.id);
+        emit(ClusterEventType::TaskSuspended, t.job, t.id, status.node);
+      }
+      break;
+  }
+}
+
+void JobTracker::task_terminal(Task& task, TaskState state) {
+  task.state = state;
+  task.node = NodeId{};
+  task.tracker = TrackerId{};
+  command_sent_.erase(task.id);
+  must_kill_.erase(task.id);
+}
+
+void JobTracker::maybe_complete_job(JobId id) {
+  Job& job = jobs_.at(id);
+  if (job.state != JobState::Running) return;
+  if (job.tasks_completed < static_cast<int>(job.tasks.size())) return;
+  job.state = JobState::Succeeded;
+  job.completed_at = sim_.now();
+  OSAP_LOG(Info, kLog) << "job " << id << " completed, sojourn " << job.sojourn() << "s";
+  emit(ClusterEventType::JobCompleted, id, TaskId{}, NodeId{});
+  if (scheduler_ != nullptr) scheduler_->job_completed(id);
+}
+
+void JobTracker::on_heartbeat(TrackerStatus status) {
+  TaskTracker* tt = tracker(status.tracker);
+  OSAP_LOG(Debug, kLog) << "heartbeat from " << status.tracker << " (" << status.reports.size()
+                        << " reports, " << status.free_map_slots << " free map slots)";
+  if (tt == nullptr) return;
+
+  for (const TaskStatusReport& report : status.reports) apply_report(status, report);
+
+  HeartbeatResponse response;
+
+  // Piggyback pending kill / suspend / resume commands addressed to this
+  // tracker (§III-B).
+  for (auto& [tid, sent] : must_kill_) {
+    if (sent) continue;
+    const Task& t = tasks_.at(tid);
+    if (t.tracker != status.tracker) continue;
+    response.actions.push_back(TaskAction{ActionKind::Kill, tid, {}});
+    sent = true;
+  }
+  for (auto& [tid, sent] : command_sent_) {
+    if (sent) continue;
+    Task& t = tasks_.at(tid);
+    if (t.tracker != status.tracker) continue;
+    if (t.state == TaskState::MustSuspend) {
+      response.actions.push_back(TaskAction{
+          t.use_checkpoint ? ActionKind::CheckpointSuspend : ActionKind::Suspend, tid, {}});
+      sent = true;
+    } else if (t.state == TaskState::MustResume) {
+      response.actions.push_back(TaskAction{ActionKind::Resume, tid, {}});
+      sent = true;
+    }
+  }
+
+  // Ask the scheduler for work for the free slots.
+  if (scheduler_ != nullptr) {
+    for (TaskId tid : scheduler_->assign(status)) {
+      Task& t = tasks_.at(tid);
+      OSAP_CHECK_MSG(t.state == TaskState::Unassigned,
+                     "scheduler assigned " << tid << " in state " << to_string(t.state));
+      t.state = TaskState::Running;
+      t.node = status.node;
+      t.tracker = status.tracker;
+      ++t.attempts_started;
+      if (t.first_launched_at < 0) t.first_launched_at = sim_.now();
+      TaskAction action{ActionKind::Launch, tid, t.spec};
+      response.actions.push_back(std::move(action));
+      emit(ClusterEventType::TaskLaunched, t.job, tid, status.node);
+    }
+  }
+
+  // Every heartbeat gets a response, even an empty one.
+  net_.send(master_, status.node, [tt, response = std::move(response)]() mutable {
+    tt->on_response(std::move(response));
+  });
+}
+
+const Job& JobTracker::job(JobId id) const {
+  const auto it = jobs_.find(id);
+  OSAP_CHECK_MSG(it != jobs_.end(), "unknown " << id);
+  return it->second;
+}
+
+const Task& JobTracker::task(TaskId id) const {
+  const auto it = tasks_.find(id);
+  OSAP_CHECK_MSG(it != tasks_.end(), "unknown " << id);
+  return it->second;
+}
+
+Task& JobTracker::task_mutable(TaskId id) {
+  const auto it = tasks_.find(id);
+  OSAP_CHECK_MSG(it != tasks_.end(), "unknown " << id);
+  return it->second;
+}
+
+bool JobTracker::all_jobs_done() const {
+  for (const auto& [id, job] : jobs_) {
+    if (job.state == JobState::Running) return false;
+  }
+  return true;
+}
+
+}  // namespace osap

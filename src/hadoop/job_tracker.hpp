@@ -1,0 +1,100 @@
+// JobTracker: central job/task state and the preemption API.
+//
+// Mirrors Hadoop 1's JobTracker, extended exactly as §III-B describes:
+// new task states (MUST_SUSPEND / SUSPENDED / MUST_RESUME) and new
+// messages piggybacked on heartbeat responses. The suspend flow is
+//
+//   suspend_task()  ->  task MUST_SUSPEND
+//   next heartbeat  ->  SuspendAction piggybacked to the TaskTracker
+//   following heartbeat -> "suspended" ack (or "completed in the
+//   meanwhile"), task becomes SUSPENDED
+//
+// and symmetrically for resume. The same API serves command-line users
+// and schedulers.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "hadoop/config.hpp"
+#include "hadoop/events.hpp"
+#include "hadoop/heartbeat.hpp"
+#include "hadoop/job.hpp"
+#include "hadoop/scheduler.hpp"
+#include "net/network.hpp"
+#include "sim/simulation.hpp"
+
+namespace osap {
+
+class TaskTracker;
+
+class JobTracker {
+ public:
+  JobTracker(Simulation& sim, Network& net, NodeId master, HadoopConfig cfg);
+
+  void register_tracker(TaskTracker& tracker);
+  void set_scheduler(Scheduler* scheduler);
+
+  /// Observe cluster events (timelines, metrics, drivers). Hooks fire in
+  /// registration order and live as long as the JobTracker.
+  void add_event_hook(std::function<void(const ClusterEvent&)> hook) {
+    event_hooks_.push_back(std::move(hook));
+  }
+
+  // --- job & task API ------------------------------------------------------
+  JobId submit_job(JobSpec spec);
+
+  /// Request suspension of a running task. Returns false if the task is
+  /// not in a suspendable state.
+  bool suspend_task(TaskId id);
+  /// Natjam-style suspension: serialize state, kill the JVM. Resuming a
+  /// checkpointed task relaunches it with fast-forward.
+  bool checkpoint_suspend_task(TaskId id);
+  /// Request resumption of a suspended task.
+  bool resume_task(TaskId id);
+  /// Request the kill of a live task attempt; the task returns to the
+  /// UNASSIGNED pool for rescheduling (losing its work).
+  bool kill_task(TaskId id);
+
+  // --- heartbeat entry point (via network) ---------------------------------
+  void on_heartbeat(TrackerStatus status);
+
+  // --- views ----------------------------------------------------------------
+  [[nodiscard]] const Job& job(JobId id) const;
+  [[nodiscard]] const Task& task(TaskId id) const;
+  [[nodiscard]] Task& task_mutable(TaskId id);
+  [[nodiscard]] const std::vector<JobId>& jobs_in_order() const noexcept { return job_order_; }
+  [[nodiscard]] bool all_jobs_done() const;
+  [[nodiscard]] TaskTracker* tracker(TrackerId id);
+  [[nodiscard]] NodeId master_node() const noexcept { return master_; }
+  [[nodiscard]] SimTime now() const noexcept { return sim_.now(); }
+  [[nodiscard]] Simulation& sim() noexcept { return sim_; }
+
+ private:
+  void emit(ClusterEventType type, JobId job, TaskId task, NodeId node);
+  void apply_report(const TrackerStatus& status, const TaskStatusReport& report);
+  void task_terminal(Task& task, TaskState state);
+  void maybe_complete_job(JobId id);
+
+  Simulation& sim_;
+  Network& net_;
+  NodeId master_;
+  HadoopConfig cfg_;
+  Scheduler* scheduler_ = nullptr;
+  std::vector<std::function<void(const ClusterEvent&)>> event_hooks_;
+
+  std::unordered_map<TrackerId, TaskTracker*> trackers_;
+  std::unordered_map<JobId, Job> jobs_;
+  std::unordered_map<TaskId, Task> tasks_;
+  std::vector<JobId> job_order_;
+  /// Tasks with an un-sent Suspend/Resume command (cleared when the
+  /// command is piggybacked).
+  std::unordered_map<TaskId, bool> command_sent_;
+  std::unordered_map<TaskId, bool> must_kill_;
+  IdGenerator<JobId> job_ids_;
+  IdGenerator<TaskId> task_ids_;
+};
+
+}  // namespace osap

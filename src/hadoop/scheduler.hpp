@@ -1,0 +1,43 @@
+// Scheduler plug-in interface.
+//
+// The JobTracker consults the scheduler while answering each heartbeat:
+// the scheduler returns tasks to launch on the reporting tracker. Eviction
+// decisions (whom to preempt, with which primitive) are issued by the
+// scheduler through the JobTracker's preemption API — the paper is careful
+// to separate the *primitive* (this library's contribution) from the
+// *policy* (the scheduler's business, §III).
+#pragma once
+
+#include <vector>
+
+#include "common/ids.hpp"
+#include "hadoop/heartbeat.hpp"
+
+namespace osap {
+
+class JobTracker;
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Called once when installed on the JobTracker.
+  void attach(JobTracker& jt) {
+    jt_ = &jt;
+    attached();
+  }
+
+  virtual void job_added(JobId) {}
+  virtual void job_completed(JobId) {}
+
+  /// Pick tasks to launch on the reporting tracker, respecting its free
+  /// slot counts. Called after the heartbeat's status reports have been
+  /// applied.
+  virtual std::vector<TaskId> assign(const TrackerStatus& status) = 0;
+
+ protected:
+  virtual void attached() {}
+  JobTracker* jt_ = nullptr;
+};
+
+}  // namespace osap

@@ -1,0 +1,308 @@
+#include "hadoop/task_tracker.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "hadoop/job_tracker.hpp"
+
+namespace osap {
+
+namespace {
+constexpr const char* kLog = "tasktracker";
+}
+
+TaskTracker::TaskTracker(Simulation& sim, Kernel& kernel, Network& net, TrackerId id, NodeId node,
+                         HadoopConfig cfg)
+    : sim_(sim), kernel_(kernel), net_(net), id_(id), node_(node), cfg_(cfg) {}
+
+void TaskTracker::connect(JobTracker& jt, NodeId master) {
+  OSAP_CHECK_MSG(jt_ == nullptr, id_ << " connected twice");
+  jt_ = &jt;
+  master_ = master;
+  OSAP_LOG(Debug, kLog) << id_ << " connected, heartbeating every " << cfg_.heartbeat_interval
+                        << "s";
+  // Stagger trackers slightly so heartbeats don't land in lockstep.
+  const Duration phase = ms(37) * static_cast<double>(id_.value() % 16);
+  hb_timer_ = sim_.after(phase, [this] { heartbeat(); });
+}
+
+int TaskTracker::free_map_slots() const noexcept {
+  return std::max(0, cfg_.map_slots - used_map_slots_);
+}
+
+int TaskTracker::free_reduce_slots() const noexcept {
+  return std::max(0, cfg_.reduce_slots - used_reduce_slots_);
+}
+
+Pid TaskTracker::attempt_pid(TaskId id) const {
+  const auto it = live_.find(id);
+  return it == live_.end() ? Pid{} : it->second.pid;
+}
+
+double TaskTracker::attempt_progress(TaskId id) const {
+  const auto it = live_.find(id);
+  if (it == live_.end()) return 0;
+  return kernel_.progress(it->second.pid);
+}
+
+void TaskTracker::heartbeat() {
+  send_status(/*out_of_band=*/false);
+  schedule_next_heartbeat();
+}
+
+void TaskTracker::schedule_next_heartbeat() {
+  if (hb_timer_ != 0) sim_.cancel(hb_timer_);
+  hb_timer_ = sim_.after(cfg_.heartbeat_interval, [this] { heartbeat(); });
+}
+
+void TaskTracker::send_status(bool out_of_band) {
+  if (jt_ == nullptr) return;
+  TrackerStatus status;
+  status.tracker = id_;
+  status.node = node_;
+  status.free_map_slots = free_map_slots();
+  status.free_reduce_slots = free_reduce_slots();
+  status.suspended_tasks = suspended_;
+  status.reports = std::move(pending_reports_);
+  pending_reports_.clear();
+  for (const auto& [tid, task] : live_) {
+    if (task.in_cleanup) continue;
+    TaskStatusReport report;
+    report.task = tid;
+    report.kind = ReportKind::Progress;
+    report.progress = kernel_.progress(task.pid);
+    report.swapped_out = kernel_.vmm().swapped_out_total(task.pid);
+    report.swapped_in = kernel_.vmm().swapped_in_total(task.pid);
+    status.reports.push_back(report);
+  }
+  net_.send(node_, master_, [jt = jt_, status = std::move(status)]() mutable {
+    jt->on_heartbeat(std::move(status));
+  });
+  // Out-of-band heartbeats do not reset the periodic timer, matching
+  // Hadoop's "status now, schedule stays" behaviour.
+  (void)out_of_band;
+}
+
+void TaskTracker::on_response(HeartbeatResponse response) {
+  for (const TaskAction& action : response.actions) apply(action);
+}
+
+void TaskTracker::apply(const TaskAction& action) {
+  OSAP_LOG(Debug, kLog) << id_ << ": action " << to_string(action.kind) << " for "
+                        << action.task;
+  switch (action.kind) {
+    case ActionKind::Launch: launch(action); break;
+    case ActionKind::Kill: do_kill(action.task); break;
+    case ActionKind::Suspend: do_suspend(action.task); break;
+    case ActionKind::Resume: do_resume(action.task); break;
+    case ActionKind::CheckpointSuspend: do_checkpoint_suspend(action.task); break;
+  }
+}
+
+void TaskTracker::launch(const TaskAction& action) {
+  OSAP_CHECK_MSG(!live_.contains(action.task), action.task << " already live on " << id_);
+  LiveTask task;
+  task.task = action.task;
+  task.type = action.spec.type;
+  task.state_memory = action.spec.state_memory;
+  const TaskId tid = action.task;
+  if (action.spec.streaming_helper_memory > 0 || action.spec.streaming_cpu_per_byte > 0) {
+    // Hadoop Streaming: the external executable is a sibling process fed
+    // through a pipe. It pauses naturally when the suspended task stops
+    // feeding it; we model that by signalling it together with the task.
+    task.helper = kernel_.spawn(
+        ProgramBuilder(action.spec.name + "/pipe")
+            .alloc("buffers", std::max<Bytes>(action.spec.streaming_helper_memory, 1 * MiB),
+                   /*hot_after=*/true)
+            .compute(static_cast<double>(action.spec.input_bytes) *
+                     action.spec.streaming_cpu_per_byte)
+            .build());
+  }
+  if (task.type == TaskType::Map) {
+    ++used_map_slots_;
+  } else {
+    ++used_reduce_slots_;
+  }
+  task.pid = kernel_.spawn(
+      build_task_program(action.spec),
+      ProcessHooks{
+          .on_exit = [this, tid](ExitInfo info) { on_task_exit(tid, info); },
+          .on_stopped =
+              [this, tid] {
+                auto it = live_.find(tid);
+                if (it == live_.end()) return;
+                // A checkpoint-suspend stops the process only to quiesce
+                // it for serialization; the slot stays busy until the
+                // state hits disk.
+                if (it->second.checkpointing) return;
+                it->second.suspended = true;
+                ++suspended_;
+                // The slot frees as soon as the process stops: this is
+                // what lets the high-priority task start immediately.
+                if (it->second.type == TaskType::Map) {
+                  --used_map_slots_;
+                } else {
+                  --used_reduce_slots_;
+                }
+                queue_report(tid, ReportKind::Suspended);
+                if (cfg_.out_of_band_heartbeat && cfg_.oob_on_suspend) send_status(true);
+              },
+          .on_continued =
+              [this, tid] {
+                auto it = live_.find(tid);
+                if (it == live_.end() || !it->second.suspended) return;
+                it->second.suspended = false;
+                --suspended_;
+                if (it->second.type == TaskType::Map) {
+                  ++used_map_slots_;
+                } else {
+                  ++used_reduce_slots_;
+                }
+                queue_report(tid, ReportKind::Resumed);
+              },
+      });
+  live_.emplace(tid, task);
+}
+
+void TaskTracker::do_kill(TaskId id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) return;  // completed in the meanwhile
+  it->second.kill_requested = true;
+  kernel_.signal(it->second.pid, Signal::Kill);
+  if (it->second.helper.valid()) kernel_.signal(it->second.helper, Signal::Kill);
+}
+
+void TaskTracker::do_suspend(TaskId id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) return;  // completed in the meanwhile
+  kernel_.signal(it->second.pid, Signal::Tstp);
+  // The streaming helper blocks on its pipe once the task stops writing;
+  // stopping it explicitly has the same effect on the machine.
+  if (it->second.helper.valid()) kernel_.signal(it->second.helper, Signal::Tstp);
+}
+
+void TaskTracker::do_resume(TaskId id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) return;
+  kernel_.signal(it->second.pid, Signal::Cont);
+  if (it->second.helper.valid()) kernel_.signal(it->second.helper, Signal::Cont);
+}
+
+void TaskTracker::do_checkpoint_suspend(TaskId id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) return;  // completed in the meanwhile
+  LiveTask& task = it->second;
+  task.checkpointing = true;
+  task.checkpoint_progress = kernel_.progress(task.pid);
+  // Stop the task, serialize its state (progress counters plus any
+  // in-memory state) to local disk, then tear the JVM down. The slot stays
+  // busy for the whole serialization — Natjam's ever-present overhead.
+  kernel_.signal(task.pid, Signal::Tstp);
+  const Bytes to_serialize = task.state_memory + 64 * KiB;  // counters at least
+  const TaskId tid = id;
+  kernel_.disk().start(IoClass::HdfsWrite, to_serialize, [this, tid] {
+    auto lt = live_.find(tid);
+    if (lt == live_.end()) return;
+    kernel_.signal(lt->second.pid, Signal::Kill);
+  });
+}
+
+void TaskTracker::on_task_exit(TaskId id, ExitInfo info) {
+  auto it = live_.find(id);
+  if (it == live_.end()) return;
+  LiveTask& task = it->second;
+  if (task.helper.valid()) {
+    // The pipe closes with the task: the helper sees EOF and exits.
+    kernel_.signal(task.helper, Signal::Kill);
+    task.helper = Pid{};
+  }
+  if (task.suspended) {
+    // Killed while parked: it held no slot, but the cleanup attempt needs
+    // one.
+    --suspended_;
+    task.suspended = false;
+    if (task.type == TaskType::Map) {
+      ++used_map_slots_;
+    } else {
+      ++used_reduce_slots_;
+    }
+  }
+  if (info.reason == ExitReason::Finished) {
+    if (task.type == TaskType::Map) {
+      --used_map_slots_;
+    } else {
+      --used_reduce_slots_;
+    }
+    queue_report(id, ReportKind::Succeeded);
+    live_.erase(it);
+    if (cfg_.out_of_band_heartbeat) send_status(true);
+    return;
+  }
+  if (task.checkpointing) {
+    // Natjam suspend complete: the JVM is gone, the checkpoint is on
+    // disk. Report the saved progress so the relaunch can fast-forward.
+    if (task.type == TaskType::Map) {
+      --used_map_slots_;
+    } else {
+      --used_reduce_slots_;
+    }
+    TaskStatusReport report;
+    report.task = id;
+    report.kind = ReportKind::Checkpointed;
+    report.progress = task.checkpoint_progress;
+    report.swapped_out = kernel_.vmm().swapped_out_total(task.pid);
+    report.swapped_in = kernel_.vmm().swapped_in_total(task.pid);
+    pending_reports_.push_back(report);
+    live_.erase(it);
+    if (cfg_.out_of_band_heartbeat) send_status(true);
+    return;
+  }
+  if (task.kill_requested) {
+    // "kill runs a cleanup task to remove temporary outputs of the killed
+    // task": the slot stays busy until the cleanup attempt completes.
+    task.in_cleanup = true;
+    const TaskId tid = id;
+    sim_.after(cfg_.kill_cleanup_duration, [this, tid] { finish_cleanup(tid); });
+    return;
+  }
+  // Died without being asked to (OOM killer): report failure.
+  if (task.type == TaskType::Map) {
+    --used_map_slots_;
+  } else {
+    --used_reduce_slots_;
+  }
+  queue_report(id, ReportKind::Failed);
+  live_.erase(it);
+  if (cfg_.out_of_band_heartbeat) send_status(true);
+}
+
+void TaskTracker::finish_cleanup(TaskId id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) return;
+  if (it->second.type == TaskType::Map) {
+    --used_map_slots_;
+  } else {
+    --used_reduce_slots_;
+  }
+  queue_report(id, ReportKind::KilledAck);
+  live_.erase(it);
+  if (cfg_.out_of_band_heartbeat) send_status(true);
+}
+
+void TaskTracker::queue_report(TaskId id, ReportKind kind) {
+  TaskStatusReport report;
+  report.task = id;
+  report.kind = kind;
+  const Pid pid = attempt_pid(id);
+  report.progress = kind == ReportKind::Succeeded ? 1.0
+                    : pid.valid()                 ? kernel_.progress(pid)
+                                                  : 0;
+  if (pid.valid()) {
+    // Paging totals survive process exit in the VMM, so completion
+    // reports still carry them (Fig. 4's per-task swap metric).
+    report.swapped_out = kernel_.vmm().swapped_out_total(pid);
+    report.swapped_in = kernel_.vmm().swapped_in_total(pid);
+  }
+  pending_reports_.push_back(report);
+}
+
+}  // namespace osap

@@ -1,0 +1,95 @@
+// TaskTracker: runs task attempts as child processes of the node kernel
+// and speaks the heartbeat protocol with the JobTracker.
+//
+// Implements the TaskTracker side of §III-B: tasks are regular processes,
+// so suspension and resumption are SIGTSTP / SIGCONT; a suspended task
+// releases its slot (that is the whole point of preemption) while its
+// memory stays behind for the VMM to manage. Kills run a cleanup attempt
+// that holds the slot briefly — the overhead the paper attributes to the
+// kill primitive.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/ids.hpp"
+#include "hadoop/config.hpp"
+#include "hadoop/heartbeat.hpp"
+#include "net/network.hpp"
+#include "os/kernel.hpp"
+
+namespace osap {
+
+class JobTracker;
+
+class TaskTracker {
+ public:
+  TaskTracker(Simulation& sim, Kernel& kernel, Network& net, TrackerId id, NodeId node,
+              HadoopConfig cfg);
+
+  /// Register with the JobTracker and start the heartbeat loop.
+  void connect(JobTracker& jt, NodeId master);
+
+  /// Heartbeat response delivery (called through the network).
+  void on_response(HeartbeatResponse response);
+
+  [[nodiscard]] TrackerId id() const noexcept { return id_; }
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+  [[nodiscard]] Kernel& kernel() noexcept { return kernel_; }
+  [[nodiscard]] int free_map_slots() const noexcept;
+  [[nodiscard]] int free_reduce_slots() const noexcept;
+  [[nodiscard]] int suspended_tasks() const noexcept { return suspended_; }
+
+  [[nodiscard]] bool hosts_task(TaskId id) const { return live_.contains(id); }
+  /// Pid of the live attempt, if any (invalid otherwise).
+  [[nodiscard]] Pid attempt_pid(TaskId id) const;
+  /// Instantaneous progress of a hosted attempt (frozen while suspended).
+  [[nodiscard]] double attempt_progress(TaskId id) const;
+
+ private:
+  struct LiveTask {
+    TaskId task;
+    TaskType type = TaskType::Map;
+    Pid pid;
+    /// Hadoop Streaming helper process (§V-B), invalid for plain tasks.
+    Pid helper;
+    bool suspended = false;        // SIGTSTP has taken effect
+    bool kill_requested = false;   // distinguishes kills from OOM deaths
+    bool checkpointing = false;    // Natjam suspend in progress
+    bool in_cleanup = false;
+    double checkpoint_progress = 0;
+    Bytes state_memory = 0;  // for checkpoint serialization sizing
+  };
+
+  void heartbeat();
+  void schedule_next_heartbeat();
+  void send_status(bool out_of_band);
+  void apply(const TaskAction& action);
+
+  void launch(const TaskAction& action);
+  void do_kill(TaskId id);
+  void do_suspend(TaskId id);
+  void do_resume(TaskId id);
+  void do_checkpoint_suspend(TaskId id);
+  void on_task_exit(TaskId id, ExitInfo info);
+  void finish_cleanup(TaskId id);
+  void queue_report(TaskId id, ReportKind kind);
+
+  Simulation& sim_;
+  Kernel& kernel_;
+  Network& net_;
+  TrackerId id_;
+  NodeId node_;
+  HadoopConfig cfg_;
+  JobTracker* jt_ = nullptr;
+  NodeId master_;
+
+  std::unordered_map<TaskId, LiveTask> live_;
+  std::vector<TaskStatusReport> pending_reports_;
+  int used_map_slots_ = 0;
+  int used_reduce_slots_ = 0;
+  int suspended_ = 0;
+  EventId hb_timer_ = 0;
+};
+
+}  // namespace osap

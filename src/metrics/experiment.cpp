@@ -1,0 +1,21 @@
+#include "metrics/experiment.hpp"
+
+#include "common/error.hpp"
+#include "common/rng.hpp"
+
+namespace osap {
+
+std::map<std::string, RunningStat> ExperimentRunner::run(const RunFn& fn, int runs,
+                                                         std::uint64_t base_seed) {
+  OSAP_CHECK(runs >= 1);
+  std::map<std::string, RunningStat> agg;
+  Rng seeder(base_seed);
+  for (int i = 0; i < runs; ++i) {
+    const std::uint64_t seed = seeder.next_u64();
+    MetricMap metrics = fn(seed, i);
+    for (const auto& [key, value] : metrics) agg[key].add(value);
+  }
+  return agg;
+}
+
+}  // namespace osap

@@ -1,0 +1,26 @@
+// Experiment runner: repeats a seeded run N times and aggregates named
+// metrics — "all our results are obtained by averaging 20 experiment
+// runs" (§IV-C).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+
+#include "metrics/stats.hpp"
+
+namespace osap {
+
+using MetricMap = std::map<std::string, double>;
+
+class ExperimentRunner {
+ public:
+  using RunFn = std::function<MetricMap(std::uint64_t seed, int run_index)>;
+
+  /// Runs `fn` `runs` times with seeds derived from `base_seed` and
+  /// aggregates each metric key across runs.
+  static std::map<std::string, RunningStat> run(const RunFn& fn, int runs,
+                                                std::uint64_t base_seed = 42);
+};
+
+}  // namespace osap

@@ -1,0 +1,31 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+
+namespace osap {
+
+void RunningStat::add(double x) noexcept {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / n_;
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStat::spread() const noexcept {
+  if (n_ == 0 || mean_ == 0) return 0;
+  return std::max(std::abs(max_ - mean_), std::abs(mean_ - min_)) / std::abs(mean_);
+}
+
+RunningStat summarize(const std::vector<double>& xs) {
+  RunningStat s;
+  for (double x : xs) s.add(x);
+  return s;
+}
+
+}  // namespace osap

@@ -1,0 +1,35 @@
+// Summary statistics over repeated experiment runs.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+namespace osap {
+
+/// Accumulates mean / min / max / stddev incrementally (Welford).
+class RunningStat {
+ public:
+  void add(double x) noexcept;
+
+  [[nodiscard]] int count() const noexcept { return n_; }
+  [[nodiscard]] double mean() const noexcept { return n_ > 0 ? mean_ : 0; }
+  [[nodiscard]] double min() const noexcept { return n_ > 0 ? min_ : 0; }
+  [[nodiscard]] double max() const noexcept { return n_ > 0 ? max_ : 0; }
+  [[nodiscard]] double variance() const noexcept { return n_ > 1 ? m2_ / (n_ - 1) : 0; }
+  [[nodiscard]] double stddev() const noexcept { return std::sqrt(variance()); }
+  /// Largest relative deviation of min/max from the mean — the paper
+  /// reports "minimum and maximum values measured are within 5% of the
+  /// average".
+  [[nodiscard]] double spread() const noexcept;
+
+ private:
+  int n_ = 0;
+  double mean_ = 0;
+  double m2_ = 0;
+  double min_ = 0;
+  double max_ = 0;
+};
+
+RunningStat summarize(const std::vector<double>& xs);
+
+}  // namespace osap

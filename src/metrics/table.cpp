@@ -1,0 +1,72 @@
+#include "metrics/table.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/error.hpp"
+
+namespace osap {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers)) {}
+
+Table& Table::row(std::vector<std::string> cells) {
+  OSAP_CHECK_MSG(cells.size() == headers_.size(),
+                 "row has " << cells.size() << " cells, expected " << headers_.size());
+  rows_.push_back(std::move(cells));
+  return *this;
+}
+
+std::string Table::num(double v, int decimals) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.*f", decimals, v);
+  return buf;
+}
+
+void Table::print_csv(std::ostream& os) const {
+  const auto emit = [&os](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (i > 0) os << ',';
+      const std::string& cell = cells[i];
+      if (cell.find_first_of(",\"\n") != std::string::npos) {
+        os << '"';
+        for (char c : cell) {
+          if (c == '"') os << '"';
+          os << c;
+        }
+        os << '"';
+      } else {
+        os << cell;
+      }
+    }
+    os << '\n';
+  };
+  emit(headers_);
+  for (const auto& row : rows_) emit(row);
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(headers_.size());
+  for (std::size_t i = 0; i < headers_.size(); ++i) widths[i] = headers_[i].size();
+  for (const auto& row : rows_) {
+    for (std::size_t i = 0; i < row.size(); ++i) widths[i] = std::max(widths[i], row[i].size());
+  }
+  auto print_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      os << (i == 0 ? "" : "  ");
+      os.width(static_cast<std::streamsize>(widths[i]));
+      os << cells[i];
+    }
+    os << '\n';
+  };
+  os << std::left;
+  print_row(headers_);
+  std::string rule;
+  for (std::size_t i = 0; i < widths.size(); ++i) {
+    rule += std::string(widths[i], '-');
+    if (i + 1 < widths.size()) rule += "  ";
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) print_row(row);
+}
+
+}  // namespace osap

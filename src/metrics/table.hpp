@@ -1,0 +1,31 @@
+// Fixed-width table printing for bench output — each bench reproduces the
+// rows/series of one paper figure or table.
+#pragma once
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+namespace osap {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  Table& row(std::vector<std::string> cells);
+
+  /// Render with aligned columns to `os`.
+  void print(std::ostream& os = std::cout) const;
+
+  /// Render as CSV (quotes cells containing commas or quotes).
+  void print_csv(std::ostream& os) const;
+
+  /// Format helper: fixed decimals.
+  static std::string num(double v, int decimals = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace osap

@@ -1,0 +1,96 @@
+#include "metrics/timeline.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+namespace osap {
+
+TimelineRecorder::TimelineRecorder(JobTracker& jt) : jt_(&jt) {
+  jt_->add_event_hook([this](const ClusterEvent& e) { events_.push_back(e); });
+}
+
+std::optional<SimTime> TimelineRecorder::first(ClusterEventType type, TaskId task) const {
+  for (const ClusterEvent& e : events_) {
+    if (e.type == type && e.task == task) return e.time;
+  }
+  return std::nullopt;
+}
+
+std::optional<SimTime> TimelineRecorder::first(ClusterEventType type, JobId job) const {
+  for (const ClusterEvent& e : events_) {
+    if (e.type == type && e.job == job) return e.time;
+  }
+  return std::nullopt;
+}
+
+Duration TimelineRecorder::makespan() const {
+  SimTime first_submit = kTimeNever;
+  SimTime last_complete = -1;
+  for (const ClusterEvent& e : events_) {
+    if (e.type == ClusterEventType::JobSubmitted) first_submit = std::min(first_submit, e.time);
+    if (e.type == ClusterEventType::JobCompleted) last_complete = std::max(last_complete, e.time);
+  }
+  if (first_submit == kTimeNever || last_complete < 0) return -1;
+  return last_complete - first_submit;
+}
+
+std::string TimelineRecorder::render_gantt(double seconds_per_cell) const {
+  // Build per-task state-change sequences.
+  struct Span {
+    SimTime at;
+    char glyph;
+  };
+  std::map<TaskId, std::vector<Span>> tasks;   // ordered for stable output
+  std::map<TaskId, std::string> labels;
+  SimTime horizon = 0;
+  for (const ClusterEvent& e : events_) {
+    if (!e.task.valid()) continue;
+    horizon = std::max(horizon, e.time);
+    char glyph = 0;
+    switch (e.type) {
+      case ClusterEventType::TaskLaunched: glyph = '='; break;
+      case ClusterEventType::TaskSuspended: glyph = '.'; break;
+      case ClusterEventType::TaskResumed: glyph = '='; break;
+      case ClusterEventType::TaskKilled: glyph = ' '; break;
+      case ClusterEventType::TaskSucceeded: glyph = '|'; break;
+      case ClusterEventType::TaskFailed: glyph = ' '; break;
+      default: continue;
+    }
+    tasks[e.task].push_back(Span{e.time, glyph});
+    if (!labels.contains(e.task)) {
+      labels[e.task] = jt_->task(e.task).spec.name;
+    }
+  }
+  std::size_t label_width = 4;
+  for (const auto& [tid, name] : labels) label_width = std::max(label_width, name.size());
+
+  std::ostringstream os;
+  const int cells = static_cast<int>(horizon / seconds_per_cell) + 1;
+  for (const auto& [tid, spans] : tasks) {
+    std::string row(static_cast<std::size_t>(cells), ' ');
+    for (std::size_t i = 0; i < spans.size(); ++i) {
+      const char glyph = spans[i].glyph;
+      const int from = static_cast<int>(spans[i].at / seconds_per_cell);
+      if (glyph == '|') {
+        if (from < cells) row[static_cast<std::size_t>(from)] = '|';
+        continue;
+      }
+      const SimTime until = (i + 1 < spans.size()) ? spans[i + 1].at : horizon;
+      const int to = std::min(cells, static_cast<int>(until / seconds_per_cell) + 1);
+      for (int c = from; c < to; ++c) row[static_cast<std::size_t>(c)] = glyph;
+    }
+    std::string label = labels[tid];
+    label.resize(label_width, ' ');
+    os << label << " |" << row << "|\n";
+  }
+  char footer[128];
+  std::snprintf(footer, sizeof footer,
+                "0 .. %.0fs  (1 cell = %.1fs; '=' running, '.' suspended, '|' done)", horizon,
+                seconds_per_cell);
+  os << std::string(label_width, ' ') << "  " << footer << "\n";
+  return os.str();
+}
+
+}  // namespace osap

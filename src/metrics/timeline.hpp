@@ -1,0 +1,39 @@
+// Timeline recorder: captures cluster events and renders Fig.-1-style
+// task execution schedules as ASCII Gantt charts.
+#pragma once
+
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hadoop/events.hpp"
+#include "hadoop/job_tracker.hpp"
+
+namespace osap {
+
+class TimelineRecorder {
+ public:
+  /// Installs itself as the JobTracker's event hook.
+  explicit TimelineRecorder(JobTracker& jt);
+
+  [[nodiscard]] const std::vector<ClusterEvent>& events() const noexcept { return events_; }
+
+  /// First event of the given type for the task; nullopt if absent.
+  [[nodiscard]] std::optional<SimTime> first(ClusterEventType type, TaskId task) const;
+  [[nodiscard]] std::optional<SimTime> first(ClusterEventType type, JobId job) const;
+
+  /// Makespan over all recorded jobs: first submission to last completion.
+  [[nodiscard]] Duration makespan() const;
+
+  /// Render one row per task, like the paper's Figure 1:
+  ///   tl |===.....====|      (= running, . suspended, x killed span)
+  /// `seconds_per_cell` sets the horizontal resolution.
+  [[nodiscard]] std::string render_gantt(double seconds_per_cell = 2.0) const;
+
+ private:
+  JobTracker* jt_;
+  std::vector<ClusterEvent> events_;
+};
+
+}  // namespace osap

@@ -1,0 +1,62 @@
+// Cluster network model.
+//
+// Control messages (heartbeats, RPC) are latency-only. Bulk transfers
+// (shuffle fetches, non-local block reads) are fluid streams through the
+// receiving node's downlink NIC — the receiver is the bottleneck in
+// Hadoop's shuffle, so modelling one end keeps the model simple while
+// preserving contention among concurrent fetches to the same node.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "sim/fluid_resource.hpp"
+#include "sim/simulation.hpp"
+
+namespace osap {
+
+struct NetConfig {
+  /// One-way control-message latency.
+  Duration latency = ms(0.5);
+  /// Per-node NIC bandwidth (bytes/second).
+  double nic_bandwidth = 1.0 * static_cast<double>(GiB);
+  /// Latency applied to loopback (same-node) messages.
+  Duration loopback_latency = ms(0.05);
+};
+
+class Network {
+ public:
+  using TransferId = FluidResource::ConsumerId;
+
+  Network(Simulation& sim, NetConfig cfg);
+
+  void register_node(NodeId node);
+  [[nodiscard]] bool has_node(NodeId node) const { return downlinks_.contains(node); }
+
+  /// Deliver a control message after the link latency.
+  void send(NodeId from, NodeId to, std::function<void()> deliver);
+
+  /// Move `bytes` from `from` to `to`; `done` fires when the last byte
+  /// lands. Same-node transfers complete after loopback latency only.
+  TransferId transfer(NodeId from, NodeId to, Bytes bytes, std::function<void()> done);
+
+  void pause(NodeId to, TransferId id);
+  void resume(NodeId to, TransferId id);
+  void cancel(NodeId to, TransferId id);
+
+  [[nodiscard]] Bytes bytes_moved() const noexcept { return bytes_moved_; }
+
+ private:
+  FluidResource& downlink(NodeId node);
+
+  Simulation& sim_;
+  NetConfig cfg_;
+  std::unordered_map<NodeId, std::unique_ptr<FluidResource>> downlinks_;
+  Bytes bytes_moved_ = 0;
+};
+
+}  // namespace osap

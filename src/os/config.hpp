@@ -1,0 +1,71 @@
+// Per-node operating-system model parameters.
+//
+// Defaults mirror the paper's testbed (§IV): ~4 GB RAM, one spindle,
+// swappiness 0 (prioritize runtime memory over file-system cache, the
+// Hadoop best practice the paper follows), and a Linux-like two-watermark
+// reclaim that frees more than the strict minimum per round.
+#pragma once
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace osap {
+
+struct OsConfig {
+  // --- memory -----------------------------------------------------------
+  /// Physical RAM.
+  Bytes ram = 4 * GiB;
+  /// RAM permanently claimed by the kernel, system services and the Hadoop
+  /// framework daemons (TaskTracker/DataNode JVMs). The paper notes "the
+  /// rest of the memory is needed by the Hadoop framework and by the
+  /// operating system services".
+  Bytes os_reserved = mib(768);
+  /// Swap partition size. Exceeding it forces the OOM killer, as the paper
+  /// warns (§III-A).
+  Bytes swap_size = 8 * GiB;
+  /// Linux vm.swappiness in [0,100]; 0 = always evict file-system cache
+  /// before anonymous process memory (the paper's setting).
+  int swappiness = 0;
+  /// Reclaim triggers when free RAM falls below low_watermark and frees up
+  /// to high_watermark (fractions of RAM). The gap is why reclaim evicts
+  /// more than strictly necessary — one source of the super-linear swap
+  /// growth in Fig. 4.
+  double low_watermark = 0.02;
+  double high_watermark = 0.05;
+  /// Fraction of evicted bytes that the approximate-LRU replacement takes
+  /// from pages the owner is about to touch again, forcing a re-fault
+  /// (second source of Fig. 4's super-linearity; [19, ch. 17]).
+  double lru_approx_error = 0.06;
+  /// Frame-acquisition granularity; models clustered page-out/in.
+  Bytes vm_chunk = 32 * MiB;
+  /// Granularity of task input reads (drives file-system cache growth).
+  Bytes io_chunk = 64 * MiB;
+
+  // --- disk (one spindle shared by HDFS I/O and swap) --------------------
+  /// Sequential bandwidth, bytes/second.
+  double disk_bandwidth = 110.0 * static_cast<double>(MiB);
+  /// Seek + rotational latency charged when a stream starts.
+  Duration disk_seek = ms(8);
+
+  // --- cpu ---------------------------------------------------------------
+  /// Number of cores; each process is capped at one core.
+  int cores = 4;
+  /// Cost of touching (writing or reading) resident memory, cpu-seconds
+  /// per byte. ~2.5 GB/s per core.
+  double touch_cpu_per_byte = 1.0 / (2.5 * static_cast<double>(GiB));
+
+  // --- signals ------------------------------------------------------------
+  /// Time a SIGTSTP handler runs before the process actually stops
+  /// (closing network connections etc., §III-B).
+  Duration sigtstp_handler_delay = ms(20);
+
+  [[nodiscard]] Bytes usable_ram() const noexcept { return sat_sub(ram, os_reserved); }
+  [[nodiscard]] Bytes low_watermark_bytes() const noexcept {
+    return static_cast<Bytes>(low_watermark * static_cast<double>(ram));
+  }
+  [[nodiscard]] Bytes high_watermark_bytes() const noexcept {
+    return static_cast<Bytes>(high_watermark * static_cast<double>(ram));
+  }
+};
+
+}  // namespace osap

@@ -1,0 +1,27 @@
+#include "os/disk.hpp"
+
+namespace osap {
+
+const char* to_string(IoClass c) noexcept {
+  switch (c) {
+    case IoClass::HdfsRead: return "hdfs-read";
+    case IoClass::HdfsWrite: return "hdfs-write";
+    case IoClass::SwapOut: return "swap-out";
+    case IoClass::SwapIn: return "swap-in";
+    case IoClass::Shuffle: return "shuffle";
+    case IoClass::Other: return "other";
+  }
+  return "?";
+}
+
+Disk::Disk(Simulation& sim, double bandwidth_bytes_per_sec, Duration seek, std::string name)
+    : resource_(sim, bandwidth_bytes_per_sec, std::move(name)),
+      seek_bytes_(seek * bandwidth_bytes_per_sec) {}
+
+Disk::StreamId Disk::start(IoClass cls, Bytes bytes, std::function<void()> on_complete) {
+  transferred_[static_cast<int>(cls)] += bytes;
+  const double demand = static_cast<double>(bytes) + (bytes > 0 ? seek_bytes_ : 0.0);
+  return resource_.add(demand, std::move(on_complete));
+}
+
+}  // namespace osap

@@ -1,0 +1,330 @@
+#include "os/kernel.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace osap {
+
+namespace {
+constexpr const char* kLog = "kernel";
+}
+
+Kernel::Kernel(Simulation& sim, OsConfig cfg, std::string name)
+    : sim_(sim),
+      cfg_(cfg),
+      name_(std::move(name)),
+      cpu_(sim, static_cast<double>(cfg.cores), name_ + ".cpu"),
+      disk_(sim, cfg.disk_bandwidth, cfg.disk_seek, name_ + ".disk"),
+      vmm_(sim, disk_, cfg) {
+  vmm_.set_oom_handler([this] { handle_oom(); });
+}
+
+Process* Kernel::find(Pid pid) {
+  auto it = procs_.find(pid);
+  return it == procs_.end() ? nullptr : it->second.get();
+}
+
+const Process* Kernel::find(Pid pid) const {
+  auto it = procs_.find(pid);
+  return it == procs_.end() ? nullptr : it->second.get();
+}
+
+Pid Kernel::spawn(Program program, ProcessHooks hooks) {
+  const Pid pid = pids_.next();
+  auto proc = std::make_unique<Process>(pid, std::move(program), std::move(hooks));
+  proc->kernel_ = this;
+  proc->started_at_ = sim_.now();
+  proc->total_weight_ = proc->program_.total_weight();
+  vmm_.register_process(pid);
+  Process* raw = proc.get();
+  procs_.emplace(pid, std::move(proc));
+  OSAP_LOG(Debug, kLog) << name_ << ": spawned " << pid << " (" << raw->name() << ")";
+  // First phase starts on a fresh event so hooks never fire inside spawn().
+  sim_.after(0, [this, pid] {
+    Process* p = find(pid);
+    if (p != nullptr) start_phase(*p);
+  });
+  return pid;
+}
+
+void Kernel::signal(Pid pid, Signal sig) {
+  Process* p = find(pid);
+  if (p == nullptr || p->state_ == ProcState::Zombie) return;  // ESRCH
+  OSAP_LOG(Debug, kLog) << name_ << ": " << to_string(sig) << " -> " << pid << " ("
+                        << to_string(p->state_) << ")";
+  switch (sig) {
+    case Signal::Tstp:
+      deliver_tstp(*p);
+      break;
+    case Signal::Cont:
+      deliver_cont(*p);
+      break;
+    case Signal::Kill:
+    case Signal::Term:
+      terminate(pid, ExitReason::Killed);
+      break;
+  }
+}
+
+void Kernel::deliver_tstp(Process& p) {
+  if (p.state_ != ProcState::Running) return;  // already stopping/stopped
+  p.state_ = ProcState::Stopping;
+  const std::uint64_t gen = ++p.signal_gen_;
+  const Pid pid = p.pid_;
+  // The handler window: the task's SIGTSTP handler tidies external state
+  // (network connections, streaming pipes) before the stop takes effect.
+  sim_.after(cfg_.sigtstp_handler_delay, [this, pid, gen] {
+    Process* p = find(pid);
+    if (p == nullptr || p->signal_gen_ != gen || p->state_ != ProcState::Stopping) return;
+    p->state_ = ProcState::Stopped;
+    pause_legs(*p);
+    vmm_.set_stopped(pid, true);
+    OSAP_LOG(Debug, kLog) << name_ << ": " << pid << " stopped";
+    if (p->hooks_.on_stopped) p->hooks_.on_stopped();
+  });
+}
+
+void Kernel::deliver_cont(Process& p) {
+  if (p.state_ == ProcState::Stopping) {
+    // SIGCONT raced the handler window: the stop never materializes.
+    ++p.signal_gen_;
+    p.state_ = ProcState::Running;
+    return;
+  }
+  if (p.state_ != ProcState::Stopped) return;
+  p.state_ = ProcState::Running;
+  vmm_.set_stopped(p.pid_, false);
+  resume_legs(p);
+  auto deferred = std::move(p.deferred_);
+  p.deferred_.clear();
+  if (p.hooks_.on_continued) p.hooks_.on_continued();
+  for (auto& fn : deferred) fn();
+}
+
+void Kernel::terminate(Pid pid, ExitReason reason) {
+  auto it = procs_.find(pid);
+  if (it == procs_.end()) return;
+  // Take ownership so the exit hook can safely re-enter the kernel.
+  std::unique_ptr<Process> p = std::move(it->second);
+  procs_.erase(it);
+  ++p->signal_gen_;
+  cpu_.cancel(p->run_.cpu);
+  disk_.cancel(p->run_.disk);
+  if (p->run_.sleep_timer != 0) sim_.cancel(p->run_.sleep_timer);
+  vmm_.release_process(pid);
+  p->state_ = ProcState::Zombie;
+  p->ended_at_ = sim_.now();
+  OSAP_LOG(Debug, kLog) << name_ << ": " << pid << " exited ("
+                        << (reason == ExitReason::Finished ? "finished" : "killed") << ")";
+  if (p->hooks_.on_exit) p->hooks_.on_exit(ExitInfo{reason});
+}
+
+void Kernel::pause_legs(Process& p) {
+  cpu_.pause(p.run_.cpu);
+  disk_.pause(p.run_.disk);
+  if (p.run_.sleep_timer != 0) {
+    sim_.cancel(p.run_.sleep_timer);
+    p.run_.sleep_timer = 0;
+    p.run_.sleep_left = std::max(0.0, p.run_.sleep_wake_at - sim_.now());
+  }
+}
+
+void Kernel::resume_legs(Process& p) {
+  cpu_.resume(p.run_.cpu);
+  disk_.resume(p.run_.disk);
+  if (p.run_.sleep_left > 0) {
+    const Pid pid = p.pid_;
+    p.run_.sleep_wake_at = sim_.now() + p.run_.sleep_left;
+    p.run_.sleep_timer = sim_.after(p.run_.sleep_left, [this, pid] {
+      Process* q = find(pid);
+      if (q == nullptr) return;
+      q->run_.sleep_timer = 0;
+      q->run_.sleep_left = 0;
+      leg_done(pid);
+    });
+    p.run_.sleep_left = 0;
+  }
+}
+
+void Kernel::run_or_defer(Pid pid, std::function<void()> fn) {
+  Process* p = find(pid);
+  if (p == nullptr) return;
+  if (p->state_ == ProcState::Stopped) {
+    p->deferred_.push_back(std::move(fn));
+  } else {
+    fn();
+  }
+}
+
+RegionId Kernel::region_of(Process& p, const std::string& name, bool create) {
+  auto it = p.regions_.find(name);
+  if (it != p.regions_.end()) return it->second;
+  OSAP_CHECK_MSG(create, p.name() << " touches unknown region '" << name << "'");
+  const RegionId rid = vmm_.create_region(p.pid_, name);
+  p.regions_.emplace(name, rid);
+  return rid;
+}
+
+void Kernel::leg_done(Pid pid) {
+  run_or_defer(pid, [this, pid] {
+    Process* p = find(pid);
+    if (p == nullptr) return;
+    OSAP_CHECK(p->run_.outstanding > 0);
+    if (--p->run_.outstanding == 0) advance(*p);
+  });
+}
+
+void Kernel::advance(Process& p) {
+  // Phase epilogue.
+  const Phase& phase = p.program_.phases[p.phase_idx_];
+  if (const auto* alloc = std::get_if<AllocPhase>(&phase)) {
+    vmm_.mark_hot(region_of(p, alloc->region, false), alloc->hot_after);
+  }
+  std::visit([&p](const auto& ph) {
+    if constexpr (requires { ph.weight; }) p.weight_done_ += ph.weight;
+  }, phase);
+
+  ++p.phase_idx_;
+  p.run_ = Process::PhaseRun{};
+  start_phase(p);
+}
+
+void Kernel::start_phase(Process& p) {
+  if (p.phase_idx_ >= p.program_.phases.size()) {
+    terminate(p.pid_, ExitReason::Finished);
+    return;
+  }
+  const Pid pid = p.pid_;
+  const Phase& phase = p.program_.phases[p.phase_idx_];
+
+  if (const auto* c = std::get_if<ComputePhase>(&phase)) {
+    p.run_.outstanding = 1;
+    p.run_.cpu_demand = c->cpu_seconds;
+    p.run_.cpu = cpu_.add(c->cpu_seconds, 1.0, [this, pid] { leg_done(pid); });
+
+  } else if (const auto* a = std::get_if<AllocPhase>(&phase)) {
+    const RegionId rid = region_of(p, a->region, true);
+    vmm_.mark_hot(rid, true);
+    p.run_.outstanding = 2;
+    p.run_.cpu_demand = static_cast<double>(a->bytes) * cfg_.touch_cpu_per_byte;
+    p.run_.cpu = cpu_.add(p.run_.cpu_demand, 1.0, [this, pid] { leg_done(pid); });
+    vmm_.commit(rid, a->bytes, [this, pid] { leg_done(pid); });
+
+  } else if (const auto* r = std::get_if<ReadParsePhase>(&phase)) {
+    p.run_.outstanding = 2;
+    p.run_.cpu_demand = static_cast<double>(r->bytes) * r->cpu_per_byte;
+    p.run_.cpu = cpu_.add(p.run_.cpu_demand, 1.0, [this, pid] { leg_done(pid); });
+    // The read happens in io_chunk pieces so the file-system cache grows
+    // as data streams in (and becomes reclaimable ballast).
+    const bool populate = r->populate_fs_cache;
+    auto read_next = std::make_shared<std::function<void(Bytes)>>();
+    *read_next = [this, pid, populate, read_next](Bytes left) {
+      Process* q = find(pid);
+      if (q == nullptr) return;
+      if (left == 0) {
+        q->run_.disk = 0;
+        leg_done(pid);
+        return;
+      }
+      const Bytes chunk = std::min<Bytes>(left, cfg_.io_chunk);
+      q->run_.disk =
+          disk_.start(IoClass::HdfsRead, chunk, [this, pid, populate, read_next, left, chunk] {
+            if (populate) vmm_.fs_cache_insert(chunk);
+            run_or_defer(pid, [read_next, left, chunk] { (*read_next)(left - chunk); });
+          });
+    };
+    (*read_next)(r->bytes);
+
+  } else if (const auto* t = std::get_if<TouchPhase>(&phase)) {
+    const RegionId rid = region_of(p, t->region, false);
+    vmm_.mark_hot(rid, true);
+    if (t->write) vmm_.dirty_resident(rid);
+    p.run_.outstanding = 2;
+    const Bytes extent = vmm_.region_resident(rid) + vmm_.region_swapped(rid);
+    p.run_.cpu_demand = static_cast<double>(extent) * cfg_.touch_cpu_per_byte;
+    p.run_.cpu = cpu_.add(p.run_.cpu_demand, 1.0, [this, pid] { leg_done(pid); });
+    vmm_.page_in(rid, t->write, [this, pid] { leg_done(pid); });
+
+  } else if (const auto* w = std::get_if<WriteOutPhase>(&phase)) {
+    p.run_.outstanding = 1;
+    p.run_.disk = disk_.start(IoClass::HdfsWrite, w->bytes, [this, pid] {
+      Process* q = find(pid);
+      if (q != nullptr) q->run_.disk = 0;
+      leg_done(pid);
+    });
+
+  } else if (const auto* s = std::get_if<SleepPhase>(&phase)) {
+    p.run_.outstanding = 1;
+    p.run_.sleep_wake_at = sim_.now() + s->duration;
+    p.run_.sleep_timer = sim_.after(s->duration, [this, pid] {
+      Process* q = find(pid);
+      if (q == nullptr) return;
+      q->run_.sleep_timer = 0;
+      leg_done(pid);
+    });
+
+  } else if (const auto* f = std::get_if<FreePhase>(&phase)) {
+    const RegionId rid = region_of(p, f->region, false);
+    const Bytes all = vmm_.region_resident(rid) + vmm_.region_swapped(rid);
+    vmm_.release(rid, f->bytes == 0 ? all : f->bytes);
+    advance(p);
+  }
+}
+
+double Kernel::progress(Pid pid) const {
+  const Process* p = find(pid);
+  if (p == nullptr) return 0;
+  if (p->phase_idx_ >= p->program_.phases.size()) return 1.0;
+  double current_weight = 0;
+  std::visit([&](const auto& ph) {
+    if constexpr (requires { ph.weight; }) current_weight = ph.weight;
+  }, p->program_.phases[p->phase_idx_]);
+  double frac = 0;
+  if (p->run_.cpu_demand > 0) {
+    frac = 1.0 - cpu_.remaining(p->run_.cpu) / p->run_.cpu_demand;
+    frac = std::clamp(frac, 0.0, 1.0);
+  }
+  if (p->total_weight_ <= 0) {
+    // No weights declared: fall back to phase-count completion.
+    return (static_cast<double>(p->phase_idx_) + frac) /
+           static_cast<double>(p->program_.phases.size());
+  }
+  return (p->weight_done_ + current_weight * frac) / p->total_weight_;
+}
+
+RegionId Kernel::ensure_region(Pid pid, const std::string& region) {
+  Process* p = find(pid);
+  OSAP_CHECK_MSG(p != nullptr, "ensure_region on missing " << pid);
+  return region_of(*p, region, /*create=*/true);
+}
+
+bool Kernel::page_in_region(Pid pid, const std::string& region, std::function<void()> done) {
+  Process* p = find(pid);
+  if (p == nullptr) return false;
+  const auto it = p->regions_.find(region);
+  if (it == p->regions_.end()) return false;
+  vmm_.mark_hot(it->second, true);
+  vmm_.page_in(it->second, /*dirtying=*/false, std::move(done));
+  return true;
+}
+
+void Kernel::handle_oom() {
+  // Linux-like badness: kill the process holding the most memory.
+  Pid victim;
+  Bytes worst = 0;
+  for (const auto& [pid, proc] : procs_) {
+    const Bytes held = vmm_.resident(pid);
+    if (held >= worst) {
+      worst = held;
+      victim = pid;
+    }
+  }
+  OSAP_CHECK_MSG(victim.valid() && worst > 0, "OOM with no killable process on " << name_);
+  OSAP_LOG(Warn, kLog) << name_ << ": OOM killer chose " << victim << " holding "
+                       << format_bytes(worst);
+  terminate(victim, ExitReason::OomKilled);
+}
+
+}  // namespace osap

@@ -1,0 +1,95 @@
+// Per-node kernel: process table, CPU scheduling, signal delivery and the
+// phase interpreter that couples programs to the CPU, the disk and the VMM.
+//
+// The CPU is a processor-sharing FluidResource with per-process caps of
+// one core; the single spindle carries HDFS I/O and swap traffic; the VMM
+// implements watermark reclaim. Signal semantics follow §III-B: SIGTSTP is
+// catchable, so a short handler window elapses before the process stops
+// (and a SIGCONT inside that window cancels the stop); SIGKILL tears the
+// process down immediately, dropping its anonymous memory.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/ids.hpp"
+#include "os/config.hpp"
+#include "os/disk.hpp"
+#include "os/process.hpp"
+#include "os/program.hpp"
+#include "os/vmm.hpp"
+#include "sim/fluid_resource.hpp"
+#include "sim/simulation.hpp"
+
+namespace osap {
+
+class Kernel {
+ public:
+  Kernel(Simulation& sim, OsConfig cfg, std::string name);
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  /// Fork+exec a child running `program`. The child starts immediately.
+  Pid spawn(Program program, ProcessHooks hooks = {});
+
+  /// POSIX-style signal delivery. Unknown pids are ignored (ESRCH).
+  void signal(Pid pid, Signal sig);
+
+  [[nodiscard]] bool alive(Pid pid) const { return procs_.contains(pid); }
+  [[nodiscard]] Process* find(Pid pid);
+  [[nodiscard]] const Process* find(Pid pid) const;
+  [[nodiscard]] std::size_t process_count() const noexcept { return procs_.size(); }
+
+  [[nodiscard]] Simulation& sim() noexcept { return sim_; }
+  [[nodiscard]] Disk& disk() noexcept { return disk_; }
+  [[nodiscard]] Vmm& vmm() noexcept { return vmm_; }
+  [[nodiscard]] const Vmm& vmm() const noexcept { return vmm_; }
+  [[nodiscard]] const OsConfig& config() const noexcept { return cfg_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Weighted completion of a process's program in [0,1].
+  [[nodiscard]] double progress(Pid pid) const;
+
+  /// Fault a process's named region fully back into RAM (another party —
+  /// e.g. a Spark task reading an executor's RDD cache — is about to use
+  /// it). `done` fires after any required swap-in I/O. Returns false if
+  /// the process or region does not exist.
+  bool page_in_region(Pid pid, const std::string& region, std::function<void()> done);
+
+  /// Look up (creating if absent) a named region in a live process's
+  /// address space — lets services like Spark executors grow state
+  /// regions outside their static program.
+  RegionId ensure_region(Pid pid, const std::string& region);
+
+ private:
+  friend class Process;
+
+  void start_phase(Process& p);
+  void advance(Process& p);
+  /// One parallel leg (cpu / disk / vmm) of the current phase finished.
+  void leg_done(Pid pid);
+  /// Run `fn` now, or park it until SIGCONT if the process is stopped.
+  void run_or_defer(Pid pid, std::function<void()> fn);
+
+  void deliver_tstp(Process& p);
+  void deliver_cont(Process& p);
+  void terminate(Pid pid, ExitReason reason);
+
+  void pause_legs(Process& p);
+  void resume_legs(Process& p);
+
+  RegionId region_of(Process& p, const std::string& name, bool create);
+  void handle_oom();
+
+  Simulation& sim_;
+  OsConfig cfg_;
+  std::string name_;
+  FluidResource cpu_;
+  Disk disk_;
+  Vmm vmm_;
+  std::unordered_map<Pid, std::unique_ptr<Process>> procs_;
+  IdGenerator<Pid> pids_;
+};
+
+}  // namespace osap

@@ -1,0 +1,135 @@
+// Task programs: what a simulated process does.
+//
+// A Program is a sequence of phases the kernel interprets. Phases map to
+// the behaviours the paper's synthetic jobs exhibit (§IV-A):
+//
+//   AllocPhase      malloc + write random values (dirtying every page)
+//   ReadParsePhase  read an input block from local disk while parsing it
+//                   (CPU and disk run as a pipeline; the slower side wins)
+//   TouchPhase      walk an existing region again (reading state back at
+//                   finalization) — pages swapped while suspended fault in
+//   ComputePhase    pure CPU burn
+//   WriteOutPhase   write task output to local disk
+//   SleepPhase      idle wait
+//   FreePhase       return region memory to the OS (System.gc(), §V-B)
+//
+// `weight` contributes to the process's progress metric; Hadoop map
+// progress is "input consumed", so synthetic mappers put weight 1 on their
+// ReadParsePhase and 0 elsewhere.
+#pragma once
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace osap {
+
+struct ComputePhase {
+  double cpu_seconds = 0;
+  double weight = 0;
+};
+
+struct AllocPhase {
+  std::string region;
+  Bytes bytes = 0;
+  /// Whether the region stays in the working set after allocation. Task
+  /// state written once and revisited at the end is cold in between —
+  /// precisely what makes it swappable at low cost.
+  bool hot_after = false;
+  double weight = 0;
+};
+
+struct ReadParsePhase {
+  Bytes bytes = 0;
+  /// Parse cost; the effective rate is min(disk share, cpu share / cost).
+  double cpu_per_byte = 0;
+  double weight = 1.0;
+  /// Whether the read populates the node's file-system cache.
+  bool populate_fs_cache = true;
+};
+
+struct TouchPhase {
+  std::string region;
+  /// Writing re-dirties pages (dropping their swap slots); reading leaves
+  /// them clean.
+  bool write = false;
+  double weight = 0;
+};
+
+struct WriteOutPhase {
+  Bytes bytes = 0;
+  double weight = 0;
+};
+
+struct SleepPhase {
+  Duration duration = 0;
+  double weight = 0;
+};
+
+struct FreePhase {
+  std::string region;
+  /// 0 means the whole region.
+  Bytes bytes = 0;
+};
+
+using Phase = std::variant<ComputePhase, AllocPhase, ReadParsePhase, TouchPhase, WriteOutPhase,
+                           SleepPhase, FreePhase>;
+
+struct Program {
+  std::string name = "proc";
+  std::vector<Phase> phases;
+
+  [[nodiscard]] double total_weight() const noexcept {
+    double total = 0;
+    for (const Phase& p : phases) {
+      std::visit([&](const auto& ph) {
+        if constexpr (requires { ph.weight; }) total += ph.weight;
+      }, p);
+    }
+    return total;
+  }
+};
+
+/// Fluent builder so call sites read like the task they describe.
+class ProgramBuilder {
+ public:
+  explicit ProgramBuilder(std::string name) { program_.name = std::move(name); }
+
+  ProgramBuilder& alloc(std::string region, Bytes bytes, bool hot_after = false) {
+    program_.phases.push_back(AllocPhase{std::move(region), bytes, hot_after, 0});
+    return *this;
+  }
+  ProgramBuilder& read_parse(Bytes bytes, double cpu_per_byte, double weight = 1.0) {
+    program_.phases.push_back(ReadParsePhase{bytes, cpu_per_byte, weight, true});
+    return *this;
+  }
+  ProgramBuilder& touch(std::string region, bool write = false) {
+    program_.phases.push_back(TouchPhase{std::move(region), write, 0});
+    return *this;
+  }
+  ProgramBuilder& compute(double cpu_seconds, double weight = 0) {
+    program_.phases.push_back(ComputePhase{cpu_seconds, weight});
+    return *this;
+  }
+  ProgramBuilder& write_out(Bytes bytes) {
+    program_.phases.push_back(WriteOutPhase{bytes, 0});
+    return *this;
+  }
+  ProgramBuilder& sleep(Duration d) {
+    program_.phases.push_back(SleepPhase{d, 0});
+    return *this;
+  }
+  ProgramBuilder& free(std::string region, Bytes bytes = 0) {
+    program_.phases.push_back(FreePhase{std::move(region), bytes});
+    return *this;
+  }
+  [[nodiscard]] Program build() { return std::move(program_); }
+
+ private:
+  Program program_;
+};
+
+}  // namespace osap

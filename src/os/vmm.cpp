@@ -1,0 +1,424 @@
+#include "os/vmm.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace osap {
+
+namespace {
+constexpr const char* kLog = "vmm";
+}
+
+Vmm::Vmm(Simulation& sim, Disk& disk, const OsConfig& cfg)
+    : sim_(sim), disk_(disk), cfg_(cfg), free_(cfg.usable_ram()) {
+  OSAP_CHECK_MSG(cfg_.usable_ram() > cfg_.high_watermark_bytes(),
+                 "os_reserved leaves no usable memory");
+  OSAP_CHECK(cfg_.high_watermark >= cfg_.low_watermark);
+  OSAP_CHECK(cfg_.vm_chunk > 0);
+}
+
+void Vmm::register_process(Pid pid) {
+  const bool inserted = procs_.emplace(pid, ProcInfo{}).second;
+  OSAP_CHECK_MSG(inserted, "pid " << pid << " registered twice");
+}
+
+void Vmm::set_stopped(Pid pid, bool stopped) {
+  auto it = procs_.find(pid);
+  if (it == procs_.end()) return;  // already exited
+  it->second.stopped = stopped;
+}
+
+void Vmm::release_process(Pid pid) {
+  auto it = procs_.find(pid);
+  if (it == procs_.end()) return;
+  for (RegionId rid : it->second.regions) {
+    auto rit = regions_.find(rid);
+    if (rit == regions_.end()) continue;
+    Region& r = rit->second;
+    // Anonymous pages are simply dropped; swap slots are recycled.
+    free_ += r.resident_clean + r.resident_dirty;
+    OSAP_CHECK(swap_used_ >= r.swapped);
+    swap_used_ -= r.swapped;
+    regions_.erase(rit);
+  }
+  // Keep the ProcInfo entry: the cumulative paging counters are the
+  // experiment metrics (Fig. 4) and must outlive the process.
+  it->second.regions.clear();
+  it->second.stopped = false;
+}
+
+RegionId Vmm::create_region(Pid pid, std::string name) {
+  auto it = procs_.find(pid);
+  OSAP_CHECK_MSG(it != procs_.end(), "create_region for unknown " << pid);
+  const RegionId rid = region_ids_.next();
+  Region r;
+  r.pid = pid;
+  r.name = std::move(name);
+  r.last_touch = ++touch_seq_;
+  regions_.emplace(rid, std::move(r));
+  it->second.regions.push_back(rid);
+  return rid;
+}
+
+void Vmm::mark_hot(RegionId rid, bool hot) {
+  auto it = regions_.find(rid);
+  if (it == regions_.end()) return;
+  it->second.hot = hot;
+  if (hot) touch(it->second);
+}
+
+void Vmm::touch(Region& region) { region.last_touch = ++touch_seq_; }
+
+void Vmm::commit(RegionId rid, Bytes bytes, std::function<void()> done) {
+  auto it = regions_.find(rid);
+  OSAP_CHECK_MSG(it != regions_.end(), "commit to missing " << rid);
+  const Pid pid = it->second.pid;
+  touch(it->second);
+
+  struct Op {
+    RegionId rid;
+    Pid pid;
+    Bytes remaining;
+    std::function<void()> done;
+  };
+  auto op = std::make_shared<Op>(Op{rid, pid, bytes, std::move(done)});
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, op, step] {
+    if (op->remaining == 0) {
+      if (op->done) op->done();
+      return;
+    }
+    const Bytes chunk = std::min<Bytes>(op->remaining, cfg_.vm_chunk);
+    acquire_frames(chunk, op->pid, [this, op, step, chunk] {
+      auto rit = regions_.find(op->rid);
+      if (rit == regions_.end()) {
+        // Owner was killed while we waited for frames: return them.
+        free_ += chunk;
+        return;
+      }
+      rit->second.resident_dirty += chunk;
+      touch(rit->second);
+      op->remaining -= chunk;
+      (*step)();
+    }, /*depth=*/0);
+  };
+  (*step)();
+}
+
+void Vmm::page_in(RegionId rid, bool dirtying, std::function<void()> done) {
+  auto it = regions_.find(rid);
+  OSAP_CHECK_MSG(it != regions_.end(), "page_in on missing " << rid);
+  touch(it->second);
+
+  struct Op {
+    RegionId rid;
+    Pid pid;
+    bool dirtying;
+    std::function<void()> done;
+  };
+  auto op = std::make_shared<Op>(Op{rid, it->second.pid, dirtying, std::move(done)});
+  auto step = std::make_shared<std::function<void()>>();
+  *step = [this, op, step] {
+    auto rit = regions_.find(op->rid);
+    if (rit == regions_.end()) return;  // owner killed mid page-in
+    const Bytes left = rit->second.swapped;
+    if (left == 0) {
+      if (op->done) op->done();
+      return;
+    }
+    const Bytes chunk = std::min<Bytes>(left, cfg_.vm_chunk);
+    acquire_frames(chunk, op->pid, [this, op, step, chunk] {
+      auto rit2 = regions_.find(op->rid);
+      if (rit2 == regions_.end()) {
+        free_ += chunk;
+        return;
+      }
+      // Frames held; now read the extent back from the swap device.
+      disk_.start(IoClass::SwapIn, chunk, [this, op, step, chunk] {
+        auto rit3 = regions_.find(op->rid);
+        if (rit3 == regions_.end()) {
+          free_ += chunk;
+          return;
+        }
+        Region& r = rit3->second;
+        const Bytes moved = std::min(chunk, r.swapped);
+        r.swapped -= moved;
+        if (op->dirtying) {
+          r.resident_dirty += moved;
+          OSAP_CHECK(swap_used_ >= moved);
+          swap_used_ -= moved;  // dirtied pages abandon their swap slot
+        } else {
+          r.resident_clean += moved;  // slot retained; page stays clean
+        }
+        free_ += chunk - moved;  // extent shrank under concurrent reclaim
+        touch(r);
+        auto pit = procs_.find(op->pid);
+        if (pit != procs_.end()) pit->second.swapped_in_total += moved;
+        (*step)();
+      });
+    }, /*depth=*/0);
+  };
+  (*step)();
+}
+
+void Vmm::release(RegionId rid, Bytes bytes) {
+  auto it = regions_.find(rid);
+  if (it == regions_.end()) return;
+  Region& r = it->second;
+  Bytes left = bytes;
+  const Bytes from_clean = std::min(left, r.resident_clean);
+  r.resident_clean -= from_clean;
+  left -= from_clean;
+  const Bytes from_dirty = std::min(left, r.resident_dirty);
+  r.resident_dirty -= from_dirty;
+  left -= from_dirty;
+  free_ += from_clean + from_dirty;
+  // Anything still swapped that the caller frees releases its slot too.
+  const Bytes from_swap = std::min(left, r.swapped);
+  r.swapped -= from_swap;
+  OSAP_CHECK(swap_used_ >= from_swap);
+  swap_used_ -= from_swap;
+}
+
+void Vmm::dirty_resident(RegionId rid) {
+  auto it = regions_.find(rid);
+  if (it == regions_.end()) return;
+  Region& r = it->second;
+  // Clean resident pages exist only as copies of swap slots; rewriting
+  // them invalidates those slots.
+  OSAP_CHECK(swap_used_ >= r.resident_clean);
+  swap_used_ -= r.resident_clean;
+  r.resident_dirty += r.resident_clean;
+  r.resident_clean = 0;
+  touch(r);
+}
+
+void Vmm::fs_cache_insert(Bytes bytes) {
+  // The cache never pushes free memory below the low watermark; beyond
+  // that it recycles its own oldest entries (a no-op in this model).
+  const Bytes headroom = sat_sub(free_, cfg_.low_watermark_bytes());
+  const Bytes grow = std::min(bytes, headroom);
+  free_ -= grow;
+  fs_cache_ += grow;
+}
+
+Bytes Vmm::evict_from_region(Region& region, Bytes want, VictimPlan& plan) {
+  Bytes taken = 0;
+  // Clean extents have a valid swap copy: dropping them is free.
+  const Bytes clean = std::min(want, region.resident_clean);
+  region.resident_clean -= clean;
+  free_ += clean;
+  plan.instant += clean;
+  taken += clean;
+  // Dirty extents must be written out; frames free when the write lands.
+  const Bytes swap_left = sat_sub(cfg_.swap_size, swap_used_);
+  const Bytes dirty = std::min({want - taken, region.resident_dirty, swap_left});
+  if (dirty > 0) {
+    region.resident_dirty -= dirty;
+    region.swapped += dirty;
+    swap_used_ += dirty;
+    plan.io += dirty;
+    taken += dirty;
+    auto pit = procs_.find(region.pid);
+    if (pit != procs_.end()) pit->second.swapped_out_total += dirty;
+    swapped_out_all_ += dirty;
+  }
+  return taken;
+}
+
+Vmm::VictimPlan Vmm::select_victims(Bytes want, Pid requester) {
+  VictimPlan plan;
+  Bytes taken = 0;
+
+  // 1. File-system cache. With swappiness 0 (the paper's configuration)
+  //    reclaim takes all it can from the cache before touching anonymous
+  //    memory; higher swappiness shifts part of the burden to anon pages.
+  const Bytes cache_budget =
+      cfg_.swappiness == 0
+          ? want
+          : static_cast<Bytes>(static_cast<double>(want) * (100 - cfg_.swappiness) / 100.0);
+  const Bytes from_cache = std::min(fs_cache_, cache_budget);
+  fs_cache_ -= from_cache;
+  free_ += from_cache;
+  plan.instant += from_cache;
+  taken += from_cache;
+  if (taken >= want) return plan;
+
+  // 2..4. Anonymous memory, by eviction class then LRU age. Stopped
+  // processes first ("pages from suspended processes are evicted before
+  // those from running ones"), then cold regions of running processes,
+  // then hot regions as a last resort.
+  struct Candidate {
+    RegionId rid;
+    int klass;
+    std::uint64_t age;
+  };
+  std::vector<Candidate> order;
+  order.reserve(regions_.size());
+  for (auto& [rid, region] : regions_) {
+    if (region.resident_clean + region.resident_dirty == 0) continue;
+    const auto pit = procs_.find(region.pid);
+    const bool stopped = pit != procs_.end() && pit->second.stopped;
+    const int klass = stopped ? 0 : (region.hot ? 2 : 1);
+    order.push_back({rid, klass, region.last_touch});
+  }
+  std::sort(order.begin(), order.end(), [](const Candidate& a, const Candidate& b) {
+    if (a.klass != b.klass) return a.klass < b.klass;
+    return a.age < b.age;
+  });
+  for (const Candidate& c : order) {
+    if (taken >= want) break;
+    taken += evict_from_region(regions_.at(c.rid), want - taken, plan);
+  }
+
+  // Approximate-LRU error: under pressure the scanner also evicts pages
+  // the requester is actively using; they fault straight back in.
+  if (plan.io > 0 && cfg_.lru_approx_error > 0) {
+    const double pressure =
+        std::min(1.0, static_cast<double>(swap_used_) / static_cast<double>(cfg_.usable_ram()));
+    const auto refault_budget =
+        static_cast<Bytes>(cfg_.lru_approx_error * pressure * static_cast<double>(want));
+    if (refault_budget > 0) {
+      const auto pit = procs_.find(requester);
+      if (pit != procs_.end() && !pit->second.stopped) {
+        for (RegionId rid : pit->second.regions) {
+          Region& r = regions_.at(rid);
+          if (!r.hot || r.resident_dirty == 0) continue;
+          const Bytes swap_left = sat_sub(cfg_.swap_size, swap_used_);
+          const Bytes hit = std::min({refault_budget, r.resident_dirty, swap_left});
+          if (hit == 0) continue;
+          r.resident_dirty -= hit;
+          r.swapped += hit;
+          swap_used_ += hit;
+          pit->second.swapped_out_total += hit;
+          swapped_out_all_ += hit;
+          plan.io += hit;
+          plan.refault += hit;
+          plan.refault_region = rid;
+          break;
+        }
+      }
+    }
+  }
+  return plan;
+}
+
+void Vmm::acquire_frames(Bytes bytes, Pid requester, std::function<void()> grant, int depth) {
+  const Bytes reserve = cfg_.low_watermark_bytes();
+  if (free_ >= bytes + reserve) {
+    free_ -= bytes;
+    grant();
+    return;
+  }
+
+  // Reclaim up to the high watermark — deliberately more than `bytes`
+  // (kswapd semantics); the overshoot is the paper's "more swapping than
+  // strictly necessary".
+  const Bytes target = bytes + cfg_.high_watermark_bytes();
+  const Bytes want = sat_sub(target, free_);
+  VictimPlan plan = select_victims(want, requester);
+
+  auto proceed = [this, bytes, requester, grant = std::move(grant), depth, plan]() mutable {
+    if (plan.refault > 0 && depth < 4 && regions_.contains(plan.refault_region)) {
+      // The mistakenly evicted working-set extent faults back in: a swap
+      // read plus a fresh frame acquisition, which may evict yet more of
+      // the legitimate victims — the compounding behind Fig. 4.
+      const Bytes refault = plan.refault;
+      const RegionId rid = plan.refault_region;
+      disk_.start(IoClass::SwapIn, refault, [this, refault, rid, requester, depth] {
+        acquire_frames(refault, requester, [this, refault, rid] {
+          auto it = regions_.find(rid);
+          if (it == regions_.end()) {
+            free_ += refault;
+            return;
+          }
+          Region& r = it->second;
+          const Bytes moved = std::min(refault, r.swapped);
+          r.swapped -= moved;
+          r.resident_clean += moved;
+          free_ += refault - moved;
+          auto pit = procs_.find(r.pid);
+          if (pit != procs_.end()) pit->second.swapped_in_total += moved;
+        }, depth + 1);
+      });
+    }
+    if (free_ >= bytes) {
+      free_ -= bytes;
+      grant();
+      return;
+    }
+    if (plan.instant == 0 && plan.io == 0) {
+      oom("reclaim found no evictable memory");
+      // The OOM handler killed something (or threw); retry once.
+      OSAP_CHECK_MSG(free_ >= bytes, "OOM handler freed no memory");
+      free_ -= bytes;
+      grant();
+      return;
+    }
+    // Progress was made but a concurrent acquirer raced us to the frames.
+    acquire_frames(bytes, requester, std::move(grant), depth);
+  };
+
+  if (plan.io > 0) {
+    const Bytes io = plan.io;
+    disk_.start(IoClass::SwapOut, io, [this, io, proceed = std::move(proceed)]() mutable {
+      free_ += io;  // victim frames stay occupied until the write lands
+      proceed();
+    });
+  } else {
+    proceed();
+  }
+}
+
+void Vmm::oom(const char* why) {
+  OSAP_LOG(Warn, kLog) << "out of memory: " << why;
+  OSAP_CHECK_MSG(oom_handler_, "OOM with no handler installed: " << why);
+  oom_handler_();
+}
+
+Bytes Vmm::resident(Pid pid) const {
+  Bytes total = 0;
+  const auto it = procs_.find(pid);
+  if (it == procs_.end()) return 0;
+  for (RegionId rid : it->second.regions) {
+    const auto rit = regions_.find(rid);
+    if (rit == regions_.end()) continue;
+    total += rit->second.resident_clean + rit->second.resident_dirty;
+  }
+  return total;
+}
+
+Bytes Vmm::swapped(Pid pid) const {
+  Bytes total = 0;
+  const auto it = procs_.find(pid);
+  if (it == procs_.end()) return 0;
+  for (RegionId rid : it->second.regions) {
+    const auto rit = regions_.find(rid);
+    if (rit == regions_.end()) continue;
+    total += rit->second.swapped;
+  }
+  return total;
+}
+
+Bytes Vmm::swapped_out_total(Pid pid) const {
+  const auto it = procs_.find(pid);
+  return it == procs_.end() ? 0 : it->second.swapped_out_total;
+}
+
+Bytes Vmm::swapped_in_total(Pid pid) const {
+  const auto it = procs_.find(pid);
+  return it == procs_.end() ? 0 : it->second.swapped_in_total;
+}
+
+Bytes Vmm::region_resident(RegionId rid) const {
+  const auto it = regions_.find(rid);
+  return it == regions_.end() ? 0 : it->second.resident_clean + it->second.resident_dirty;
+}
+
+Bytes Vmm::region_swapped(RegionId rid) const {
+  const auto it = regions_.find(rid);
+  return it == regions_.end() ? 0 : it->second.swapped;
+}
+
+}  // namespace osap

@@ -1,0 +1,58 @@
+#include "preempt/eviction.hpp"
+
+#include <algorithm>
+
+namespace osap {
+
+const char* to_string(EvictionPolicy p) noexcept {
+  switch (p) {
+    case EvictionPolicy::MostProgress: return "most-progress";
+    case EvictionPolicy::LeastProgress: return "least-progress";
+    case EvictionPolicy::SmallestMemory: return "smallest-memory";
+    case EvictionPolicy::LastLaunched: return "last-launched";
+  }
+  return "?";
+}
+
+TaskId pick_victim(EvictionPolicy policy, const std::vector<EvictionCandidate>& candidates) {
+  if (candidates.empty()) return TaskId{};
+  const EvictionCandidate* best = &candidates.front();
+  auto better = [policy](const EvictionCandidate& a, const EvictionCandidate& b) {
+    switch (policy) {
+      case EvictionPolicy::MostProgress:
+        if (a.progress != b.progress) return a.progress > b.progress;
+        break;
+      case EvictionPolicy::LeastProgress:
+        if (a.progress != b.progress) return a.progress < b.progress;
+        break;
+      case EvictionPolicy::SmallestMemory:
+        if (a.memory != b.memory) return a.memory < b.memory;
+        break;
+      case EvictionPolicy::LastLaunched:
+        if (a.launched_at != b.launched_at) return a.launched_at > b.launched_at;
+        break;
+    }
+    return a.task < b.task;
+  };
+  for (const EvictionCandidate& c : candidates) {
+    if (better(c, *best)) best = &c;
+  }
+  return best->task;
+}
+
+std::vector<EvictionCandidate> collect_candidates(const JobTracker& jt, JobId job) {
+  std::vector<EvictionCandidate> out;
+  for (TaskId tid : jt.job(job).tasks) {
+    const Task& t = jt.task(tid);
+    if (t.state != TaskState::Running) continue;
+    EvictionCandidate c;
+    c.task = tid;
+    c.progress = t.progress;
+    c.memory = t.spec.framework_memory + t.spec.state_memory;
+    c.launched_at = t.first_launched_at;
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace osap

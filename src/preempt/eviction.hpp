@@ -1,0 +1,45 @@
+// Task eviction policies (§V-A).
+//
+// The paper deliberately separates the preemption *primitive* from the
+// eviction *policy*; these are the policies it discusses:
+//
+//   MostProgress   — Natjam's SRT intuition [9]: suspend the task closest
+//                    to completion to keep a job's tasks bunched.
+//   LeastProgress  — suspend the freshest task (least work at risk if the
+//                    suspend degenerates into a kill).
+//   SmallestMemory — suspend the task with the smallest footprint: the
+//                    paper's own suggestion, since suspend overhead is
+//                    roughly linear in bytes swapped (Fig. 4).
+//   LastLaunched   — youngest attempt first (Hadoop FAIR's default).
+#pragma once
+
+#include <vector>
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+#include "hadoop/job_tracker.hpp"
+
+namespace osap {
+
+enum class EvictionPolicy { MostProgress, LeastProgress, SmallestMemory, LastLaunched };
+
+const char* to_string(EvictionPolicy p) noexcept;
+
+struct EvictionCandidate {
+  TaskId task;
+  double progress = 0;
+  Bytes memory = 0;
+  SimTime launched_at = 0;
+};
+
+/// Choose the victim among candidates; returns an invalid id if empty.
+/// Ties break on the lower TaskId for determinism.
+TaskId pick_victim(EvictionPolicy policy, const std::vector<EvictionCandidate>& candidates);
+
+/// Collect the RUNNING tasks of `job` as eviction candidates (memory =
+/// framework + state footprint from the spec; progress from the last
+/// heartbeat).
+std::vector<EvictionCandidate> collect_candidates(const JobTracker& jt, JobId job);
+
+}  // namespace osap

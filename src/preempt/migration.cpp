@@ -1,0 +1,64 @@
+#include "preempt/migration.hpp"
+
+#include "common/log.hpp"
+#include "hadoop/task_tracker.hpp"
+
+namespace osap {
+
+namespace {
+constexpr const char* kLog = "migration";
+}
+
+bool TaskMigrator::migrate(TaskId task, NodeId target, std::function<void(bool)> done) {
+  JobTracker& jt = cluster_->job_tracker();
+  Task& t = jt.task_mutable(task);
+  if (t.state != TaskState::Suspended || !t.tracker.valid()) {
+    OSAP_LOG(Warn, kLog) << "cannot migrate " << task << " in state " << to_string(t.state);
+    return false;
+  }
+  TaskTracker* origin = jt.tracker(t.tracker);
+  if (origin == nullptr || !origin->hosts_task(task)) return false;
+  if (origin->node() == target) return false;  // nothing to move
+
+  const Pid pid = origin->attempt_pid(task);
+  Kernel& origin_kernel = origin->kernel();
+  const Bytes image =
+      origin_kernel.vmm().resident(pid) + origin_kernel.vmm().swapped(pid) + 8 * MiB;
+  bytes_moved_ += image;
+  ++migrations_;
+  OSAP_LOG(Info, kLog) << "migrating " << task << " (" << format_bytes(image) << ") from "
+                       << origin->node() << " to " << target;
+
+  // 1. CRIU dump: write the frozen process image to the origin's disk
+  //    (swapped pages are already there; the dump still rewrites them
+  //    into the image file, which is what CRIU does).
+  const NodeId origin_node = origin->node();
+  Cluster* cluster = cluster_;
+  origin_kernel.disk().start(IoClass::HdfsWrite, image, [cluster, task, target, origin_node,
+                                                        image, done = std::move(done)]() mutable {
+    // 2. Ship the image.
+    cluster->network().transfer(
+        origin_node, target, image,
+        [cluster, task, target, done = std::move(done)]() mutable {
+          // 3. Queue the restore: the relaunched attempt fast-forwards to
+          //    the saved progress and re-reads its state from the image
+          //    (spec.checkpoint_state), charging the restore read on the
+          //    target. The origin attempt is killed; its cleanup attempt
+          //    briefly occupies the origin slot, as a real kill would.
+          JobTracker& jt = cluster->job_tracker();
+          Task& t = jt.task_mutable(task);
+          if (t.state != TaskState::Suspended) {
+            if (done) done(false);  // resolved some other way mid-flight
+            return;
+          }
+          t.spec.checkpoint_progress = t.progress;
+          t.spec.checkpoint_state = t.spec.state_memory + 64 * KiB;
+          t.spec.preferred_node = target;
+          jt.kill_task(task);
+          if (done) done(true);
+        });
+  });
+  return true;
+}
+
+}  // namespace osap

@@ -1,0 +1,41 @@
+// Non-local resume via process migration (§V-A).
+//
+// "As a future improvement, the authors suggest moving the checkpoints …
+// over the network; a similar approach could be taken also in our case,
+// using process migration facilities such as CRIU."
+//
+// A suspended task's process image (resident + swapped memory) is dumped
+// to the origin node's disk, streamed over the network, and restored on
+// the target: the relaunched attempt fast-forwards to the saved progress
+// and re-reads its state from the shipped image instead of recomputing.
+// Unlike the delayed-kill fallback, no work is lost; unlike waiting, the
+// idle target node is put to use. The costs are explicit: a dump write, a
+// network transfer, and the restore read.
+#pragma once
+
+#include <functional>
+
+#include "hadoop/cluster.hpp"
+
+namespace osap {
+
+class TaskMigrator {
+ public:
+  explicit TaskMigrator(Cluster& cluster) : cluster_(&cluster) {}
+
+  /// Migrate a SUSPENDED task to `target`. `done(true)` fires once the
+  /// image has landed and the task is queued for relaunch on the target;
+  /// returns false (synchronously) if the task is not in a migratable
+  /// state. The relaunch itself goes through the normal scheduler.
+  bool migrate(TaskId task, NodeId target, std::function<void(bool)> done = {});
+
+  [[nodiscard]] Bytes bytes_moved() const noexcept { return bytes_moved_; }
+  [[nodiscard]] int migrations() const noexcept { return migrations_; }
+
+ private:
+  Cluster* cluster_;
+  Bytes bytes_moved_ = 0;
+  int migrations_ = 0;
+};
+
+}  // namespace osap

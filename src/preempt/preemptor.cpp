@@ -1,0 +1,59 @@
+#include "preempt/preemptor.hpp"
+
+#include "common/error.hpp"
+
+namespace osap {
+
+const char* to_string(PreemptPrimitive p) noexcept {
+  switch (p) {
+    case PreemptPrimitive::Wait: return "wait";
+    case PreemptPrimitive::Kill: return "kill";
+    case PreemptPrimitive::Suspend: return "susp";
+    case PreemptPrimitive::NatjamCheckpoint: return "natjam";
+  }
+  return "?";
+}
+
+PreemptPrimitive parse_primitive(std::string_view name) {
+  if (name == "wait") return PreemptPrimitive::Wait;
+  if (name == "kill") return PreemptPrimitive::Kill;
+  if (name == "susp" || name == "suspend") return PreemptPrimitive::Suspend;
+  if (name == "natjam" || name == "checkpoint") return PreemptPrimitive::NatjamCheckpoint;
+  throw SimError("unknown preemption primitive: " + std::string(name));
+}
+
+bool Preemptor::preempt(TaskId victim, PreemptPrimitive primitive) {
+  switch (primitive) {
+    case PreemptPrimitive::Wait:
+      return true;  // deliberately do nothing
+    case PreemptPrimitive::Kill:
+      return jt_->kill_task(victim);
+    case PreemptPrimitive::Suspend:
+      return jt_->suspend_task(victim);
+    case PreemptPrimitive::NatjamCheckpoint:
+      return jt_->checkpoint_suspend_task(victim);
+  }
+  return false;
+}
+
+bool Preemptor::restore(TaskId victim, PreemptPrimitive primitive) {
+  switch (primitive) {
+    case PreemptPrimitive::Wait:
+    case PreemptPrimitive::Kill:
+      return true;  // rescheduling happens through the normal task pool
+    case PreemptPrimitive::Suspend:
+    case PreemptPrimitive::NatjamCheckpoint: {
+      const Task& t = jt_->task(victim);
+      if (t.done()) return true;  // completed before the restore
+      if (t.state == TaskState::MustSuspend) {
+        // Restore raced the suspension command; the resume will be
+        // rejected until the ack arrives. Callers retry on heartbeat.
+        return false;
+      }
+      return jt_->resume_task(victim);
+    }
+  }
+  return false;
+}
+
+}  // namespace osap

@@ -1,0 +1,27 @@
+// The preemption primitives under study (§II, §IV).
+//
+//   Wait     — do nothing; the high-priority task waits for a free slot.
+//              No wasted work, worst latency.
+//   Kill     — kill the victim attempt (plus a cleanup attempt); it
+//              reschedules from scratch. Best-ish latency, all work lost.
+//   Suspend  — this paper's contribution: SIGTSTP the victim's process;
+//              its state stays in memory (or is paged out lazily by the
+//              OS, only if needed) and SIGCONT restores it.
+//   NatjamCheckpoint — application-level suspension (Cho et al. [9]):
+//              always serialize state to disk, kill the JVM, fast-forward
+//              on resume.
+#pragma once
+
+#include <string_view>
+
+namespace osap {
+
+enum class PreemptPrimitive { Wait, Kill, Suspend, NatjamCheckpoint };
+
+const char* to_string(PreemptPrimitive p) noexcept;
+
+/// Parse "wait" / "kill" / "susp" / "suspend" / "natjam"; throws SimError
+/// on anything else.
+PreemptPrimitive parse_primitive(std::string_view name);
+
+}  // namespace osap

@@ -1,0 +1,54 @@
+#include "preempt/resume_locality.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace osap {
+
+void ResumeLocalityPolicy::request_resume(TaskId task) {
+  for (const Pending& p : pending_) {
+    if (p.task == task) return;
+  }
+  pending_.push_back(Pending{task, jt_->now()});
+}
+
+int ResumeLocalityPolicy::on_heartbeat(const TrackerStatus& status) {
+  int slots_used = 0;
+  int free_maps = status.free_map_slots;
+  int free_reduces = status.free_reduce_slots;
+  std::vector<Pending> still_pending;
+  for (const Pending& p : pending_) {
+    const Task& t = jt_->task(p.task);
+    if (t.done() || t.state == TaskState::Running || t.state == TaskState::MustResume) {
+      continue;  // resolved some other way
+    }
+    if (t.state != TaskState::Suspended) {
+      still_pending.push_back(p);  // suspension ack still in flight
+      continue;
+    }
+    int& free_slots = t.spec.type == TaskType::Map ? free_maps : free_reduces;
+    const bool home = t.tracker == status.tracker || !t.tracker.valid();
+    if (home && free_slots > 0) {
+      if (jt_->resume_task(p.task)) {
+        --free_slots;
+        ++slots_used;
+        continue;
+      }
+    }
+    if (!home && free_slots > 0 && jt_->now() - p.since > threshold_) {
+      // Delayed-kill fallback: restart from scratch wherever there is
+      // room, losing the suspended attempt's work.
+      OSAP_LOG(Info, "resume-locality")
+          << p.task << " waited past threshold; killing for non-local restart";
+      jt_->kill_task(p.task);
+      --free_slots;
+      continue;
+    }
+    still_pending.push_back(p);
+  }
+  pending_ = std::move(still_pending);
+  return slots_used;
+}
+
+}  // namespace osap

@@ -1,0 +1,121 @@
+#include "sched/deadline.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+#include "hadoop/job_tracker.hpp"
+
+namespace osap {
+
+namespace {
+constexpr const char* kLog = "deadline";
+}
+
+void DeadlineScheduler::attached() {
+  preemptor_.emplace(*jt_);
+  resume_policy_.emplace(*jt_, options_.resume_locality_threshold);
+}
+
+Duration DeadlineScheduler::remaining_work(JobId id) const {
+  double seconds = 0;
+  for (TaskId tid : jt_->job(id).tasks) {
+    const Task& t = jt_->task(tid);
+    if (t.done()) continue;
+    const double left = 1.0 - (t.live() ? t.progress : 0.0);
+    seconds += left * static_cast<double>(t.spec.input_bytes) * options_.seconds_per_byte;
+  }
+  return seconds;
+}
+
+Duration DeadlineScheduler::laxity(JobId id) const {
+  const Job& job = jt_->job(id);
+  if (job.spec.deadline < 0) return kTimeNever;
+  return job.spec.deadline - jt_->now() - remaining_work(id);
+}
+
+std::vector<JobId> DeadlineScheduler::edf_order() const {
+  std::vector<JobId> order;
+  for (JobId jid : jt_->jobs_in_order()) {
+    if (jt_->job(jid).state == JobState::Running) order.push_back(jid);
+  }
+  std::stable_sort(order.begin(), order.end(), [this](JobId a, JobId b) {
+    const SimTime da = jt_->job(a).spec.deadline < 0 ? kTimeNever : jt_->job(a).spec.deadline;
+    const SimTime db = jt_->job(b).spec.deadline < 0 ? kTimeNever : jt_->job(b).spec.deadline;
+    return da < db;
+  });
+  return order;
+}
+
+std::vector<TaskId> DeadlineScheduler::assign(const TrackerStatus& status) {
+  std::vector<TaskId> out;
+  const std::vector<JobId> order = edf_order();
+  if (order.empty()) return out;
+
+  // Urgent jobs get their suspended tasks back first; deadline-less
+  // victims come back once no deadline job is waiting for a slot (they
+  // must come back eventually, or preemption would turn into starvation).
+  bool deadline_job_waiting = false;
+  for (JobId jid : order) {
+    const Job& job = jt_->job(jid);
+    if (job.spec.deadline < 0) continue;
+    for (TaskId tid : job.tasks) {
+      if (jt_->task(tid).state == TaskState::Unassigned) {
+        deadline_job_waiting = true;
+        break;
+      }
+    }
+    if (deadline_job_waiting) break;
+  }
+  for (JobId jid : order) {
+    const Job& job = jt_->job(jid);
+    if (job.spec.deadline < 0 && deadline_job_waiting) continue;
+    for (TaskId tid : job.tasks) {
+      if (jt_->task(tid).state == TaskState::Suspended) resume_policy_->request_resume(tid);
+    }
+  }
+  int free_maps = status.free_map_slots;
+  int free_reduces = status.free_reduce_slots;
+  free_maps -= resume_policy_->on_heartbeat(status);
+
+  // EDF assignment.
+  int urgent_unserved = 0;
+  JobId most_urgent;
+  for (JobId jid : order) {
+    for (TaskId tid : jt_->job(jid).tasks) {
+      const Task& task = jt_->task(tid);
+      if (task.state != TaskState::Unassigned) continue;
+      if (task.spec.preferred_node.valid() && task.spec.preferred_node != status.node) continue;
+      int& budget = task.spec.type == TaskType::Map ? free_maps : free_reduces;
+      if (budget > 0) {
+        out.push_back(tid);
+        --budget;
+      } else if (laxity(jid) < options_.laxity_margin) {
+        // A deadline is at risk and there is no slot for it.
+        ++urgent_unserved;
+        if (!most_urgent.valid()) most_urgent = jid;
+      }
+    }
+  }
+
+  // Take slots from the latest-deadline job for jobs about to miss.
+  int budget = options_.max_preemptions_per_heartbeat;
+  while (urgent_unserved > 0 && budget > 0) {
+    TaskId victim;
+    for (auto it = order.rbegin(); it != order.rend(); ++it) {
+      if (*it == most_urgent) continue;
+      victim = pick_victim(options_.eviction, collect_candidates(*jt_, *it));
+      if (victim.valid()) break;
+    }
+    if (!victim.valid()) break;
+    OSAP_LOG(Info, kLog) << "deadline of job " << most_urgent << " at risk (laxity "
+                         << laxity(most_urgent) << "s); preempting " << victim;
+    if (preemptor_->preempt(victim, options_.primitive)) {
+      ++preemptions_;
+      --urgent_unserved;
+    }
+    --budget;
+  }
+  return out;
+}
+
+}  // namespace osap

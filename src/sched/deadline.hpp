@@ -1,0 +1,58 @@
+// Deadline (EDF) scheduler with preemption (§II).
+//
+// "In deadline scheduling [5], preemption can be used to make sure that
+// jobs that are close to the deadline are run as soon as possible."
+//
+// Jobs carry an absolute deadline; slots go to the job with the earliest
+// deadline among those whose remaining work still fits before it (plain
+// EDF otherwise). When an urgent job cannot get slots and its laxity
+// (deadline − now − estimated remaining work) falls below a threshold,
+// tasks of the latest-deadline job are preempted with the configured
+// primitive.
+#pragma once
+
+#include <optional>
+
+#include "preempt/eviction.hpp"
+#include "preempt/preemptor.hpp"
+#include "preempt/resume_locality.hpp"
+#include "hadoop/scheduler.hpp"
+
+namespace osap {
+
+class DeadlineScheduler : public Scheduler {
+ public:
+  struct Options {
+    PreemptPrimitive primitive = PreemptPrimitive::Suspend;
+    EvictionPolicy eviction = EvictionPolicy::LeastProgress;
+    Duration resume_locality_threshold = seconds(30);
+    /// Preempt for a job once its slack drops below this margin.
+    Duration laxity_margin = seconds(20);
+    /// Rough per-byte service-time estimate used for laxity (defaults to
+    /// the synthetic mapper's parse rate).
+    double seconds_per_byte = 1.0 / (6.7 * static_cast<double>(MiB));
+    int max_preemptions_per_heartbeat = 1;
+  };
+
+  DeadlineScheduler() : options_(Options{}) {}
+  explicit DeadlineScheduler(Options options) : options_(options) {}
+
+  std::vector<TaskId> assign(const TrackerStatus& status) override;
+
+  /// Estimated seconds of work left in the job.
+  [[nodiscard]] Duration remaining_work(JobId id) const;
+  /// deadline − now − remaining work; negative means a likely miss.
+  [[nodiscard]] Duration laxity(JobId id) const;
+  [[nodiscard]] int preemptions_issued() const noexcept { return preemptions_; }
+
+ private:
+  void attached() override;
+  [[nodiscard]] std::vector<JobId> edf_order() const;
+
+  Options options_;
+  std::optional<Preemptor> preemptor_;
+  std::optional<ResumeLocalityPolicy> resume_policy_;
+  int preemptions_ = 0;
+};
+
+}  // namespace osap

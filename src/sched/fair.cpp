@@ -1,0 +1,150 @@
+#include "sched/fair.hpp"
+
+#include <algorithm>
+
+#include "common/log.hpp"
+
+namespace osap {
+
+namespace {
+constexpr const char* kLog = "fair";
+}
+
+void FairScheduler::attached() {
+  preemptor_.emplace(*jt_);
+  resume_policy_.emplace(*jt_, options_.resume_locality_threshold);
+}
+
+void FairScheduler::job_added(JobId id) { satisfied_at_[id] = jt_->now(); }
+
+void FairScheduler::job_completed(JobId id) { satisfied_at_.erase(id); }
+
+int FairScheduler::running_or_pending_command(JobId id) const {
+  int n = 0;
+  for (TaskId tid : jt_->job(id).tasks) {
+    const TaskState s = jt_->task(tid).state;
+    if (s == TaskState::Running || s == TaskState::MustSuspend || s == TaskState::MustResume) ++n;
+  }
+  return n;
+}
+
+int FairScheduler::demand(JobId id) const {
+  int n = 0;
+  for (TaskId tid : jt_->job(id).tasks) {
+    if (!jt_->task(tid).done()) ++n;
+  }
+  return n;
+}
+
+double FairScheduler::fair_share() const {
+  int active = 0;
+  for (JobId id : jt_->jobs_in_order()) {
+    if (jt_->job(id).state == JobState::Running && demand(id) > 0) ++active;
+  }
+  if (active == 0) return static_cast<double>(options_.cluster_map_slots);
+  return static_cast<double>(options_.cluster_map_slots) / active;
+}
+
+void FairScheduler::resume_where_possible(const TrackerStatus& status, int& free_maps) {
+  // A freed slot first serves starved jobs' unassigned tasks; suspended
+  // victims come back only when nobody is waiting below their share —
+  // otherwise the scheduler would undo its own preemption on the next
+  // heartbeat.
+  const double share = fair_share();
+  bool someone_waiting = false;
+  for (JobId jid : jt_->jobs_in_order()) {
+    const Job& job = jt_->job(jid);
+    if (job.state != JobState::Running) continue;
+    if (running_or_pending_command(jid) >= static_cast<int>(share + 1e-9) + 1) continue;
+    for (TaskId tid : job.tasks) {
+      if (jt_->task(tid).state == TaskState::Unassigned) {
+        someone_waiting = true;
+        break;
+      }
+    }
+    if (someone_waiting) break;
+  }
+  if (!someone_waiting) {
+    for (JobId jid : jt_->jobs_in_order()) {
+      const Job& job = jt_->job(jid);
+      if (job.state != JobState::Running) continue;
+      for (TaskId tid : job.tasks) {
+        if (jt_->task(tid).state == TaskState::Suspended) resume_policy_->request_resume(tid);
+      }
+    }
+  }
+  free_maps -= resume_policy_->on_heartbeat(status);
+}
+
+void FairScheduler::check_starvation() {
+  const double share = fair_share();
+  const SimTime now = jt_->now();
+  for (JobId jid : jt_->jobs_in_order()) {
+    const Job& job = jt_->job(jid);
+    if (job.state != JobState::Running) continue;
+    const int want = std::min(demand(jid), static_cast<int>(share + 1e-9) > 0
+                                               ? static_cast<int>(share + 1e-9)
+                                               : 1);
+    const int have = running_or_pending_command(jid);
+    if (have >= want || demand(jid) == 0) {
+      satisfied_at_[jid] = now;
+      continue;
+    }
+    if (now - satisfied_at_[jid] < options_.preemption_timeout) continue;
+
+    // Starved: preempt a victim from the job furthest above its share.
+    JobId fattest;
+    int fattest_excess = 0;
+    for (JobId other : jt_->jobs_in_order()) {
+      if (other == jid || jt_->job(other).state != JobState::Running) continue;
+      const int excess = running_or_pending_command(other) -
+                         static_cast<int>(share + 1e-9);
+      if (excess > fattest_excess) {
+        fattest_excess = excess;
+        fattest = other;
+      }
+    }
+    if (!fattest.valid()) continue;
+    const TaskId victim = pick_victim(options_.eviction, collect_candidates(*jt_, fattest));
+    if (!victim.valid()) continue;
+    OSAP_LOG(Info, kLog) << "job " << jid << " starved; preempting " << victim << " of job "
+                         << fattest << " via " << to_string(options_.primitive);
+    if (preemptor_->preempt(victim, options_.primitive)) {
+      ++preemptions_;
+      satisfied_at_[jid] = now;  // give the command time to take effect
+    }
+  }
+}
+
+std::vector<TaskId> FairScheduler::assign(const TrackerStatus& status) {
+  check_starvation();
+
+  int free_maps = status.free_map_slots;
+  int free_reduces = status.free_reduce_slots;
+  resume_where_possible(status, free_maps);
+
+  std::vector<TaskId> out;
+  if (free_maps <= 0 && free_reduces <= 0) return out;
+
+  // Hand slots to jobs in ascending (running / share) order.
+  std::vector<JobId> queue = jt_->jobs_in_order();
+  std::stable_sort(queue.begin(), queue.end(), [this](JobId a, JobId b) {
+    return running_or_pending_command(a) < running_or_pending_command(b);
+  });
+  for (JobId jid : queue) {
+    const Job& job = jt_->job(jid);
+    if (job.state != JobState::Running) continue;
+    for (TaskId tid : job.tasks) {
+      const Task& task = jt_->task(tid);
+      if (task.state != TaskState::Unassigned) continue;
+      if (task.spec.preferred_node.valid() && task.spec.preferred_node != status.node) continue;
+      int& budget = task.spec.type == TaskType::Map ? free_maps : free_reduces;
+      if (budget <= 0) continue;
+      out.push_back(tid);
+      --budget;
+    }
+  }
+  return out;
+}
+
+}  // namespace osap

@@ -1,0 +1,57 @@
+#include "sched/fifo.hpp"
+
+#include <algorithm>
+
+namespace osap {
+
+std::vector<JobId> FifoScheduler::job_queue() const {
+  std::vector<JobId> queue = jt_->jobs_in_order();
+  std::stable_sort(queue.begin(), queue.end(), [this](JobId a, JobId b) {
+    return jt_->job(a).spec.priority > jt_->job(b).spec.priority;
+  });
+  return queue;
+}
+
+bool FifoScheduler::eligible(const Task& task, const TrackerStatus& status) const {
+  if (!task.spec.preferred_node.valid() || task.spec.preferred_node == status.node) return true;
+  // Delay scheduling [20]: hold non-local launches back until the job has
+  // waited out the locality delay.
+  if (locality_delay_ <= 0) return true;
+  const Job& job = jt_->job(task.job);
+  return jt_->now() - job.submitted_at >= locality_delay_;
+}
+
+std::vector<TaskId> FifoScheduler::assign(const TrackerStatus& status) {
+  std::vector<TaskId> out;
+  int maps = status.free_map_slots;
+  int reduces = status.free_reduce_slots;
+  if (maps <= 0 && reduces <= 0) return out;
+
+  // Node-local (or unconstrained) tasks first, remote ones second.
+  for (const bool local_pass : {true, false}) {
+    for (JobId jid : job_queue()) {
+      const Job& job = jt_->job(jid);
+      if (job.state != JobState::Running) continue;
+      for (TaskId tid : job.tasks) {
+        const Task& task = jt_->task(tid);
+        if (task.state != TaskState::Unassigned) continue;
+        if (std::find(out.begin(), out.end(), tid) != out.end()) continue;
+        const bool is_local =
+            !task.spec.preferred_node.valid() || task.spec.preferred_node == status.node;
+        if (local_pass != is_local) continue;
+        if (!eligible(task, status)) continue;
+        if (task.spec.type == TaskType::Map && maps > 0) {
+          out.push_back(tid);
+          --maps;
+        } else if (task.spec.type == TaskType::Reduce && reduces > 0) {
+          out.push_back(tid);
+          --reduces;
+        }
+        if (maps <= 0 && reduces <= 0) return out;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace osap

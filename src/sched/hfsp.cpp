@@ -1,0 +1,123 @@
+#include "sched/hfsp.hpp"
+
+#include "common/log.hpp"
+#include "hadoop/job_tracker.hpp"
+
+namespace osap {
+
+namespace {
+constexpr const char* kLog = "hfsp";
+}
+
+void HfspScheduler::attached() {
+  preemptor_.emplace(*jt_);
+  resume_policy_.emplace(*jt_, options_.resume_locality_threshold);
+}
+
+Bytes HfspScheduler::remaining_size(JobId id) const {
+  Bytes remaining = 0;
+  for (TaskId tid : jt_->job(id).tasks) {
+    const Task& t = jt_->task(tid);
+    if (t.done()) continue;
+    const double left = 1.0 - (t.live() ? t.progress : 0.0);
+    remaining += static_cast<Bytes>(left * static_cast<double>(t.spec.input_bytes));
+  }
+  return remaining;
+}
+
+JobId HfspScheduler::head_job() const {
+  JobId head;
+  Bytes best = 0;
+  for (JobId jid : jt_->jobs_in_order()) {
+    const Job& job = jt_->job(jid);
+    if (job.state != JobState::Running) continue;
+    const Bytes size = remaining_size(jid);
+    if (size == 0) continue;
+    if (!head.valid() || size < best) {
+      head = jid;
+      best = size;
+    }
+  }
+  return head;
+}
+
+std::vector<TaskId> HfspScheduler::assign(const TrackerStatus& status) {
+  std::vector<TaskId> out;
+  const JobId head = head_job();
+  if (!head.valid()) return out;
+
+  // The head job gets its suspended tasks back first.
+  for (TaskId tid : jt_->job(head).tasks) {
+    if (jt_->task(tid).state == TaskState::Suspended) resume_policy_->request_resume(tid);
+  }
+  int free_maps = status.free_map_slots;
+  int free_reduces = status.free_reduce_slots;
+  free_maps -= resume_policy_->on_heartbeat(status);
+
+  // Launch the head job's pending tasks.
+  int head_pending = 0;
+  for (TaskId tid : jt_->job(head).tasks) {
+    const Task& task = jt_->task(tid);
+    if (task.state != TaskState::Unassigned) continue;
+    if (task.spec.preferred_node.valid() && task.spec.preferred_node != status.node) continue;
+    int& budget = task.spec.type == TaskType::Map ? free_maps : free_reduces;
+    if (budget > 0) {
+      out.push_back(tid);
+      --budget;
+    } else {
+      ++head_pending;
+    }
+  }
+
+  // Still starved? Take slots away from the largest job.
+  int budget = options_.max_preemptions_per_heartbeat;
+  while (head_pending > 0 && budget > 0) {
+    JobId fattest;
+    Bytes fattest_size = 0;
+    for (JobId jid : jt_->jobs_in_order()) {
+      if (jid == head || jt_->job(jid).state != JobState::Running) continue;
+      const Bytes size = remaining_size(jid);
+      if (size > fattest_size &&
+          !collect_candidates(*jt_, jid).empty()) {
+        fattest = jid;
+        fattest_size = size;
+      }
+    }
+    if (!fattest.valid()) break;
+    const TaskId victim = pick_victim(options_.eviction, collect_candidates(*jt_, fattest));
+    if (!victim.valid()) break;
+    OSAP_LOG(Info, kLog) << "preempting " << victim << " of job " << fattest << " for head job "
+                         << head;
+    if (preemptor_->preempt(victim, options_.primitive)) {
+      ++preemptions_;
+      --head_pending;
+    }
+    --budget;
+  }
+
+  // Leftover slots go to the remaining jobs, smallest first.
+  while (free_maps > 0 || free_reduces > 0) {
+    bool assigned = false;
+    for (JobId jid : jt_->jobs_in_order()) {
+      const Job& job = jt_->job(jid);
+      if (job.state != JobState::Running) continue;
+      for (TaskId tid : job.tasks) {
+        const Task& task = jt_->task(tid);
+        if (task.state != TaskState::Unassigned) continue;
+        if (std::find(out.begin(), out.end(), tid) != out.end()) continue;
+        if (task.spec.preferred_node.valid() && task.spec.preferred_node != status.node) continue;
+        int& budget = task.spec.type == TaskType::Map ? free_maps : free_reduces;
+        if (budget <= 0) continue;
+        out.push_back(tid);
+        --budget;
+        assigned = true;
+        break;
+      }
+      if (assigned) break;
+    }
+    if (!assigned) break;
+  }
+  return out;
+}
+
+}  // namespace osap

@@ -1,0 +1,59 @@
+#include "sim/event_queue.hpp"
+
+#include "common/error.hpp"
+
+namespace osap {
+
+EventId EventQueue::push(SimTime t, std::function<void()> fn) {
+  OSAP_CHECK_MSG(t >= 0 && t < kTimeNever, "event time must be finite, got " << t);
+  const EventId id = next_id_++;
+  heap_.push(Entry{t, id, std::move(fn)});
+  live_.insert(id);
+  return id;
+}
+
+void EventQueue::cancel(EventId id) {
+  // Cancelling an id that already fired (or never existed) is a no-op —
+  // periodic re-arm patterns cancel their own just-fired timer.
+  if (live_.erase(id) > 0) cancelled_.insert(id);
+}
+
+void EventQueue::drop_cancelled() {
+  while (!heap_.empty()) {
+    const auto it = cancelled_.find(heap_.top().id);
+    if (it == cancelled_.end()) break;
+    cancelled_.erase(it);
+    heap_.pop();
+  }
+}
+
+bool EventQueue::empty() const noexcept { return live_.empty(); }
+
+SimTime EventQueue::next_time() const noexcept {
+  const_cast<EventQueue*>(this)->drop_cancelled();
+  return heap_.empty() ? kTimeNever : heap_.top().time;
+}
+
+std::vector<std::pair<SimTime, EventId>> EventQueue::pending_events() const {
+  // The underlying container of a priority_queue is inaccessible; rebuild
+  // the view from a copy. Debug-only, cost is acceptable.
+  std::vector<std::pair<SimTime, EventId>> out;
+  auto copy = heap_;
+  while (!copy.empty()) {
+    if (!cancelled_.contains(copy.top().id)) out.emplace_back(copy.top().time, copy.top().id);
+    copy.pop();
+  }
+  return out;
+}
+
+EventQueue::Fired EventQueue::pop() {
+  drop_cancelled();
+  OSAP_CHECK(!heap_.empty());
+  const Entry& top = heap_.top();
+  Fired fired{top.time, top.id, std::move(top.fn)};
+  heap_.pop();
+  live_.erase(fired.id);
+  return fired;
+}
+
+}  // namespace osap

@@ -1,0 +1,71 @@
+// Priority queue of timestamped events with stable FIFO tie-breaking and
+// O(1) cancellation (lazy deletion on pop).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "common/time.hpp"
+
+namespace osap {
+
+/// Handle for a scheduled event; usable to cancel it before it fires.
+using EventId = std::uint64_t;
+
+class EventQueue {
+ public:
+  /// Schedule `fn` at absolute time `t`. Events at equal times fire in
+  /// insertion order.
+  EventId push(SimTime t, std::function<void()> fn);
+
+  /// Cancel a pending event. Cancelling an already-fired or unknown id is
+  /// a harmless no-op (the id space is never reused).
+  void cancel(EventId id);
+
+  [[nodiscard]] bool empty() const noexcept;
+
+  /// Time of the earliest pending event; kTimeNever when empty.
+  [[nodiscard]] SimTime next_time() const noexcept;
+
+  /// Remove and return the earliest pending event.
+  /// Precondition: !empty().
+  struct Fired {
+    SimTime time;
+    EventId id;
+    std::function<void()> fn;
+  };
+  Fired pop();
+
+  [[nodiscard]] std::size_t pending() const noexcept { return live_.size(); }
+
+  /// Debug view of pending (time, id) pairs, unordered.
+  [[nodiscard]] std::vector<std::pair<SimTime, EventId>> pending_events() const;
+
+ private:
+  struct Entry {
+    SimTime time;
+    EventId id;
+    // `fn` lives in the heap entry; moved out on pop.
+    mutable std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Entry& a, const Entry& b) const noexcept {
+      if (a.time != b.time) return a.time > b.time;
+      return a.id > b.id;  // stable FIFO for ties
+    }
+  };
+
+  void drop_cancelled();
+
+  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
+  /// Ids currently pending in the heap; cancelling removes from here.
+  std::unordered_set<EventId> live_;
+  /// Cancelled ids whose heap entries are lazily dropped on pop.
+  std::unordered_set<EventId> cancelled_;
+  EventId next_id_ = 1;
+};
+
+}  // namespace osap

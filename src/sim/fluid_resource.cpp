@@ -1,0 +1,206 @@
+#include "sim/fluid_resource.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace osap {
+
+namespace {
+// Absolute slack below which a consumer counts as finished. Work units are
+// bytes or cpu-seconds, so 1e-6 units is far below anything observable.
+constexpr double kCompleteEps = 1e-6;
+// Minimum completion-timer horizon. Floating-point settling can leave a
+// remainder so small that now + remainder/rate == now in double precision,
+// which would re-fire the timer at the same timestamp forever. Anything
+// finishing within a nanosecond is complete for all modelling purposes.
+constexpr double kMinTick = 1e-9;
+}  // namespace
+
+FluidResource::FluidResource(Simulation& sim, double capacity, std::string name)
+    : sim_(sim), capacity_(capacity), name_(std::move(name)), last_settle_(sim.now()) {
+  OSAP_CHECK_MSG(capacity_ > 0, "resource " << name_ << " needs positive capacity");
+}
+
+FluidResource::~FluidResource() {
+  if (timer_ != 0) sim_.cancel(timer_);
+}
+
+FluidResource::ConsumerId FluidResource::add(double demand, double rate_cap,
+                                             std::function<void()> on_complete) {
+  OSAP_CHECK_MSG(demand >= 0, "negative demand on " << name_);
+  OSAP_CHECK_MSG(rate_cap > 0, "rate cap must be positive on " << name_);
+  OSAP_CHECK_MSG(std::isfinite(capacity_) || std::isfinite(rate_cap),
+                 "unlimited consumer on unlimited resource " << name_);
+  const ConsumerId id = next_id_++;
+  if (demand <= kCompleteEps) {
+    // Nothing to transfer: complete on a fresh event to keep callback
+    // ordering uniform (never synchronously from add()).
+    sim_.after(0, std::move(on_complete));
+    return id;
+  }
+  Consumer c;
+  c.remaining = demand;
+  c.cap = rate_cap;
+  c.on_complete = std::move(on_complete);
+  consumers_.emplace(id, std::move(c));
+  active_.push_back(id);
+  update();
+  return id;
+}
+
+void FluidResource::pause(ConsumerId id) {
+  auto it = consumers_.find(id);
+  if (it == consumers_.end() || it->second.state == State::Paused) return;
+  // Settle progress up to now before freezing the consumer.
+  update();
+  it = consumers_.find(id);
+  if (it == consumers_.end()) return;  // completed during the settle
+  it->second.state = State::Paused;
+  it->second.rate = 0;
+  std::erase(active_, id);
+  update();
+}
+
+void FluidResource::resume(ConsumerId id) {
+  auto it = consumers_.find(id);
+  if (it == consumers_.end() || it->second.state == State::Active) return;
+  it->second.state = State::Active;
+  active_.push_back(id);
+  update();
+}
+
+void FluidResource::cancel(ConsumerId id) {
+  auto it = consumers_.find(id);
+  if (it == consumers_.end()) return;
+  update();
+  it = consumers_.find(id);
+  if (it == consumers_.end()) return;
+  std::erase(active_, id);
+  consumers_.erase(it);
+  update();
+}
+
+void FluidResource::add_demand(ConsumerId id, double extra) {
+  OSAP_CHECK(extra >= 0);
+  auto it = consumers_.find(id);
+  OSAP_CHECK_MSG(it != consumers_.end(), "add_demand on missing consumer of " << name_);
+  update();
+  it = consumers_.find(id);
+  OSAP_CHECK(it != consumers_.end());
+  it->second.remaining += extra;
+  update();
+}
+
+bool FluidResource::contains(ConsumerId id) const { return consumers_.contains(id); }
+
+double FluidResource::remaining(ConsumerId id) const {
+  auto it = consumers_.find(id);
+  if (it == consumers_.end()) return 0;
+  const Consumer& c = it->second;
+  if (c.state == State::Active) {
+    const double dt = sim_.now() - last_settle_;
+    return std::max(0.0, c.remaining - c.rate * dt);
+  }
+  return c.remaining;
+}
+
+double FluidResource::served(ConsumerId id) const {
+  auto it = consumers_.find(id);
+  if (it == consumers_.end()) return 0;
+  const Consumer& c = it->second;
+  if (c.state == State::Active) {
+    const double dt = sim_.now() - last_settle_;
+    return c.served + std::min(c.remaining, c.rate * dt);
+  }
+  return c.served;
+}
+
+double FluidResource::rate(ConsumerId id) const {
+  auto it = consumers_.find(id);
+  return it == consumers_.end() ? 0 : it->second.rate;
+}
+
+void FluidResource::set_capacity(double capacity) {
+  OSAP_CHECK(capacity > 0);
+  update();
+  capacity_ = capacity;
+  update();
+}
+
+void FluidResource::settle(std::vector<ConsumerId>& completed) {
+  const SimTime now = sim_.now();
+  const double dt = now - last_settle_;
+  last_settle_ = now;
+  for (ConsumerId id : active_) {
+    Consumer& c = consumers_.at(id);
+    const double moved = std::min(c.remaining, c.rate * dt);
+    c.remaining -= moved;
+    c.served += moved;
+    total_served_ += moved;
+    if (c.remaining <= kCompleteEps || c.remaining <= c.rate * kMinTick) {
+      completed.push_back(id);
+    }
+  }
+}
+
+void FluidResource::recompute_rates() {
+  if (active_.empty()) return;
+  // Water-filling: every active consumer gets min(cap, share), where the
+  // share level is raised until capacity is exhausted or all caps are met.
+  std::vector<ConsumerId> order = active_;
+  std::sort(order.begin(), order.end(), [this](ConsumerId a, ConsumerId b) {
+    return consumers_.at(a).cap < consumers_.at(b).cap;
+  });
+  double left = capacity_;
+  std::size_t n = order.size();
+  for (ConsumerId id : order) {
+    Consumer& c = consumers_.at(id);
+    const double fair = left / static_cast<double>(n);
+    c.rate = std::min(c.cap, fair);
+    left -= c.rate;
+    --n;
+  }
+}
+
+void FluidResource::rearm() {
+  if (timer_ != 0) {
+    sim_.cancel(timer_);
+    timer_ = 0;
+  }
+  if (active_.empty()) return;
+  double horizon = kTimeNever;
+  for (ConsumerId id : active_) {
+    const Consumer& c = consumers_.at(id);
+    OSAP_CHECK_MSG(c.rate > 0, "active consumer starved on " << name_);
+    horizon = std::min(horizon, c.remaining / c.rate);
+  }
+  horizon = std::max(horizon, kMinTick);
+  timer_ = sim_.after(horizon, [this] {
+    timer_ = 0;
+    update();
+  });
+}
+
+void FluidResource::update() {
+  std::vector<ConsumerId> completed;
+  settle(completed);
+  std::vector<std::function<void()>> callbacks;
+  callbacks.reserve(completed.size());
+  for (ConsumerId id : completed) {
+    auto it = consumers_.find(id);
+    std::erase(active_, id);
+    callbacks.push_back(std::move(it->second.on_complete));
+    consumers_.erase(it);
+  }
+  recompute_rates();
+  rearm();
+  // Callbacks run last: they may re-enter add/pause/cancel, which each
+  // trigger their own (dt == 0) update pass.
+  for (auto& cb : callbacks) {
+    if (cb) cb();
+  }
+}
+
+}  // namespace osap

@@ -1,0 +1,46 @@
+#include "sim/simulation.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace osap {
+
+Simulation::Simulation() {
+  Logger::instance().set_clock([this] { return now_; });
+}
+
+Simulation::~Simulation() { Logger::instance().clear_clock(); }
+
+EventId Simulation::at(SimTime t, std::function<void()> fn) {
+  OSAP_CHECK_MSG(t >= now_, "cannot schedule in the past: " << t << " < " << now_);
+  return queue_.push(t, std::move(fn));
+}
+
+EventId Simulation::after(Duration d, std::function<void()> fn) {
+  if (d < 0) d = 0;
+  return queue_.push(now_ + d, std::move(fn));
+}
+
+bool Simulation::step() {
+  if (queue_.empty()) return false;
+  auto fired = queue_.pop();
+  OSAP_CHECK(fired.time >= now_);
+  now_ = fired.time;
+  ++processed_;
+  fired.fn();
+  return true;
+}
+
+SimTime Simulation::run() {
+  while (step()) {
+  }
+  return now_;
+}
+
+void Simulation::run_until(SimTime t) {
+  OSAP_CHECK(t >= now_);
+  while (!queue_.empty() && queue_.next_time() <= t) step();
+  now_ = t;
+}
+
+}  // namespace osap

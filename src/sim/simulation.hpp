@@ -1,0 +1,57 @@
+// The discrete-event simulation driver.
+//
+// Owns the virtual clock and the event queue. All model components hold a
+// reference to one Simulation and schedule callbacks through it. Execution
+// is strictly single-threaded and deterministic: same seed, same schedule,
+// same results.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "common/time.hpp"
+#include "sim/event_queue.hpp"
+
+namespace osap {
+
+class Simulation {
+ public:
+  Simulation();
+  ~Simulation();
+  Simulation(const Simulation&) = delete;
+  Simulation& operator=(const Simulation&) = delete;
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Schedule at an absolute time (must be >= now()).
+  EventId at(SimTime t, std::function<void()> fn);
+
+  /// Schedule after a relative delay (clamped to >= 0).
+  EventId after(Duration d, std::function<void()> fn);
+
+  /// Cancel a pending event (no-op if already fired).
+  void cancel(EventId id) { queue_.cancel(id); }
+
+  /// Fire the next event. Returns false when the queue is empty.
+  bool step();
+
+  /// Run until the queue drains; returns the time of the last event.
+  SimTime run();
+
+  /// Run events with time <= t, then set the clock to exactly t.
+  void run_until(SimTime t);
+
+  [[nodiscard]] std::uint64_t events_processed() const noexcept { return processed_; }
+  [[nodiscard]] std::size_t events_pending() const noexcept { return queue_.pending(); }
+  /// Debug view of pending (time, id) pairs.
+  [[nodiscard]] std::vector<std::pair<SimTime, EventId>> pending_events() const {
+    return queue_.pending_events();
+  }
+
+ private:
+  EventQueue queue_;
+  SimTime now_ = 0;
+  std::uint64_t processed_ = 0;
+};
+
+}  // namespace osap

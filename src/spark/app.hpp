@@ -1,0 +1,53 @@
+// Spark-style applications on the simulated substrate (§VI outlook:
+// "the application of our technique to additional DISC frameworks, such
+// as Apache Spark").
+//
+// The property that makes Spark interesting for this preemption primitive
+// is *long-lived state*: executors cache RDD partitions in memory across
+// stages. Killing an executor to make room for another application throws
+// that cache away and forces recomputation; OS-assisted suspension parks
+// the executor, lets the OS page the cache out lazily, and pages it back
+// in when (and only when) a later stage actually reads it.
+//
+// Model: an application is a sequence of stages. Each stage runs a set of
+// tasks (through the regular TaskTracker slots); a stage may cache its
+// output in the application's executor-cache process and later stages may
+// read from that cache instead of re-reading (and re-parsing) the input.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/units.hpp"
+
+namespace osap {
+
+struct SparkStageSpec {
+  int tasks = 1;
+  /// Input read from storage when the stage does not (or cannot) use the
+  /// cache.
+  Bytes input_per_task = 512 * MiB;
+  double cpu_per_byte = 1.0 / (6.7 * static_cast<double>(MiB));
+  /// Consume the previous cached output instead of re-reading the input.
+  /// Falls back to the full read+parse when the cache was lost.
+  bool read_from_cache = false;
+  /// In-memory data is only parsed once: reading cached partitions costs
+  /// this fraction of the first pass's CPU.
+  double cached_cpu_fraction = 0.3;
+  /// Bytes added to the executor cache by each task of this stage.
+  Bytes cache_output_per_task = 0;
+};
+
+struct SparkAppSpec {
+  std::string name = "app";
+  int priority = 0;
+  /// Framework (executor JVM) footprint, hot for the app's lifetime.
+  Bytes executor_memory = 256 * MiB;
+  std::vector<SparkStageSpec> stages;
+};
+
+/// An iterative job: stage 0 reads + parses + caches; the remaining
+/// `iterations` stages iterate over the cached data.
+SparkAppSpec iterative_app(std::string name, Bytes input, Bytes cache, int iterations);
+
+}  // namespace osap

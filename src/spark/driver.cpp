@@ -1,0 +1,215 @@
+#include "spark/driver.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace osap {
+
+namespace {
+constexpr const char* kLog = "spark";
+// Executors are long-lived services; this bounds the simulation horizon.
+constexpr Duration kExecutorLifetime = 1e7;
+}  // namespace
+
+SparkAppSpec iterative_app(std::string name, Bytes input, Bytes cache, int iterations) {
+  SparkAppSpec app;
+  app.name = std::move(name);
+  OSAP_CHECK(iterations >= 0);
+  SparkStageSpec first;
+  first.tasks = 1;
+  first.input_per_task = input;
+  first.cache_output_per_task = cache;
+  app.stages.push_back(first);
+  for (int i = 0; i < iterations; ++i) {
+    SparkStageSpec iter;
+    iter.tasks = 1;
+    iter.input_per_task = input;
+    iter.read_from_cache = true;
+    app.stages.push_back(iter);
+  }
+  return app;
+}
+
+SparkDriver::SparkDriver(Cluster& cluster, SparkAppSpec spec, NodeId executor_node)
+    : cluster_(&cluster), spec_(std::move(spec)), node_(executor_node) {
+  OSAP_CHECK_MSG(!spec_.stages.empty(), "a Spark app needs at least one stage");
+  // Watch for our stage jobs completing.
+  cluster_->job_tracker().add_event_hook([this](const ClusterEvent& e) {
+    if (e.type != ClusterEventType::JobCompleted) return;
+    if (!current_job_ || e.job != *current_job_) return;
+    current_job_.reset();
+    stage_finished(stage_);
+  });
+}
+
+void SparkDriver::ensure_executor() {
+  Kernel& kernel = cluster_->kernel(node_);
+  if (executor_.valid() && kernel.alive(executor_)) return;
+  executor_ = kernel.spawn(ProgramBuilder(spec_.name + "-executor")
+                               .alloc("framework", spec_.executor_memory, /*hot_after=*/true)
+                               .sleep(kExecutorLifetime)
+                               .build());
+  cache_bytes_ = 0;
+  cache_valid_ = false;
+}
+
+void SparkDriver::start(std::function<void()> on_done) {
+  OSAP_CHECK_MSG(started_at_ < 0, "driver started twice");
+  on_done_ = std::move(on_done);
+  started_at_ = cluster_->sim().now();
+  ensure_executor();
+  run_stage(0);
+}
+
+TaskSpec SparkDriver::task_for(const SparkStageSpec& stage, bool cache_hit) const {
+  TaskSpec task;
+  task.type = TaskType::Map;
+  task.framework_memory = 64 * MiB;  // per-task working memory; the heap is the executor's
+  task.preferred_node = node_;
+  if (cache_hit) {
+    // Iterate over in-memory partitions: no storage read, and the parse
+    // work was already paid in the first pass.
+    task.input_bytes = 0;
+    task.startup_cpu_seconds =
+        1.0 + static_cast<double>(stage.input_per_task) * stage.cpu_per_byte *
+                  stage.cached_cpu_fraction;
+  } else {
+    task.input_bytes = stage.input_per_task;
+    task.parse_cpu_per_byte = stage.cpu_per_byte;
+    task.startup_cpu_seconds = 1.0;
+  }
+  return task;
+}
+
+void SparkDriver::run_stage(int index) {
+  if (index >= static_cast<int>(spec_.stages.size())) {
+    done_ = true;
+    completed_at_ = cluster_->sim().now();
+    // The app is finished: the executor (and its cache) can go.
+    cluster_->kernel(node_).signal(executor_, Signal::Kill);
+    OSAP_LOG(Info, kLog) << spec_.name << " finished in " << runtime() << "s ("
+                         << recomputations_ << " recomputations)";
+    if (on_done_) on_done_();
+    return;
+  }
+  stage_ = index;
+  const SparkStageSpec& stage = spec_.stages[static_cast<std::size_t>(index)];
+  const bool want_cache = stage.read_from_cache;
+  const bool cache_hit = want_cache && cache_valid_;
+  if (want_cache && !cache_hit) ++recomputations_;
+
+  auto submit = [this, index, &stage, cache_hit] {
+    JobSpec job;
+    job.name = spec_.name + "-stage" + std::to_string(index);
+    job.priority = spec_.priority;
+    for (int t = 0; t < stage.tasks; ++t) job.tasks.push_back(task_for(stage, cache_hit));
+    current_job_ = cluster_->submit(std::move(job));
+  };
+  if (cache_hit && executor_.valid()) {
+    // Fault the cached partitions back in before the stage touches them —
+    // the deferred cost of having been suspended under memory pressure.
+    cluster_->kernel(node_).page_in_region(executor_, "cache", submit);
+  } else {
+    submit();
+  }
+}
+
+void SparkDriver::stage_finished(int index) {
+  const SparkStageSpec& stage = spec_.stages[static_cast<std::size_t>(index)];
+  const Bytes produced =
+      stage.cache_output_per_task * static_cast<Bytes>(stage.tasks);
+  if (produced > 0 && executor_.valid() && cluster_->kernel(node_).alive(executor_)) {
+    // Materialize the stage output into the executor's cache region
+    // (created lazily on first use).
+    Kernel& kernel = cluster_->kernel(node_);
+    Vmm& vmm = kernel.vmm();
+    const RegionId region = kernel.ensure_region(executor_, "cache");
+    cache_bytes_ += produced;
+    vmm.commit(region, produced, [this, index] {
+      cache_valid_ = true;
+      run_stage(index + 1);
+    });
+    return;
+  }
+  run_stage(index + 1);
+}
+
+void SparkDriver::preempt(PreemptPrimitive primitive) {
+  JobTracker& jt = cluster_->job_tracker();
+  switch (primitive) {
+    case PreemptPrimitive::Wait:
+      return;
+    case PreemptPrimitive::Suspend: {
+      suspended_ = true;
+      cluster_->kernel(node_).signal(executor_, Signal::Tstp);
+      if (current_job_) {
+        for (TaskId tid : jt.job(*current_job_).tasks) {
+          if (jt.task(tid).state == TaskState::Running) jt.suspend_task(tid);
+        }
+      }
+      return;
+    }
+    case PreemptPrimitive::Kill: {
+      killed_pending_restart_ = true;
+      cluster_->kernel(node_).signal(executor_, Signal::Kill);
+      cache_valid_ = false;
+      cache_bytes_ = 0;
+      if (current_job_) {
+        for (TaskId tid : jt.job(*current_job_).tasks) {
+          if (jt.task(tid).live()) jt.kill_task(tid);
+        }
+      }
+      return;
+    }
+    case PreemptPrimitive::NatjamCheckpoint:
+      throw SimError("SparkDriver does not implement checkpoint preemption");
+  }
+}
+
+void SparkDriver::restore(PreemptPrimitive primitive) {
+  JobTracker& jt = cluster_->job_tracker();
+  switch (primitive) {
+    case PreemptPrimitive::Wait:
+      return;
+    case PreemptPrimitive::Suspend: {
+      suspended_ = false;
+      cluster_->kernel(node_).signal(executor_, Signal::Cont);
+      if (current_job_) {
+        for (TaskId tid : jt.job(*current_job_).tasks) {
+          if (jt.task(tid).state == TaskState::Suspended) jt.resume_task(tid);
+        }
+      }
+      return;
+    }
+    case PreemptPrimitive::Kill: {
+      if (!killed_pending_restart_) return;
+      killed_pending_restart_ = false;
+      ensure_executor();
+      // Tasks specced against the (now lost) cache must recompute.
+      if (current_job_) {
+        const SparkStageSpec& stage = spec_.stages[static_cast<std::size_t>(stage_)];
+        if (stage.read_from_cache) {
+          bool rewrote = false;
+          for (TaskId tid : jt.job(*current_job_).tasks) {
+            Task& task = jt.task_mutable(tid);
+            if (task.state == TaskState::Unassigned) {
+              task.spec = task_for(stage, /*cache_hit=*/false);
+              rewrote = true;
+            }
+          }
+          if (rewrote) ++recomputations_;
+        }
+      }
+      return;
+    }
+    case PreemptPrimitive::NatjamCheckpoint:
+      throw SimError("SparkDriver does not implement checkpoint preemption");
+  }
+}
+
+Bytes SparkDriver::cache_swapped_out() const {
+  if (!executor_.valid()) return 0;
+  return cluster_->kernel(node_).vmm().swapped_out_total(executor_);
+}
+
+}  // namespace osap

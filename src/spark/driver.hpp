@@ -1,0 +1,83 @@
+// Spark driver: runs one application's stages over the cluster and owns
+// its executor-cache process.
+//
+// The cache lives in a dedicated long-lived process per application (the
+// executor), whose "cache" region grows as stages cache output. Preempting
+// the application:
+//
+//   Suspend — SIGTSTP the executor and any running stage tasks. The cache
+//             stays in memory; under pressure the OS pages it out. Before
+//             a cache-reading stage resumes, the driver faults the region
+//             back in (the swap-in cost appears exactly where it should).
+//   Kill    — kill the executor and stage tasks: the cache is gone, the
+//             current stage's work is gone, and cache-reading stages fall
+//             back to full recomputation.
+#pragma once
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hadoop/cluster.hpp"
+#include "preempt/primitive.hpp"
+#include "spark/app.hpp"
+
+namespace osap {
+
+class SparkDriver {
+ public:
+  /// The driver submits through `cluster`'s scheduler; the executor cache
+  /// lives on `executor_node`. The driver registers a JobTracker event
+  /// hook, so it must outlive the cluster's run.
+  SparkDriver(Cluster& cluster, SparkAppSpec spec, NodeId executor_node);
+  SparkDriver(const SparkDriver&) = delete;
+  SparkDriver& operator=(const SparkDriver&) = delete;
+
+  /// Launch stage 0. `on_done` fires when the last stage completes.
+  void start(std::function<void()> on_done = {});
+
+  /// Preempt the whole application with the given primitive. Wait is a
+  /// no-op; Suspend parks the executor + running stage tasks; Kill tears
+  /// them down (losing cache and stage progress).
+  void preempt(PreemptPrimitive primitive);
+  /// Undo a suspension (or reschedule after a kill).
+  void restore(PreemptPrimitive primitive);
+
+  [[nodiscard]] bool done() const noexcept { return done_; }
+  [[nodiscard]] SimTime started_at() const noexcept { return started_at_; }
+  [[nodiscard]] SimTime completed_at() const noexcept { return completed_at_; }
+  [[nodiscard]] Duration runtime() const noexcept {
+    return done_ ? completed_at_ - started_at_ : -1;
+  }
+  [[nodiscard]] int stages_completed() const noexcept { return stage_; }
+  [[nodiscard]] bool cache_valid() const noexcept { return cache_valid_; }
+  /// Stages that had to recompute because the cache was lost.
+  [[nodiscard]] int recomputations() const noexcept { return recomputations_; }
+  [[nodiscard]] Bytes cache_swapped_out() const;
+
+ private:
+  void run_stage(int index);
+  void stage_finished(int index);
+  void ensure_executor();
+  TaskSpec task_for(const SparkStageSpec& stage, bool cache_hit) const;
+
+  Cluster* cluster_;
+  SparkAppSpec spec_;
+  NodeId node_;
+  std::function<void()> on_done_;
+
+  Pid executor_;
+  Bytes cache_bytes_ = 0;
+  bool cache_valid_ = false;
+  bool suspended_ = false;
+  bool killed_pending_restart_ = false;
+  int stage_ = 0;
+  std::optional<JobId> current_job_;
+  bool done_ = false;
+  int recomputations_ = 0;
+  SimTime started_at_ = -1;
+  SimTime completed_at_ = -1;
+};
+
+}  // namespace osap

@@ -1,0 +1,43 @@
+// SWIM-style synthetic workload generation.
+//
+// The paper's setup "is analogous to the one used by Cho et al., who
+// evaluated their preemption primitive using similar synthetic jobs
+// created by the SWIM workload generator" [18]. SWIM samples job
+// inter-arrivals and sizes from production (Facebook) traces; this
+// generator reproduces the salient shape: exponential arrivals and a
+// heavy-tailed (bounded Pareto) task count, with most jobs tiny and a few
+// large — the regime where preempting long tasks for short jobs pays off.
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "common/time.hpp"
+#include "hadoop/job.hpp"
+#include "workload/profiles.hpp"
+
+namespace osap {
+
+struct SwimConfig {
+  int jobs = 10;
+  Duration mean_interarrival = seconds(30);
+  /// Bounded-Pareto task count in [1, max_tasks] with this tail exponent.
+  int max_tasks = 20;
+  double tail_alpha = 1.5;
+  Bytes input_per_task = 512 * MiB;
+  /// Fraction of jobs whose tasks carry in-memory state.
+  double stateful_fraction = 0.2;
+  Bytes state_memory = 1 * GiB;
+  /// Uniform jitter applied to per-task service demands.
+  double jitter = 0.05;
+};
+
+struct SwimJob {
+  SimTime arrival;
+  JobSpec spec;
+};
+
+std::vector<SwimJob> generate_swim_trace(const SwimConfig& cfg, Rng& rng);
+
+}  // namespace osap

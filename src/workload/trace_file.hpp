@@ -1,0 +1,35 @@
+// Trace-file loading, in the spirit of SWIM's Facebook trace samples.
+//
+// Line format (whitespace-separated, '#' comments):
+//
+//   <job-name> <arrival-seconds> <map-input> <shuffle> <output> [state]
+//
+// where the last four are byte sizes with optional KiB/MiB/GiB suffixes.
+// Map tasks are cut at the HDFS block size (one mapper per block, like
+// Hadoop); a non-zero shuffle adds a reduce task; a non-zero `state`
+// makes the mappers memory-hungry.
+//
+//   # name  arrival  input   shuffle  output  state
+//   grep1   0        1GiB    0        1MiB
+//   sort1   35       2GiB    512MiB   512MiB
+//   learn1  70       512MiB  0        1MiB    2GiB
+#pragma once
+
+#include <istream>
+#include <vector>
+
+#include "workload/swim.hpp"
+
+namespace osap {
+
+struct TraceFileConfig {
+  Bytes block_size = 512 * MiB;
+  /// Applied to every generated task.
+  double parse_cpu_per_byte = 1.0 / (6.7 * static_cast<double>(MiB));
+};
+
+/// Parse a trace stream into submittable jobs. Throws SimError (with the
+/// line number) on malformed input.
+std::vector<SwimJob> load_trace_file(std::istream& in, const TraceFileConfig& cfg = {});
+
+}  // namespace osap

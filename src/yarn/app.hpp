@@ -1,0 +1,44 @@
+// YARN applications.
+//
+// Each application runs one task per container (the MapReduce-on-YARN
+// pattern). The ApplicationMaster's negotiation logic is folded into the
+// ResourceManager (YARN's "unmanaged AM" simplification): the RM knows
+// each app's pending tasks and allocates containers for them directly.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hadoop/task.hpp"
+#include "yarn/container.hpp"
+
+namespace osap {
+
+struct YarnAppSpec {
+  std::string name = "app";
+  /// Higher preempts lower.
+  int priority = 0;
+  /// Scheduler-side memory each task container leases.
+  Bytes container_memory = 1 * GiB;
+  std::vector<TaskSpec> tasks;
+};
+
+enum class YarnAppState { Running, Succeeded };
+
+struct YarnApp {
+  AppId id;
+  YarnAppSpec spec;
+  YarnAppState state = YarnAppState::Running;
+  SimTime submitted_at = -1;
+  SimTime completed_at = -1;
+  /// Indices into spec.tasks not yet running or finished (kills push
+  /// their task index back here).
+  std::vector<int> pending_tasks;
+  int tasks_done = 0;
+
+  [[nodiscard]] Duration sojourn() const noexcept {
+    return completed_at >= 0 ? completed_at - submitted_at : -1;
+  }
+};
+
+}  // namespace osap

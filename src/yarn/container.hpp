@@ -1,0 +1,45 @@
+// YARN containers (§III-B: "The concepts that we illustrate here are
+// valid for both Hadoop 1 … [and] Hadoop 2, which uses a new
+// infrastructure for resource negotiation called YARN").
+//
+// A container is a resource lease (memory) on a node plus the process
+// running inside it. YARN's stock preemption kills containers; the
+// paper's primitive adds suspension: a suspended container releases its
+// *scheduler* resources immediately while its process memory stays behind
+// for the OS to page only if needed.
+#pragma once
+
+#include "common/ids.hpp"
+#include "common/time.hpp"
+#include "common/units.hpp"
+
+namespace osap {
+
+struct ContainerTag { static const char* prefix() { return "container_"; } };
+using ContainerId = StrongId<ContainerTag>;
+
+struct AppTag { static const char* prefix() { return "app_"; } };
+using AppId = StrongId<AppTag>;
+
+enum class ContainerState {
+  Allocated,   // granted, process not yet running
+  Running,
+  Suspended,   // process SIGTSTP'd; scheduler memory released
+  Completed,
+  Killed,
+};
+
+const char* to_string(ContainerState s) noexcept;
+
+struct Container {
+  ContainerId id;
+  AppId app;
+  NodeId node;
+  /// Scheduler-side memory of the lease.
+  Bytes memory = 0;
+  ContainerState state = ContainerState::Allocated;
+  Pid pid;
+  SimTime allocated_at = 0;
+};
+
+}  // namespace osap

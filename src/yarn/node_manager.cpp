@@ -1,0 +1,115 @@
+#include "yarn/node_manager.hpp"
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+#include "yarn/resource_manager.hpp"
+
+namespace osap {
+
+namespace {
+constexpr const char* kLog = "nodemanager";
+}
+
+const char* to_string(ContainerState s) noexcept {
+  switch (s) {
+    case ContainerState::Allocated: return "ALLOCATED";
+    case ContainerState::Running: return "RUNNING";
+    case ContainerState::Suspended: return "SUSPENDED";
+    case ContainerState::Completed: return "COMPLETED";
+    case ContainerState::Killed: return "KILLED";
+  }
+  return "?";
+}
+
+NodeManager::NodeManager(Simulation& sim, Kernel& kernel, Network& net, NodeId node,
+                         Bytes container_capacity, Duration heartbeat_interval)
+    : sim_(sim),
+      kernel_(kernel),
+      net_(net),
+      node_(node),
+      capacity_(container_capacity),
+      heartbeat_interval_(heartbeat_interval) {}
+
+void NodeManager::connect(ResourceManager& rm, NodeId master) {
+  OSAP_CHECK_MSG(rm_ == nullptr, "node manager connected twice");
+  rm_ = &rm;
+  master_ = master;
+  const Duration phase = ms(23) * static_cast<double>(node_.value() % 16);
+  sim_.after(phase, [this] { heartbeat(); });
+}
+
+void NodeManager::heartbeat() {
+  notify_rm();
+  sim_.after(heartbeat_interval_, [this] { heartbeat(); });
+}
+
+void NodeManager::notify_rm() {
+  if (rm_ == nullptr) return;
+  auto events = std::move(pending_events_);
+  pending_events_.clear();
+  const Bytes free = free_capacity();
+  net_.send(node_, master_, [rm = rm_, node = node_, events = std::move(events), free]() mutable {
+    rm->on_heartbeat(node, std::move(events), free);
+  });
+}
+
+void NodeManager::launch(ContainerId id, Bytes memory, const TaskSpec& task) {
+  OSAP_CHECK_MSG(!live_.contains(id), id << " already live");
+  OSAP_CHECK_MSG(memory <= free_capacity(), "lease over capacity on " << node_);
+  leased_ += memory;
+  LiveContainer container;
+  container.id = id;
+  container.memory = memory;
+  container.pid = kernel_.spawn(
+      build_task_program(task),
+      ProcessHooks{.on_exit = [this, id](ExitInfo info) { on_exit(id, info); }});
+  live_.emplace(id, container);
+  OSAP_LOG(Debug, kLog) << node_ << ": launched " << id << " (" << format_bytes(memory) << ")";
+}
+
+void NodeManager::kill(ContainerId id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) return;
+  it->second.kill_requested = true;
+  kernel_.signal(it->second.pid, Signal::Kill);
+}
+
+void NodeManager::suspend(ContainerId id) {
+  auto it = live_.find(id);
+  if (it == live_.end()) return;
+  LiveContainer& container = it->second;
+  if (container.suspended) return;
+  kernel_.signal(container.pid, Signal::Tstp);
+  // The lease is released right away: the scheduler can hand the memory
+  // to someone else while the OS decides if and when to page.
+  leased_ = sat_sub(leased_, container.memory);
+  container.memory = 0;
+  container.suspended = true;
+  pending_events_.emplace_back(id, ContainerState::Suspended);
+  notify_rm();
+}
+
+void NodeManager::resume(ContainerId id, Bytes memory) {
+  auto it = live_.find(id);
+  if (it == live_.end()) return;
+  LiveContainer& container = it->second;
+  if (!container.suspended) return;
+  OSAP_CHECK_MSG(memory <= free_capacity(), "resume lease over capacity on " << node_);
+  leased_ += memory;
+  container.memory = memory;
+  container.suspended = false;
+  kernel_.signal(container.pid, Signal::Cont);
+  pending_events_.emplace_back(id, ContainerState::Running);
+}
+
+void NodeManager::on_exit(ContainerId id, ExitInfo info) {
+  auto it = live_.find(id);
+  if (it == live_.end()) return;
+  leased_ = sat_sub(leased_, it->second.memory);
+  const bool killed = info.killed() || it->second.kill_requested;
+  pending_events_.emplace_back(id, killed ? ContainerState::Killed : ContainerState::Completed);
+  live_.erase(it);
+  notify_rm();
+}
+
+}  // namespace osap

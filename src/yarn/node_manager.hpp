@@ -1,0 +1,65 @@
+// NodeManager: launches and signals container processes on one node and
+// heartbeats container status to the ResourceManager.
+#pragma once
+
+#include <unordered_map>
+
+#include "hadoop/task.hpp"
+#include "net/network.hpp"
+#include "os/kernel.hpp"
+#include "yarn/container.hpp"
+
+namespace osap {
+
+class ResourceManager;
+
+class NodeManager {
+ public:
+  NodeManager(Simulation& sim, Kernel& kernel, Network& net, NodeId node,
+              Bytes container_capacity, Duration heartbeat_interval = seconds(1));
+
+  void connect(ResourceManager& rm, NodeId master);
+
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+  /// Memory available for new container leases (suspended containers hold
+  /// none — that is the point of the primitive).
+  [[nodiscard]] Bytes capacity() const noexcept { return capacity_; }
+  [[nodiscard]] Bytes leased() const noexcept { return leased_; }
+  [[nodiscard]] Bytes free_capacity() const noexcept { return sat_sub(capacity_, leased_); }
+  [[nodiscard]] Kernel& kernel() noexcept { return kernel_; }
+
+  // --- commands from the RM (invoked via network callbacks) --------------
+  void launch(ContainerId id, Bytes memory, const TaskSpec& task);
+  void kill(ContainerId id);
+  void suspend(ContainerId id);
+  /// Resume a suspended container; re-leases `memory`.
+  void resume(ContainerId id, Bytes memory);
+
+ private:
+  struct LiveContainer {
+    ContainerId id;
+    Pid pid;
+    Bytes memory = 0;     // current lease (0 while suspended)
+    bool suspended = false;
+    bool kill_requested = false;
+  };
+
+  void heartbeat();
+  void on_exit(ContainerId id, ExitInfo info);
+  void notify_rm();
+
+  Simulation& sim_;
+  Kernel& kernel_;
+  Network& net_;
+  NodeId node_;
+  Bytes capacity_;
+  Bytes leased_ = 0;
+  Duration heartbeat_interval_;
+  ResourceManager* rm_ = nullptr;
+  NodeId master_;
+  std::unordered_map<ContainerId, LiveContainer> live_;
+  /// (container, event) pairs queued for the next heartbeat.
+  std::vector<std::pair<ContainerId, ContainerState>> pending_events_;
+};
+
+}  // namespace osap

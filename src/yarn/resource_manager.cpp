@@ -1,0 +1,208 @@
+#include "yarn/resource_manager.hpp"
+
+#include <algorithm>
+
+#include "common/error.hpp"
+#include "common/log.hpp"
+
+namespace osap {
+
+namespace {
+constexpr const char* kLog = "resourcemanager";
+}
+
+ResourceManager::ResourceManager(Simulation& sim, Network& net, NodeId master,
+                                 PreemptPrimitive primitive)
+    : sim_(sim), net_(net), master_(master), primitive_(primitive) {
+  OSAP_CHECK_MSG(primitive_ != PreemptPrimitive::NatjamCheckpoint,
+                 "the YARN model supports wait/kill/susp preemption");
+}
+
+void ResourceManager::register_node_manager(NodeManager& nm) {
+  const bool inserted = nodes_.emplace(nm.node(), &nm).second;
+  OSAP_CHECK_MSG(inserted, nm.node() << " registered twice");
+}
+
+AppId ResourceManager::submit(YarnAppSpec spec) {
+  YarnApp app;
+  app.id = app_ids_.next();
+  app.submitted_at = sim_.now();
+  for (int i = 0; i < static_cast<int>(spec.tasks.size()); ++i) app.pending_tasks.push_back(i);
+  app.spec = std::move(spec);
+  OSAP_LOG(Info, kLog) << "app " << app.id << " (" << app.spec.name << ") submitted, "
+                       << app.pending_tasks.size() << " tasks";
+  const AppId id = app.id;
+  apps_.emplace(id, std::move(app));
+  app_order_.push_back(id);
+  schedule_everywhere();
+  maybe_preempt();
+  return id;
+}
+
+std::vector<AppId> ResourceManager::app_queue() const {
+  std::vector<AppId> queue = app_order_;
+  std::stable_sort(queue.begin(), queue.end(), [this](AppId a, AppId b) {
+    return apps_.at(a).spec.priority > apps_.at(b).spec.priority;
+  });
+  return queue;
+}
+
+bool ResourceManager::outranked(const YarnApp& app) const {
+  for (const auto& [id, other] : apps_) {
+    if (other.state != YarnAppState::Running || other.pending_tasks.empty()) continue;
+    if (other.spec.priority > app.spec.priority) return true;
+  }
+  return false;
+}
+
+void ResourceManager::schedule(NodeId node) {
+  NodeManager* nm = nodes_.at(node);
+
+  // Suspended containers come back first (same-node resume, free lease,
+  // and nothing higher-priority waiting).
+  for (auto it = suspended_.begin(); it != suspended_.end();) {
+    const YarnApp& app = apps_.at(it->app);
+    if (it->node == node && it->memory <= nm->free_capacity() && !outranked(app)) {
+      OSAP_LOG(Info, kLog) << "resuming " << it->container << " on " << node;
+      containers_.at(it->container).state = ContainerState::Running;
+      nm->resume(it->container, it->memory);
+      it = suspended_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  // Fresh allocations by app priority.
+  for (AppId aid : app_queue()) {
+    YarnApp& app = apps_.at(aid);
+    if (app.state != YarnAppState::Running) continue;
+    while (!app.pending_tasks.empty() &&
+           app.spec.container_memory <= nm->free_capacity()) {
+      const int task_index = app.pending_tasks.front();
+      app.pending_tasks.erase(app.pending_tasks.begin());
+      Container container;
+      container.id = container_ids_.next();
+      container.app = aid;
+      container.node = node;
+      container.memory = app.spec.container_memory;
+      container.state = ContainerState::Running;
+      container.allocated_at = sim_.now();
+      containers_.emplace(container.id, container);
+      container_task_.emplace(container.id, task_index);
+      TaskSpec task = app.spec.tasks[static_cast<std::size_t>(task_index)];
+      nm->launch(container.id, app.spec.container_memory, task);
+    }
+  }
+}
+
+void ResourceManager::schedule_everywhere() {
+  for (const auto& [node, nm] : nodes_) schedule(node);
+}
+
+void ResourceManager::maybe_preempt() {
+  if (primitive_ == PreemptPrimitive::Wait) return;
+  // Any high-priority app starving for leases?
+  for (AppId aid : app_queue()) {
+    YarnApp& app = apps_.at(aid);
+    if (app.state != YarnAppState::Running || app.pending_tasks.empty()) continue;
+    bool room_somewhere = false;
+    for (const auto& [node, nm] : nodes_) {
+      if (app.spec.container_memory <= nm->free_capacity()) {
+        room_somewhere = true;
+        break;
+      }
+    }
+    if (room_somewhere) continue;
+
+    // Take a lease from the lowest-priority app holding one.
+    Container* victim = nullptr;
+    int victim_priority = app.spec.priority;
+    for (auto& [cid, container] : containers_) {
+      if (container.state != ContainerState::Running) continue;
+      const int p = apps_.at(container.app).spec.priority;
+      if (p < victim_priority) {
+        victim = &container;
+        victim_priority = p;
+      }
+    }
+    if (victim == nullptr) continue;
+    ++preemptions_;
+    NodeManager* nm = nodes_.at(victim->node);
+    if (primitive_ == PreemptPrimitive::Suspend) {
+      OSAP_LOG(Info, kLog) << "suspending " << victim->id << " for app " << aid;
+      victim->state = ContainerState::Suspended;
+      suspended_.push_back(
+          SuspendedLease{victim->id, victim->app, victim->node, victim->memory});
+      nm->suspend(victim->id);
+    } else {
+      OSAP_LOG(Info, kLog) << "killing " << victim->id << " for app " << aid;
+      nm->kill(victim->id);
+    }
+    return;  // one preemption per pass; heartbeats pace the rest
+  }
+}
+
+void ResourceManager::complete_container(ContainerId id, ContainerState terminal) {
+  auto it = containers_.find(id);
+  if (it == containers_.end()) return;
+  Container& container = it->second;
+  if (container.state == ContainerState::Completed || container.state == ContainerState::Killed) {
+    return;
+  }
+  container.state = terminal;
+  YarnApp& app = apps_.at(container.app);
+  const int task_index = container_task_.at(id);
+  if (terminal == ContainerState::Completed) {
+    ++app.tasks_done;
+    if (app.tasks_done == static_cast<int>(app.spec.tasks.size())) {
+      app.state = YarnAppState::Succeeded;
+      app.completed_at = sim_.now();
+      OSAP_LOG(Info, kLog) << "app " << app.id << " completed, sojourn " << app.sojourn() << "s";
+    }
+  } else {
+    ++kills_;
+    // The killed task reruns from scratch.
+    app.pending_tasks.push_back(task_index);
+  }
+  std::erase_if(suspended_, [id](const SuspendedLease& s) { return s.container == id; });
+}
+
+void ResourceManager::on_heartbeat(NodeId node,
+                                   std::vector<std::pair<ContainerId, ContainerState>> events,
+                                   Bytes /*free_capacity*/) {
+  for (const auto& [cid, state] : events) {
+    switch (state) {
+      case ContainerState::Completed:
+      case ContainerState::Killed:
+        complete_container(cid, state);
+        break;
+      case ContainerState::Suspended:
+      case ContainerState::Running:
+      case ContainerState::Allocated:
+        break;  // informational
+    }
+  }
+  schedule(node);
+  maybe_preempt();
+}
+
+const YarnApp& ResourceManager::app(AppId id) const {
+  const auto it = apps_.find(id);
+  OSAP_CHECK_MSG(it != apps_.end(), "unknown " << id);
+  return it->second;
+}
+
+const Container& ResourceManager::container(ContainerId id) const {
+  const auto it = containers_.find(id);
+  OSAP_CHECK_MSG(it != containers_.end(), "unknown " << id);
+  return it->second;
+}
+
+bool ResourceManager::all_apps_done() const {
+  for (const auto& [id, app] : apps_) {
+    if (app.state == YarnAppState::Running) return false;
+  }
+  return true;
+}
+
+}  // namespace osap

@@ -1,0 +1,78 @@
+// ResourceManager: memory-based container scheduling with pluggable
+// preemption.
+//
+// Apps are served by (priority desc, submission order). When a
+// higher-priority app has pending tasks and no node has lease headroom,
+// the RM preempts containers of the lowest-priority app holding leases —
+// with YARN's stock kill, or with this paper's suspension, which frees
+// the lease instantly while the container's memory is left to the OS.
+// Suspended containers resume on their own node once leases free up
+// (resume locality is structural here: the process cannot move).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "net/network.hpp"
+#include "preempt/primitive.hpp"
+#include "sim/simulation.hpp"
+#include "yarn/app.hpp"
+#include "yarn/node_manager.hpp"
+
+namespace osap {
+
+class ResourceManager {
+ public:
+  ResourceManager(Simulation& sim, Network& net, NodeId master,
+                  PreemptPrimitive primitive = PreemptPrimitive::Suspend);
+
+  void register_node_manager(NodeManager& nm);
+
+  AppId submit(YarnAppSpec spec);
+
+  /// Heartbeat entry from a NodeManager.
+  void on_heartbeat(NodeId node, std::vector<std::pair<ContainerId, ContainerState>> events,
+                    Bytes free_capacity);
+
+  [[nodiscard]] const YarnApp& app(AppId id) const;
+  [[nodiscard]] bool all_apps_done() const;
+  [[nodiscard]] int preemptions_issued() const noexcept { return preemptions_; }
+  [[nodiscard]] int containers_killed() const noexcept { return kills_; }
+  [[nodiscard]] const Container& container(ContainerId id) const;
+
+ private:
+  struct SuspendedLease {
+    ContainerId container;
+    AppId app;
+    NodeId node;
+    Bytes memory;
+  };
+
+  void schedule(NodeId node);
+  void schedule_everywhere();
+  /// True when some app outranks `app` and still has pending tasks.
+  [[nodiscard]] bool outranked(const YarnApp& app) const;
+  [[nodiscard]] std::vector<AppId> app_queue() const;
+  void maybe_preempt();
+  void complete_container(ContainerId id, ContainerState terminal);
+
+  Simulation& sim_;
+  Network& net_;
+  NodeId master_;
+  PreemptPrimitive primitive_;
+  std::unordered_map<NodeId, NodeManager*> nodes_;
+  std::map<AppId, YarnApp> apps_;
+  std::vector<AppId> app_order_;
+  std::unordered_map<ContainerId, Container> containers_;
+  /// container -> task index it runs.
+  std::unordered_map<ContainerId, int> container_task_;
+  std::vector<SuspendedLease> suspended_;
+  IdGenerator<AppId> app_ids_;
+  IdGenerator<ContainerId> container_ids_;
+  int preemptions_ = 0;
+  int kills_ = 0;
+};
+
+}  // namespace osap

@@ -1,0 +1,48 @@
+#include "yarn/yarn_cluster.hpp"
+
+#include "common/error.hpp"
+
+namespace osap {
+
+YarnCluster::YarnCluster(YarnClusterConfig cfg)
+    : cfg_(cfg),
+      net_(sim_, cfg.net),
+      master_(NodeId{static_cast<std::uint64_t>(cfg.num_nodes)}),
+      rm_(sim_, net_, master_, cfg.primitive) {
+  OSAP_CHECK(cfg_.num_nodes >= 1);
+  net_.register_node(master_);
+  const Bytes capacity = cfg_.container_capacity > 0
+                             ? cfg_.container_capacity
+                             : sat_sub(cfg_.os.usable_ram(), 512 * MiB);
+  for (int i = 0; i < cfg_.num_nodes; ++i) {
+    const NodeId node{static_cast<std::uint64_t>(i)};
+    net_.register_node(node);
+    kernels_.push_back(std::make_unique<Kernel>(sim_, cfg_.os, "node" + std::to_string(i)));
+    nms_.push_back(
+        std::make_unique<NodeManager>(sim_, *kernels_.back(), net_, node, capacity));
+    rm_.register_node_manager(*nms_.back());
+    nms_.back()->connect(rm_, master_);
+  }
+}
+
+NodeId YarnCluster::node(int index) const {
+  OSAP_CHECK(index >= 0 && index < cfg_.num_nodes);
+  return NodeId{static_cast<std::uint64_t>(index)};
+}
+
+Kernel& YarnCluster::kernel(NodeId node) {
+  OSAP_CHECK_MSG(node.value() < kernels_.size(), "unknown " << node);
+  return *kernels_[node.value()];
+}
+
+NodeManager& YarnCluster::node_manager(NodeId node) {
+  OSAP_CHECK_MSG(node.value() < nms_.size(), "unknown " << node);
+  return *nms_[node.value()];
+}
+
+void YarnCluster::run() {
+  while (!rm_.all_apps_done() && sim_.step()) {
+  }
+}
+
+}  // namespace osap

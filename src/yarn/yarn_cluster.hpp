@@ -1,0 +1,53 @@
+// Assembly of a YARN cluster on the simulated substrate: per-node kernels
+// + NodeManagers and a ResourceManager on a master node.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "hdfs/namenode.hpp"
+#include "net/network.hpp"
+#include "os/kernel.hpp"
+#include "sim/simulation.hpp"
+#include "yarn/resource_manager.hpp"
+
+namespace osap {
+
+struct YarnClusterConfig {
+  int num_nodes = 1;
+  OsConfig os;
+  NetConfig net;
+  /// Memory each NodeManager offers for container leases. 0 = derive from
+  /// the node's usable RAM minus a safety headroom.
+  Bytes container_capacity = 0;
+  PreemptPrimitive primitive = PreemptPrimitive::Suspend;
+  std::uint64_t seed = 1;
+};
+
+class YarnCluster {
+ public:
+  explicit YarnCluster(YarnClusterConfig cfg);
+
+  [[nodiscard]] Simulation& sim() noexcept { return sim_; }
+  [[nodiscard]] ResourceManager& rm() noexcept { return rm_; }
+  [[nodiscard]] NodeId node(int index) const;
+  [[nodiscard]] Kernel& kernel(NodeId node);
+  [[nodiscard]] NodeManager& node_manager(NodeId node);
+
+  AppId submit(YarnAppSpec spec) { return rm_.submit(std::move(spec)); }
+
+  /// Run until every submitted app completes.
+  void run();
+  void run_until(SimTime t) { sim_.run_until(t); }
+
+ private:
+  YarnClusterConfig cfg_;
+  Simulation sim_;
+  Network net_;
+  std::vector<std::unique_ptr<Kernel>> kernels_;
+  std::vector<std::unique_ptr<NodeManager>> nms_;
+  NodeId master_;
+  ResourceManager rm_;
+};
+
+}  // namespace osap

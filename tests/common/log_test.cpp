@@ -1,0 +1,56 @@
+#include "common/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace osap {
+namespace {
+
+class LogTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logger::instance().set_sink(&sink_);
+    Logger::instance().set_level(LogLevel::Info);
+  }
+  void TearDown() override {
+    Logger::instance().set_sink(nullptr);
+    Logger::instance().set_level(LogLevel::Warn);
+    Logger::instance().clear_clock();
+  }
+  std::ostringstream sink_;
+};
+
+TEST_F(LogTest, LevelsFilter) {
+  OSAP_LOG(Debug, "c") << "hidden";
+  OSAP_LOG(Info, "c") << "shown";
+  const std::string out = sink_.str();
+  EXPECT_EQ(out.find("hidden"), std::string::npos);
+  EXPECT_NE(out.find("shown"), std::string::npos);
+}
+
+TEST_F(LogTest, ClockStampsLines) {
+  Logger::instance().set_clock([] { return 12.5; });
+  OSAP_LOG(Info, "c") << "stamped";
+  EXPECT_NE(sink_.str().find("12.500"), std::string::npos);
+}
+
+TEST_F(LogTest, NoClockUsesDash) {
+  OSAP_LOG(Warn, "c") << "x";
+  EXPECT_NE(sink_.str().find("-"), std::string::npos);
+}
+
+TEST_F(LogTest, ComponentAndLevelAppear) {
+  OSAP_LOG(Error, "jobtracker") << "boom";
+  const std::string out = sink_.str();
+  EXPECT_NE(out.find("ERROR"), std::string::npos);
+  EXPECT_NE(out.find("jobtracker"), std::string::npos);
+}
+
+TEST(LogLevelNames, AllDistinct) {
+  EXPECT_STREQ(to_string(LogLevel::Trace), "TRACE");
+  EXPECT_STREQ(to_string(LogLevel::Off), "OFF");
+}
+
+}  // namespace
+}  // namespace osap

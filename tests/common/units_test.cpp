@@ -1,0 +1,39 @@
+#include "common/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace osap {
+namespace {
+
+TEST(Units, ConstantsScale) {
+  EXPECT_EQ(KiB, 1024u);
+  EXPECT_EQ(MiB, 1024u * 1024u);
+  EXPECT_EQ(GiB, 1024u * 1024u * 1024u);
+}
+
+TEST(Units, FractionalHelpers) {
+  EXPECT_EQ(gib(2.0), 2 * GiB);
+  EXPECT_EQ(mib(512.0), 512 * MiB);
+  EXPECT_EQ(gib(2.5), 2 * GiB + 512 * MiB);
+}
+
+TEST(Units, SaturatingSubtraction) {
+  EXPECT_EQ(sat_sub(10, 3), 7u);
+  EXPECT_EQ(sat_sub(3, 10), 0u);
+  EXPECT_EQ(sat_sub(5, 5), 0u);
+}
+
+TEST(Units, Conversions) {
+  EXPECT_DOUBLE_EQ(to_mib(512 * MiB), 512.0);
+  EXPECT_DOUBLE_EQ(to_gib(3 * GiB), 3.0);
+}
+
+TEST(Units, Format) {
+  EXPECT_EQ(format_bytes(512 * MiB), "512.0 MiB");
+  EXPECT_EQ(format_bytes(gib(2.5)), "2.50 GiB");
+  EXPECT_EQ(format_bytes(100), "100 B");
+  EXPECT_EQ(format_bytes(2 * KiB), "2.0 KiB");
+}
+
+}  // namespace
+}  // namespace osap

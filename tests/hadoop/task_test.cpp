@@ -1,0 +1,107 @@
+#include "hadoop/task.hpp"
+
+#include <gtest/gtest.h>
+
+namespace osap {
+namespace {
+
+TEST(TaskProgram, LightMapPhases) {
+  TaskSpec spec;
+  spec.input_bytes = 512 * MiB;
+  spec.framework_memory = 160 * MiB;
+  const Program p = build_task_program(spec);
+  // startup, framework alloc, read-parse.
+  ASSERT_EQ(p.phases.size(), 3u);
+  EXPECT_TRUE(std::holds_alternative<ComputePhase>(p.phases[0]));
+  EXPECT_TRUE(std::holds_alternative<AllocPhase>(p.phases[1]));
+  EXPECT_TRUE(std::holds_alternative<ReadParsePhase>(p.phases[2]));
+  EXPECT_TRUE(std::get<AllocPhase>(p.phases[1]).hot_after);
+}
+
+TEST(TaskProgram, StatefulMapAddsStateAndTouch) {
+  TaskSpec spec;
+  spec.state_memory = 2 * GiB;
+  const Program p = build_task_program(spec);
+  ASSERT_EQ(p.phases.size(), 5u);
+  const auto& state = std::get<AllocPhase>(p.phases[2]);
+  EXPECT_EQ(state.bytes, 2 * GiB);
+  EXPECT_FALSE(state.hot_after);  // idle during processing -> swappable
+  const auto& touch = std::get<TouchPhase>(p.phases[4]);
+  EXPECT_EQ(touch.region, "state");
+  EXPECT_FALSE(touch.write);
+}
+
+TEST(TaskProgram, StatefulWithoutFinalTouch) {
+  TaskSpec spec;
+  spec.state_memory = 1 * GiB;
+  spec.touch_state_at_end = false;
+  const Program p = build_task_program(spec);
+  EXPECT_EQ(p.phases.size(), 4u);
+}
+
+TEST(TaskProgram, OutputPhaseAppended) {
+  TaskSpec spec;
+  spec.output_bytes = 64 * MiB;
+  const Program p = build_task_program(spec);
+  EXPECT_TRUE(std::holds_alternative<WriteOutPhase>(p.phases.back()));
+}
+
+TEST(TaskProgram, ReduceShufflesBeforeInput) {
+  TaskSpec spec;
+  spec.type = TaskType::Reduce;
+  spec.shuffle_bytes = 256 * MiB;
+  spec.sort_cpu_seconds = 5;
+  spec.input_bytes = 0;
+  const Program p = build_task_program(spec);
+  // startup, framework, shuffle read, sort.
+  ASSERT_EQ(p.phases.size(), 4u);
+  EXPECT_TRUE(std::holds_alternative<ReadParsePhase>(p.phases[2]));
+  EXPECT_TRUE(std::holds_alternative<ComputePhase>(p.phases[3]));
+}
+
+TEST(TaskProgram, CheckpointResumeFastForwards) {
+  TaskSpec spec;
+  spec.input_bytes = 512 * MiB;
+  spec.checkpoint_progress = 0.75;
+  spec.checkpoint_state = 64 * KiB;
+  const Program p = build_task_program(spec);
+  // startup, framework, deserialize, remaining input.
+  ASSERT_EQ(p.phases.size(), 4u);
+  const auto& remaining = std::get<ReadParsePhase>(p.phases[3]);
+  EXPECT_EQ(remaining.bytes, 128 * MiB);
+}
+
+TEST(TaskProgram, FullyCheckpointedTaskReadsNoInput) {
+  TaskSpec spec;
+  spec.input_bytes = 512 * MiB;
+  spec.checkpoint_progress = 1.0;
+  const Program p = build_task_program(spec);
+  for (const Phase& phase : p.phases) {
+    if (const auto* rp = std::get_if<ReadParsePhase>(&phase)) {
+      EXPECT_EQ(rp->bytes, 0u);
+    }
+  }
+}
+
+TEST(TaskStates, Names) {
+  EXPECT_STREQ(to_string(TaskState::MustSuspend), "MUST_SUSPEND");
+  EXPECT_STREQ(to_string(TaskState::Suspended), "SUSPENDED");
+  EXPECT_STREQ(to_string(TaskState::MustResume), "MUST_RESUME");
+  EXPECT_STREQ(to_string(TaskType::Map), "map");
+}
+
+TEST(TaskStates, LiveAndDone) {
+  Task t;
+  t.state = TaskState::Suspended;
+  EXPECT_TRUE(t.live());
+  EXPECT_FALSE(t.done());
+  t.state = TaskState::Succeeded;
+  EXPECT_FALSE(t.live());
+  EXPECT_TRUE(t.done());
+  t.state = TaskState::Unassigned;
+  EXPECT_FALSE(t.live());
+  EXPECT_FALSE(t.done());
+}
+
+}  // namespace
+}  // namespace osap

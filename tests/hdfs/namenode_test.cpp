@@ -1,0 +1,115 @@
+#include "hdfs/namenode.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/error.hpp"
+
+namespace osap {
+namespace {
+
+HdfsConfig cfg(Bytes block = 512 * MiB, int repl = 1) {
+  HdfsConfig c;
+  c.block_size = block;
+  c.replication = repl;
+  return c;
+}
+
+TEST(NameNode, SingleBlockFile) {
+  NameNode nn(cfg());
+  nn.add_datanode(NodeId{0});
+  const FileId f = nn.create_file("input", 512 * MiB);
+  const FileInfo& info = nn.file(f);
+  EXPECT_EQ(info.size, 512 * MiB);
+  ASSERT_EQ(info.blocks.size(), 1u);
+  EXPECT_EQ(nn.block(info.blocks[0]).size, 512 * MiB);
+}
+
+TEST(NameNode, LargeFileSplitsAtBlockSize) {
+  NameNode nn(cfg(512 * MiB));
+  nn.add_datanode(NodeId{0});
+  const FileId f = nn.create_file("big", gib(1.25));
+  const FileInfo& info = nn.file(f);
+  ASSERT_EQ(info.blocks.size(), 3u);
+  EXPECT_EQ(nn.block(info.blocks[0]).size, 512 * MiB);
+  EXPECT_EQ(nn.block(info.blocks[1]).size, 512 * MiB);
+  EXPECT_EQ(nn.block(info.blocks[2]).size, 256 * MiB);
+}
+
+TEST(NameNode, ZeroByteFileStillHasOneBlock) {
+  NameNode nn(cfg());
+  nn.add_datanode(NodeId{0});
+  const FileId f = nn.create_file("empty", 0);
+  EXPECT_EQ(nn.file(f).blocks.size(), 1u);
+}
+
+TEST(NameNode, WriterLocalPlacement) {
+  NameNode nn(cfg());
+  for (int i = 0; i < 4; ++i) nn.add_datanode(NodeId{static_cast<std::uint64_t>(i)});
+  const FileId f = nn.create_file("local", 512 * MiB, NodeId{2});
+  const BlockInfo& block = nn.block(nn.file(f).blocks[0]);
+  ASSERT_FALSE(block.replicas.empty());
+  EXPECT_EQ(block.replicas[0], NodeId{2});
+}
+
+TEST(NameNode, ReplicationPlacesDistinctNodes) {
+  NameNode nn(cfg(512 * MiB, 3));
+  for (int i = 0; i < 5; ++i) nn.add_datanode(NodeId{static_cast<std::uint64_t>(i)});
+  const FileId f = nn.create_file("r3", 512 * MiB);
+  const BlockInfo& block = nn.block(nn.file(f).blocks[0]);
+  std::set<NodeId> distinct(block.replicas.begin(), block.replicas.end());
+  EXPECT_EQ(distinct.size(), 3u);
+}
+
+TEST(NameNode, ReplicationCappedByClusterSize) {
+  NameNode nn(cfg(512 * MiB, 3));
+  nn.add_datanode(NodeId{0});
+  const FileId f = nn.create_file("small-cluster", 512 * MiB);
+  EXPECT_EQ(nn.block(nn.file(f).blocks[0]).replicas.size(), 1u);
+}
+
+TEST(NameNode, PickReplicaPrefersLocal) {
+  NameNode nn(cfg(512 * MiB, 2));
+  for (int i = 0; i < 3; ++i) nn.add_datanode(NodeId{static_cast<std::uint64_t>(i)});
+  const FileId f = nn.create_file("x", 512 * MiB, NodeId{1});
+  const BlockId b = nn.file(f).blocks[0];
+  EXPECT_EQ(nn.pick_replica(b, NodeId{1}), NodeId{1});
+}
+
+TEST(NameNode, PickReplicaRemoteReturnsAReplica) {
+  NameNode nn(cfg(512 * MiB, 1));
+  nn.add_datanode(NodeId{0});
+  nn.add_datanode(NodeId{1});
+  const FileId f = nn.create_file("y", 512 * MiB, NodeId{0});
+  const BlockId b = nn.file(f).blocks[0];
+  const NodeId picked = nn.pick_replica(b, NodeId{1});
+  EXPECT_TRUE(nn.block(b).is_local_to(picked));
+}
+
+TEST(NameNode, RemoveFileDropsBlocks) {
+  NameNode nn(cfg());
+  nn.add_datanode(NodeId{0});
+  const FileId f = nn.create_file("gone", 512 * MiB);
+  const BlockId b = nn.file(f).blocks[0];
+  nn.remove_file(f);
+  EXPECT_FALSE(nn.exists(f));
+  EXPECT_THROW(static_cast<void>(nn.block(b)), SimError);
+}
+
+TEST(NameNode, CreateWithoutDatanodesThrows) {
+  NameNode nn(cfg());
+  EXPECT_THROW(nn.create_file("nope", 1 * MiB), SimError);
+}
+
+TEST(NameNode, RoundRobinSpreadsBlocks) {
+  NameNode nn(cfg(512 * MiB, 1));
+  for (int i = 0; i < 4; ++i) nn.add_datanode(NodeId{static_cast<std::uint64_t>(i)});
+  const FileId f = nn.create_file("spread", 2 * GiB);
+  std::set<NodeId> used;
+  for (BlockId b : nn.file(f).blocks) used.insert(nn.block(b).replicas[0]);
+  EXPECT_EQ(used.size(), 4u);
+}
+
+}  // namespace
+}  // namespace osap

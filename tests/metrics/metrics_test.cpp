@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/error.hpp"
+#include "metrics/experiment.hpp"
+#include "metrics/stats.hpp"
+#include "metrics/table.hpp"
+
+namespace osap {
+namespace {
+
+TEST(Stats, MeanMinMax) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 6.0}) s.add(v);
+  EXPECT_DOUBLE_EQ(s.mean(), 4.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 6.0);
+  EXPECT_EQ(s.count(), 3);
+}
+
+TEST(Stats, StddevMatchesSampleFormula) {
+  RunningStat s;
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  EXPECT_NEAR(s.stddev(), 2.138, 0.01);
+}
+
+TEST(Stats, SpreadIsRelativeDeviation) {
+  RunningStat s;
+  for (double v : {95.0, 100.0, 105.0}) s.add(v);
+  EXPECT_NEAR(s.spread(), 0.05, 1e-9);
+}
+
+TEST(Stats, EmptyIsSafe) {
+  RunningStat s;
+  EXPECT_DOUBLE_EQ(s.mean(), 0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0);
+  EXPECT_DOUBLE_EQ(s.spread(), 0);
+}
+
+TEST(Stats, SummarizeVector) {
+  const RunningStat s = summarize({1.0, 2.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+}
+
+TEST(Table, AlignsColumns) {
+  Table t({"name", "value"});
+  t.row({"x", "1.0"});
+  t.row({"longer", "2.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("------"), std::string::npos);
+}
+
+TEST(Table, RejectsWrongArity) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.row({"only-one"}), SimError);
+}
+
+TEST(Table, NumFormatsDecimals) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(10, 0), "10");
+}
+
+TEST(Table, CsvEscapesSpecialCells) {
+  Table t({"name", "value"});
+  t.row({"plain", "1"});
+  t.row({"with,comma", "quote\"inside"});
+  std::ostringstream os;
+  t.print_csv(os);
+  EXPECT_EQ(os.str(),
+            "name,value\n"
+            "plain,1\n"
+            "\"with,comma\",\"quote\"\"inside\"\n");
+}
+
+TEST(Experiment, AggregatesAcrossRuns) {
+  const auto agg = ExperimentRunner::run(
+      [](std::uint64_t, int run) {
+        return MetricMap{{"x", static_cast<double>(run)}};
+      },
+      5, 1);
+  ASSERT_TRUE(agg.contains("x"));
+  EXPECT_EQ(agg.at("x").count(), 5);
+  EXPECT_DOUBLE_EQ(agg.at("x").mean(), 2.0);
+}
+
+TEST(Experiment, SeedsDifferAcrossRunsButDeterministicOverall) {
+  std::vector<std::uint64_t> seeds_a, seeds_b;
+  ExperimentRunner::run(
+      [&](std::uint64_t seed, int) {
+        seeds_a.push_back(seed);
+        return MetricMap{};
+      },
+      3, 42);
+  ExperimentRunner::run(
+      [&](std::uint64_t seed, int) {
+        seeds_b.push_back(seed);
+        return MetricMap{};
+      },
+      3, 42);
+  EXPECT_EQ(seeds_a, seeds_b);
+  EXPECT_NE(seeds_a[0], seeds_a[1]);
+}
+
+}  // namespace
+}  // namespace osap

@@ -1,0 +1,128 @@
+#include "net/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/simulation.hpp"
+
+namespace osap {
+namespace {
+
+NetConfig test_config() {
+  NetConfig cfg;
+  cfg.latency = ms(1);
+  cfg.nic_bandwidth = 100.0 * static_cast<double>(MiB);
+  cfg.loopback_latency = ms(0.1);
+  return cfg;
+}
+
+TEST(Network, ControlMessageTakesLatency) {
+  Simulation sim;
+  Network net(sim, test_config());
+  net.register_node(NodeId{0});
+  net.register_node(NodeId{1});
+  SimTime delivered = -1;
+  net.send(NodeId{0}, NodeId{1}, [&] { delivered = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(delivered, 0.001, 1e-9);
+}
+
+TEST(Network, LoopbackIsFaster) {
+  Simulation sim;
+  Network net(sim, test_config());
+  net.register_node(NodeId{0});
+  SimTime delivered = -1;
+  net.send(NodeId{0}, NodeId{0}, [&] { delivered = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(delivered, 0.0001, 1e-9);
+}
+
+TEST(Network, TransferAtNicBandwidth) {
+  Simulation sim;
+  Network net(sim, test_config());
+  net.register_node(NodeId{0});
+  net.register_node(NodeId{1});
+  SimTime done = -1;
+  net.transfer(NodeId{0}, NodeId{1}, 200 * MiB, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done, 2.0, 1e-6);
+}
+
+TEST(Network, ConcurrentTransfersShareDownlink) {
+  Simulation sim;
+  Network net(sim, test_config());
+  net.register_node(NodeId{0});
+  net.register_node(NodeId{1});
+  net.register_node(NodeId{2});
+  SimTime a = -1, b = -1;
+  net.transfer(NodeId{0}, NodeId{2}, 100 * MiB, [&] { a = sim.now(); });
+  net.transfer(NodeId{1}, NodeId{2}, 100 * MiB, [&] { b = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(a, 2.0, 1e-6);
+  EXPECT_NEAR(b, 2.0, 1e-6);
+}
+
+TEST(Network, TransfersToDifferentNodesAreIndependent) {
+  Simulation sim;
+  Network net(sim, test_config());
+  net.register_node(NodeId{0});
+  net.register_node(NodeId{1});
+  net.register_node(NodeId{2});
+  SimTime a = -1, b = -1;
+  net.transfer(NodeId{0}, NodeId{1}, 100 * MiB, [&] { a = sim.now(); });
+  net.transfer(NodeId{0}, NodeId{2}, 100 * MiB, [&] { b = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(a, 1.0, 1e-6);
+  EXPECT_NEAR(b, 1.0, 1e-6);
+}
+
+TEST(Network, SameNodeTransferIsLoopback) {
+  Simulation sim;
+  Network net(sim, test_config());
+  net.register_node(NodeId{0});
+  SimTime done = -1;
+  net.transfer(NodeId{0}, NodeId{0}, 10 * GiB, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done, 0.0001, 1e-9);
+}
+
+TEST(Network, PauseAndResumeTransfer) {
+  Simulation sim;
+  Network net(sim, test_config());
+  net.register_node(NodeId{0});
+  net.register_node(NodeId{1});
+  SimTime done = -1;
+  const auto id = net.transfer(NodeId{0}, NodeId{1}, 200 * MiB, [&] { done = sim.now(); });
+  sim.at(1.0, [&] { net.pause(NodeId{1}, id); });
+  sim.at(2.0, [&] { net.resume(NodeId{1}, id); });
+  sim.run();
+  EXPECT_NEAR(done, 3.0, 1e-6);
+}
+
+TEST(Network, BytesMovedAccumulates) {
+  Simulation sim;
+  Network net(sim, test_config());
+  net.register_node(NodeId{0});
+  net.register_node(NodeId{1});
+  net.transfer(NodeId{0}, NodeId{1}, 10 * MiB, [] {});
+  net.transfer(NodeId{1}, NodeId{0}, 20 * MiB, [] {});
+  sim.run();
+  EXPECT_EQ(net.bytes_moved(), 30 * MiB);
+}
+
+TEST(Network, DuplicateRegistrationThrows) {
+  Simulation sim;
+  Network net(sim, test_config());
+  net.register_node(NodeId{0});
+  EXPECT_THROW(net.register_node(NodeId{0}), SimError);
+}
+
+TEST(Network, TransferToUnknownNodeThrows) {
+  Simulation sim;
+  Network net(sim, test_config());
+  net.register_node(NodeId{0});
+  EXPECT_THROW(net.transfer(NodeId{0}, NodeId{9}, 1 * MiB, [] {}), SimError);
+}
+
+}  // namespace
+}  // namespace osap

@@ -1,0 +1,91 @@
+#include "os/disk.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace osap {
+namespace {
+
+constexpr double kBw = 100.0 * static_cast<double>(MiB);
+
+TEST(Disk, SequentialReadAtBandwidth) {
+  Simulation sim;
+  Disk disk(sim, kBw, /*seek=*/0, "d");
+  SimTime done = -1;
+  disk.start(IoClass::HdfsRead, 200 * MiB, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done, 2.0, 1e-9);
+}
+
+TEST(Disk, SeekChargedOnStreamStart) {
+  Simulation sim;
+  Disk disk(sim, kBw, ms(10), "d");
+  SimTime done = -1;
+  disk.start(IoClass::HdfsRead, 100 * MiB, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done, 1.0 + 0.010, 1e-9);
+}
+
+TEST(Disk, ZeroByteStreamSkipsSeek) {
+  Simulation sim;
+  Disk disk(sim, kBw, ms(10), "d");
+  SimTime done = -1;
+  disk.start(IoClass::HdfsWrite, 0, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_NEAR(done, 0.0, 1e-9);
+}
+
+TEST(Disk, ReadsAndSwapShareTheSpindle) {
+  Simulation sim;
+  Disk disk(sim, kBw, 0, "d");
+  SimTime read_done = -1, swap_done = -1;
+  disk.start(IoClass::HdfsRead, 100 * MiB, [&] { read_done = sim.now(); });
+  disk.start(IoClass::SwapOut, 100 * MiB, [&] { swap_done = sim.now(); });
+  sim.run();
+  // Each stream gets half the bandwidth: both take 2 s instead of 1 s.
+  EXPECT_NEAR(read_done, 2.0, 1e-9);
+  EXPECT_NEAR(swap_done, 2.0, 1e-9);
+}
+
+TEST(Disk, PerClassAccounting) {
+  Simulation sim;
+  Disk disk(sim, kBw, 0, "d");
+  disk.start(IoClass::HdfsRead, 10 * MiB, [] {});
+  disk.start(IoClass::SwapOut, 20 * MiB, [] {});
+  disk.start(IoClass::SwapIn, 30 * MiB, [] {});
+  sim.run();
+  EXPECT_EQ(disk.transferred(IoClass::HdfsRead), 10 * MiB);
+  EXPECT_EQ(disk.transferred(IoClass::SwapOut), 20 * MiB);
+  EXPECT_EQ(disk.transferred(IoClass::SwapIn), 30 * MiB);
+  EXPECT_EQ(disk.transferred(IoClass::HdfsWrite), 0u);
+}
+
+TEST(Disk, PauseAndResumeStream) {
+  Simulation sim;
+  Disk disk(sim, kBw, 0, "d");
+  SimTime done = -1;
+  const auto id = disk.start(IoClass::HdfsRead, 200 * MiB, [&] { done = sim.now(); });
+  sim.at(1.0, [&] { disk.pause(id); });
+  sim.at(5.0, [&] { disk.resume(id); });
+  sim.run();
+  EXPECT_NEAR(done, 6.0, 1e-9);
+}
+
+TEST(Disk, CancelledStreamNeverCompletes) {
+  Simulation sim;
+  Disk disk(sim, kBw, 0, "d");
+  bool fired = false;
+  const auto id = disk.start(IoClass::HdfsRead, 200 * MiB, [&] { fired = true; });
+  sim.at(0.5, [&] { disk.cancel(id); });
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Disk, IoClassNames) {
+  EXPECT_STREQ(to_string(IoClass::SwapOut), "swap-out");
+  EXPECT_STREQ(to_string(IoClass::HdfsRead), "hdfs-read");
+}
+
+}  // namespace
+}  // namespace osap

@@ -1,0 +1,80 @@
+// The dynamic-region APIs used by long-lived services (Spark executors).
+#include <gtest/gtest.h>
+
+#include "os/kernel.hpp"
+#include "sim/simulation.hpp"
+
+namespace osap {
+namespace {
+
+OsConfig test_config() {
+  OsConfig cfg;
+  cfg.ram = 1024 * MiB;
+  cfg.os_reserved = 0;
+  cfg.swap_size = 4 * GiB;
+  cfg.low_watermark = 0.01;
+  cfg.high_watermark = 0.02;
+  cfg.lru_approx_error = 0;
+  cfg.vm_chunk = 32 * MiB;
+  cfg.disk_bandwidth = 100.0 * static_cast<double>(MiB);
+  cfg.disk_seek = 0;
+  return cfg;
+}
+
+struct Fixture {
+  Fixture() : kernel(sim, test_config(), "n0") {}
+  Simulation sim;
+  Kernel kernel;
+};
+
+TEST(KernelRegionApi, EnsureRegionCreatesOnceAndReuses) {
+  Fixture f;
+  const Pid pid = f.kernel.spawn(ProgramBuilder("svc").sleep(1000.0).build());
+  f.sim.run_until(0.1);
+  const RegionId a = f.kernel.ensure_region(pid, "cache");
+  const RegionId b = f.kernel.ensure_region(pid, "cache");
+  EXPECT_EQ(a, b);
+  f.kernel.vmm().commit(a, 100 * MiB, [] {});
+  f.sim.run_until(0.2);
+  EXPECT_EQ(f.kernel.vmm().resident(pid), 100 * MiB);
+}
+
+TEST(KernelRegionApi, EnsureRegionOnDeadProcessThrows) {
+  Fixture f;
+  EXPECT_THROW(f.kernel.ensure_region(Pid{99}, "cache"), SimError);
+}
+
+TEST(KernelRegionApi, PageInRegionFaultsSwappedStateBack) {
+  Fixture f;
+  const Pid svc = f.kernel.spawn(ProgramBuilder("svc").sleep(1000.0).build());
+  f.sim.run_until(0.1);
+  const RegionId cache = f.kernel.ensure_region(svc, "cache");
+  f.kernel.vmm().commit(cache, 600 * MiB, [] {});
+  f.sim.run_until(0.5);
+  // Stop the service and squeeze it out with a hungry process.
+  f.kernel.signal(svc, Signal::Tstp);
+  f.sim.run_until(1.0);
+  const Pid hog = f.kernel.spawn(ProgramBuilder("hog").alloc("heap", 700 * MiB).build());
+  (void)hog;
+  f.sim.run_until(20.0);
+  ASSERT_GT(f.kernel.vmm().swapped(svc), 100 * MiB);
+
+  f.kernel.signal(svc, Signal::Cont);
+  SimTime faulted_at = -1;
+  EXPECT_TRUE(f.kernel.page_in_region(svc, "cache",
+                                      [&] { faulted_at = f.sim.now(); }));
+  f.sim.run_until(40.0);
+  EXPECT_GT(faulted_at, 20.0);  // real swap-in I/O happened
+  EXPECT_EQ(f.kernel.vmm().swapped(svc), 0u);
+}
+
+TEST(KernelRegionApi, PageInRegionUnknownTargetsReturnFalse) {
+  Fixture f;
+  const Pid pid = f.kernel.spawn(ProgramBuilder("svc").sleep(10.0).build());
+  f.sim.run_until(0.1);
+  EXPECT_FALSE(f.kernel.page_in_region(Pid{77}, "cache", [] {}));
+  EXPECT_FALSE(f.kernel.page_in_region(pid, "nonexistent", [] {}));
+}
+
+}  // namespace
+}  // namespace osap

@@ -1,0 +1,290 @@
+#include "os/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sim/simulation.hpp"
+
+namespace osap {
+namespace {
+
+OsConfig test_config() {
+  OsConfig cfg;
+  cfg.ram = 1024 * MiB;
+  cfg.os_reserved = 0;
+  cfg.swap_size = 4 * GiB;
+  cfg.swappiness = 0;
+  cfg.low_watermark = 0.01;
+  cfg.high_watermark = 0.02;
+  cfg.lru_approx_error = 0;
+  cfg.vm_chunk = 32 * MiB;
+  cfg.io_chunk = 64 * MiB;
+  cfg.disk_bandwidth = 100.0 * static_cast<double>(MiB);
+  cfg.disk_seek = 0;
+  cfg.cores = 2;
+  cfg.touch_cpu_per_byte = 1.0 / (1.0 * static_cast<double>(GiB));
+  cfg.sigtstp_handler_delay = ms(20);
+  return cfg;
+}
+
+struct KernelFixture {
+  explicit KernelFixture(OsConfig cfg = test_config()) : kernel(sim, cfg, "n0") {}
+  Simulation sim;
+  Kernel kernel;
+};
+
+TEST(Kernel, ComputePhaseCappedAtOneCore) {
+  KernelFixture f;
+  SimTime exit_at = -1;
+  f.kernel.spawn(ProgramBuilder("burn").compute(10.0).build(),
+                 {.on_exit = [&](ExitInfo) { exit_at = f.sim.now(); }});
+  f.sim.run();
+  // Two cores available, but a single process uses at most one.
+  EXPECT_NEAR(exit_at, 10.0, 1e-6);
+}
+
+TEST(Kernel, ProcessorSharingOnOneCore) {
+  OsConfig cfg = test_config();
+  cfg.cores = 1;
+  KernelFixture f(cfg);
+  SimTime a = -1, b = -1;
+  f.kernel.spawn(ProgramBuilder("a").compute(5.0).build(),
+                 {.on_exit = [&](ExitInfo) { a = f.sim.now(); }});
+  f.kernel.spawn(ProgramBuilder("b").compute(5.0).build(),
+                 {.on_exit = [&](ExitInfo) { b = f.sim.now(); }});
+  f.sim.run();
+  EXPECT_NEAR(a, 10.0, 1e-6);
+  EXPECT_NEAR(b, 10.0, 1e-6);
+}
+
+TEST(Kernel, ReadParseBoundedBySlowerSide) {
+  KernelFixture f;
+  // 200 MiB at disk 100 MiB/s = 2 s; parse at 50 MiB/s/core = 4 s -> CPU wins.
+  SimTime exit_at = -1;
+  f.kernel.spawn(ProgramBuilder("map")
+                     .read_parse(200 * MiB, 1.0 / (50.0 * static_cast<double>(MiB)))
+                     .build(),
+                 {.on_exit = [&](ExitInfo) { exit_at = f.sim.now(); }});
+  f.sim.run();
+  EXPECT_NEAR(exit_at, 4.0, 0.01);
+}
+
+TEST(Kernel, ReadPopulatesFsCache) {
+  KernelFixture f;
+  f.kernel.spawn(ProgramBuilder("map")
+                     .read_parse(256 * MiB, 1.0 / (500.0 * static_cast<double>(MiB)))
+                     .build());
+  f.sim.run();
+  EXPECT_GE(f.kernel.vmm().fs_cache(), 256 * MiB - 1 * MiB);
+}
+
+TEST(Kernel, ExitReleasesMemory) {
+  KernelFixture f;
+  f.kernel.spawn(ProgramBuilder("task").alloc("heap", 300 * MiB).build());
+  f.sim.run();
+  EXPECT_EQ(f.kernel.vmm().free_ram(), 1024 * MiB);
+  EXPECT_EQ(f.kernel.process_count(), 0u);
+}
+
+TEST(Kernel, SigtstpStopsAfterHandlerWindow) {
+  KernelFixture f;
+  SimTime stopped_at = -1;
+  const Pid pid = f.kernel.spawn(ProgramBuilder("t").compute(100.0).build(),
+                                 {.on_stopped = [&] { stopped_at = f.sim.now(); }});
+  f.sim.at(1.0, [&] { f.kernel.signal(pid, Signal::Tstp); });
+  f.sim.run_until(5.0);
+  EXPECT_NEAR(stopped_at, 1.020, 1e-6);
+  ASSERT_NE(f.kernel.find(pid), nullptr);
+  EXPECT_EQ(f.kernel.find(pid)->state(), ProcState::Stopped);
+}
+
+TEST(Kernel, SuspendResumeShiftsCompletionByStopTime) {
+  KernelFixture f;
+  SimTime exit_at = -1;
+  const Pid pid = f.kernel.spawn(ProgramBuilder("t").compute(10.0).build(),
+                                 {.on_exit = [&](ExitInfo) { exit_at = f.sim.now(); }});
+  f.sim.at(4.0, [&] { f.kernel.signal(pid, Signal::Tstp); });
+  f.sim.at(24.0, [&] { f.kernel.signal(pid, Signal::Cont); });
+  f.sim.run();
+  // 20 s suspended plus the 20 ms handler window in which it still ran.
+  EXPECT_NEAR(exit_at, 30.0 - 0.020, 1e-6);
+}
+
+TEST(Kernel, ProgressFrozenWhileStopped) {
+  KernelFixture f;
+  const Pid pid = f.kernel.spawn(
+      ProgramBuilder("t").compute(10.0, /*weight=*/1.0).build());
+  f.sim.at(5.0, [&] { f.kernel.signal(pid, Signal::Tstp); });
+  f.sim.run_until(8.0);
+  const double p = f.kernel.progress(pid);
+  EXPECT_NEAR(p, 0.502, 0.01);  // stopped at 5.02s of 10s
+  f.sim.run_until(20.0);
+  EXPECT_DOUBLE_EQ(f.kernel.progress(pid), p);
+}
+
+TEST(Kernel, SigcontDuringHandlerWindowCancelsStop) {
+  KernelFixture f;
+  bool stopped = false;
+  SimTime exit_at = -1;
+  const Pid pid = f.kernel.spawn(ProgramBuilder("t").compute(10.0).build(),
+                                 {.on_exit = [&](ExitInfo) { exit_at = f.sim.now(); },
+                                  .on_stopped = [&] { stopped = true; }});
+  f.sim.at(1.0, [&] { f.kernel.signal(pid, Signal::Tstp); });
+  f.sim.at(1.005, [&] { f.kernel.signal(pid, Signal::Cont); });
+  f.sim.run();
+  EXPECT_FALSE(stopped);
+  EXPECT_NEAR(exit_at, 10.0, 1e-6);
+}
+
+TEST(Kernel, SigkillTerminatesAndReleasesMemory) {
+  KernelFixture f;
+  ExitInfo info;
+  SimTime exit_at = -1;
+  const Pid pid =
+      f.kernel.spawn(ProgramBuilder("t").alloc("heap", 200 * MiB).compute(100.0).build(),
+                     {.on_exit = [&](ExitInfo e) {
+                       info = e;
+                       exit_at = f.sim.now();
+                     }});
+  f.sim.at(2.0, [&] { f.kernel.signal(pid, Signal::Kill); });
+  f.sim.run();
+  EXPECT_NEAR(exit_at, 2.0, 1e-9);
+  EXPECT_TRUE(info.killed());
+  EXPECT_EQ(info.reason, ExitReason::Killed);
+  EXPECT_EQ(f.kernel.vmm().free_ram(), 1024 * MiB);
+  EXPECT_FALSE(f.kernel.alive(pid));
+}
+
+TEST(Kernel, SignalToUnknownPidIsIgnored) {
+  KernelFixture f;
+  f.kernel.signal(Pid{123}, Signal::Kill);
+  f.kernel.signal(Pid{}, Signal::Tstp);
+  SUCCEED();
+}
+
+TEST(Kernel, DoubleTstpAndDoubleContAreIdempotent) {
+  KernelFixture f;
+  int stops = 0, conts = 0;
+  const Pid pid = f.kernel.spawn(ProgramBuilder("t").compute(10.0).build(),
+                                 {.on_stopped = [&] { ++stops; },
+                                  .on_continued = [&] { ++conts; }});
+  f.sim.at(1.0, [&] { f.kernel.signal(pid, Signal::Tstp); });
+  f.sim.at(2.0, [&] { f.kernel.signal(pid, Signal::Tstp); });
+  f.sim.at(3.0, [&] { f.kernel.signal(pid, Signal::Cont); });
+  f.sim.at(3.5, [&] { f.kernel.signal(pid, Signal::Cont); });
+  f.sim.run();
+  EXPECT_EQ(stops, 1);
+  EXPECT_EQ(conts, 1);
+}
+
+TEST(Kernel, StoppedProcessGetsSwappedAndResumeFaultsBackIn) {
+  KernelFixture f;
+  // The paper's worst case in miniature: a stateful task allocates, is
+  // suspended, a memory-hungry task pushes it to swap, and on resume the
+  // state faults back in from disk.
+  SimTime victim_exit = -1;
+  const Pid victim = f.kernel.spawn(ProgramBuilder("tl")
+                                        .alloc("state", 600 * MiB)
+                                        .sleep(1.0)
+                                        .touch("state", /*write=*/false)
+                                        .build(),
+                                    {.on_exit = [&](ExitInfo) { victim_exit = f.sim.now(); }});
+  f.sim.at(1.0, [&] { f.kernel.signal(victim, Signal::Tstp); });
+  SimTime hog_exit = -1;
+  f.sim.at(2.0, [&] {
+    f.kernel.spawn(ProgramBuilder("th").alloc("heap", 700 * MiB).build(),
+                   {.on_exit = [&](ExitInfo) { hog_exit = f.sim.now(); }});
+  });
+  f.sim.at(40.0, [&] { f.kernel.signal(victim, Signal::Cont); });
+  f.sim.run();
+  EXPECT_GT(f.kernel.vmm().swapped_out_total(victim), 200 * MiB);
+  EXPECT_GT(f.kernel.vmm().swapped_in_total(victim), 200 * MiB);
+  EXPECT_GT(hog_exit, 2.0);     // the hog paid for the page-outs
+  EXPECT_GT(victim_exit, 40.0);  // resume + page-in + touch
+}
+
+TEST(Kernel, OomKillerPicksBiggestProcess) {
+  OsConfig cfg = test_config();
+  cfg.swap_size = 0;
+  KernelFixture f(cfg);
+  ExitInfo hog_info;
+  f.kernel.spawn(ProgramBuilder("hog").alloc("heap", 800 * MiB).compute(100.0).build(),
+                 {.on_exit = [&](ExitInfo e) { hog_info = e; }});
+  SimTime small_exit = -1;
+  f.sim.at(1.0, [&] {
+    f.kernel.spawn(ProgramBuilder("small").alloc("heap", 400 * MiB).compute(1.0).build(),
+                   {.on_exit = [&](ExitInfo) { small_exit = f.sim.now(); }});
+  });
+  f.sim.run();
+  EXPECT_EQ(hog_info.reason, ExitReason::OomKilled);
+  EXPECT_GT(small_exit, 0.0);
+}
+
+TEST(Kernel, SleepPhasePausesWithProcess) {
+  KernelFixture f;
+  SimTime exit_at = -1;
+  const Pid pid = f.kernel.spawn(ProgramBuilder("t").sleep(10.0).build(),
+                                 {.on_exit = [&](ExitInfo) { exit_at = f.sim.now(); }});
+  f.sim.at(2.0, [&] { f.kernel.signal(pid, Signal::Tstp); });
+  f.sim.at(7.0, [&] { f.kernel.signal(pid, Signal::Cont); });
+  f.sim.run();
+  // ~5 s of the nap were frozen (minus the 20 ms handler window).
+  EXPECT_NEAR(exit_at, 15.0 - 0.020, 1e-6);
+}
+
+TEST(Kernel, WriteOutGoesToDisk) {
+  KernelFixture f;
+  SimTime exit_at = -1;
+  f.kernel.spawn(ProgramBuilder("t").write_out(100 * MiB).build(),
+                 {.on_exit = [&](ExitInfo) { exit_at = f.sim.now(); }});
+  f.sim.run();
+  EXPECT_NEAR(exit_at, 1.0, 0.01);
+  EXPECT_EQ(f.kernel.disk().transferred(IoClass::HdfsWrite), 100 * MiB);
+}
+
+TEST(Kernel, FreePhaseReturnsMemory) {
+  KernelFixture f;
+  Bytes free_during = 0;
+  f.kernel.spawn(ProgramBuilder("t")
+                     .alloc("heap", 400 * MiB)
+                     .free("heap")
+                     .compute(1.0)
+                     .build());
+  f.sim.at(0.9, [&] { free_during = f.kernel.vmm().free_ram(); });
+  f.sim.run();
+  EXPECT_EQ(free_during, 1024 * MiB);
+}
+
+TEST(Kernel, WeightedProgressAcrossPhases) {
+  KernelFixture f;
+  const Pid pid = f.kernel.spawn(ProgramBuilder("t")
+                                     .compute(4.0, /*weight=*/1.0)
+                                     .compute(4.0, /*weight=*/3.0)
+                                     .build());
+  f.sim.at(2.0, [&] { EXPECT_NEAR(f.kernel.progress(pid), 0.125, 1e-6); });
+  f.sim.at(6.0, [&] { EXPECT_NEAR(f.kernel.progress(pid), 0.25 + 0.75 * 0.5, 1e-6); });
+  f.sim.run();
+}
+
+TEST(Kernel, ProgressWithoutWeightsUsesPhaseCount) {
+  KernelFixture f;
+  const Pid pid =
+      f.kernel.spawn(ProgramBuilder("t").compute(2.0).compute(2.0).build());
+  f.sim.at(3.0, [&] { EXPECT_NEAR(f.kernel.progress(pid), 0.75, 1e-6); });
+  f.sim.run();
+}
+
+TEST(Kernel, KillDuringSuspendReleasesEverything) {
+  KernelFixture f;
+  ExitInfo info;
+  const Pid pid = f.kernel.spawn(ProgramBuilder("t").alloc("heap", 300 * MiB).compute(50.0).build(),
+                                 {.on_exit = [&](ExitInfo e) { info = e; }});
+  f.sim.at(2.0, [&] { f.kernel.signal(pid, Signal::Tstp); });
+  f.sim.at(5.0, [&] { f.kernel.signal(pid, Signal::Kill); });
+  f.sim.run();
+  EXPECT_TRUE(info.killed());
+  EXPECT_EQ(f.kernel.vmm().free_ram(), 1024 * MiB);
+  EXPECT_EQ(f.kernel.vmm().swap_used(), 0u);
+}
+
+}  // namespace
+}  // namespace osap

@@ -1,0 +1,80 @@
+// The swappiness knob: how reclaim divides its appetite between the
+// file-system cache and anonymous process memory.
+#include <gtest/gtest.h>
+
+#include "os/vmm.hpp"
+#include "sim/simulation.hpp"
+
+namespace osap {
+namespace {
+
+OsConfig config_with_swappiness(int swappiness) {
+  OsConfig cfg;
+  cfg.ram = 1024 * MiB;
+  cfg.os_reserved = 0;
+  cfg.swap_size = 4 * GiB;
+  cfg.swappiness = swappiness;
+  cfg.low_watermark = 0.01;
+  cfg.high_watermark = 0.02;
+  cfg.lru_approx_error = 0;
+  cfg.vm_chunk = 32 * MiB;
+  cfg.disk_bandwidth = 200.0 * static_cast<double>(MiB);
+  cfg.disk_seek = 0;
+  return cfg;
+}
+
+struct Scenario {
+  explicit Scenario(int swappiness)
+      : cfg(config_with_swappiness(swappiness)),
+        disk(sim, cfg.disk_bandwidth, 0, "d"),
+        vmm(sim, disk, cfg) {
+    vmm.register_process(sleeper);
+    vmm.register_process(worker);
+    const RegionId rs = vmm.create_region(sleeper, "state");
+    vmm.commit(rs, 500 * MiB, [] {});
+    sim.run();
+    vmm.set_stopped(sleeper, true);
+    vmm.fs_cache_insert(400 * MiB);
+  }
+
+  /// Apply pressure and report how much anon memory got swapped.
+  Bytes squeeze() {
+    const RegionId rw = vmm.create_region(worker, "heap");
+    vmm.commit(rw, 300 * MiB, [] {});
+    sim.run();
+    return vmm.swapped(sleeper);
+  }
+
+  OsConfig cfg;
+  Simulation sim;
+  Disk disk;
+  Vmm vmm;
+  const Pid sleeper{1};
+  const Pid worker{2};
+};
+
+TEST(Swappiness, ZeroSparesAnonEntirelyWhileCacheRemains) {
+  Scenario s(0);
+  EXPECT_EQ(s.squeeze(), 0u);
+  EXPECT_LT(s.vmm.fs_cache(), 400 * MiB);
+}
+
+TEST(Swappiness, HighValueSwapsAnonDespiteCache) {
+  Scenario s(100);
+  EXPECT_GT(s.squeeze(), 0u);
+  // And the cache was partially spared.
+  EXPECT_GT(s.vmm.fs_cache(), 100 * MiB);
+}
+
+TEST(Swappiness, MonotoneInAnonAppetite) {
+  Bytes prev = 0;
+  for (int swappiness : {0, 50, 100}) {
+    Scenario s(swappiness);
+    const Bytes swapped = s.squeeze();
+    EXPECT_GE(swapped, prev) << "swappiness " << swappiness;
+    prev = swapped;
+  }
+}
+
+}  // namespace
+}  // namespace osap

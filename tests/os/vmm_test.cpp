@@ -1,0 +1,351 @@
+#include "os/vmm.hpp"
+
+#include <gtest/gtest.h>
+
+#include "os/disk.hpp"
+#include "sim/simulation.hpp"
+
+namespace osap {
+namespace {
+
+OsConfig test_config() {
+  OsConfig cfg;
+  cfg.ram = 1024 * MiB;
+  cfg.os_reserved = 0;
+  cfg.swap_size = 2 * GiB;
+  cfg.swappiness = 0;
+  cfg.low_watermark = 0.01;
+  cfg.high_watermark = 0.02;
+  cfg.lru_approx_error = 0;
+  cfg.vm_chunk = 32 * MiB;
+  cfg.disk_bandwidth = 100.0 * static_cast<double>(MiB);
+  cfg.disk_seek = 0;
+  return cfg;
+}
+
+struct VmmFixture {
+  explicit VmmFixture(OsConfig cfg = test_config())
+      : disk(sim, cfg.disk_bandwidth, cfg.disk_seek, "d"), vmm(sim, disk, cfg) {}
+  Simulation sim;
+  Disk disk;
+  Vmm vmm;
+};
+
+TEST(Vmm, CommitWithinFreeMemoryIsImmediate) {
+  VmmFixture f;
+  const Pid p{1};
+  f.vmm.register_process(p);
+  const RegionId r = f.vmm.create_region(p, "heap");
+  SimTime done = -1;
+  f.vmm.commit(r, 100 * MiB, [&] { done = f.sim.now(); });
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(done, 0.0);
+  EXPECT_EQ(f.vmm.resident(p), 100 * MiB);
+  EXPECT_EQ(f.vmm.free_ram(), 924 * MiB);
+  EXPECT_EQ(f.vmm.swap_used(), 0u);
+}
+
+TEST(Vmm, FsCacheDroppedBeforeAnonWithSwappinessZero) {
+  VmmFixture f;
+  const Pid p1{1}, p2{2};
+  f.vmm.register_process(p1);
+  f.vmm.register_process(p2);
+  const RegionId r1 = f.vmm.create_region(p1, "heap");
+  f.vmm.commit(r1, 500 * MiB, [] {});
+  f.sim.run();
+  f.vmm.fs_cache_insert(400 * MiB);
+  EXPECT_EQ(f.vmm.fs_cache(), 400 * MiB);
+
+  // p2 wants 300 MiB; free is ~124 MiB, so reclaim must run — and it
+  // should come entirely from the cache, not from p1's memory.
+  const RegionId r2 = f.vmm.create_region(p2, "heap");
+  SimTime done = -1;
+  f.vmm.commit(r2, 300 * MiB, [&] { done = f.sim.now(); });
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(done, 0.0);  // cache drops are free: no I/O time
+  EXPECT_EQ(f.vmm.swap_used(), 0u);
+  EXPECT_EQ(f.vmm.swapped(p1), 0u);
+  EXPECT_LT(f.vmm.fs_cache(), 400 * MiB);
+}
+
+TEST(Vmm, StoppedProcessPagedOutUnderPressure) {
+  VmmFixture f;
+  const Pid sleeper{1}, worker{2};
+  f.vmm.register_process(sleeper);
+  f.vmm.register_process(worker);
+  const RegionId rs = f.vmm.create_region(sleeper, "state");
+  f.vmm.commit(rs, 700 * MiB, [] {});
+  f.sim.run();
+  f.vmm.set_stopped(sleeper, true);
+
+  const RegionId rw = f.vmm.create_region(worker, "heap");
+  SimTime done = -1;
+  f.vmm.commit(rw, 600 * MiB, [&] { done = f.sim.now(); });
+  f.sim.run();
+  // ~300 MiB of the sleeper had to be written to swap at 100 MiB/s.
+  EXPECT_GT(done, 2.5);
+  EXPECT_GT(f.vmm.swapped(sleeper), 250 * MiB);
+  EXPECT_EQ(f.vmm.swapped(worker), 0u);
+  EXPECT_EQ(f.vmm.swapped_out_total(sleeper), f.vmm.swapped(sleeper));
+  EXPECT_EQ(f.vmm.resident(worker), 600 * MiB);
+  EXPECT_EQ(f.vmm.swap_used(), f.vmm.swapped(sleeper));
+  EXPECT_EQ(f.disk.transferred(IoClass::SwapOut), f.vmm.swapped(sleeper));
+}
+
+TEST(Vmm, StoppedVictimPreferredOverRunningCold) {
+  VmmFixture f;
+  const Pid stopped{1}, running{2}, worker{3};
+  for (Pid p : {stopped, running, worker}) f.vmm.register_process(p);
+  const RegionId r_stop = f.vmm.create_region(stopped, "state");
+  const RegionId r_run = f.vmm.create_region(running, "state");
+  f.vmm.commit(r_stop, 400 * MiB, [] {});
+  f.vmm.commit(r_run, 400 * MiB, [] {});
+  f.sim.run();
+  f.vmm.set_stopped(stopped, true);
+
+  const RegionId rw = f.vmm.create_region(worker, "heap");
+  f.vmm.commit(rw, 300 * MiB, [] {});
+  f.sim.run();
+  EXPECT_GT(f.vmm.swapped(stopped), 0u);
+  EXPECT_EQ(f.vmm.swapped(running), 0u);
+}
+
+TEST(Vmm, ReclaimOvershootsToHighWatermark) {
+  VmmFixture f;
+  const Pid sleeper{1}, worker{2};
+  f.vmm.register_process(sleeper);
+  f.vmm.register_process(worker);
+  const RegionId rs = f.vmm.create_region(sleeper, "state");
+  f.vmm.commit(rs, 900 * MiB, [] {});
+  f.sim.run();
+  f.vmm.set_stopped(sleeper, true);
+
+  // Walk free memory down to ~24 MiB without triggering reclaim, then ask
+  // for one chunk more.
+  const RegionId rw = f.vmm.create_region(worker, "warmup");
+  f.vmm.commit(rw, 100 * MiB, [] {});
+  f.sim.run();
+  ASSERT_EQ(f.vmm.swapped(sleeper), 0u);
+  const RegionId rw2 = f.vmm.create_region(worker, "heap");
+  f.vmm.commit(rw2, 32 * MiB, [] {});
+  f.sim.run();
+  // A strictly minimal reclaim would evict ~8 MiB (deficit) plus change;
+  // the kswapd-style target frees up to the high watermark instead.
+  const Bytes swapped = f.vmm.swapped(sleeper);
+  EXPECT_GT(swapped, 20 * MiB);
+  EXPECT_LT(swapped, 80 * MiB);
+}
+
+TEST(Vmm, PageInRestoresResidencyAndChargesSwapReads) {
+  VmmFixture f;
+  const Pid sleeper{1}, worker{2};
+  f.vmm.register_process(sleeper);
+  f.vmm.register_process(worker);
+  const RegionId rs = f.vmm.create_region(sleeper, "state");
+  f.vmm.commit(rs, 700 * MiB, [] {});
+  f.sim.run();
+  f.vmm.set_stopped(sleeper, true);
+  const RegionId rw = f.vmm.create_region(worker, "heap");
+  f.vmm.commit(rw, 600 * MiB, [] {});
+  f.sim.run();
+  const Bytes swapped = f.vmm.swapped(sleeper);
+  ASSERT_GT(swapped, 0u);
+
+  // Worker exits; sleeper resumes and touches its state again.
+  f.vmm.release_process(worker);
+  f.vmm.set_stopped(sleeper, false);
+  SimTime done = -1;
+  f.vmm.page_in(rs, /*dirtying=*/false, [&] { done = f.sim.now(); });
+  f.sim.run();
+  EXPECT_GT(done, 0.0);
+  EXPECT_EQ(f.vmm.swapped(sleeper), 0u);
+  EXPECT_EQ(f.vmm.resident(sleeper), 700 * MiB);
+  EXPECT_EQ(f.vmm.swapped_in_total(sleeper), swapped);
+  EXPECT_EQ(f.disk.transferred(IoClass::SwapIn), swapped);
+  // Clean page-in keeps the swap copy.
+  EXPECT_EQ(f.vmm.swap_used(), swapped);
+}
+
+TEST(Vmm, CleanPagesEvictForFreeAfterCleanPageIn) {
+  VmmFixture f;
+  const Pid sleeper{1}, worker{2};
+  f.vmm.register_process(sleeper);
+  f.vmm.register_process(worker);
+  const RegionId rs = f.vmm.create_region(sleeper, "state");
+  f.vmm.commit(rs, 700 * MiB, [] {});
+  f.sim.run();
+  f.vmm.set_stopped(sleeper, true);
+  const RegionId rw = f.vmm.create_region(worker, "heap");
+  f.vmm.commit(rw, 600 * MiB, [] {});
+  f.sim.run();
+  f.vmm.release_process(worker);
+  f.vmm.set_stopped(sleeper, false);
+  f.vmm.page_in(rs, false, [] {});
+  f.sim.run();
+  const Bytes out_before = f.vmm.swapped_out_total(sleeper);
+
+  // Second squeeze: the clean pages (swap copies valid) drop for free.
+  f.vmm.set_stopped(sleeper, true);
+  const Pid worker2{3};
+  f.vmm.register_process(worker2);
+  const RegionId rw2 = f.vmm.create_region(worker2, "heap");
+  const SimTime start = f.sim.now();
+  SimTime done = -1;
+  f.vmm.commit(rw2, 300 * MiB, [&] { done = f.sim.now(); });
+  f.sim.run();
+  EXPECT_DOUBLE_EQ(done, start);  // no swap writes needed: zero elapsed
+  EXPECT_EQ(f.vmm.swapped_out_total(sleeper), out_before);
+}
+
+TEST(Vmm, DirtyResidentDropsSwapSlots) {
+  VmmFixture f;
+  const Pid sleeper{1}, worker{2};
+  f.vmm.register_process(sleeper);
+  f.vmm.register_process(worker);
+  const RegionId rs = f.vmm.create_region(sleeper, "state");
+  f.vmm.commit(rs, 700 * MiB, [] {});
+  f.sim.run();
+  f.vmm.set_stopped(sleeper, true);
+  const RegionId rw = f.vmm.create_region(worker, "heap");
+  f.vmm.commit(rw, 600 * MiB, [] {});
+  f.sim.run();
+  f.vmm.release_process(worker);
+  f.vmm.set_stopped(sleeper, false);
+  f.vmm.page_in(rs, false, [] {});
+  f.sim.run();
+  ASSERT_GT(f.vmm.swap_used(), 0u);
+  f.vmm.dirty_resident(rs);
+  EXPECT_EQ(f.vmm.swap_used(), 0u);
+}
+
+TEST(Vmm, DirtyingPageInFreesSlotsImmediately) {
+  VmmFixture f;
+  const Pid sleeper{1}, worker{2};
+  f.vmm.register_process(sleeper);
+  f.vmm.register_process(worker);
+  const RegionId rs = f.vmm.create_region(sleeper, "state");
+  f.vmm.commit(rs, 700 * MiB, [] {});
+  f.sim.run();
+  f.vmm.set_stopped(sleeper, true);
+  const RegionId rw = f.vmm.create_region(worker, "heap");
+  f.vmm.commit(rw, 600 * MiB, [] {});
+  f.sim.run();
+  f.vmm.release_process(worker);
+  f.vmm.set_stopped(sleeper, false);
+  f.vmm.page_in(rs, /*dirtying=*/true, [] {});
+  f.sim.run();
+  EXPECT_EQ(f.vmm.swap_used(), 0u);
+  EXPECT_EQ(f.vmm.swapped(sleeper), 0u);
+}
+
+TEST(Vmm, ReleaseProcessFreesEverything) {
+  VmmFixture f;
+  const Pid p{1};
+  f.vmm.register_process(p);
+  const RegionId r = f.vmm.create_region(p, "heap");
+  f.vmm.commit(r, 500 * MiB, [] {});
+  f.sim.run();
+  const Bytes free_before = f.vmm.free_ram();
+  f.vmm.release_process(p);
+  EXPECT_EQ(f.vmm.free_ram(), free_before + 500 * MiB);
+  EXPECT_EQ(f.vmm.resident(p), 0u);
+  EXPECT_FALSE(f.vmm.has_region(r));
+}
+
+TEST(Vmm, FsCacheRespectsLowWatermark) {
+  VmmFixture f;
+  f.vmm.fs_cache_insert(2 * GiB);  // far more than RAM
+  EXPECT_LE(f.vmm.fs_cache(), 1024 * MiB);
+  EXPECT_GE(f.vmm.free_ram(), f.vmm.fs_cache() > 0 ? 10 * MiB : 0);
+}
+
+TEST(Vmm, OomHandlerInvokedWhenNothingEvictable) {
+  OsConfig cfg = test_config();
+  cfg.swap_size = 0;  // no swap: anon memory cannot be evicted at all
+  VmmFixture f(cfg);
+  const Pid hog{1}, worker{2};
+  f.vmm.register_process(hog);
+  f.vmm.register_process(worker);
+  const RegionId rh = f.vmm.create_region(hog, "heap");
+  f.vmm.commit(rh, 900 * MiB, [] {});
+  f.sim.run();
+
+  bool oom_fired = false;
+  f.vmm.set_oom_handler([&] {
+    oom_fired = true;
+    f.vmm.release_process(hog);
+  });
+  const RegionId rw = f.vmm.create_region(worker, "heap");
+  bool granted = false;
+  f.vmm.commit(rw, 300 * MiB, [&] { granted = true; });
+  f.sim.run();
+  EXPECT_TRUE(oom_fired);
+  EXPECT_TRUE(granted);
+}
+
+TEST(Vmm, SwapCapacityBoundsEviction) {
+  OsConfig cfg = test_config();
+  cfg.swap_size = 100 * MiB;
+  VmmFixture f(cfg);
+  const Pid sleeper{1}, worker{2};
+  f.vmm.register_process(sleeper);
+  f.vmm.register_process(worker);
+  const RegionId rs = f.vmm.create_region(sleeper, "state");
+  f.vmm.commit(rs, 900 * MiB, [] {});
+  f.sim.run();
+  f.vmm.set_stopped(sleeper, true);
+
+  bool oom_fired = false;
+  f.vmm.set_oom_handler([&] {
+    oom_fired = true;
+    f.vmm.release_process(sleeper);
+  });
+  const RegionId rw = f.vmm.create_region(worker, "heap");
+  f.vmm.commit(rw, 400 * MiB, [] {});
+  f.sim.run();
+  // Only 100 MiB fits in swap; the rest of the demand trips the OOM killer.
+  EXPECT_TRUE(oom_fired);
+  EXPECT_LE(f.vmm.swapped_out_total(sleeper), 100 * MiB);
+}
+
+TEST(Vmm, LruErrorCausesRefaultTrafficUnderPressure) {
+  OsConfig cfg = test_config();
+  cfg.lru_approx_error = 0.2;
+  VmmFixture f(cfg);
+  const Pid sleeper{1}, worker{2};
+  f.vmm.register_process(sleeper);
+  f.vmm.register_process(worker);
+  const RegionId rs = f.vmm.create_region(sleeper, "state");
+  f.vmm.commit(rs, 800 * MiB, [] {});
+  f.sim.run();
+  f.vmm.set_stopped(sleeper, true);
+
+  // The worker has a hot working set the scanner can hit by mistake.
+  const RegionId hot = f.vmm.create_region(worker, "buffers");
+  f.vmm.commit(hot, 100 * MiB, [] {});
+  f.sim.run();
+  f.vmm.mark_hot(hot, true);
+  const RegionId rw = f.vmm.create_region(worker, "heap");
+  f.vmm.commit(rw, 700 * MiB, [] {});
+  f.sim.run();
+  // Some of the worker's own hot bytes were evicted and faulted back.
+  EXPECT_GT(f.vmm.swapped_out_total(worker), 0u);
+  EXPECT_GT(f.vmm.swapped_in_total(worker), 0u);
+  EXPECT_GT(f.disk.transferred(IoClass::SwapIn), 0u);
+}
+
+TEST(Vmm, RegionQueriesTrackState) {
+  VmmFixture f;
+  const Pid p{1};
+  f.vmm.register_process(p);
+  const RegionId r = f.vmm.create_region(p, "heap");
+  f.vmm.commit(r, 64 * MiB, [] {});
+  f.sim.run();
+  EXPECT_EQ(f.vmm.region_resident(r), 64 * MiB);
+  EXPECT_EQ(f.vmm.region_swapped(r), 0u);
+  f.vmm.release(r, 32 * MiB);
+  EXPECT_EQ(f.vmm.region_resident(r), 32 * MiB);
+}
+
+}  // namespace
+}  // namespace osap

@@ -1,0 +1,64 @@
+#include "preempt/eviction.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "preempt/primitive.hpp"
+
+namespace osap {
+namespace {
+
+std::vector<EvictionCandidate> sample() {
+  return {
+      {TaskId{1}, 0.9, 512 * MiB, 10.0},
+      {TaskId{2}, 0.2, 128 * MiB, 30.0},
+      {TaskId{3}, 0.5, 2 * GiB, 20.0},
+  };
+}
+
+TEST(Eviction, MostProgressPicksClosestToCompletion) {
+  EXPECT_EQ(pick_victim(EvictionPolicy::MostProgress, sample()), TaskId{1});
+}
+
+TEST(Eviction, LeastProgressPicksFreshest) {
+  EXPECT_EQ(pick_victim(EvictionPolicy::LeastProgress, sample()), TaskId{2});
+}
+
+TEST(Eviction, SmallestMemoryMinimizesPagingCost) {
+  EXPECT_EQ(pick_victim(EvictionPolicy::SmallestMemory, sample()), TaskId{2});
+}
+
+TEST(Eviction, LastLaunchedPicksYoungest) {
+  EXPECT_EQ(pick_victim(EvictionPolicy::LastLaunched, sample()), TaskId{2});
+}
+
+TEST(Eviction, EmptyCandidatesGiveInvalidId) {
+  EXPECT_FALSE(pick_victim(EvictionPolicy::MostProgress, {}).valid());
+}
+
+TEST(Eviction, TieBreaksOnLowerTaskId) {
+  std::vector<EvictionCandidate> ties = {
+      {TaskId{7}, 0.5, 1 * GiB, 5.0},
+      {TaskId{3}, 0.5, 1 * GiB, 5.0},
+  };
+  EXPECT_EQ(pick_victim(EvictionPolicy::MostProgress, ties), TaskId{3});
+  EXPECT_EQ(pick_victim(EvictionPolicy::SmallestMemory, ties), TaskId{3});
+}
+
+TEST(Eviction, PolicyNames) {
+  EXPECT_STREQ(to_string(EvictionPolicy::SmallestMemory), "smallest-memory");
+  EXPECT_STREQ(to_string(EvictionPolicy::MostProgress), "most-progress");
+}
+
+TEST(Primitive, ParseRoundTrip) {
+  EXPECT_EQ(parse_primitive("wait"), PreemptPrimitive::Wait);
+  EXPECT_EQ(parse_primitive("kill"), PreemptPrimitive::Kill);
+  EXPECT_EQ(parse_primitive("susp"), PreemptPrimitive::Suspend);
+  EXPECT_EQ(parse_primitive("suspend"), PreemptPrimitive::Suspend);
+  EXPECT_EQ(parse_primitive("natjam"), PreemptPrimitive::NatjamCheckpoint);
+  EXPECT_THROW(parse_primitive("bogus"), SimError);
+  EXPECT_STREQ(to_string(PreemptPrimitive::Suspend), "susp");
+}
+
+}  // namespace
+}  // namespace osap

@@ -1,0 +1,101 @@
+#include "sched/deadline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/profiles.hpp"
+
+namespace osap {
+namespace {
+
+JobSpec job_with_deadline(const std::string& name, SimTime deadline, Bytes input = 512 * MiB) {
+  JobSpec spec = single_task_job(name, 0, light_map_task(input));
+  spec.deadline = deadline;
+  return spec;
+}
+
+TEST(Deadline, EdfOrdersByDeadline) {
+  ClusterConfig cfg = paper_cluster();
+  cfg.hadoop.map_slots = 1;
+  Cluster cluster(cfg);
+  cluster.set_scheduler(std::make_unique<DeadlineScheduler>());
+  // Both pending before the first launch; the later submission has the
+  // earlier deadline and must run first.
+  JobId relaxed{}, urgent{};
+  cluster.sim().at(0.05, [&] { relaxed = cluster.submit(job_with_deadline("relaxed", 500)); });
+  cluster.sim().at(0.10, [&] { urgent = cluster.submit(job_with_deadline("urgent", 120)); });
+  cluster.run();
+  EXPECT_LT(cluster.job_tracker().job(urgent).completed_at,
+            cluster.job_tracker().job(relaxed).completed_at);
+}
+
+TEST(Deadline, UrgentArrivalPreemptsRunningJob) {
+  ClusterConfig cfg = paper_cluster();
+  cfg.hadoop.map_slots = 1;
+  Cluster cluster(cfg);
+  DeadlineScheduler::Options options;
+  options.laxity_margin = seconds(20);
+  auto sched = std::make_unique<DeadlineScheduler>(options);
+  DeadlineScheduler* dl = sched.get();
+  cluster.set_scheduler(std::move(sched));
+
+  JobId background{}, urgent{};
+  cluster.sim().at(0.05,
+                   [&] { background = cluster.submit(job_with_deadline("bg", 1000)); });
+  // Arrives at t=20 with an ~80 s task and a t=115 deadline: laxity ~15 s,
+  // below the margin -> the background task must be suspended.
+  cluster.sim().at(20.0, [&] { urgent = cluster.submit(job_with_deadline("urgent", 115)); });
+  cluster.run();
+  EXPECT_GE(dl->preemptions_issued(), 1);
+  const Job& u = cluster.job_tracker().job(urgent);
+  EXPECT_EQ(u.state, JobState::Succeeded);
+  EXPECT_LE(u.completed_at, 115.0);  // deadline met
+  // The background job was suspended, not killed.
+  EXPECT_EQ(cluster.job_tracker().task(cluster.job_tracker().job(background).tasks[0])
+                .attempts_started,
+            1);
+}
+
+TEST(Deadline, NoPreemptionWhenLaxityIsComfortable) {
+  ClusterConfig cfg = paper_cluster();
+  cfg.hadoop.map_slots = 1;
+  Cluster cluster(cfg);
+  auto sched = std::make_unique<DeadlineScheduler>();
+  DeadlineScheduler* dl = sched.get();
+  cluster.set_scheduler(std::move(sched));
+  cluster.sim().at(0.05, [&] { cluster.submit(job_with_deadline("a", 1000)); });
+  cluster.sim().at(10.0, [&] { cluster.submit(job_with_deadline("b", 900)); });
+  cluster.run();
+  EXPECT_EQ(dl->preemptions_issued(), 0);
+}
+
+TEST(Deadline, LaxityAccountsForProgress) {
+  ClusterConfig cfg = paper_cluster();
+  Cluster cluster(cfg);
+  auto sched = std::make_unique<DeadlineScheduler>();
+  DeadlineScheduler* dl = sched.get();
+  cluster.set_scheduler(std::move(sched));
+  JobId id{};
+  cluster.sim().at(0.05, [&] { id = cluster.submit(job_with_deadline("j", 200)); });
+  cluster.run_until(45.0);
+  // Halfway through: remaining work ~40 s, laxity ~200-45-40.
+  EXPECT_NEAR(dl->remaining_work(id), 40.0, 10.0);
+  EXPECT_NEAR(dl->laxity(id), 115.0, 12.0);
+}
+
+TEST(Deadline, JobsWithoutDeadlinesRunLast) {
+  ClusterConfig cfg = paper_cluster();
+  cfg.hadoop.map_slots = 1;
+  Cluster cluster(cfg);
+  cluster.set_scheduler(std::make_unique<DeadlineScheduler>());
+  JobId nodeadline{}, dated{};
+  cluster.sim().at(0.05, [&] {
+    nodeadline = cluster.submit(single_task_job("free", 0, light_map_task()));
+  });
+  cluster.sim().at(0.10, [&] { dated = cluster.submit(job_with_deadline("dated", 300)); });
+  cluster.run();
+  EXPECT_LT(cluster.job_tracker().job(dated).completed_at,
+            cluster.job_tracker().job(nodeadline).completed_at);
+}
+
+}  // namespace
+}  // namespace osap

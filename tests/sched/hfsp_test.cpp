@@ -1,0 +1,78 @@
+#include "sched/hfsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "workload/profiles.hpp"
+
+namespace osap {
+namespace {
+
+TEST(Hfsp, SmallJobPreemptsBigJob) {
+  ClusterConfig cfg = paper_cluster();
+  Cluster cluster(cfg);
+  HfspScheduler::Options options;
+  options.primitive = PreemptPrimitive::Suspend;
+  auto sched = std::make_unique<HfspScheduler>(options);
+  HfspScheduler* hfsp = sched.get();
+  cluster.set_scheduler(std::move(sched));
+
+  // Big job first (512 MB task), tiny job (64 MB task) arrives mid-run.
+  JobId big, tiny;
+  cluster.sim().at(0.05,
+                   [&] { big = cluster.submit(single_task_job("big", 0, light_map_task())); });
+  cluster.sim().at(20.0, [&] {
+    tiny = cluster.submit(single_task_job("tiny", 0, light_map_task(64 * MiB)));
+  });
+  cluster.run();
+  EXPECT_GE(hfsp->preemptions_issued(), 1);
+  const Job& b = cluster.job_tracker().job(big);
+  const Job& t = cluster.job_tracker().job(tiny);
+  EXPECT_EQ(b.state, JobState::Succeeded);
+  EXPECT_EQ(t.state, JobState::Succeeded);
+  // The tiny job finished long before the big one (SRPT behaviour).
+  EXPECT_LT(t.completed_at, b.completed_at);
+  EXPECT_LT(t.sojourn(), 30.0);
+  // Work preserved: the big task was suspended, not killed.
+  EXPECT_EQ(cluster.job_tracker().task(b.tasks[0]).attempts_started, 1);
+}
+
+TEST(Hfsp, RemainingSizeShrinksWithProgress) {
+  ClusterConfig cfg = paper_cluster();
+  Cluster cluster(cfg);
+  auto sched = std::make_unique<HfspScheduler>();
+  HfspScheduler* hfsp = sched.get();
+  cluster.set_scheduler(std::move(sched));
+  JobId id;
+  cluster.sim().at(0.05, [&] { id = cluster.submit(single_task_job("j", 0, light_map_task())); });
+  cluster.run_until(45.0);
+  const Bytes remaining = hfsp->remaining_size(id);
+  EXPECT_LT(remaining, 400 * MiB);
+  EXPECT_GT(remaining, 100 * MiB);
+}
+
+TEST(Hfsp, BigJobCompletesAfterSmallOnesDrain) {
+  ClusterConfig cfg = paper_cluster();
+  Cluster cluster(cfg);
+  auto sched = std::make_unique<HfspScheduler>();
+  cluster.set_scheduler(std::move(sched));
+  JobId big;
+  std::vector<JobId> smalls(3);
+  cluster.sim().at(0.05,
+                   [&] { big = cluster.submit(single_task_job("big", 0, light_map_task())); });
+  for (int i = 0; i < 3; ++i) {
+    cluster.sim().at(15.0 + 5 * i, [&, i] {
+      smalls[static_cast<std::size_t>(i)] =
+          cluster.submit(single_task_job("small" + std::to_string(i), 0, light_map_task(32 * MiB)));
+    });
+  }
+  cluster.run();
+  const Job& b = cluster.job_tracker().job(big);
+  EXPECT_EQ(b.state, JobState::Succeeded);
+  for (JobId s : smalls) {
+    EXPECT_EQ(cluster.job_tracker().job(s).state, JobState::Succeeded);
+    EXPECT_LT(cluster.job_tracker().job(s).completed_at, b.completed_at);
+  }
+}
+
+}  // namespace
+}  // namespace osap

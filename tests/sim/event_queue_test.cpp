@@ -1,0 +1,86 @@
+#include "sim/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace osap {
+namespace {
+
+TEST(EventQueue, OrdersByTime) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.push(2.0, [&] { fired.push_back(2); });
+  q.push(1.0, [&] { fired.push_back(1); });
+  q.push(3.0, [&] { fired.push_back(3); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesFireInInsertionOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 5; ++i) q.push(1.0, [&fired, i] { fired.push_back(i); });
+  while (!q.empty()) q.pop().fn();
+  EXPECT_EQ(fired, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  const EventId id = q.push(1.0, [&] { fired = true; });
+  q.push(2.0, [] {});
+  q.cancel(id);
+  EXPECT_EQ(q.pending(), 1u);
+  while (!q.empty()) q.pop().fn();
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelUnknownIdIsNoop) {
+  EventQueue q;
+  q.push(1.0, [] {});
+  q.cancel(999);
+  q.cancel(0);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, DoubleCancelCountsOnce) {
+  EventQueue q;
+  const EventId id = q.push(1.0, [] {});
+  q.push(2.0, [] {});
+  q.cancel(id);
+  q.cancel(id);
+  EXPECT_EQ(q.pending(), 1u);
+}
+
+TEST(EventQueue, NextTimeSkipsCancelled) {
+  EventQueue q;
+  const EventId id = q.push(1.0, [] {});
+  q.push(5.0, [] {});
+  q.cancel(id);
+  EXPECT_DOUBLE_EQ(q.next_time(), 5.0);
+}
+
+TEST(EventQueue, EmptyNextTimeIsNever) {
+  EventQueue q;
+  EXPECT_EQ(q.next_time(), kTimeNever);
+}
+
+TEST(EventQueue, RejectsInfiniteTime) {
+  EventQueue q;
+  EXPECT_THROW(q.push(kTimeNever, [] {}), SimError);
+  EXPECT_THROW(q.push(-1.0, [] {}), SimError);
+}
+
+TEST(EventQueue, PopReportsTimeAndId) {
+  EventQueue q;
+  const EventId id = q.push(4.5, [] {});
+  auto fired = q.pop();
+  EXPECT_DOUBLE_EQ(fired.time, 4.5);
+  EXPECT_EQ(fired.id, id);
+}
+
+}  // namespace
+}  // namespace osap

@@ -1,0 +1,206 @@
+#include "sim/fluid_resource.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/error.hpp"
+#include "sim/simulation.hpp"
+
+namespace osap {
+namespace {
+
+TEST(FluidResource, SingleConsumerFullCapacity) {
+  Simulation sim;
+  FluidResource disk(sim, 100.0, "disk");
+  SimTime done = -1;
+  disk.add(500.0, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done, 5.0);
+}
+
+TEST(FluidResource, TwoConsumersShareEqually) {
+  Simulation sim;
+  FluidResource disk(sim, 100.0, "disk");
+  SimTime a = -1, b = -1;
+  disk.add(100.0, [&] { a = sim.now(); });
+  disk.add(100.0, [&] { b = sim.now(); });
+  sim.run();
+  // Both at 50 u/s until both finish at t=2.
+  EXPECT_DOUBLE_EQ(a, 2.0);
+  EXPECT_DOUBLE_EQ(b, 2.0);
+}
+
+TEST(FluidResource, ShorterConsumerFreesCapacity) {
+  Simulation sim;
+  FluidResource disk(sim, 100.0, "disk");
+  SimTime a = -1, b = -1;
+  disk.add(50.0, [&] { a = sim.now(); });
+  disk.add(150.0, [&] { b = sim.now(); });
+  sim.run();
+  // Share 50/50 until t=1 (a done, b has 100 left), then b at 100 u/s.
+  EXPECT_DOUBLE_EQ(a, 1.0);
+  EXPECT_DOUBLE_EQ(b, 2.0);
+}
+
+TEST(FluidResource, RateCapLimitsAllocation) {
+  Simulation sim;
+  FluidResource cpu(sim, 8.0, "cpu");
+  SimTime done = -1;
+  cpu.add(10.0, /*rate_cap=*/1.0, [&] { done = sim.now(); });
+  sim.run();
+  // One process on an 8-core CPU still runs at 1 core.
+  EXPECT_DOUBLE_EQ(done, 10.0);
+}
+
+TEST(FluidResource, WaterFillingRedistributesCapAbove) {
+  Simulation sim;
+  FluidResource r(sim, 90.0, "r");
+  SimTime a = -1, b = -1;
+  r.add(100.0, /*rate_cap=*/10.0, [&] { a = sim.now(); });
+  r.add(160.0, [&] { b = sim.now(); });
+  sim.run();
+  // a capped at 10, b gets 80 -> b done at t=2; then a at 10 til t=10.
+  EXPECT_DOUBLE_EQ(b, 2.0);
+  EXPECT_DOUBLE_EQ(a, 10.0);
+}
+
+TEST(FluidResource, UnlimitedCapacityWithCaps) {
+  Simulation sim;
+  FluidResource cpu(sim, FluidResource::kUnlimited, "cpu");
+  SimTime done = -1;
+  cpu.add(4.0, /*rate_cap=*/2.0, [&] { done = sim.now(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done, 2.0);
+}
+
+TEST(FluidResource, RejectsUnlimitedOnUnlimited) {
+  Simulation sim;
+  FluidResource r(sim, FluidResource::kUnlimited, "r");
+  EXPECT_THROW(r.add(1.0, [] {}), SimError);
+}
+
+TEST(FluidResource, PauseFreezesProgress) {
+  Simulation sim;
+  FluidResource disk(sim, 100.0, "disk");
+  SimTime done = -1;
+  const auto id = disk.add(200.0, [&] { done = sim.now(); });
+  sim.at(1.0, [&] { disk.pause(id); });
+  sim.at(11.0, [&] { disk.resume(id); });
+  sim.run();
+  // 100 served in [0,1], paused 10s, remaining 100 in [11,12].
+  EXPECT_DOUBLE_EQ(done, 12.0);
+}
+
+TEST(FluidResource, PausedConsumerReleasesShare) {
+  Simulation sim;
+  FluidResource disk(sim, 100.0, "disk");
+  SimTime a = -1, b = -1;
+  const auto ida = disk.add(1000.0, [&] { a = sim.now(); });
+  disk.add(100.0, [&] { b = sim.now(); });
+  sim.at(1.0, [&] { disk.pause(ida); });
+  sim.run();
+  // b: 50 in [0,1], then full 100 u/s for remaining 50 -> t=1.5.
+  EXPECT_DOUBLE_EQ(b, 1.5);
+  EXPECT_EQ(a, -1);  // still paused when queue drained
+}
+
+TEST(FluidResource, CancelDropsWithoutCallback) {
+  Simulation sim;
+  FluidResource disk(sim, 100.0, "disk");
+  bool fired = false;
+  const auto id = disk.add(200.0, [&] { fired = true; });
+  sim.at(0.5, [&] { disk.cancel(id); });
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(disk.active_count(), 0u);
+}
+
+TEST(FluidResource, ZeroDemandCompletesImmediately) {
+  Simulation sim;
+  FluidResource disk(sim, 100.0, "disk");
+  SimTime done = -1;
+  sim.at(2.0, [&] { disk.add(0.0, [&] { done = sim.now(); }); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done, 2.0);
+}
+
+TEST(FluidResource, AddDemandExtendsStream) {
+  Simulation sim;
+  FluidResource disk(sim, 100.0, "disk");
+  SimTime done = -1;
+  const auto id = disk.add(100.0, [&] { done = sim.now(); });
+  sim.at(0.5, [&] { disk.add_demand(id, 50.0); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(done, 1.5);
+}
+
+TEST(FluidResource, QueriesTrackProgressMidFlight) {
+  Simulation sim;
+  FluidResource disk(sim, 100.0, "disk");
+  const auto id = disk.add(200.0, [] {});
+  sim.at(1.0, [&] {
+    EXPECT_NEAR(disk.served(id), 100.0, 1e-6);
+    EXPECT_NEAR(disk.remaining(id), 100.0, 1e-6);
+    EXPECT_DOUBLE_EQ(disk.rate(id), 100.0);
+  });
+  sim.run();
+  EXPECT_FALSE(disk.contains(id));
+}
+
+TEST(FluidResource, TotalServedAccumulates) {
+  Simulation sim;
+  FluidResource disk(sim, 100.0, "disk");
+  disk.add(30.0, [] {});
+  disk.add(70.0, [] {});
+  sim.run();
+  EXPECT_NEAR(disk.total_served(), 100.0, 1e-6);
+}
+
+TEST(FluidResource, SetCapacityRescales) {
+  Simulation sim;
+  FluidResource disk(sim, 100.0, "disk");
+  SimTime done = -1;
+  disk.add(200.0, [&] { done = sim.now(); });
+  sim.at(1.0, [&] { disk.set_capacity(50.0); });
+  sim.run();
+  // 100 in [0,1], then 100 more at 50 u/s -> t=3.
+  EXPECT_DOUBLE_EQ(done, 3.0);
+}
+
+TEST(FluidResource, CompletionCallbackCanAddNewConsumer) {
+  Simulation sim;
+  FluidResource disk(sim, 100.0, "disk");
+  SimTime second = -1;
+  disk.add(100.0, [&] { disk.add(100.0, [&] { second = sim.now(); }); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(second, 2.0);
+}
+
+TEST(FluidResource, ManyConsumersDrainDeterministically) {
+  Simulation sim;
+  FluidResource disk(sim, 100.0, "disk");
+  int completed = 0;
+  for (int i = 1; i <= 20; ++i) {
+    disk.add(10.0 * i, [&] { ++completed; });
+  }
+  sim.run();
+  EXPECT_EQ(completed, 20);
+  EXPECT_NEAR(disk.total_served(), 10.0 * (20 * 21 / 2), 1e-3);
+}
+
+TEST(FluidResource, PauseDuringContentionSettlesFirst) {
+  Simulation sim;
+  FluidResource disk(sim, 100.0, "disk");
+  SimTime b_done = -1;
+  const auto a = disk.add(500.0, [] {});
+  disk.add(100.0, [&] { b_done = sim.now(); });
+  sim.at(1.0, [&] {
+    disk.pause(a);
+    EXPECT_NEAR(disk.remaining(a), 450.0, 1e-6);
+  });
+  sim.run();
+  // b: 50 in [0,1] shared, then 50 at full speed -> 1.5.
+  EXPECT_DOUBLE_EQ(b_done, 1.5);
+}
+
+}  // namespace
+}  // namespace osap

@@ -1,0 +1,92 @@
+#include "sim/simulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace osap {
+namespace {
+
+TEST(Simulation, ClockAdvancesToEventTimes) {
+  Simulation sim;
+  std::vector<SimTime> seen;
+  sim.at(1.0, [&] { seen.push_back(sim.now()); });
+  sim.at(2.5, [&] { seen.push_back(sim.now()); });
+  sim.run();
+  EXPECT_EQ(seen, (std::vector<SimTime>{1.0, 2.5}));
+  EXPECT_DOUBLE_EQ(sim.now(), 2.5);
+}
+
+TEST(Simulation, AfterIsRelative) {
+  Simulation sim;
+  SimTime fired = -1;
+  sim.at(10.0, [&] { sim.after(5.0, [&] { fired = sim.now(); }); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired, 15.0);
+}
+
+TEST(Simulation, NegativeDelayClampsToNow) {
+  Simulation sim;
+  SimTime fired = -1;
+  sim.at(3.0, [&] { sim.after(-2.0, [&] { fired = sim.now(); }); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired, 3.0);
+}
+
+TEST(Simulation, CannotScheduleInThePast) {
+  Simulation sim;
+  sim.at(5.0, [&] { EXPECT_THROW(sim.at(1.0, [] {}), SimError); });
+  sim.run();
+}
+
+TEST(Simulation, RunUntilStopsAndSetsClock) {
+  Simulation sim;
+  int fired = 0;
+  sim.at(1.0, [&] { ++fired; });
+  sim.at(10.0, [&] { ++fired; });
+  sim.run_until(5.0);
+  EXPECT_EQ(fired, 1);
+  EXPECT_DOUBLE_EQ(sim.now(), 5.0);
+  sim.run();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Simulation, CancelledEventDoesNotFire) {
+  Simulation sim;
+  bool fired = false;
+  const EventId id = sim.at(1.0, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(Simulation, EventsProcessedCounts) {
+  Simulation sim;
+  for (int i = 0; i < 7; ++i) sim.at(i, [] {});
+  sim.run();
+  EXPECT_EQ(sim.events_processed(), 7u);
+}
+
+TEST(Simulation, StepReturnsFalseWhenDrained) {
+  Simulation sim;
+  sim.at(1.0, [] {});
+  EXPECT_TRUE(sim.step());
+  EXPECT_FALSE(sim.step());
+}
+
+TEST(Simulation, CascadingEventsKeepDeterministicOrder) {
+  Simulation sim;
+  std::vector<int> order;
+  sim.at(1.0, [&] {
+    order.push_back(1);
+    sim.after(0, [&] { order.push_back(3); });
+  });
+  sim.at(1.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace osap

@@ -1,0 +1,113 @@
+// Spark-style executors on the substrate: cached iteration, and what each
+// preemption primitive does to an executor's in-memory RDD cache.
+#include <gtest/gtest.h>
+
+#include "sched/dummy.hpp"
+#include "spark/driver.hpp"
+#include "workload/profiles.hpp"
+
+namespace osap {
+namespace {
+
+struct Rig {
+  Rig() {
+    ClusterConfig cfg = paper_cluster();
+    cfg.hadoop.map_slots = 1;
+    cluster = std::make_unique<Cluster>(cfg);
+    auto sched = std::make_unique<DummyScheduler>(*cluster);
+    ds = sched.get();
+    cluster->set_scheduler(std::move(sched));
+  }
+  std::unique_ptr<Cluster> cluster;
+  DummyScheduler* ds = nullptr;
+};
+
+TEST(Spark, IterativeAppCachesAndIterates) {
+  Rig rig;
+  SparkDriver driver(*rig.cluster, iterative_app("pagerank", 512 * MiB, 1 * GiB, 3),
+                     rig.cluster->node(0));
+  rig.cluster->sim().at(0.05, [&] { driver.start(); });
+  rig.cluster->run();
+  EXPECT_TRUE(driver.done());
+  EXPECT_EQ(driver.stages_completed(), 3);
+  EXPECT_EQ(driver.recomputations(), 0);
+  // First pass ~80 s; each cached iteration only ~25 s of CPU: the whole
+  // app is far cheaper than four full passes.
+  EXPECT_LT(driver.runtime(), 4 * 80.0);
+  EXPECT_GT(driver.runtime(), 80.0);
+}
+
+TEST(Spark, CachedIterationsAreMuchCheaperThanRecomputation) {
+  Rig uncached_rig;
+  SparkAppSpec no_cache = iterative_app("nc", 512 * MiB, 0, 3);
+  for (auto& stage : no_cache.stages) stage.read_from_cache = false;
+  SparkDriver uncached(*uncached_rig.cluster, no_cache, uncached_rig.cluster->node(0));
+  uncached_rig.cluster->sim().at(0.05, [&] { uncached.start(); });
+  uncached_rig.cluster->run();
+
+  Rig cached_rig;
+  SparkDriver cached(*cached_rig.cluster, iterative_app("c", 512 * MiB, 1 * GiB, 3),
+                     cached_rig.cluster->node(0));
+  cached_rig.cluster->sim().at(0.05, [&] { cached.start(); });
+  cached_rig.cluster->run();
+
+  EXPECT_LT(cached.runtime(), uncached.runtime() * 0.7);
+}
+
+TEST(Spark, SuspendPreservesTheCache) {
+  Rig rig;
+  SparkDriver driver(*rig.cluster, iterative_app("app", 512 * MiB, gib(1.5), 3),
+                     rig.cluster->node(0));
+  rig.cluster->sim().at(0.05, [&] { driver.start(); });
+  // Park the whole app during its second stage, displace it with a
+  // memory-hungry job, then bring it back.
+  rig.cluster->sim().at(95.0, [&] { driver.preempt(PreemptPrimitive::Suspend); });
+  rig.cluster->sim().at(96.0, [&] {
+    rig.cluster->submit(single_task_job("intruder", 10, hungry_map_task(2 * GiB)));
+  });
+  rig.ds->on_complete("intruder", [&] { driver.restore(PreemptPrimitive::Suspend); });
+  rig.cluster->run();
+  EXPECT_TRUE(driver.done());
+  EXPECT_EQ(driver.recomputations(), 0);  // cache survived
+  EXPECT_TRUE(driver.cache_valid() || driver.done());
+  // The intruder's pressure pushed the parked cache to swap.
+  EXPECT_GT(driver.cache_swapped_out(), 300 * MiB);
+}
+
+TEST(Spark, KillDestroysTheCacheAndForcesRecomputation) {
+  Rig rig;
+  SparkDriver driver(*rig.cluster, iterative_app("app", 512 * MiB, 1 * GiB, 3),
+                     rig.cluster->node(0));
+  rig.cluster->sim().at(0.05, [&] { driver.start(); });
+  rig.cluster->sim().at(95.0, [&] { driver.preempt(PreemptPrimitive::Kill); });
+  rig.cluster->sim().at(96.0, [&] {
+    rig.cluster->submit(single_task_job("intruder", 10, light_map_task()));
+  });
+  rig.ds->on_complete("intruder", [&] { driver.restore(PreemptPrimitive::Kill); });
+  rig.cluster->run();
+  EXPECT_TRUE(driver.done());
+  EXPECT_GE(driver.recomputations(), 1);  // lost the cache
+}
+
+TEST(Spark, SuspendBeatsKillOnAppRuntimeUnderPreemption) {
+  auto run_with = [](PreemptPrimitive primitive) {
+    Rig rig;
+    SparkDriver driver(*rig.cluster, iterative_app("app", 512 * MiB, 1 * GiB, 3),
+                       rig.cluster->node(0));
+    rig.cluster->sim().at(0.05, [&] { driver.start(); });
+    rig.cluster->sim().at(95.0, [&, primitive] { driver.preempt(primitive); });
+    rig.cluster->sim().at(96.0, [&] {
+      rig.cluster->submit(single_task_job("intruder", 10, light_map_task()));
+    });
+    rig.ds->on_complete("intruder",
+                        [&, primitive] { driver.restore(primitive); });
+    rig.cluster->run();
+    return driver.runtime();
+  };
+  const Duration susp = run_with(PreemptPrimitive::Suspend);
+  const Duration kill = run_with(PreemptPrimitive::Kill);
+  EXPECT_LT(susp, kill);
+}
+
+}  // namespace
+}  // namespace osap

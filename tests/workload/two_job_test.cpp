@@ -1,0 +1,161 @@
+// Property-style checks of the paper's scenario: the qualitative results
+// of §IV must hold across the whole r sweep and across seeds.
+#include "workload/two_job.hpp"
+
+#include <gtest/gtest.h>
+
+namespace osap {
+namespace {
+
+TwoJobResult run(PreemptPrimitive primitive, double r, Bytes tl_state = 0, Bytes th_state = 0,
+                 std::uint64_t seed = 1) {
+  TwoJobParams params;
+  params.primitive = primitive;
+  params.progress_at_launch = r;
+  params.tl_state = tl_state;
+  params.th_state = th_state;
+  params.seed = seed;
+  return run_two_job(params);
+}
+
+TEST(TwoJob, SoloDurationMatchesCalibration) {
+  const Duration solo = solo_task_duration(light_map_task(), paper_cluster());
+  EXPECT_GT(solo, 75.0);
+  EXPECT_LT(solo, 85.0);
+}
+
+TEST(TwoJob, DeterministicForSameSeed) {
+  const TwoJobResult a = run(PreemptPrimitive::Suspend, 0.5, 0, 0, 99);
+  const TwoJobResult b = run(PreemptPrimitive::Suspend, 0.5, 0, 0, 99);
+  EXPECT_DOUBLE_EQ(a.sojourn_th, b.sojourn_th);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.tl_swapped_out, b.tl_swapped_out);
+}
+
+TEST(TwoJob, SeedsProduceSmallSpread) {
+  // "Minimum and maximum values measured are within 5% of the average."
+  double lo = 1e18, hi = 0;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    const double v = run(PreemptPrimitive::Suspend, 0.5, 0, 0, seed).sojourn_th;
+    lo = std::min(lo, v);
+    hi = std::max(hi, v);
+  }
+  EXPECT_LT((hi - lo) / lo, 0.10);
+}
+
+class TwoJobSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TwoJobSweep, SuspendBeatsKillOnSojourn) {
+  const double r = GetParam();
+  EXPECT_LT(run(PreemptPrimitive::Suspend, r).sojourn_th,
+            run(PreemptPrimitive::Kill, r).sojourn_th);
+}
+
+TEST_P(TwoJobSweep, SuspendBeatsWaitOnSojourn) {
+  const double r = GetParam();
+  EXPECT_LT(run(PreemptPrimitive::Suspend, r).sojourn_th,
+            run(PreemptPrimitive::Wait, r).sojourn_th);
+}
+
+TEST_P(TwoJobSweep, SuspendMatchesWaitOnMakespan) {
+  const double r = GetParam();
+  const double susp = run(PreemptPrimitive::Suspend, r).makespan;
+  const double wait = run(PreemptPrimitive::Wait, r).makespan;
+  // Light-weight tasks: no paging, so the suspend makespan tracks wait.
+  EXPECT_NEAR(susp, wait, 3.0);
+}
+
+TEST_P(TwoJobSweep, KillWastesWorkProportionalToProgress) {
+  const double r = GetParam();
+  const double kill = run(PreemptPrimitive::Kill, r).makespan;
+  const double wait = run(PreemptPrimitive::Wait, r).makespan;
+  // Kill redoes ~r of tl (~76 s of parse work) plus cleanup.
+  EXPECT_GT(kill, wait + r * 60.0);
+  EXPECT_LT(kill, wait + r * 90.0 + 12.0);
+}
+
+TEST_P(TwoJobSweep, LightTasksNeverSwap) {
+  const double r = GetParam();
+  EXPECT_EQ(run(PreemptPrimitive::Suspend, r).tl_swapped_out, 0u);
+}
+
+TEST_P(TwoJobSweep, WaitSojournShrinksWithProgress) {
+  const double r = GetParam();
+  if (r >= 0.85) return;  // need headroom for the comparison
+  EXPECT_GT(run(PreemptPrimitive::Wait, r).sojourn_th,
+            run(PreemptPrimitive::Wait, r + 0.1).sojourn_th);
+}
+
+INSTANTIATE_TEST_SUITE_P(ProgressSweep, TwoJobSweep,
+                         ::testing::Values(0.1, 0.3, 0.5, 0.7, 0.9));
+
+TEST(TwoJobWorstCase, KillSlightlyBeatsSuspendOnSojourn) {
+  // Fig. 3a: with memory-hungry tasks, paging makes kill's sojourn
+  // slightly lower than suspend's.
+  const double susp = run(PreemptPrimitive::Suspend, 0.5, 2 * GiB, 2 * GiB).sojourn_th;
+  const double kill = run(PreemptPrimitive::Kill, 0.5, 2 * GiB, 2 * GiB).sojourn_th;
+  EXPECT_GT(susp, kill);
+  EXPECT_LT(susp, kill + 15.0);  // "marginal" overhead
+}
+
+TEST(TwoJobWorstCase, WaitSlightlyBeatsSuspendOnMakespan) {
+  // Fig. 3b.
+  const double susp = run(PreemptPrimitive::Suspend, 0.5, 2 * GiB, 2 * GiB).makespan;
+  const double wait = run(PreemptPrimitive::Wait, 0.5, 2 * GiB, 2 * GiB).makespan;
+  EXPECT_GT(susp, wait);
+  EXPECT_LT(susp, wait * 1.15);
+}
+
+TEST(TwoJobWorstCase, SuspendStillBeatsWaitOnSojourn) {
+  const double susp = run(PreemptPrimitive::Suspend, 0.3, 2 * GiB, 2 * GiB).sojourn_th;
+  const double wait = run(PreemptPrimitive::Wait, 0.3, 2 * GiB, 2 * GiB).sojourn_th;
+  EXPECT_LT(susp, wait);
+}
+
+TEST(TwoJobWorstCase, SuspendStillBeatsKillOnMakespan) {
+  const double susp = run(PreemptPrimitive::Suspend, 0.5, 2 * GiB, 2 * GiB).makespan;
+  const double kill = run(PreemptPrimitive::Kill, 0.5, 2 * GiB, 2 * GiB).makespan;
+  EXPECT_LT(susp, kill);
+}
+
+TEST(TwoJobWorstCase, SuspensionForcesSwap) {
+  const TwoJobResult res = run(PreemptPrimitive::Suspend, 0.5, 2 * GiB, 2 * GiB);
+  EXPECT_GT(res.tl_swapped_out, 400 * MiB);
+  EXPECT_GT(res.tl_swapped_in, 300 * MiB);
+  EXPECT_GE(res.node_swap_out, res.tl_swapped_out);
+}
+
+class MemorySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(MemorySweep, SwapGrowsWithThFootprint) {
+  // Fig. 4: tl = 2.5 GiB; more th memory means more of tl paged out.
+  const double m = GetParam();
+  const TwoJobResult now = run(PreemptPrimitive::Suspend, 0.5, gib(2.5), gib(m));
+  const TwoJobResult next = run(PreemptPrimitive::Suspend, 0.5, gib(2.5), gib(m + 0.625));
+  EXPECT_GE(next.tl_swapped_out, now.tl_swapped_out);
+}
+
+TEST_P(MemorySweep, OverheadTracksSwapVolume) {
+  const double m = GetParam();
+  const TwoJobResult susp = run(PreemptPrimitive::Suspend, 0.5, gib(2.5), gib(m));
+  const TwoJobResult wait = run(PreemptPrimitive::Wait, 0.5, gib(2.5), gib(m));
+  const double overhead = susp.makespan - wait.makespan;
+  // Roughly linear: paging two ways at ~140 MiB/s, with generous slack.
+  const double expected = 2.0 * static_cast<double>(susp.tl_swapped_out) /
+                          (140.0 * static_cast<double>(MiB));
+  EXPECT_LT(std::abs(overhead - expected), expected * 0.8 + 6.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(ThMemory, MemorySweep, ::testing::Values(0.625, 1.25, 1.875));
+
+TEST(TwoJobNatjam, AlwaysPaysSerializationForStatefulTasks) {
+  // §II / §IV-C: Natjam serializes + deserializes the whole state; the
+  // OS-assisted primitive pays only when memory is actually tight. With
+  // 1 GiB of state and plenty of RAM, susp is free while natjam is not.
+  const double natjam = run(PreemptPrimitive::NatjamCheckpoint, 0.5, 1 * GiB, 0).makespan;
+  const double susp = run(PreemptPrimitive::Suspend, 0.5, 1 * GiB, 0).makespan;
+  EXPECT_GT(natjam, susp + 10.0);
+}
+
+}  // namespace
+}  // namespace osap

@@ -1,0 +1,157 @@
+// YARN-model tests: container leases, memory-based scheduling, and the
+// suspend-vs-kill preemption semantics of §III-B applied to Hadoop 2.
+#include <gtest/gtest.h>
+
+#include "workload/profiles.hpp"
+#include "yarn/yarn_cluster.hpp"
+
+namespace osap {
+namespace {
+
+YarnClusterConfig base_config(PreemptPrimitive primitive) {
+  YarnClusterConfig cfg;
+  cfg.num_nodes = 1;
+  cfg.os = paper_cluster().os;
+  cfg.container_capacity = 2 * GiB;  // room for exactly one fat container
+  cfg.primitive = primitive;
+  return cfg;
+}
+
+YarnAppSpec one_task_app(const std::string& name, int priority, TaskSpec task,
+                         Bytes container = 2 * GiB) {
+  YarnAppSpec app;
+  app.name = name;
+  app.priority = priority;
+  app.container_memory = container;
+  task.name = name;
+  app.tasks.push_back(std::move(task));
+  return app;
+}
+
+TEST(Yarn, SingleAppRunsToCompletion) {
+  YarnCluster cluster(base_config(PreemptPrimitive::Suspend));
+  const AppId id = cluster.submit(one_task_app("solo", 0, light_map_task()));
+  cluster.run();
+  const YarnApp& app = cluster.rm().app(id);
+  EXPECT_EQ(app.state, YarnAppState::Succeeded);
+  EXPECT_GT(app.sojourn(), 70.0);
+  EXPECT_LT(app.sojourn(), 90.0);
+}
+
+TEST(Yarn, LeasesBoundConcurrency) {
+  YarnClusterConfig cfg = base_config(PreemptPrimitive::Wait);
+  cfg.container_capacity = 2 * GiB;
+  YarnCluster cluster(cfg);
+  // Two 1 GiB containers fit side by side; a third waits.
+  YarnAppSpec app;
+  app.name = "three";
+  app.container_memory = 1 * GiB;
+  for (int i = 0; i < 3; ++i) app.tasks.push_back(light_map_task());
+  const AppId id = cluster.submit(app);
+  cluster.run_until(20.0);
+  EXPECT_EQ(cluster.node_manager(cluster.node(0)).leased(), 2 * GiB);
+  cluster.run();
+  EXPECT_EQ(cluster.rm().app(id).state, YarnAppState::Succeeded);
+}
+
+TEST(Yarn, WaitPrimitiveMakesHighPriorityQueue) {
+  YarnCluster cluster(base_config(PreemptPrimitive::Wait));
+  const AppId low = cluster.submit(one_task_app("low", 0, light_map_task()));
+  AppId high{};
+  cluster.sim().at(20.0, [&] {
+    high = cluster.submit(one_task_app("high", 10, light_map_task()));
+  });
+  cluster.run();
+  const YarnApp& h = cluster.rm().app(high);
+  EXPECT_EQ(h.state, YarnAppState::Succeeded);
+  // It had to wait for the low app's container to finish (~60 s) first.
+  EXPECT_GT(h.sojourn(), 120.0);
+  EXPECT_EQ(cluster.rm().preemptions_issued(), 0);
+  EXPECT_EQ(cluster.rm().app(low).state, YarnAppState::Succeeded);
+}
+
+TEST(Yarn, SuspendFreesTheLeaseImmediately) {
+  YarnCluster cluster(base_config(PreemptPrimitive::Suspend));
+  const AppId low = cluster.submit(one_task_app("low", 0, light_map_task()));
+  AppId high{};
+  cluster.sim().at(20.0, [&] {
+    high = cluster.submit(one_task_app("high", 10, light_map_task()));
+  });
+  cluster.run();
+  const YarnApp& h = cluster.rm().app(high);
+  EXPECT_EQ(h.state, YarnAppState::Succeeded);
+  // Started almost immediately: suspension released the only lease.
+  EXPECT_LT(h.sojourn(), 95.0);
+  EXPECT_GE(cluster.rm().preemptions_issued(), 1);
+  // The low app resumed afterwards and lost nothing.
+  const YarnApp& l = cluster.rm().app(low);
+  EXPECT_EQ(l.state, YarnAppState::Succeeded);
+  EXPECT_EQ(cluster.rm().containers_killed(), 0);
+}
+
+TEST(Yarn, KillPrimitiveRerunsTheVictim) {
+  YarnCluster cluster(base_config(PreemptPrimitive::Kill));
+  const AppId low = cluster.submit(one_task_app("low", 0, light_map_task()));
+  AppId high{};
+  cluster.sim().at(40.0, [&] {
+    high = cluster.submit(one_task_app("high", 10, light_map_task()));
+  });
+  cluster.run();
+  EXPECT_EQ(cluster.rm().app(high).state, YarnAppState::Succeeded);
+  EXPECT_LT(cluster.rm().app(high).sojourn(), 95.0);
+  EXPECT_GE(cluster.rm().containers_killed(), 1);
+  // The low app still finishes, but its ~40 s of work were redone.
+  const YarnApp& l = cluster.rm().app(low);
+  EXPECT_EQ(l.state, YarnAppState::Succeeded);
+  EXPECT_GT(l.sojourn(), 150.0);
+}
+
+TEST(Yarn, SuspendBeatsKillOnLowAppSojourn) {
+  auto low_sojourn = [](PreemptPrimitive primitive) {
+    YarnCluster cluster(base_config(primitive));
+    const AppId low = cluster.submit(one_task_app("low", 0, light_map_task()));
+    cluster.sim().at(40.0, [&] {
+      cluster.submit(one_task_app("high", 10, light_map_task()));
+    });
+    cluster.run();
+    return cluster.rm().app(low).sojourn();
+  };
+  EXPECT_LT(low_sojourn(PreemptPrimitive::Suspend), low_sojourn(PreemptPrimitive::Kill) - 20.0);
+}
+
+TEST(Yarn, SuspendedContainerMemoryIsPagedUnderPressure) {
+  YarnClusterConfig cfg = base_config(PreemptPrimitive::Suspend);
+  cfg.container_capacity = gib(2.5);
+  YarnCluster cluster(cfg);
+  const AppId low =
+      cluster.submit(one_task_app("low", 0, hungry_map_task(2 * GiB), gib(2.5)));
+  cluster.sim().at(40.0, [&] {
+    cluster.submit(one_task_app("high", 10, hungry_map_task(2 * GiB), gib(2.5)));
+  });
+  cluster.run();
+  EXPECT_EQ(cluster.rm().app(low).state, YarnAppState::Succeeded);
+  // The suspended container's 2 GiB went through swap while the intruder
+  // ran, and came back afterwards.
+  Kernel& kernel = cluster.kernel(cluster.node(0));
+  EXPECT_GT(kernel.disk().transferred(IoClass::SwapOut), 500 * MiB);
+  EXPECT_GT(kernel.disk().transferred(IoClass::SwapIn), 400 * MiB);
+}
+
+TEST(Yarn, MultiNodeSpreadsContainers) {
+  YarnClusterConfig cfg = base_config(PreemptPrimitive::Suspend);
+  cfg.num_nodes = 3;
+  cfg.container_capacity = 1 * GiB;
+  YarnCluster cluster(cfg);
+  YarnAppSpec app;
+  app.name = "wide";
+  app.container_memory = 1 * GiB;
+  for (int i = 0; i < 3; ++i) app.tasks.push_back(light_map_task());
+  const AppId id = cluster.submit(app);
+  cluster.run();
+  const YarnApp& done = cluster.rm().app(id);
+  EXPECT_EQ(done.state, YarnAppState::Succeeded);
+  EXPECT_LT(done.sojourn(), 95.0);  // all three in parallel
+}
+
+}  // namespace
+}  // namespace osap

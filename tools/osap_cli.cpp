@@ -1,0 +1,273 @@
+// osap — command-line front end for the simulator.
+//
+//   osap two-job  [--primitive wait|kill|susp|natjam] [--r 0.5]
+//                 [--tl-state 0MiB] [--th-state 0MiB] [--runs 20] [--seed 42]
+//       The paper's two-job experiment; prints the §IV metrics.
+//
+//   osap sweep    [--tl-state ...] [--th-state ...] [--runs ...]
+//       Full r x primitive sweep (Figures 2/3 in one table).
+//
+//   osap gantt    [--primitive susp] [--r 0.5] [--tl-state ...] [--th-state ...]
+//       One run, rendered as a Figure-1-style schedule.
+//
+//   osap config <file>
+//       Run a dummy-scheduler configuration file (§III-B) and report
+//       every job's outcome.
+//
+//   osap trace    [--scheduler fifo|fair|hfsp|capacity|deadline]
+//                 [--primitive susp] [--jobs 12] [--nodes 4] [--seed 7]
+//       A SWIM-like trace under the chosen scheduler.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+
+#include "metrics/stats.hpp"
+#include "metrics/table.hpp"
+#include "metrics/timeline.hpp"
+#include "sched/capacity.hpp"
+#include "sched/deadline.hpp"
+#include "sched/fair.hpp"
+#include "sched/hfsp.hpp"
+#include "workload/dummy_config.hpp"
+#include "workload/swim.hpp"
+#include "workload/trace_file.hpp"
+#include "workload/two_job.hpp"
+
+namespace osap {
+namespace {
+
+struct Args {
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> positional;
+
+  static Args parse(int argc, char** argv, int from) {
+    Args args;
+    for (int i = from; i < argc; ++i) {
+      const std::string token = argv[i];
+      if (token.rfind("--", 0) == 0) {
+        const std::string key = token.substr(2);
+        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+          args.flags[key] = argv[++i];
+        } else {
+          args.flags[key] = "true";
+        }
+      } else {
+        args.positional.push_back(token);
+      }
+    }
+    return args;
+  }
+
+  [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : it->second;
+  }
+  [[nodiscard]] double num(const std::string& key, double fallback) const {
+    const auto it = flags.find(key);
+    return it == flags.end() ? fallback : std::stod(it->second);
+  }
+};
+
+TwoJobParams params_from(const Args& args) {
+  TwoJobParams params;
+  params.primitive = parse_primitive(args.get("primitive", "susp"));
+  params.progress_at_launch = args.num("r", 0.5);
+  params.tl_state = parse_size(args.get("tl-state", "0"));
+  params.th_state = parse_size(args.get("th-state", "0"));
+  params.seed = static_cast<std::uint64_t>(args.num("seed", 42));
+  return params;
+}
+
+int cmd_two_job(const Args& args) {
+  const int runs = static_cast<int>(args.num("runs", 20));
+  RunningStat sojourn, makespan, swap;
+  Rng seeder(static_cast<std::uint64_t>(args.num("seed", 42)));
+  for (int i = 0; i < runs; ++i) {
+    TwoJobParams params = params_from(args);
+    params.seed = seeder.next_u64();
+    const TwoJobResult res = run_two_job(params);
+    sojourn.add(res.sojourn_th);
+    makespan.add(res.makespan);
+    swap.add(to_mib(res.tl_swapped_out));
+  }
+  std::printf("primitive=%s r=%.2f runs=%d\n", args.get("primitive", "susp").c_str(),
+              args.num("r", 0.5), runs);
+  std::printf("sojourn(th): %.1f s  (min %.1f, max %.1f)\n", sojourn.mean(), sojourn.min(),
+              sojourn.max());
+  std::printf("makespan:    %.1f s  (min %.1f, max %.1f)\n", makespan.mean(), makespan.min(),
+              makespan.max());
+  std::printf("tl paged:    %.0f MiB\n", swap.mean());
+  return 0;
+}
+
+int cmd_sweep(const Args& args) {
+  Table table({"r (%)", "wait sojourn", "kill sojourn", "susp sojourn", "wait makespan",
+               "kill makespan", "susp makespan"});
+  for (int rp = 10; rp <= 90; rp += 10) {
+    std::vector<std::string> row{std::to_string(rp)};
+    std::vector<std::string> tail;
+    for (const char* prim : {"wait", "kill", "susp"}) {
+      TwoJobParams params = params_from(args);
+      params.primitive = parse_primitive(prim);
+      params.progress_at_launch = rp / 100.0;
+      const TwoJobResult res = run_two_job(params);
+      row.push_back(Table::num(res.sojourn_th));
+      tail.push_back(Table::num(res.makespan));
+    }
+    row.insert(row.end(), tail.begin(), tail.end());
+    table.row(row);
+  }
+  table.print();
+  return 0;
+}
+
+int cmd_gantt(const Args& args) {
+  TwoJobParams params = params_from(args);
+  ClusterConfig cfg = params.cluster;
+  cfg.seed = params.seed;
+  Cluster cluster(cfg);
+  TimelineRecorder recorder(cluster.job_tracker());
+  auto sched = std::make_unique<DummyScheduler>(cluster);
+  DummyScheduler& ds = *sched;
+  cluster.set_scheduler(std::move(sched));
+  TaskSpec tl = params.tl_state > 0 ? hungry_map_task(params.tl_state) : light_map_task();
+  TaskSpec th = params.th_state > 0 ? hungry_map_task(params.th_state) : light_map_task();
+  ds.submit_at(0.05, single_task_job("tl", 0, tl));
+  const PreemptPrimitive primitive = params.primitive;
+  ds.at_progress("tl", 0, params.progress_at_launch, [&cluster, &ds, th, primitive] {
+    cluster.submit(single_task_job("th", 10, th));
+    ds.preempt("tl", 0, primitive);
+  });
+  ds.on_complete("th", [&ds, primitive] { ds.restore("tl", 0, primitive); });
+  cluster.run();
+  std::printf("%s", recorder.render_gantt(args.num("cell", 3.0)).c_str());
+  return 0;
+}
+
+int cmd_config(const Args& args) {
+  if (args.positional.empty()) {
+    std::fprintf(stderr, "usage: osap config <file>\n");
+    return 1;
+  }
+  std::ifstream in(args.positional[0]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", args.positional[0].c_str());
+    return 1;
+  }
+  Cluster cluster(paper_cluster());
+  TimelineRecorder recorder(cluster.job_tracker());
+  auto sched = std::make_unique<DummyScheduler>(cluster);
+  DummyScheduler& ds = *sched;
+  cluster.set_scheduler(std::move(sched));
+  load_dummy_config(in, ds, cluster);
+  cluster.run();
+  const JobTracker& jt = cluster.job_tracker();
+  Table table({"job", "state", "submitted (s)", "sojourn (s)"});
+  for (JobId id : jt.jobs_in_order()) {
+    const Job& job = jt.job(id);
+    table.row({job.spec.name, job.state == JobState::Succeeded ? "succeeded" : "incomplete",
+               Table::num(job.submitted_at, 2), Table::num(job.sojourn())});
+  }
+  table.print();
+  std::printf("\n%s", recorder.render_gantt(3.0).c_str());
+  return 0;
+}
+
+int cmd_trace(const Args& args) {
+  ClusterConfig cfg = paper_cluster();
+  cfg.num_nodes = static_cast<int>(args.num("nodes", 4));
+  cfg.seed = static_cast<std::uint64_t>(args.num("seed", 7));
+  Cluster cluster(cfg);
+  const PreemptPrimitive primitive = parse_primitive(args.get("primitive", "susp"));
+  const std::string which = args.get("scheduler", "hfsp");
+  if (which == "hfsp") {
+    HfspScheduler::Options options;
+    options.primitive = primitive;
+    cluster.set_scheduler(std::make_unique<HfspScheduler>(options));
+  } else if (which == "fair") {
+    FairScheduler::Options options;
+    options.cluster_map_slots = cfg.num_nodes * cfg.hadoop.map_slots;
+    options.primitive = primitive;
+    cluster.set_scheduler(std::make_unique<FairScheduler>(options));
+  } else if (which == "deadline") {
+    DeadlineScheduler::Options options;
+    options.primitive = primitive;
+    cluster.set_scheduler(std::make_unique<DeadlineScheduler>(options));
+  } else if (which == "capacity") {
+    CapacityScheduler::Options options;
+    options.cluster_map_slots = cfg.num_nodes * cfg.hadoop.map_slots;
+    options.queues = {{"default", 1.0}};
+    options.primitive = primitive;
+    cluster.set_scheduler(std::make_unique<CapacityScheduler>(options));
+  } else if (which == "fifo") {
+    cluster.set_scheduler(std::make_unique<FifoScheduler>());
+  } else {
+    std::fprintf(stderr, "unknown scheduler '%s'\n", which.c_str());
+    return 1;
+  }
+
+  std::vector<SwimJob> trace;
+  if (args.flags.contains("file")) {
+    std::ifstream in(args.get("file", ""));
+    if (!in) {
+      std::fprintf(stderr, "cannot open trace file %s\n", args.get("file", "").c_str());
+      return 1;
+    }
+    trace = load_trace_file(in);
+  } else {
+    SwimConfig swim;
+    swim.jobs = static_cast<int>(args.num("jobs", 12));
+    Rng rng(cfg.seed);
+    trace = generate_swim_trace(swim, rng);
+  }
+  auto ids = std::make_shared<std::vector<std::pair<std::string, JobId>>>();
+  for (SwimJob& job : trace) {
+    const std::string name = job.spec.name;
+    cluster.sim().at(job.arrival, [&cluster, ids, name, spec = std::move(job.spec)]() mutable {
+      ids->emplace_back(name, cluster.submit(std::move(spec)));
+    });
+  }
+  cluster.run();
+  const JobTracker& jt = cluster.job_tracker();
+  Table table({"job", "tasks", "sojourn (s)"});
+  RunningStat sojourn;
+  for (const auto& [name, id] : *ids) {
+    const Job& job = jt.job(id);
+    sojourn.add(job.sojourn());
+    table.row({name, std::to_string(job.tasks.size()), Table::num(job.sojourn())});
+  }
+  table.print();
+  std::printf("\nscheduler=%s primitive=%s mean sojourn %.1f s\n", which.c_str(),
+              to_string(primitive), sojourn.mean());
+  return 0;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: osap <two-job|sweep|gantt|config|trace> [flags]\n"
+               "run 'head tools/osap_cli.cpp' for the full flag reference\n");
+  return 1;
+}
+
+}  // namespace
+}  // namespace osap
+
+int main(int argc, char** argv) {
+  using namespace osap;
+  if (argc < 2) return usage();
+  const std::string cmd = argv[1];
+  const Args args = Args::parse(argc, argv, 2);
+  try {
+    if (cmd == "two-job") return cmd_two_job(args);
+    if (cmd == "sweep") return cmd_sweep(args);
+    if (cmd == "gantt") return cmd_gantt(args);
+    if (cmd == "config") return cmd_config(args);
+    if (cmd == "trace") return cmd_trace(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
