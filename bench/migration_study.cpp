@@ -52,8 +52,7 @@ MetricMap run_strategy(Strategy strategy, Bytes state, std::uint64_t seed) {
   // Home node frees around t ~205 s; the alternatives act at t = 60 s.
   switch (strategy) {
     case Strategy::WaitForHome: {
-      auto poll = std::make_shared<std::function<void()>>();
-      *poll = [&cluster, &ds, poll] {
+      auto poll = [&cluster, &ds](auto self) -> void {
         const Task& t = cluster.job_tracker().task(ds.task_of("tl", 0));
         if (t.done()) return;
         if (t.state == TaskState::Suspended &&
@@ -61,9 +60,9 @@ MetricMap run_strategy(Strategy strategy, Bytes state, std::uint64_t seed) {
           cluster.job_tracker().resume_task(t.id);
           return;
         }
-        cluster.sim().after(3.0, *poll);
+        cluster.sim().after(3.0, [self] { self(self); });
       };
-      cluster.sim().at(60.0, *poll);
+      cluster.sim().at(60.0, [poll] { poll(poll); });
       break;
     }
     case Strategy::DelayedKill:

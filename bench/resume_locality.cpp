@@ -48,8 +48,7 @@ MetricMap run_threshold(Duration threshold, std::uint64_t seed) {
   // trackers (standing in for a scheduler integration).
   auto policy =
       std::make_shared<ResumeLocalityPolicy>(cluster.job_tracker(), threshold);
-  auto tick = std::make_shared<std::function<void()>>();
-  *tick = [&cluster, &ds, policy, tick] {
+  auto tick = [&cluster, &ds, policy](auto self) -> void {
     const Task& t = cluster.job_tracker().task(ds.task_of("tl", 0));
     if (t.done()) return;
     if (t.state == TaskState::Suspended) policy->request_resume(t.id);
@@ -62,9 +61,9 @@ MetricMap run_threshold(Duration threshold, std::uint64_t seed) {
       status.free_reduce_slots = tt.free_reduce_slots();
       policy->on_heartbeat(status);
     }
-    cluster.sim().after(3.0, *tick);
+    cluster.sim().after(3.0, [self] { self(self); });
   };
-  cluster.sim().at(1.0, *tick);
+  cluster.sim().at(1.0, [tick] { tick(tick); });
   cluster.run();
 
   const JobTracker& jt = cluster.job_tracker();

@@ -30,10 +30,9 @@ int main() {
   Kernel& kernel = cluster.kernel(cluster.node(0));
   std::printf("%6s  %10s  %10s  %10s  %12s  %s\n", "t (s)", "free", "fs-cache", "swap used",
               "tl state", "note");
-  auto sample = std::make_shared<std::function<void()>>();
   SimTime last_note_time = -1;
   (void)last_note_time;
-  *sample = [&cluster, &ds, &kernel, sample] {
+  auto sample = [&cluster, &ds, &kernel](auto self) -> void {
     const JobTracker& jt = cluster.job_tracker();
     if (jt.all_jobs_done() && !jt.jobs_in_order().empty()) return;
     const Task& tl_task = jt.task(ds.task_of("tl", 0));
@@ -50,9 +49,9 @@ int main() {
     std::printf("%6.0f  %10s  %10s  %10s  %12s  %s\n", cluster.sim().now(),
                 format_bytes(vmm.free_ram()).c_str(), format_bytes(vmm.fs_cache()).c_str(),
                 format_bytes(vmm.swap_used()).c_str(), to_string(tl_task.state), note);
-    cluster.sim().after(5.0, *sample);
+    cluster.sim().after(5.0, [self] { self(self); });
   };
-  cluster.sim().at(0.5, *sample);
+  cluster.sim().at(0.5, [sample] { sample(sample); });
   cluster.run();
 
   const Task& tl_task = cluster.job_tracker().task(ds.task_of("tl", 0));

@@ -1,0 +1,37 @@
+#include "audit/audit.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace osap {
+
+void AuditRegistry::add(InvariantAuditor* auditor) {
+  if (auditor == nullptr) return;
+  if (std::find(auditors_.begin(), auditors_.end(), auditor) != auditors_.end()) return;
+  auditors_.push_back(auditor);
+}
+
+void AuditRegistry::remove(InvariantAuditor* auditor) {
+  auditors_.erase(std::remove(auditors_.begin(), auditors_.end(), auditor), auditors_.end());
+}
+
+void AuditRegistry::run(std::vector<std::string>& violations) const {
+  for (const InvariantAuditor* auditor : auditors_) {
+    std::vector<std::string> found;
+    auditor->audit(found);
+    for (std::string& message : found) {
+      violations.push_back("[" + auditor->audit_label() + "] " + std::move(message));
+    }
+  }
+}
+
+std::string AuditRegistry::dump_all() const {
+  std::ostringstream os;
+  for (const InvariantAuditor* auditor : auditors_) {
+    os << "--- " << auditor->audit_label() << " ---\n";
+    auditor->dump(os);
+  }
+  return os.str();
+}
+
+}  // namespace osap

@@ -1,0 +1,70 @@
+// Runtime invariant auditing: catch a broken simulation the moment it
+// breaks, not when a downstream metric looks funny.
+//
+// Model layers (VMM, kernel, trackers, preemption protocol) implement
+// InvariantAuditor and register with the Simulation's AuditRegistry. The
+// event loop sweeps the registry every `stride` events; any violated
+// invariant aborts the run with a SimError carrying the violation list
+// plus every auditor's state dump. The same registry powers the watchdog:
+// when simulated time stops advancing for `max_stalled_events`
+// consecutive events (a zero-delay event livelock), the loop aborts with
+// the same diagnostic dump instead of hanging forever.
+//
+// Audits default to ON — the sweeps are cheap relative to event dispatch
+// — and can be disabled per Simulation (e.g. huge batch experiments) via
+// AuditConfig.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace osap {
+
+struct AuditConfig {
+  bool enabled = true;
+  /// Sweep all registered auditors every `stride` processed events.
+  std::uint64_t stride = 64;
+  /// Watchdog: abort when this many consecutive events fire without
+  /// simulated time advancing. Legitimate same-time bursts (heartbeat
+  /// storms, spawn cascades) are a few hundred events; a livelock crosses
+  /// any bound immediately, so this only needs to be comfortably large.
+  std::uint64_t max_stalled_events = 100000;
+};
+
+/// One model layer's self-check. Implementations must deregister before
+/// destruction (typically: register in the constructor, remove in the
+/// destructor — the registry stores raw pointers).
+class InvariantAuditor {
+ public:
+  virtual ~InvariantAuditor() = default;
+
+  /// Instance label used in violation messages, e.g. "vmm(node0)".
+  [[nodiscard]] virtual std::string audit_label() const = 0;
+
+  /// Append one message per violated invariant. Must not mutate state.
+  virtual void audit(std::vector<std::string>& violations) const = 0;
+
+  /// Human-readable state dump for the diagnostic abort message.
+  virtual void dump(std::ostream& os) const = 0;
+};
+
+class AuditRegistry {
+ public:
+  void add(InvariantAuditor* auditor);
+  void remove(InvariantAuditor* auditor);
+
+  /// Sweep every auditor, labelling each violation with its source.
+  void run(std::vector<std::string>& violations) const;
+
+  /// Every auditor's dump, concatenated.
+  [[nodiscard]] std::string dump_all() const;
+
+  [[nodiscard]] std::size_t size() const noexcept { return auditors_.size(); }
+
+ private:
+  std::vector<InvariantAuditor*> auditors_;
+};
+
+}  // namespace osap

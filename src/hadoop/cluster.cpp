@@ -11,6 +11,7 @@ Cluster::Cluster(ClusterConfig cfg)
       master_(NodeId{static_cast<std::uint64_t>(cfg.num_nodes)}),
       jt_(sim_, net_, master_, cfg.hadoop) {
   OSAP_CHECK(cfg_.num_nodes >= 1);
+  sim_.set_audit_config(cfg_.audit);
   net_.register_node(master_);
   for (int i = 0; i < cfg_.num_nodes; ++i) {
     const NodeId node{static_cast<std::uint64_t>(i)};
@@ -52,8 +53,9 @@ std::vector<BlockId> Cluster::create_input(const std::string& name, Bytes size, 
 }
 
 void Cluster::watch_task_progress(TaskId id, double fraction, std::function<void()> fn) {
-  auto poll = std::make_shared<std::function<void()>>();
-  *poll = [this, id, fraction, fn = std::move(fn), poll] {
+  // Each re-arm carries a copy of the poll lambda; a shared
+  // self-referencing std::function would cycle and never free.
+  auto poll = [this, id, fraction, fn = std::move(fn)](auto self) -> void {
     const Task& t = jt_.task(id);
     if (t.done()) return;  // finished before the threshold: never fires
     double progress = t.progress;
@@ -67,16 +69,19 @@ void Cluster::watch_task_progress(TaskId id, double fraction, std::function<void
       fn();
       return;
     }
-    sim_.after(ms(100), *poll);
+    sim_.after(ms(100), [self] { self(self); });
   };
-  sim_.after(0, *poll);
+  sim_.after(0, [poll] { poll(poll); });
 }
 
 void Cluster::run() {
   // Heartbeat timers re-arm forever, so "queue empty" never happens; stop
   // once every submitted job has completed (trigger-submitted jobs arrive
-  // while their predecessors still run, so this is safe for experiments).
-  while (!(!jt_.jobs_in_order().empty() && jt_.all_jobs_done()) && sim_.step()) {
+  // while their predecessors still run, so this is safe for experiments)
+  // AND no out-of-band work — a driver's async continuation between two
+  // of its jobs, say — is still in flight.
+  while (!(!jt_.jobs_in_order().empty() && jt_.all_jobs_done() && open_work_ == 0) &&
+         sim_.step()) {
   }
 }
 

@@ -15,6 +15,7 @@
 #include <memory>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "hadoop/config.hpp"
 #include "hadoop/job_tracker.hpp"
 #include "hadoop/task_tracker.hpp"
@@ -31,6 +32,9 @@ struct ClusterConfig {
   HadoopConfig hadoop;
   NetConfig net;
   HdfsConfig hdfs;
+  /// Runtime invariant auditing + livelock watchdog (on by default; flip
+  /// `audit.enabled` off for large batch experiments).
+  AuditConfig audit;
   std::uint64_t seed = 1;
 };
 
@@ -67,6 +71,14 @@ class Cluster {
   void run();
   void run_until(SimTime t);
 
+  /// Keep run() alive past job completion while out-of-band work (e.g. a
+  /// driver's async page-in) is still outstanding. Balanced pairs.
+  void retain_work() { ++open_work_; }
+  void release_work() {
+    OSAP_CHECK(open_work_ > 0);
+    --open_work_;
+  }
+
  private:
   ClusterConfig cfg_;
   Simulation sim_;
@@ -77,6 +89,7 @@ class Cluster {
   NodeId master_;
   JobTracker jt_;
   std::unique_ptr<Scheduler> scheduler_;
+  int open_work_ = 0;
 };
 
 }  // namespace osap

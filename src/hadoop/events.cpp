@@ -28,6 +28,7 @@ const char* to_string(ActionKind k) noexcept {
     case ActionKind::Suspend: return "suspend";
     case ActionKind::Resume: return "resume";
     case ActionKind::CheckpointSuspend: return "checkpoint-suspend";
+    case ActionKind::MapsDone: return "maps-done";
   }
   return "?";
 }

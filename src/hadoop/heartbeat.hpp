@@ -51,6 +51,9 @@ enum class ActionKind {
   /// the task, serialize its state to disk, then tear the JVM down. Unlike
   /// the OS-assisted primitive the serialization cost is always paid.
   CheckpointSuspend,
+  /// All of the task's job's maps have succeeded: a reduce launched with
+  /// `wait_for_maps` may leave its shuffle barrier and start sorting.
+  MapsDone,
 };
 
 const char* to_string(ActionKind k) noexcept;

@@ -1,5 +1,8 @@
 #include "hadoop/job_tracker.hpp"
 
+#include <iomanip>
+#include <sstream>
+
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "hadoop/task_tracker.hpp"
@@ -11,7 +14,11 @@ constexpr const char* kLog = "jobtracker";
 }
 
 JobTracker::JobTracker(Simulation& sim, Network& net, NodeId master, HadoopConfig cfg)
-    : sim_(sim), net_(net), master_(master), cfg_(cfg) {}
+    : sim_(sim), net_(net), master_(master), cfg_(cfg) {
+  sim_.audits().add(this);
+}
+
+JobTracker::~JobTracker() { sim_.audits().remove(this); }
 
 void JobTracker::register_tracker(TaskTracker& tracker) {
   const bool inserted = trackers_.emplace(tracker.id(), &tracker).second;
@@ -148,6 +155,7 @@ void JobTracker::apply_report(const TrackerStatus& status, const TaskStatusRepor
         emit(ClusterEventType::TaskSucceeded, t.job, t.id, status.node);
         Job& job = jobs_.at(t.job);
         ++job.tasks_completed;
+        if (t.spec.type == TaskType::Map) maybe_release_reduces(t.job);
         maybe_complete_job(t.job);
       }
       break;
@@ -187,6 +195,26 @@ void JobTracker::task_terminal(Task& task, TaskState state) {
   task.tracker = TrackerId{};
   command_sent_.erase(task.id);
   must_kill_.erase(task.id);
+  maps_done_pending_.erase(task.id);
+}
+
+bool JobTracker::maps_pending(const Job& job) const {
+  for (TaskId tid : job.tasks) {
+    const Task& t = tasks_.at(tid);
+    if (t.spec.type == TaskType::Map && t.state != TaskState::Succeeded) return true;
+  }
+  return false;
+}
+
+void JobTracker::maybe_release_reduces(JobId id) {
+  const Job& job = jobs_.at(id);
+  if (maps_pending(job)) return;
+  for (TaskId tid : job.tasks) {
+    const Task& t = tasks_.at(tid);
+    if (t.spec.type != TaskType::Reduce || !t.spec.wait_for_maps) continue;
+    if (!t.live() || !t.tracker.valid()) continue;
+    maps_done_pending_.emplace(tid, false);
+  }
 }
 
 void JobTracker::maybe_complete_job(JobId id) {
@@ -232,6 +260,13 @@ void JobTracker::on_heartbeat(TrackerStatus status) {
       sent = true;
     }
   }
+  for (auto& [tid, sent] : maps_done_pending_) {
+    if (sent) continue;
+    const Task& t = tasks_.at(tid);
+    if (t.tracker != status.tracker) continue;
+    response.actions.push_back(TaskAction{ActionKind::MapsDone, tid, {}});
+    sent = true;
+  }
 
   // Ask the scheduler for work for the free slots.
   if (scheduler_ != nullptr) {
@@ -244,6 +279,11 @@ void JobTracker::on_heartbeat(TrackerStatus status) {
       t.tracker = status.tracker;
       ++t.attempts_started;
       if (t.first_launched_at < 0) t.first_launched_at = sim_.now();
+      if (t.spec.type == TaskType::Reduce) {
+        // Stamp the barrier flag per attempt: a reduce launched while maps
+        // still run must block after its shuffle until MapsDone arrives.
+        t.spec.wait_for_maps = maps_pending(jobs_.at(t.job));
+      }
       TaskAction action{ActionKind::Launch, tid, t.spec};
       response.actions.push_back(std::move(action));
       emit(ClusterEventType::TaskLaunched, t.job, tid, status.node);
@@ -279,6 +319,81 @@ bool JobTracker::all_jobs_done() const {
     if (job.state == JobState::Running) return false;
   }
   return true;
+}
+
+void JobTracker::audit(std::vector<std::string>& violations) const {
+  const auto flag = [&violations](const auto&... parts) {
+    std::ostringstream os;
+    (os << ... << parts);
+    violations.push_back(os.str());
+  };
+  for (const auto& [tid, t] : tasks_) {
+    if (t.progress < -1e-9 || t.progress > 1.0 + 1e-9) {
+      flag(tid, " progress ", t.progress, " out of [0,1]");
+    }
+    const bool bound = t.tracker.valid();
+    const bool checkpoint_parked = t.state == TaskState::Suspended && t.checkpointed;
+    if (t.live() && !checkpoint_parked && !bound) {
+      flag(tid, " is ", to_string(t.state), " but bound to no tracker");
+    }
+    if (!t.live() && bound) {
+      flag(tid, " is ", to_string(t.state), " but still bound to ", t.tracker);
+    }
+    if (checkpoint_parked && bound) {
+      flag(tid, " is checkpoint-suspended but still bound to ", t.tracker);
+    }
+    if (bound && trackers_.find(t.tracker) == trackers_.end()) {
+      flag(tid, " bound to unregistered ", t.tracker);
+    }
+  }
+  const auto check_command_map = [&](const auto& map, const char* what) {
+    for (const auto& [tid, sent] : map) {
+      const auto it = tasks_.find(tid);
+      if (it == tasks_.end()) {
+        flag(what, " command addressed to unknown ", tid);
+      } else if (!it->second.live()) {
+        flag(what, " command pending for ", tid, " in terminal state ",
+             to_string(it->second.state));
+      }
+    }
+  };
+  check_command_map(command_sent_, "suspend/resume");
+  check_command_map(must_kill_, "kill");
+  check_command_map(maps_done_pending_, "maps-done");
+  for (const auto& [jid, job] : jobs_) {
+    int succeeded = 0;
+    for (TaskId tid : job.tasks) {
+      if (tasks_.at(tid).state == TaskState::Succeeded) ++succeeded;
+    }
+    if (job.tasks_completed != succeeded) {
+      flag(jid, " counts ", job.tasks_completed, " completed tasks but ", succeeded,
+           " have SUCCEEDED");
+    }
+    if (job.state == JobState::Succeeded && succeeded != static_cast<int>(job.tasks.size())) {
+      flag(jid, " marked Succeeded with only ", succeeded, "/", job.tasks.size(),
+           " tasks done");
+    }
+  }
+}
+
+void JobTracker::dump(std::ostream& os) const {
+  os << jobs_.size() << " jobs, " << tasks_.size() << " tasks; pending commands: "
+     << command_sent_.size() << " susp/res, " << must_kill_.size() << " kill, "
+     << maps_done_pending_.size() << " maps-done\n";
+  for (JobId jid : job_order_) {
+    const Job& job = jobs_.at(jid);
+    os << "  " << jid << " (" << job.spec.name << ") " << job.tasks_completed << "/"
+       << job.tasks.size() << " done\n";
+    for (TaskId tid : job.tasks) {
+      const Task& t = tasks_.at(tid);
+      os << "    " << tid << ' ' << std::setw(9) << to_string(t.spec.type) << ' '
+         << std::setw(12) << to_string(t.state) << " progress="
+         << std::fixed << std::setprecision(2) << t.progress;
+      if (t.tracker.valid()) os << " on " << t.tracker;
+      if (t.checkpointed) os << " [checkpointed]";
+      os << '\n';
+    }
+  }
 }
 
 }  // namespace osap

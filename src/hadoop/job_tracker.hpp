@@ -17,6 +17,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "common/ids.hpp"
 #include "hadoop/config.hpp"
 #include "hadoop/events.hpp"
@@ -30,9 +31,12 @@ namespace osap {
 
 class TaskTracker;
 
-class JobTracker {
+class JobTracker final : public InvariantAuditor {
  public:
   JobTracker(Simulation& sim, Network& net, NodeId master, HadoopConfig cfg);
+  ~JobTracker() override;
+  JobTracker(const JobTracker&) = delete;
+  JobTracker& operator=(const JobTracker&) = delete;
 
   void register_tracker(TaskTracker& tracker);
   void set_scheduler(Scheduler* scheduler);
@@ -72,11 +76,31 @@ class JobTracker {
   [[nodiscard]] SimTime now() const noexcept { return sim_.now(); }
   [[nodiscard]] Simulation& sim() noexcept { return sim_; }
 
+  // --- invariant auditing ---------------------------------------------------
+  [[nodiscard]] std::string audit_label() const override { return "jobtracker"; }
+  /// Audited invariants: task state <-> tracker-binding agreement,
+  /// progress bounds, pending-command maps only referencing live tasks,
+  /// and per-job completion counts.
+  void audit(std::vector<std::string>& violations) const override;
+  void dump(std::ostream& os) const override;
+
+  /// Testing-only fault injection: unbind a running task from its tracker
+  /// so the state audit fires.
+  void testing_corrupt_task_binding(TaskId id) { task_mutable(id).tracker = TrackerId{}; }
+  /// Testing-only: emit a raw cluster event (protocol-audit injection).
+  void testing_emit_event(ClusterEventType type, JobId job, TaskId task, NodeId node) {
+    emit(type, job, task, node);
+  }
+
  private:
   void emit(ClusterEventType type, JobId job, TaskId task, NodeId node);
   void apply_report(const TrackerStatus& status, const TaskStatusReport& report);
   void task_terminal(Task& task, TaskState state);
   void maybe_complete_job(JobId id);
+  [[nodiscard]] bool maps_pending(const Job& job) const;
+  /// A map just succeeded: if it was the job's last one, queue MapsDone
+  /// for every live reduce of the job.
+  void maybe_release_reduces(JobId id);
 
   Simulation& sim_;
   Network& net_;
@@ -93,6 +117,9 @@ class JobTracker {
   /// command is piggybacked).
   std::unordered_map<TaskId, bool> command_sent_;
   std::unordered_map<TaskId, bool> must_kill_;
+  /// Reduces owed a MapsDone action (their job's maps all succeeded after
+  /// they launched with the shuffle barrier armed).
+  std::unordered_map<TaskId, bool> maps_done_pending_;
   IdGenerator<JobId> job_ids_;
   IdGenerator<TaskId> task_ids_;
 };

@@ -36,10 +36,15 @@ Program build_task_program(const TaskSpec& spec) {
     // dirtied, then the region sits idle while the input is processed.
     b.alloc("state", spec.state_memory, /*hot_after=*/false);
   }
-  if (spec.type == TaskType::Reduce && spec.shuffle_bytes > 0) {
+  if (spec.type == TaskType::Reduce) {
     // Fetch + merge map outputs (read from local disk in this model),
-    // then the sort.
-    b.read_parse(spec.shuffle_bytes, spec.parse_cpu_per_byte, /*weight=*/0.3);
+    // then the sort. A reduce launched while maps still run copies what
+    // exists and then blocks until the JobTracker signals completion —
+    // it must not race ahead and finish before its inputs exist.
+    if (spec.shuffle_bytes > 0) {
+      b.read_parse(spec.shuffle_bytes, spec.parse_cpu_per_byte, /*weight=*/0.3);
+    }
+    if (spec.wait_for_maps) b.barrier("maps");
     if (spec.sort_cpu_seconds > 0) b.compute(spec.sort_cpu_seconds);
   }
   if (spec.input_bytes > 0) {

@@ -71,6 +71,10 @@ struct TaskSpec {
   // simulator reads them from the local disk (single-node shuffle).
   Bytes shuffle_bytes = 0;
   double sort_cpu_seconds = 0;
+  /// Set by the JobTracker at launch time: the job still has unfinished
+  /// maps, so the reduce must block after its shuffle until the
+  /// MapsDone heartbeat action releases it. Not user-configured.
+  bool wait_for_maps = false;
 
   /// Preferred (data-local) node; invalid = any.
   NodeId preferred_node;

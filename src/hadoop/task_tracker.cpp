@@ -1,5 +1,7 @@
 #include "hadoop/task_tracker.hpp"
 
+#include <sstream>
+
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "hadoop/job_tracker.hpp"
@@ -12,7 +14,11 @@ constexpr const char* kLog = "tasktracker";
 
 TaskTracker::TaskTracker(Simulation& sim, Kernel& kernel, Network& net, TrackerId id, NodeId node,
                          HadoopConfig cfg)
-    : sim_(sim), kernel_(kernel), net_(net), id_(id), node_(node), cfg_(cfg) {}
+    : sim_(sim), kernel_(kernel), net_(net), id_(id), node_(node), cfg_(cfg) {
+  sim_.audits().add(this);
+}
+
+TaskTracker::~TaskTracker() { sim_.audits().remove(this); }
 
 void TaskTracker::connect(JobTracker& jt, NodeId master) {
   OSAP_CHECK_MSG(jt_ == nullptr, id_ << " connected twice");
@@ -95,6 +101,14 @@ void TaskTracker::apply(const TaskAction& action) {
     case ActionKind::Suspend: do_suspend(action.task); break;
     case ActionKind::Resume: do_resume(action.task); break;
     case ActionKind::CheckpointSuspend: do_checkpoint_suspend(action.task); break;
+    case ActionKind::MapsDone: {
+      // The reduce's shuffle inputs are complete: release its barrier so
+      // the sort can begin. If the task is suspended the release is
+      // remembered and takes effect on SIGCONT.
+      const auto it = live_.find(action.task);
+      if (it != live_.end()) kernel_.release_barrier(it->second.pid, "maps");
+      break;
+    }
   }
 }
 
@@ -109,12 +123,17 @@ void TaskTracker::launch(const TaskAction& action) {
     // Hadoop Streaming: the external executable is a sibling process fed
     // through a pipe. It pauses naturally when the suspended task stops
     // feeding it; we model that by signalling it together with the task.
+    // The helper never exits on its own: after draining its input it
+    // blocks reading the pipe until the task closes it (modelled as a
+    // barrier the TaskTracker releases by killing the helper on task
+    // exit).
     task.helper = kernel_.spawn(
         ProgramBuilder(action.spec.name + "/pipe")
             .alloc("buffers", std::max<Bytes>(action.spec.streaming_helper_memory, 1 * MiB),
                    /*hot_after=*/true)
             .compute(static_cast<double>(action.spec.input_bytes) *
                      action.spec.streaming_cpu_per_byte)
+            .barrier("eof")
             .build());
   }
   if (task.type == TaskType::Map) {
@@ -303,6 +322,74 @@ void TaskTracker::queue_report(TaskId id, ReportKind kind) {
     report.swapped_in = kernel_.vmm().swapped_in_total(pid);
   }
   pending_reports_.push_back(report);
+}
+
+std::string TaskTracker::audit_label() const {
+  std::ostringstream os;
+  os << id_;
+  return os.str();
+}
+
+void TaskTracker::audit(std::vector<std::string>& violations) const {
+  const auto flag = [&violations](const auto&... parts) {
+    std::ostringstream os;
+    (os << ... << parts);
+    violations.push_back(os.str());
+  };
+  int map_slots = 0;
+  int reduce_slots = 0;
+  int suspended = 0;
+  for (const auto& [tid, task] : live_) {
+    if (task.suspended) {
+      ++suspended;
+    } else if (task.type == TaskType::Map) {
+      // Running, checkpointing and cleanup attempts all hold their slot;
+      // only a completed SIGTSTP frees it.
+      ++map_slots;
+    } else {
+      ++reduce_slots;
+    }
+    const Process* p = kernel_.find(task.pid);
+    if (task.in_cleanup) {
+      if (p != nullptr) flag(tid, " is in cleanup but its process still exists");
+      continue;
+    }
+    if (p == nullptr) {
+      flag(tid, " is live but has no process (pid ", task.pid, ")");
+    } else if (task.suspended && p->state() != ProcState::Stopped) {
+      flag(tid, " counted as suspended but its process is ", to_string(p->state()));
+    }
+  }
+  if (used_map_slots_ != map_slots) {
+    flag("used map slots ", used_map_slots_, " != ", map_slots, " slot-holding map tasks");
+  }
+  if (used_reduce_slots_ != reduce_slots) {
+    flag("used reduce slots ", used_reduce_slots_, " != ", reduce_slots,
+         " slot-holding reduce tasks");
+  }
+  if (suspended_ != suspended) {
+    flag("suspended counter ", suspended_, " != ", suspended, " suspended tasks");
+  }
+  if (used_map_slots_ < 0 || used_reduce_slots_ < 0 || suspended_ < 0) {
+    flag("negative counter: map=", used_map_slots_, " reduce=", used_reduce_slots_,
+         " suspended=", suspended_);
+  }
+}
+
+void TaskTracker::dump(std::ostream& os) const {
+  os << id_ << " on " << node_ << ": " << used_map_slots_ << "/" << cfg_.map_slots
+     << " map slots, " << used_reduce_slots_ << "/" << cfg_.reduce_slots << " reduce slots, "
+     << suspended_ << " suspended, " << live_.size() << " live tasks\n";
+  for (const auto& [tid, task] : live_) {
+    const Process* p = kernel_.find(task.pid);
+    os << "  " << tid << ' ' << to_string(task.type) << " pid=" << task.pid << " proc="
+       << (p == nullptr ? "<gone>" : to_string(p->state()));
+    if (task.suspended) os << " suspended";
+    if (task.checkpointing) os << " checkpointing";
+    if (task.in_cleanup) os << " cleanup";
+    if (task.helper.valid()) os << " helper=" << task.helper;
+    os << '\n';
+  }
 }
 
 }  // namespace osap

@@ -12,6 +12,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "common/ids.hpp"
 #include "hadoop/config.hpp"
 #include "hadoop/heartbeat.hpp"
@@ -22,10 +23,13 @@ namespace osap {
 
 class JobTracker;
 
-class TaskTracker {
+class TaskTracker final : public InvariantAuditor {
  public:
   TaskTracker(Simulation& sim, Kernel& kernel, Network& net, TrackerId id, NodeId node,
               HadoopConfig cfg);
+  ~TaskTracker() override;
+  TaskTracker(const TaskTracker&) = delete;
+  TaskTracker& operator=(const TaskTracker&) = delete;
 
   /// Register with the JobTracker and start the heartbeat loop.
   void connect(JobTracker& jt, NodeId master);
@@ -45,6 +49,18 @@ class TaskTracker {
   [[nodiscard]] Pid attempt_pid(TaskId id) const;
   /// Instantaneous progress of a hosted attempt (frozen while suspended).
   [[nodiscard]] double attempt_progress(TaskId id) const;
+
+  // --- invariant auditing ---------------------------------------------------
+  [[nodiscard]] std::string audit_label() const override;
+  /// Audited invariants: slot counters equal the live-task census,
+  /// suspended census matches, and per-task process-state agreement
+  /// (suspended => process exists and is stopped; cleanup => process gone).
+  void audit(std::vector<std::string>& violations) const override;
+  void dump(std::ostream& os) const override;
+
+  /// Testing-only fault injection: leak a map slot so the accounting
+  /// audit fires.
+  void testing_corrupt_slot_accounting() { ++used_map_slots_; }
 
  private:
   struct LiveTask {

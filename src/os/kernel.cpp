@@ -17,9 +17,12 @@ Kernel::Kernel(Simulation& sim, OsConfig cfg, std::string name)
       name_(std::move(name)),
       cpu_(sim, static_cast<double>(cfg.cores), name_ + ".cpu"),
       disk_(sim, cfg.disk_bandwidth, cfg.disk_seek, name_ + ".disk"),
-      vmm_(sim, disk_, cfg) {
+      vmm_(sim, disk_, cfg, name_ + ".vmm") {
   vmm_.set_oom_handler([this] { handle_oom(); });
+  sim_.audits().add(this);
 }
+
+Kernel::~Kernel() { sim_.audits().remove(this); }
 
 Process* Kernel::find(Pid pid) {
   auto it = procs_.find(pid);
@@ -219,8 +222,9 @@ void Kernel::start_phase(Process& p) {
     // The read happens in io_chunk pieces so the file-system cache grows
     // as data streams in (and becomes reclaimable ballast).
     const bool populate = r->populate_fs_cache;
-    auto read_next = std::make_shared<std::function<void(Bytes)>>();
-    *read_next = [this, pid, populate, read_next](Bytes left) {
+    // Each chunk's continuation carries a copy of this lambda; a shared
+    // self-referencing std::function would cycle and never free.
+    auto read_next = [this, pid, populate](auto self, Bytes left) -> void {
       Process* q = find(pid);
       if (q == nullptr) return;
       if (left == 0) {
@@ -230,12 +234,12 @@ void Kernel::start_phase(Process& p) {
       }
       const Bytes chunk = std::min<Bytes>(left, cfg_.io_chunk);
       q->run_.disk =
-          disk_.start(IoClass::HdfsRead, chunk, [this, pid, populate, read_next, left, chunk] {
+          disk_.start(IoClass::HdfsRead, chunk, [this, pid, populate, self, left, chunk] {
             if (populate) vmm_.fs_cache_insert(chunk);
-            run_or_defer(pid, [read_next, left, chunk] { (*read_next)(left - chunk); });
+            run_or_defer(pid, [self, left, chunk] { self(self, left - chunk); });
           });
     };
-    (*read_next)(r->bytes);
+    read_next(read_next, r->bytes);
 
   } else if (const auto* t = std::get_if<TouchPhase>(&phase)) {
     const RegionId rid = region_of(p, t->region, false);
@@ -270,6 +274,30 @@ void Kernel::start_phase(Process& p) {
     const Bytes all = vmm_.region_resident(rid) + vmm_.region_swapped(rid);
     vmm_.release(rid, f->bytes == 0 ? all : f->bytes);
     advance(p);
+
+  } else if (const auto* b = std::get_if<BarrierPhase>(&phase)) {
+    if (std::find(p.released_barriers_.begin(), p.released_barriers_.end(), b->name) !=
+        p.released_barriers_.end()) {
+      advance(p);
+      return;
+    }
+    // Park without scheduling anything: the release is the only wake-up.
+    p.run_.outstanding = 1;
+    p.run_.waiting_barrier = b->name;
+  }
+}
+
+void Kernel::release_barrier(Pid pid, const std::string& name) {
+  Process* p = find(pid);
+  if (p == nullptr) return;
+  if (std::find(p->released_barriers_.begin(), p->released_barriers_.end(), name) !=
+      p->released_barriers_.end()) {
+    return;
+  }
+  p->released_barriers_.push_back(name);
+  if (p->run_.waiting_barrier == name) {
+    p->run_.waiting_barrier.clear();
+    leg_done(pid);  // defers until SIGCONT if the process is stopped
   }
 }
 
@@ -308,6 +336,61 @@ bool Kernel::page_in_region(Pid pid, const std::string& region, std::function<vo
   vmm_.mark_hot(it->second, true);
   vmm_.page_in(it->second, /*dirtying=*/false, std::move(done));
   return true;
+}
+
+void Kernel::audit(std::vector<std::string>& violations) const {
+  for (const auto& [pid, proc] : procs_) {
+    const Process& p = *proc;
+    if (p.state_ == ProcState::Zombie) {
+      std::ostringstream os;
+      os << pid << " (" << p.name() << ") is a zombie in the process table";
+      violations.push_back(os.str());
+    }
+    const bool vmm_stopped = vmm_.is_stopped(pid);
+    if (vmm_stopped != (p.state_ == ProcState::Stopped)) {
+      std::ostringstream os;
+      os << pid << " (" << p.name() << ") is " << to_string(p.state_)
+         << " but the VMM stopped flag is " << (vmm_stopped ? "set" : "clear");
+      violations.push_back(os.str());
+    }
+    if (p.run_.outstanding < 0) {
+      std::ostringstream os;
+      os << pid << " (" << p.name() << ") has " << p.run_.outstanding << " outstanding legs";
+      violations.push_back(os.str());
+    }
+    if (p.phase_idx_ > p.program_.phases.size()) {
+      std::ostringstream os;
+      os << pid << " (" << p.name() << ") is at phase " << p.phase_idx_ << " of "
+         << p.program_.phases.size();
+      violations.push_back(os.str());
+    }
+    if (!p.run_.waiting_barrier.empty() && p.run_.outstanding != 1) {
+      std::ostringstream os;
+      os << pid << " (" << p.name() << ") waits on barrier '" << p.run_.waiting_barrier
+         << "' with " << p.run_.outstanding << " outstanding legs";
+      violations.push_back(os.str());
+    }
+    for (const auto& [rname, rid] : p.regions_) {
+      if (!vmm_.has_region(rid)) {
+        std::ostringstream os;
+        os << pid << " (" << p.name() << ") region '" << rname << "' (" << rid
+           << ") is gone from the VMM";
+        violations.push_back(os.str());
+      }
+    }
+  }
+}
+
+void Kernel::dump(std::ostream& os) const {
+  os << procs_.size() << " processes\n";
+  for (const auto& [pid, proc] : procs_) {
+    const Process& p = *proc;
+    os << "  " << pid << " " << p.name() << " [" << to_string(p.state_) << "] phase "
+       << p.phase_idx_ << "/" << p.program_.phases.size() << " progress "
+       << progress(pid) << " outstanding " << p.run_.outstanding;
+    if (!p.run_.waiting_barrier.empty()) os << " barrier '" << p.run_.waiting_barrier << "'";
+    os << "\n";
+  }
 }
 
 void Kernel::handle_oom() {

@@ -13,6 +13,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "audit/audit.hpp"
 #include "common/ids.hpp"
 #include "os/config.hpp"
 #include "os/disk.hpp"
@@ -24,9 +25,10 @@
 
 namespace osap {
 
-class Kernel {
+class Kernel final : public InvariantAuditor {
  public:
   Kernel(Simulation& sim, OsConfig cfg, std::string name);
+  ~Kernel() override;
   Kernel(const Kernel&) = delete;
   Kernel& operator=(const Kernel&) = delete;
 
@@ -61,6 +63,26 @@ class Kernel {
   /// address space — lets services like Spark executors grow state
   /// regions outside their static program.
   RegionId ensure_region(Pid pid, const std::string& region);
+
+  /// Release a named barrier for a process (data arrived on the pipe /
+  /// upstream stage finished). Level-triggered: releasing before the
+  /// process reaches the matching BarrierPhase makes that phase fall
+  /// through. Unknown pids and repeat releases are no-ops. A stopped
+  /// process absorbs the release but only advances on SIGCONT.
+  void release_barrier(Pid pid, const std::string& name);
+
+  // --- invariant auditing ---------------------------------------------------
+  [[nodiscard]] std::string audit_label() const override { return name_; }
+  /// Audited invariants: signal-state legality (no zombies in the process
+  /// table, VMM stopped flag mirrors ProcState::Stopped), phase
+  /// bookkeeping bounds, and region-table agreement with the VMM.
+  void audit(std::vector<std::string>& violations) const override;
+  /// Per-node process table.
+  void dump(std::ostream& os) const override;
+
+  /// Testing-only fault injection: desynchronize the VMM stopped flag
+  /// from the process state so the signal-state audit fires.
+  void testing_corrupt_stop_state(Pid pid) { vmm_.set_stopped(pid, true); }
 
  private:
   friend class Process;

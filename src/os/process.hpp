@@ -85,6 +85,8 @@ class Process {
     EventId sleep_timer = 0;
     Duration sleep_left = 0;
     SimTime sleep_wake_at = 0;
+    /// Non-empty while parked in a BarrierPhase of this name.
+    std::string waiting_barrier;
   };
 
   Pid pid_;
@@ -94,6 +96,9 @@ class Process {
   std::size_t phase_idx_ = 0;
   PhaseRun run_;
   std::unordered_map<std::string, RegionId> regions_;
+  /// Barriers already released by the kernel; a matching BarrierPhase
+  /// falls through immediately (releases are level-triggered, not edges).
+  std::vector<std::string> released_barriers_;
   /// Continuations parked while the process was stopped (e.g. a VMM grant
   /// landed after SIGTSTP); re-dispatched in order on SIGCONT.
   std::vector<std::function<void()>> deferred_;

@@ -75,8 +75,18 @@ struct FreePhase {
   Bytes bytes = 0;
 };
 
+/// Block until the kernel releases the named barrier (a blocking read on
+/// an empty pipe, a reducer waiting for map outputs). Consumes no CPU or
+/// disk and schedules no events, so a waiting process never busy-spins
+/// the event queue. If the barrier was released before the phase starts,
+/// it falls straight through.
+struct BarrierPhase {
+  std::string name;
+  double weight = 0;
+};
+
 using Phase = std::variant<ComputePhase, AllocPhase, ReadParsePhase, TouchPhase, WriteOutPhase,
-                           SleepPhase, FreePhase>;
+                           SleepPhase, FreePhase, BarrierPhase>;
 
 struct Program {
   std::string name = "proc";
@@ -124,6 +134,10 @@ class ProgramBuilder {
   }
   ProgramBuilder& free(std::string region, Bytes bytes = 0) {
     program_.phases.push_back(FreePhase{std::move(region), bytes});
+    return *this;
+  }
+  ProgramBuilder& barrier(std::string name) {
+    program_.phases.push_back(BarrierPhase{std::move(name), 0});
     return *this;
   }
   [[nodiscard]] Program build() { return std::move(program_); }

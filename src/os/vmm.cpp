@@ -3,20 +3,29 @@
 #include <algorithm>
 
 #include "common/log.hpp"
+#include "sim/simulation.hpp"
 
 namespace osap {
 
 namespace {
 constexpr const char* kLog = "vmm";
-}
+/// Reclaim retries per frame request before declaring a livelock. Each
+/// retry means a concurrent acquirer raced us to reclaimed frames, so
+/// legitimate counts are bounded by concurrent demand / vm_chunk — far
+/// below this.
+constexpr int kMaxReclaimRounds = 10000;
+}  // namespace
 
-Vmm::Vmm(Simulation& sim, Disk& disk, const OsConfig& cfg)
-    : sim_(sim), disk_(disk), cfg_(cfg), free_(cfg.usable_ram()) {
+Vmm::Vmm(Simulation& sim, Disk& disk, const OsConfig& cfg, std::string name)
+    : sim_(sim), disk_(disk), cfg_(cfg), name_(std::move(name)), free_(cfg.usable_ram()) {
   OSAP_CHECK_MSG(cfg_.usable_ram() > cfg_.high_watermark_bytes(),
                  "os_reserved leaves no usable memory");
   OSAP_CHECK(cfg_.high_watermark >= cfg_.low_watermark);
   OSAP_CHECK(cfg_.vm_chunk > 0);
+  sim_.audits().add(this);
 }
+
+Vmm::~Vmm() { sim_.audits().remove(this); }
 
 void Vmm::register_process(Pid pid) {
   const bool inserted = procs_.emplace(pid, ProcInfo{}).second;
@@ -36,10 +45,12 @@ void Vmm::release_process(Pid pid) {
     auto rit = regions_.find(rid);
     if (rit == regions_.end()) continue;
     Region& r = rit->second;
-    // Anonymous pages are simply dropped; swap slots are recycled.
+    // Anonymous pages are simply dropped; swap slots are recycled — both
+    // the slots backing swapped extents and the slots whose clean resident
+    // copies die with the process.
     free_ += r.resident_clean + r.resident_dirty;
-    OSAP_CHECK(swap_used_ >= r.swapped);
-    swap_used_ -= r.swapped;
+    OSAP_CHECK(swap_used_ >= r.swapped + r.resident_clean);
+    swap_used_ -= r.swapped + r.resident_clean;
     regions_.erase(rit);
   }
   // Keep the ProcInfo entry: the cumulative paging counters are the
@@ -83,14 +94,15 @@ void Vmm::commit(RegionId rid, Bytes bytes, std::function<void()> done) {
     std::function<void()> done;
   };
   auto op = std::make_shared<Op>(Op{rid, pid, bytes, std::move(done)});
-  auto step = std::make_shared<std::function<void()>>();
-  *step = [this, op, step] {
+  // Each continuation carries a copy of the step lambda; a shared
+  // self-referencing std::function would cycle and never free.
+  auto step = [this, op](auto self) -> void {
     if (op->remaining == 0) {
       if (op->done) op->done();
       return;
     }
     const Bytes chunk = std::min<Bytes>(op->remaining, cfg_.vm_chunk);
-    acquire_frames(chunk, op->pid, [this, op, step, chunk] {
+    acquire_frames(chunk, op->pid, [this, op, self, chunk] {
       auto rit = regions_.find(op->rid);
       if (rit == regions_.end()) {
         // Owner was killed while we waited for frames: return them.
@@ -100,10 +112,10 @@ void Vmm::commit(RegionId rid, Bytes bytes, std::function<void()> done) {
       rit->second.resident_dirty += chunk;
       touch(rit->second);
       op->remaining -= chunk;
-      (*step)();
+      self(self);
     }, /*depth=*/0);
   };
-  (*step)();
+  step(step);
 }
 
 void Vmm::page_in(RegionId rid, bool dirtying, std::function<void()> done) {
@@ -115,27 +127,37 @@ void Vmm::page_in(RegionId rid, bool dirtying, std::function<void()> done) {
     RegionId rid;
     Pid pid;
     bool dirtying;
+    /// Bytes this operation still intends to fault in. Snapshotted at
+    /// start and strictly decreasing: reclaim may concurrently re-evict
+    /// what we just brought in, and chasing the moving target
+    /// (re-reading region.swapped each round) livelocks under pressure.
+    /// Re-evicted bytes simply fault again on the next touch.
+    Bytes remaining;
     std::function<void()> done;
   };
-  auto op = std::make_shared<Op>(Op{rid, it->second.pid, dirtying, std::move(done)});
-  auto step = std::make_shared<std::function<void()>>();
-  *step = [this, op, step] {
+  auto op = std::make_shared<Op>(
+      Op{rid, it->second.pid, dirtying, it->second.swapped, std::move(done)});
+  auto step = [this, op](auto self) -> void {
     auto rit = regions_.find(op->rid);
     if (rit == regions_.end()) return;  // owner killed mid page-in
-    const Bytes left = rit->second.swapped;
+    const Bytes left = std::min(op->remaining, rit->second.swapped);
     if (left == 0) {
       if (op->done) op->done();
       return;
     }
     const Bytes chunk = std::min<Bytes>(left, cfg_.vm_chunk);
-    acquire_frames(chunk, op->pid, [this, op, step, chunk] {
+    op->remaining -= chunk;
+    acquire_frames(chunk, op->pid, [this, op, self, chunk] {
       auto rit2 = regions_.find(op->rid);
       if (rit2 == regions_.end()) {
         free_ += chunk;
         return;
       }
       // Frames held; now read the extent back from the swap device.
-      disk_.start(IoClass::SwapIn, chunk, [this, op, step, chunk] {
+      held_ += chunk;
+      disk_.start(IoClass::SwapIn, chunk, [this, op, self, chunk] {
+        OSAP_CHECK(held_ >= chunk);
+        held_ -= chunk;
         auto rit3 = regions_.find(op->rid);
         if (rit3 == regions_.end()) {
           free_ += chunk;
@@ -155,11 +177,11 @@ void Vmm::page_in(RegionId rid, bool dirtying, std::function<void()> done) {
         touch(r);
         auto pit = procs_.find(op->pid);
         if (pit != procs_.end()) pit->second.swapped_in_total += moved;
-        (*step)();
+        self(self);
       });
     }, /*depth=*/0);
   };
-  (*step)();
+  step(step);
 }
 
 void Vmm::release(RegionId rid, Bytes bytes) {
@@ -174,11 +196,12 @@ void Vmm::release(RegionId rid, Bytes bytes) {
   r.resident_dirty -= from_dirty;
   left -= from_dirty;
   free_ += from_clean + from_dirty;
-  // Anything still swapped that the caller frees releases its slot too.
+  // Anything still swapped that the caller frees releases its slot too —
+  // as do the slots that backed the freed clean pages.
   const Bytes from_swap = std::min(left, r.swapped);
   r.swapped -= from_swap;
-  OSAP_CHECK(swap_used_ >= from_swap);
-  swap_used_ -= from_swap;
+  OSAP_CHECK(swap_used_ >= from_swap + from_clean);
+  swap_used_ -= from_swap + from_clean;
 }
 
 void Vmm::dirty_resident(RegionId rid) {
@@ -205,9 +228,12 @@ void Vmm::fs_cache_insert(Bytes bytes) {
 
 Bytes Vmm::evict_from_region(Region& region, Bytes want, VictimPlan& plan) {
   Bytes taken = 0;
-  // Clean extents have a valid swap copy: dropping them is free.
+  // Clean extents have a valid swap copy: dropping them is free. The data
+  // now lives only in that swap copy, so the extent moves to `swapped`
+  // (the slot itself was already charged to swap_used_).
   const Bytes clean = std::min(want, region.resident_clean);
   region.resident_clean -= clean;
+  region.swapped += clean;
   free_ += clean;
   plan.instant += clean;
   taken += clean;
@@ -304,12 +330,20 @@ Vmm::VictimPlan Vmm::select_victims(Bytes want, Pid requester) {
   return plan;
 }
 
-void Vmm::acquire_frames(Bytes bytes, Pid requester, std::function<void()> grant, int depth) {
+void Vmm::acquire_frames(Bytes bytes, Pid requester, std::function<void()> grant, int depth,
+                         int rounds) {
   const Bytes reserve = cfg_.low_watermark_bytes();
   if (free_ >= bytes + reserve) {
     free_ -= bytes;
     grant();
     return;
+  }
+  if (rounds >= kMaxReclaimRounds) {
+    std::ostringstream os;
+    os << name_ << ": reclaim livelock — " << rounds << " reclaim rounds for a "
+       << format_bytes(bytes) << " request by " << requester << " without a grant\n";
+    dump(os);
+    throw SimError(os.str());
   }
 
   // Reclaim up to the high watermark — deliberately more than `bytes`
@@ -319,7 +353,8 @@ void Vmm::acquire_frames(Bytes bytes, Pid requester, std::function<void()> grant
   const Bytes want = sat_sub(target, free_);
   VictimPlan plan = select_victims(want, requester);
 
-  auto proceed = [this, bytes, requester, grant = std::move(grant), depth, plan]() mutable {
+  auto proceed = [this, bytes, requester, grant = std::move(grant), depth, rounds,
+                  plan]() mutable {
     if (plan.refault > 0 && depth < 4 && regions_.contains(plan.refault_region)) {
       // The mistakenly evicted working-set extent faults back in: a swap
       // read plus a fresh frame acquisition, which may evict yet more of
@@ -357,13 +392,18 @@ void Vmm::acquire_frames(Bytes bytes, Pid requester, std::function<void()> grant
       return;
     }
     // Progress was made but a concurrent acquirer raced us to the frames.
-    acquire_frames(bytes, requester, std::move(grant), depth);
+    acquire_frames(bytes, requester, std::move(grant), depth, rounds + 1);
   };
 
   if (plan.io > 0) {
+    // Victim frames stay occupied until the write lands: they have left
+    // their regions but are not yet grantable.
     const Bytes io = plan.io;
+    held_ += io;
     disk_.start(IoClass::SwapOut, io, [this, io, proceed = std::move(proceed)]() mutable {
-      free_ += io;  // victim frames stay occupied until the write lands
+      OSAP_CHECK(held_ >= io);
+      held_ -= io;
+      free_ += io;
       proceed();
     });
   } else {
@@ -419,6 +459,90 @@ Bytes Vmm::region_resident(RegionId rid) const {
 Bytes Vmm::region_swapped(RegionId rid) const {
   const auto it = regions_.find(rid);
   return it == regions_.end() ? 0 : it->second.swapped;
+}
+
+bool Vmm::is_stopped(Pid pid) const {
+  const auto it = procs_.find(pid);
+  return it != procs_.end() && it->second.stopped;
+}
+
+void Vmm::audit(std::vector<std::string>& violations) const {
+  Bytes resident = 0, swapped = 0, clean = 0;
+  for (const auto& [rid, r] : regions_) {
+    resident += r.resident_clean + r.resident_dirty;
+    swapped += r.swapped;
+    clean += r.resident_clean;
+  }
+
+  // Frame conservation: every usable frame is free, in the fs cache, in
+  // flight between a region and the swap device, or resident somewhere.
+  const Bytes accounted = free_ + fs_cache_ + held_ + resident;
+  if (accounted != cfg_.usable_ram()) {
+    std::ostringstream os;
+    os << "frame conservation broken: free " << format_bytes(free_) << " + cache "
+       << format_bytes(fs_cache_) << " + in-flight " << format_bytes(held_) << " + resident "
+       << format_bytes(resident) << " = " << format_bytes(accounted) << ", expected "
+       << format_bytes(cfg_.usable_ram());
+    violations.push_back(os.str());
+  }
+
+  // Swap-slot exactness: a slot is in use iff it backs a swapped extent
+  // or a clean resident copy.
+  if (swap_used_ != swapped + clean) {
+    std::ostringstream os;
+    os << "swap accounting broken: swap_used " << format_bytes(swap_used_) << " != swapped "
+       << format_bytes(swapped) << " + clean copies " << format_bytes(clean);
+    violations.push_back(os.str());
+  }
+  if (swap_used_ > cfg_.swap_size) {
+    std::ostringstream os;
+    os << "swap overcommitted: " << format_bytes(swap_used_) << " > device size "
+       << format_bytes(cfg_.swap_size);
+    violations.push_back(os.str());
+  }
+
+  // Region <-> process list consistency (the two-list bookkeeping): every
+  // region's owner is registered and lists the region; every listed
+  // region id resolves (or was erased from both sides together).
+  std::size_t listed = 0;
+  for (const auto& [pid, info] : procs_) {
+    for (RegionId rid : info.regions) {
+      const auto rit = regions_.find(rid);
+      if (rit == regions_.end()) continue;  // erased region ids are pruned lazily
+      ++listed;
+      if (rit->second.pid != pid) {
+        std::ostringstream os;
+        os << rid << " listed by " << pid << " but owned by " << rit->second.pid;
+        violations.push_back(os.str());
+      }
+    }
+  }
+  if (listed != regions_.size()) {
+    std::ostringstream os;
+    os << "region table has " << regions_.size() << " entries but process lists resolve "
+       << listed;
+    violations.push_back(os.str());
+  }
+}
+
+void Vmm::dump(std::ostream& os) const {
+  os << "free " << format_bytes(free_) << ", fs-cache " << format_bytes(fs_cache_)
+     << ", in-flight " << format_bytes(held_) << ", swap " << format_bytes(swap_used_) << "/"
+     << format_bytes(cfg_.swap_size) << ", " << regions_.size() << " regions, "
+     << procs_.size() << " processes\n";
+  for (const auto& [pid, info] : procs_) {
+    if (info.regions.empty()) continue;
+    os << "  " << pid << (info.stopped ? " [stopped]" : "") << ":";
+    for (RegionId rid : info.regions) {
+      const auto rit = regions_.find(rid);
+      if (rit == regions_.end()) continue;
+      const Region& r = rit->second;
+      os << " " << r.name << "(clean " << format_bytes(r.resident_clean) << ", dirty "
+         << format_bytes(r.resident_dirty) << ", swapped " << format_bytes(r.swapped)
+         << (r.hot ? ", hot" : "") << ")";
+    }
+    os << "\n";
+  }
 }
 
 }  // namespace osap

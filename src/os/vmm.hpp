@@ -35,6 +35,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "audit/audit.hpp"
 #include "common/error.hpp"
 #include "common/ids.hpp"
 #include "common/units.hpp"
@@ -46,9 +47,12 @@ namespace osap {
 struct RegionTag { static const char* prefix() { return "region_"; } };
 using RegionId = StrongId<RegionTag>;
 
-class Vmm {
+class Vmm final : public InvariantAuditor {
  public:
-  Vmm(Simulation& sim, Disk& disk, const OsConfig& cfg);
+  Vmm(Simulation& sim, Disk& disk, const OsConfig& cfg, std::string name = "vmm");
+  ~Vmm() override;
+  Vmm(const Vmm&) = delete;
+  Vmm& operator=(const Vmm&) = delete;
 
   // --- process / region lifecycle ---------------------------------------
   void register_process(Pid pid);
@@ -103,6 +107,22 @@ class Vmm {
   [[nodiscard]] Bytes region_resident(RegionId rid) const;
   [[nodiscard]] Bytes region_swapped(RegionId rid) const;
   [[nodiscard]] bool has_region(RegionId rid) const { return regions_.contains(rid); }
+  [[nodiscard]] bool is_stopped(Pid pid) const;
+  /// Frames detached from regions but not yet grantable (swap-out writes
+  /// in flight) or granted but not yet credited (swap-in reads in flight).
+  [[nodiscard]] Bytes held_in_flight() const noexcept { return held_; }
+
+  // --- invariant auditing ---------------------------------------------------
+  [[nodiscard]] std::string audit_label() const override { return name_; }
+  /// Audited invariants: frame conservation (free + cache + in-flight +
+  /// resident == usable RAM), swap-slot exactness (swap_used == swapped +
+  /// clean copies), swap capacity, and region<->process list consistency.
+  void audit(std::vector<std::string>& violations) const override;
+  void dump(std::ostream& os) const override;
+
+  /// Testing-only fault injection: skew the free-frame counter so the
+  /// conservation audit fires. Never call outside audit tests.
+  void testing_corrupt_free_frames(Bytes delta) { free_ += delta; }
 
  private:
   struct Region {
@@ -129,8 +149,10 @@ class Vmm {
   };
 
   /// Grant `bytes` frames to a requester, reclaiming if needed; `grant`
-  /// runs once the frames are held.
-  void acquire_frames(Bytes bytes, Pid requester, std::function<void()> grant, int depth);
+  /// runs once the frames are held. `rounds` counts reclaim retries for
+  /// this request; the loop is bounded (livelock guard).
+  void acquire_frames(Bytes bytes, Pid requester, std::function<void()> grant, int depth,
+                      int rounds = 0);
 
   /// Select and immediately detach victims worth roughly `want` bytes.
   VictimPlan select_victims(Bytes want, Pid requester);
@@ -144,12 +166,16 @@ class Vmm {
   Simulation& sim_;
   Disk& disk_;
   const OsConfig cfg_;
+  std::string name_;
   std::unordered_map<Pid, ProcInfo> procs_;
   std::unordered_map<RegionId, Region> regions_;
   IdGenerator<RegionId> region_ids_;
   Bytes free_;
   Bytes fs_cache_ = 0;
   Bytes swap_used_ = 0;
+  /// In-flight frames: victims awaiting their swap-out write, and granted
+  /// page-in frames awaiting their swap-in read. Part of conservation.
+  Bytes held_ = 0;
   Bytes swapped_out_all_ = 0;
   std::uint64_t touch_seq_ = 0;
   std::function<void()> oom_handler_;

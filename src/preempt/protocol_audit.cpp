@@ -1,0 +1,101 @@
+#include "preempt/protocol_audit.hpp"
+
+#include <sstream>
+
+#include "hadoop/events.hpp"
+#include "hadoop/job_tracker.hpp"
+
+namespace osap {
+
+struct ProtocolAuditor::Observer {
+  std::unordered_map<TaskId, Phase> phases;
+  /// Buffered until the next audit sweep.
+  std::vector<std::string> violations;
+
+  [[nodiscard]] static const char* phase_name(Phase p) noexcept {
+    switch (p) {
+      case Phase::None: return "none";
+      case Phase::SuspendRequested: return "suspend-requested";
+      case Phase::Suspended: return "suspended";
+      case Phase::ResumeRequested: return "resume-requested";
+    }
+    return "?";
+  }
+
+  void on_event(const ClusterEvent& e) {
+    if (!e.task.valid()) return;
+    Phase& phase = phases[e.task];
+    const Phase before = phase;
+    const auto illegal = [&] {
+      std::ostringstream os;
+      os << e.task << ": " << to_string(e.type) << " at t=" << e.time
+         << " while in phase " << phase_name(before);
+      violations.push_back(os.str());
+    };
+    switch (e.type) {
+      case ClusterEventType::TaskSuspendRequested:
+        if (phase != Phase::None) illegal();
+        phase = Phase::SuspendRequested;
+        break;
+      case ClusterEventType::TaskSuspended:
+        if (phase != Phase::SuspendRequested) illegal();
+        phase = Phase::Suspended;
+        break;
+      case ClusterEventType::TaskResumeRequested:
+        if (phase != Phase::Suspended) illegal();
+        phase = Phase::ResumeRequested;
+        break;
+      case ClusterEventType::TaskResumed:
+        // Resumed straight from Suspended covers SIGCONT sent outside the
+        // JobTracker API (the kernel reports it either way).
+        if (phase != Phase::ResumeRequested && phase != Phase::Suspended) illegal();
+        phase = Phase::None;
+        break;
+      case ClusterEventType::TaskLaunched:
+        // A checkpointed task relaunches as its resume (ResumeRequested).
+        if (phase != Phase::None && phase != Phase::ResumeRequested) illegal();
+        phase = Phase::None;
+        break;
+      case ClusterEventType::TaskKillRequested:
+      case ClusterEventType::TaskKilled:
+      case ClusterEventType::TaskSucceeded:
+      case ClusterEventType::TaskFailed:
+        // A kill or completion may land in any phase and voids the round
+        // trip in flight.
+        phase = Phase::None;
+        break;
+      default:
+        break;
+    }
+  }
+};
+
+ProtocolAuditor::ProtocolAuditor(JobTracker& jt)
+    : sim_(&jt.sim()), obs_(std::make_shared<Observer>()) {
+  sim_->audits().add(this);
+  // The hook lives as long as the JobTracker; the shared observer keeps it
+  // valid even if this auditor is destroyed first.
+  jt.add_event_hook([obs = obs_](const ClusterEvent& e) { obs->on_event(e); });
+}
+
+ProtocolAuditor::~ProtocolAuditor() { sim_->audits().remove(this); }
+
+void ProtocolAuditor::audit(std::vector<std::string>& violations) const {
+  for (std::string& v : obs_->violations) violations.push_back(std::move(v));
+  obs_->violations.clear();
+}
+
+void ProtocolAuditor::dump(std::ostream& os) const {
+  std::size_t in_flight = 0;
+  for (const auto& [tid, phase] : obs_->phases) {
+    if (phase != Phase::None) ++in_flight;
+  }
+  os << obs_->phases.size() << " tasks observed, " << in_flight
+     << " with a suspend/resume round trip in flight\n";
+  for (const auto& [tid, phase] : obs_->phases) {
+    if (phase == Phase::None) continue;
+    os << "  " << tid << ": " << Observer::phase_name(phase) << '\n';
+  }
+}
+
+}  // namespace osap

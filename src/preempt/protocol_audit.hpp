@@ -1,0 +1,52 @@
+// Protocol auditor for the preemption state machine (§III-B).
+//
+// The paper's suspension protocol is strictly ordered: MUST_SUSPEND is
+// acknowledged as SUSPENDED before MUST_RESUME may be issued, and each
+// request crosses the heartbeat exactly once. This auditor observes the
+// JobTracker's event stream and flags any transition the protocol does
+// not allow — a resume acknowledged before its request, a second suspend
+// for an already-parked task, a launch of a task the tracker still holds.
+//
+// Violations are buffered as they happen and flushed by the simulation's
+// next audit sweep, so a protocol bug surfaces within `stride` events of
+// the offending transition.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "audit/audit.hpp"
+#include "common/ids.hpp"
+
+namespace osap {
+
+class JobTracker;
+class Simulation;
+
+class ProtocolAuditor final : public InvariantAuditor {
+ public:
+  /// Hooks into `jt`'s event stream and registers with its simulation's
+  /// audit registry. The observer state is shared with the event hook, so
+  /// destroying the auditor before the JobTracker is safe.
+  explicit ProtocolAuditor(JobTracker& jt);
+  ~ProtocolAuditor() override;
+  ProtocolAuditor(const ProtocolAuditor&) = delete;
+  ProtocolAuditor& operator=(const ProtocolAuditor&) = delete;
+
+  [[nodiscard]] std::string audit_label() const override { return "preempt-protocol"; }
+  void audit(std::vector<std::string>& violations) const override;
+  void dump(std::ostream& os) const override;
+
+ private:
+  /// Where a task stands in the suspend/resume round trips.
+  enum class Phase { None, SuspendRequested, Suspended, ResumeRequested };
+
+  struct Observer;
+
+  Simulation* sim_;
+  std::shared_ptr<Observer> obs_;
+};
+
+}  // namespace osap

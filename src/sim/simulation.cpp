@@ -25,10 +25,45 @@ bool Simulation::step() {
   if (queue_.empty()) return false;
   auto fired = queue_.pop();
   OSAP_CHECK(fired.time >= now_);
+  if (audit_cfg_.enabled) {
+    if (fired.time == now_ && processed_ > 0) {
+      if (++stalled_events_ >= audit_cfg_.max_stalled_events) {
+        watchdog_abort(fired.time, fired.id);
+      }
+    } else {
+      stalled_events_ = 0;
+    }
+  }
   now_ = fired.time;
   ++processed_;
   fired.fn();
+  if (audit_cfg_.enabled && audits_.size() > 0 && processed_ % audit_cfg_.stride == 0) {
+    audit_now();
+  }
   return true;
+}
+
+void Simulation::audit_now() const {
+  std::vector<std::string> violations;
+  audits_.run(violations);
+  if (violations.empty()) return;
+  std::ostringstream os;
+  os << "invariant audit failed at t=" << now_ << " after " << processed_
+     << " events (" << queue_.pending() << " pending):";
+  for (const std::string& v : violations) os << "\n  " << v;
+  os << "\n" << audits_.dump_all();
+  OSAP_LOG(Error, "audit") << os.str();
+  throw SimError(os.str());
+}
+
+void Simulation::watchdog_abort(SimTime event_time, EventId event_id) const {
+  std::ostringstream os;
+  os << "watchdog: simulated time stalled at t=" << event_time << " for " << stalled_events_
+     << " consecutive events (current event id " << event_id << ", " << processed_
+     << " processed, " << queue_.pending() << " pending) — likely a zero-delay event livelock\n"
+     << audits_.dump_all();
+  OSAP_LOG(Error, "audit") << os.str();
+  throw SimError(os.str());
 }
 
 SimTime Simulation::run() {

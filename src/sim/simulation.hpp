@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "audit/audit.hpp"
 #include "common/time.hpp"
 #include "sim/event_queue.hpp"
 
@@ -48,10 +49,26 @@ class Simulation {
     return queue_.pending_events();
   }
 
+  // --- invariant audits & watchdog ----------------------------------------
+  /// Model layers register their InvariantAuditors here; step() sweeps
+  /// them every audit_config().stride events and aborts on violations.
+  [[nodiscard]] AuditRegistry& audits() noexcept { return audits_; }
+  void set_audit_config(const AuditConfig& cfg) noexcept { audit_cfg_ = cfg; }
+  [[nodiscard]] const AuditConfig& audit_config() const noexcept { return audit_cfg_; }
+  /// Sweep all auditors now; throws SimError with a diagnostic dump if any
+  /// invariant is violated (regardless of the enabled flag).
+  void audit_now() const;
+
  private:
+  [[noreturn]] void watchdog_abort(SimTime event_time, EventId event_id) const;
+
   EventQueue queue_;
   SimTime now_ = 0;
   std::uint64_t processed_ = 0;
+  AuditRegistry audits_;
+  AuditConfig audit_cfg_;
+  /// Consecutive events fired without the clock advancing (watchdog).
+  std::uint64_t stalled_events_ = 0;
 };
 
 }  // namespace osap

@@ -57,6 +57,10 @@ void SparkDriver::start(std::function<void()> on_done) {
   OSAP_CHECK_MSG(started_at_ < 0, "driver started twice");
   on_done_ = std::move(on_done);
   started_at_ = cluster_->sim().now();
+  // Between stages the driver is pure async work (cache commit, page-in)
+  // with no live job; hold the cluster's run loop open until the app ends
+  // so those continuations aren't stranded.
+  cluster_->retain_work();
   ensure_executor();
   run_stage(0);
 }
@@ -89,6 +93,7 @@ void SparkDriver::run_stage(int index) {
     cluster_->kernel(node_).signal(executor_, Signal::Kill);
     OSAP_LOG(Info, kLog) << spec_.name << " finished in " << runtime() << "s ("
                          << recomputations_ << " recomputations)";
+    cluster_->release_work();
     if (on_done_) on_done_();
     return;
   }

@@ -34,8 +34,7 @@ TEST_P(ClusterFuzz, RandomPreemptionStormStillCompletes) {
 
   // Every 4 s, poke a random live task with a random command.
   JobTracker& jt = cluster.job_tracker();
-  auto storm = std::make_shared<std::function<void()>>();
-  *storm = [&cluster, &jt, rng, jobs, storm] {
+  auto storm = [&cluster, &jt, rng, jobs](auto self) -> void {
     if (cluster.sim().now() > 120.0) return;  // stop the storm, let it drain
     std::vector<TaskId> live, suspended;
     for (JobId jid : jobs) {
@@ -60,13 +59,12 @@ TEST_P(ClusterFuzz, RandomPreemptionStormStillCompletes) {
       case 3:
         break;  // let it breathe
     }
-    cluster.sim().after(4.0, *storm);
+    cluster.sim().after(4.0, [self] { self(self); });
   };
-  cluster.sim().at(5.0, *storm);
+  cluster.sim().at(5.0, [storm] { storm(storm); });
 
   // After the storm, release anything still parked so the system drains.
-  auto cleanup = std::make_shared<std::function<void()>>();
-  *cleanup = [&cluster, &jt, jobs, cleanup] {
+  auto cleanup = [&cluster, &jt, jobs](auto self) -> void {
     bool any = false;
     for (JobId jid : jobs) {
       for (TaskId tid : jt.job(jid).tasks) {
@@ -76,9 +74,9 @@ TEST_P(ClusterFuzz, RandomPreemptionStormStillCompletes) {
         }
       }
     }
-    if (any || !jt.all_jobs_done()) cluster.sim().after(10.0, *cleanup);
+    if (any || !jt.all_jobs_done()) cluster.sim().after(10.0, [self] { self(self); });
   };
-  cluster.sim().at(125.0, *cleanup);
+  cluster.sim().at(125.0, [cleanup] { cleanup(cleanup); });
 
   cluster.run_until(3000.0);
 

@@ -73,7 +73,10 @@ TEST(Capacity, GuaranteeReclaimedByPreemption) {
   // guarantee (1 slot) must come back via suspension.
   for (int i = 0; i < 2; ++i) {
     cluster.sim().at(0.05 + 0.05 * i, [&cluster, i] {
-      JobSpec spec = single_task_job("r" + std::to_string(i), 0, light_map_task());
+      // Named local sidesteps GCC 12's -Wrestrict false positive on
+      // literal + to_string temporaries (PR105329).
+      const std::string name = "r" + std::to_string(i);
+      JobSpec spec = single_task_job(name, 0, light_map_task());
       spec.queue = "research";
       cluster.submit(spec);
     });
