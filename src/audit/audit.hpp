@@ -20,6 +20,8 @@
 #include <string>
 #include <vector>
 
+#include "common/time.hpp"
+
 namespace osap {
 
 struct AuditConfig {
@@ -31,6 +33,17 @@ struct AuditConfig {
   /// storms, spawn cascades) are a few hundred events; a livelock crosses
   /// any bound immediately, so this only needs to be comfortably large.
   std::uint64_t max_stalled_events = 100000;
+  /// Min-advance watchdog: every `min_advance_window` processed events the
+  /// clock must have advanced by at least `min_advance_floor` seconds.
+  /// Catches livelocks that creep time forward (ULP increments, 1 ns fluid
+  /// floors) and therefore reset the same-instant counter forever. The
+  /// window is deliberately larger than `max_stalled_events` so a pure
+  /// zero-delay livelock still gets the precise same-instant diagnosis.
+  /// Healthy workloads advance milliseconds-to-seconds per event; a
+  /// window's worth of events advancing less than a microsecond in total
+  /// is creep, not progress. 0 disables.
+  std::uint64_t min_advance_window = 131072;
+  Duration min_advance_floor = 1e-6;
 };
 
 /// One model layer's self-check. Implementations must deregister before

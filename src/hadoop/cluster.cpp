@@ -1,6 +1,10 @@
 #include "hadoop/cluster.hpp"
 
+#include <iomanip>
+#include <sstream>
+
 #include "common/error.hpp"
+#include "common/log.hpp"
 
 namespace osap {
 
@@ -82,6 +86,12 @@ void Cluster::run() {
   // of its jobs, say — is still in flight.
   while (!(!jt_.jobs_in_order().empty() && jt_.all_jobs_done() && open_work_ == 0) &&
          sim_.step()) {
+  }
+  if (cfg_.print_trace_digest) {
+    std::ostringstream os;
+    os << std::hex << std::setw(16) << std::setfill('0') << sim_.trace_digest();
+    OSAP_LOG(Info, "cluster") << "trace digest " << os.str() << " after "
+                              << std::dec << sim_.events_processed() << " events";
   }
 }
 

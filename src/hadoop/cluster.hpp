@@ -35,6 +35,9 @@ struct ClusterConfig {
   /// Runtime invariant auditing + livelock watchdog (on by default; flip
   /// `audit.enabled` off for large batch experiments).
   AuditConfig audit;
+  /// Log the event-trace digest (Simulation::trace_digest) when run()
+  /// returns — the determinism witness; see docs/LINT.md.
+  bool print_trace_digest = false;
   std::uint64_t seed = 1;
 };
 
@@ -70,6 +73,9 @@ class Cluster {
   /// Run until the event queue drains (all jobs done) or `deadline`.
   void run();
   void run_until(SimTime t);
+
+  /// Digest of the event stream executed so far (see Simulation).
+  [[nodiscard]] std::uint64_t trace_digest() const noexcept { return sim_.trace_digest(); }
 
   /// Keep run() alive past job completion while out-of-band work (e.g. a
   /// driver's async page-in) is still outstanding. Balanced pairs.

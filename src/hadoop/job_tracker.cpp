@@ -3,6 +3,7 @@
 #include <iomanip>
 #include <sstream>
 
+#include "common/det.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "hadoop/task_tracker.hpp"
@@ -240,14 +241,19 @@ void JobTracker::on_heartbeat(TrackerStatus status) {
 
   // Piggyback pending kill / suspend / resume commands addressed to this
   // tracker (§III-B).
-  for (auto& [tid, sent] : must_kill_) {
+  // Action order inside one response is tracker-visible (the TaskTracker
+  // applies them in sequence), so walk each pending-command map in task-id
+  // order, never hash order.
+  for (TaskId tid : det::sorted_keys(must_kill_)) {
+    bool& sent = must_kill_.at(tid);
     if (sent) continue;
     const Task& t = tasks_.at(tid);
     if (t.tracker != status.tracker) continue;
     response.actions.push_back(TaskAction{ActionKind::Kill, tid, {}});
     sent = true;
   }
-  for (auto& [tid, sent] : command_sent_) {
+  for (TaskId tid : det::sorted_keys(command_sent_)) {
+    bool& sent = command_sent_.at(tid);
     if (sent) continue;
     Task& t = tasks_.at(tid);
     if (t.tracker != status.tracker) continue;
@@ -260,7 +266,8 @@ void JobTracker::on_heartbeat(TrackerStatus status) {
       sent = true;
     }
   }
-  for (auto& [tid, sent] : maps_done_pending_) {
+  for (TaskId tid : det::sorted_keys(maps_done_pending_)) {
+    bool& sent = maps_done_pending_.at(tid);
     if (sent) continue;
     const Task& t = tasks_.at(tid);
     if (t.tracker != status.tracker) continue;
@@ -315,8 +322,8 @@ Task& JobTracker::task_mutable(TaskId id) {
 }
 
 bool JobTracker::all_jobs_done() const {
-  for (const auto& [id, job] : jobs_) {
-    if (job.state == JobState::Running) return false;
+  for (JobId id : job_order_) {
+    if (jobs_.at(id).state == JobState::Running) return false;
   }
   return true;
 }
@@ -327,7 +334,8 @@ void JobTracker::audit(std::vector<std::string>& violations) const {
     (os << ... << parts);
     violations.push_back(os.str());
   };
-  for (const auto& [tid, t] : tasks_) {
+  for (TaskId tid : det::sorted_keys(tasks_)) {
+    const Task& t = tasks_.at(tid);
     if (t.progress < -1e-9 || t.progress > 1.0 + 1e-9) {
       flag(tid, " progress ", t.progress, " out of [0,1]");
     }
@@ -347,7 +355,7 @@ void JobTracker::audit(std::vector<std::string>& violations) const {
     }
   }
   const auto check_command_map = [&](const auto& map, const char* what) {
-    for (const auto& [tid, sent] : map) {
+    for (TaskId tid : det::sorted_keys(map)) {
       const auto it = tasks_.find(tid);
       if (it == tasks_.end()) {
         flag(what, " command addressed to unknown ", tid);
@@ -360,7 +368,8 @@ void JobTracker::audit(std::vector<std::string>& violations) const {
   check_command_map(command_sent_, "suspend/resume");
   check_command_map(must_kill_, "kill");
   check_command_map(maps_done_pending_, "maps-done");
-  for (const auto& [jid, job] : jobs_) {
+  for (JobId jid : job_order_) {
+    const Job& job = jobs_.at(jid);
     int succeeded = 0;
     for (TaskId tid : job.tasks) {
       if (tasks_.at(tid).state == TaskState::Succeeded) ++succeeded;

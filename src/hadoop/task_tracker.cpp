@@ -2,6 +2,7 @@
 
 #include <sstream>
 
+#include "common/det.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "hadoop/job_tracker.hpp"
@@ -70,7 +71,10 @@ void TaskTracker::send_status(bool out_of_band) {
   status.suspended_tasks = suspended_;
   status.reports = std::move(pending_reports_);
   pending_reports_.clear();
-  for (const auto& [tid, task] : live_) {
+  // Reports travel to the JobTracker in task-id order: the scheduler acts
+  // on them in arrival order, so this order is part of the event stream.
+  for (TaskId tid : det::sorted_keys(live_)) {
+    const LiveTask& task = live_.at(tid);
     if (task.in_cleanup) continue;
     TaskStatusReport report;
     report.task = tid;
@@ -339,7 +343,8 @@ void TaskTracker::audit(std::vector<std::string>& violations) const {
   int map_slots = 0;
   int reduce_slots = 0;
   int suspended = 0;
-  for (const auto& [tid, task] : live_) {
+  for (TaskId tid : det::sorted_keys(live_)) {
+    const LiveTask& task = live_.at(tid);
     if (task.suspended) {
       ++suspended;
     } else if (task.type == TaskType::Map) {
@@ -380,7 +385,8 @@ void TaskTracker::dump(std::ostream& os) const {
   os << id_ << " on " << node_ << ": " << used_map_slots_ << "/" << cfg_.map_slots
      << " map slots, " << used_reduce_slots_ << "/" << cfg_.reduce_slots << " reduce slots, "
      << suspended_ << " suspended, " << live_.size() << " live tasks\n";
-  for (const auto& [tid, task] : live_) {
+  for (TaskId tid : det::sorted_keys(live_)) {
+    const LiveTask& task = live_.at(tid);
     const Process* p = kernel_.find(task.pid);
     os << "  " << tid << ' ' << to_string(task.type) << " pid=" << task.pid << " proc="
        << (p == nullptr ? "<gone>" : to_string(p->state()));

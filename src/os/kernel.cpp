@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/det.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 
@@ -339,8 +340,8 @@ bool Kernel::page_in_region(Pid pid, const std::string& region, std::function<vo
 }
 
 void Kernel::audit(std::vector<std::string>& violations) const {
-  for (const auto& [pid, proc] : procs_) {
-    const Process& p = *proc;
+  for (Pid pid : det::sorted_keys(procs_)) {
+    const Process& p = *procs_.at(pid);
     if (p.state_ == ProcState::Zombie) {
       std::ostringstream os;
       os << pid << " (" << p.name() << ") is a zombie in the process table";
@@ -370,7 +371,8 @@ void Kernel::audit(std::vector<std::string>& violations) const {
          << "' with " << p.run_.outstanding << " outstanding legs";
       violations.push_back(os.str());
     }
-    for (const auto& [rname, rid] : p.regions_) {
+    for (const std::string& rname : det::sorted_keys(p.regions_)) {
+      const RegionId rid = p.regions_.at(rname);
       if (!vmm_.has_region(rid)) {
         std::ostringstream os;
         os << pid << " (" << p.name() << ") region '" << rname << "' (" << rid
@@ -383,8 +385,8 @@ void Kernel::audit(std::vector<std::string>& violations) const {
 
 void Kernel::dump(std::ostream& os) const {
   os << procs_.size() << " processes\n";
-  for (const auto& [pid, proc] : procs_) {
-    const Process& p = *proc;
+  for (Pid pid : det::sorted_keys(procs_)) {
+    const Process& p = *procs_.at(pid);
     os << "  " << pid << " " << p.name() << " [" << to_string(p.state_) << "] phase "
        << p.phase_idx_ << "/" << p.program_.phases.size() << " progress "
        << progress(pid) << " outstanding " << p.run_.outstanding;
@@ -394,12 +396,13 @@ void Kernel::dump(std::ostream& os) const {
 }
 
 void Kernel::handle_oom() {
-  // Linux-like badness: kill the process holding the most memory.
+  // Linux-like badness: kill the process holding the most memory; ties go
+  // to the lowest pid so victim choice never depends on hash order.
   Pid victim;
   Bytes worst = 0;
-  for (const auto& [pid, proc] : procs_) {
+  for (Pid pid : det::sorted_keys(procs_)) {
     const Bytes held = vmm_.resident(pid);
-    if (held >= worst) {
+    if (held > worst) {
       worst = held;
       victim = pid;
     }

@@ -2,13 +2,14 @@
 
 #include <sstream>
 
+#include "common/det.hpp"
 #include "hadoop/events.hpp"
 #include "hadoop/job_tracker.hpp"
 
 namespace osap {
 
 struct ProtocolAuditor::Observer {
-  std::unordered_map<TaskId, Phase> phases;
+  std::unordered_map<TaskId, Phase> phase_by_task;
   /// Buffered until the next audit sweep.
   std::vector<std::string> violations;
 
@@ -24,7 +25,7 @@ struct ProtocolAuditor::Observer {
 
   void on_event(const ClusterEvent& e) {
     if (!e.task.valid()) return;
-    Phase& phase = phases[e.task];
+    Phase& phase = phase_by_task[e.task];
     const Phase before = phase;
     const auto illegal = [&] {
       std::ostringstream os;
@@ -87,12 +88,14 @@ void ProtocolAuditor::audit(std::vector<std::string>& violations) const {
 
 void ProtocolAuditor::dump(std::ostream& os) const {
   std::size_t in_flight = 0;
-  for (const auto& [tid, phase] : obs_->phases) {
-    if (phase != Phase::None) ++in_flight;
+  const std::vector<TaskId> tids = det::sorted_keys(obs_->phase_by_task);
+  for (TaskId tid : tids) {
+    if (obs_->phase_by_task.at(tid) != Phase::None) ++in_flight;
   }
-  os << obs_->phases.size() << " tasks observed, " << in_flight
+  os << obs_->phase_by_task.size() << " tasks observed, " << in_flight
      << " with a suspend/resume round trip in flight\n";
-  for (const auto& [tid, phase] : obs_->phases) {
+  for (TaskId tid : tids) {
+    const Phase phase = obs_->phase_by_task.at(tid);
     if (phase == Phase::None) continue;
     os << "  " << tid << ": " << Observer::phase_name(phase) << '\n';
   }

@@ -36,6 +36,14 @@ bool Simulation::step() {
   }
   now_ = fired.time;
   ++processed_;
+  trace_digest_.mix(fired.time);
+  trace_digest_.mix(fired.id);
+  if (audit_cfg_.enabled && audit_cfg_.min_advance_window > 0 &&
+      processed_ % audit_cfg_.min_advance_window == 0) {
+    const Duration advanced = now_ - window_anchor_;
+    if (advanced < audit_cfg_.min_advance_floor) min_advance_abort(advanced);
+    window_anchor_ = now_;
+  }
   fired.fn();
   if (audit_cfg_.enabled && audits_.size() > 0 && processed_ % audit_cfg_.stride == 0) {
     audit_now();
@@ -52,6 +60,18 @@ void Simulation::audit_now() const {
      << " events (" << queue_.pending() << " pending):";
   for (const std::string& v : violations) os << "\n  " << v;
   os << "\n" << audits_.dump_all();
+  OSAP_LOG(Error, "audit") << os.str();
+  throw SimError(os.str());
+}
+
+void Simulation::min_advance_abort(Duration advanced) const {
+  std::ostringstream os;
+  os << "watchdog: simulated time crept only " << advanced << " s over the last "
+     << audit_cfg_.min_advance_window << " events (floor "
+     << audit_cfg_.min_advance_floor << " s, now t=" << now_ << ", " << processed_
+     << " processed, " << queue_.pending()
+     << " pending) — likely a creeping-time event livelock\n"
+     << audits_.dump_all();
   OSAP_LOG(Error, "audit") << os.str();
   throw SimError(os.str());
 }

@@ -10,6 +10,7 @@
 #include <functional>
 
 #include "audit/audit.hpp"
+#include "common/det.hpp"
 #include "common/time.hpp"
 #include "sim/event_queue.hpp"
 
@@ -44,6 +45,11 @@ class Simulation {
 
   [[nodiscard]] std::uint64_t events_processed() const noexcept { return processed_; }
   [[nodiscard]] std::size_t events_pending() const noexcept { return queue_.pending(); }
+  /// FNV-1a digest of the executed event stream: every fired event's
+  /// (time, id) pair, in firing order. Two runs of the same scenario must
+  /// produce identical digests — the runtime witness behind the DET-*
+  /// lint rules (docs/LINT.md); the tier-1 double-run test enforces it.
+  [[nodiscard]] std::uint64_t trace_digest() const noexcept { return trace_digest_.value(); }
   /// Debug view of pending (time, id) pairs.
   [[nodiscard]] std::vector<std::pair<SimTime, EventId>> pending_events() const {
     return queue_.pending_events();
@@ -61,6 +67,7 @@ class Simulation {
 
  private:
   [[noreturn]] void watchdog_abort(SimTime event_time, EventId event_id) const;
+  [[noreturn]] void min_advance_abort(Duration advanced) const;
 
   EventQueue queue_;
   SimTime now_ = 0;
@@ -69,6 +76,9 @@ class Simulation {
   AuditConfig audit_cfg_;
   /// Consecutive events fired without the clock advancing (watchdog).
   std::uint64_t stalled_events_ = 0;
+  /// Clock value at the start of the current min-advance window.
+  SimTime window_anchor_ = 0;
+  det::Fnv1a trace_digest_;
 };
 
 }  // namespace osap

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/det.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 
@@ -96,7 +97,9 @@ void ResourceManager::schedule(NodeId node) {
 }
 
 void ResourceManager::schedule_everywhere() {
-  for (const auto& [node, nm] : nodes_) schedule(node);
+  // Node order decides which node's free lease a pending task takes; keep
+  // it stable so placement never depends on hash order.
+  for (NodeId node : det::sorted_keys(nodes_)) schedule(node);
 }
 
 void ResourceManager::maybe_preempt() {
@@ -106,18 +109,20 @@ void ResourceManager::maybe_preempt() {
     YarnApp& app = apps_.at(aid);
     if (app.state != YarnAppState::Running || app.pending_tasks.empty()) continue;
     bool room_somewhere = false;
-    for (const auto& [node, nm] : nodes_) {
-      if (app.spec.container_memory <= nm->free_capacity()) {
+    for (NodeId node : det::sorted_keys(nodes_)) {
+      if (app.spec.container_memory <= nodes_.at(node)->free_capacity()) {
         room_somewhere = true;
         break;
       }
     }
     if (room_somewhere) continue;
 
-    // Take a lease from the lowest-priority app holding one.
+    // Take a lease from the lowest-priority app holding one; ties go to
+    // the lowest container id so the victim never depends on hash order.
     Container* victim = nullptr;
     int victim_priority = app.spec.priority;
-    for (auto& [cid, container] : containers_) {
+    for (ContainerId cid : det::sorted_keys(containers_)) {
+      Container& container = containers_.at(cid);
       if (container.state != ContainerState::Running) continue;
       const int p = apps_.at(container.app).spec.priority;
       if (p < victim_priority) {

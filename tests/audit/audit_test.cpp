@@ -95,6 +95,51 @@ TEST(Watchdog, ZeroDelayLivelockFailsFastWithDefaults) {
   expect_audit_failure([&] { sim.run(); }, {"watchdog", "stalled"});
 }
 
+TEST(Watchdog, CreepingTimeLivelockFails) {
+  // Time advances by a picosecond per event: the same-instant watchdog is
+  // blind (every event moves the clock), but the min-advance window sees
+  // that 1024 events bought less than the configured floor.
+  Simulation sim;
+  AuditConfig cfg;
+  cfg.min_advance_window = 1024;
+  cfg.min_advance_floor = 1e-6;
+  sim.set_audit_config(cfg);
+  auto creep = [&sim](auto self) -> void { sim.after(1e-12, [self] { self(self); }); };
+  sim.after(0, [creep] { creep(creep); });
+  expect_audit_failure([&] { sim.run(); }, {"watchdog", "crept"});
+}
+
+TEST(Watchdog, SlowButRealProgressPasses) {
+  // Millisecond steps clear a microsecond floor easily; the min-advance
+  // watchdog must stay quiet for any sim making real progress.
+  Simulation sim;
+  AuditConfig cfg;
+  cfg.min_advance_window = 64;
+  cfg.min_advance_floor = 1e-6;
+  sim.set_audit_config(cfg);
+  int fired = 0;
+  for (int i = 0; i < 1000; ++i) {
+    sim.after(0.001 * i, [&fired] { ++fired; });
+  }
+  sim.run();
+  EXPECT_EQ(fired, 1000);
+}
+
+TEST(Watchdog, MinAdvanceDisabledByZeroWindow) {
+  Simulation sim;
+  AuditConfig cfg;
+  cfg.min_advance_window = 0;  // opt out: creeping time is tolerated
+  cfg.max_stalled_events = 1000000;
+  sim.set_audit_config(cfg);
+  int hops = 0;
+  auto creep = [&sim, &hops](auto self) -> void {
+    if (++hops < 5000) sim.after(1e-12, [self] { self(self); });
+  };
+  sim.after(0, [creep] { creep(creep); });
+  sim.run();
+  EXPECT_EQ(hops, 5000);
+}
+
 TEST(Watchdog, AdvancingTimeNeverTrips) {
   Simulation sim;
   AuditConfig cfg;

@@ -1,0 +1,6 @@
+// Implementation half of the leaky-auditor pair: one add, zero removes.
+#include "aud1_bad.hpp"
+
+LeakyAuditor::LeakyAuditor(Simulation& sim) : sim_(sim) { sim_.audits().add(this); }
+
+LeakyAuditor::~LeakyAuditor() {}

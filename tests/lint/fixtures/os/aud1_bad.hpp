@@ -1,0 +1,13 @@
+// AUD-1 fixture: registers in the constructor but never deregisters.
+#pragma once
+
+class Simulation;
+
+class LeakyAuditor : public InvariantAuditor {
+ public:
+  explicit LeakyAuditor(Simulation& sim);
+  ~LeakyAuditor();
+
+ private:
+  Simulation& sim_;
+};

@@ -1,0 +1,7 @@
+// AUD-1 fixture: an auditor that never registers at all.
+#pragma once
+
+class ForgottenAuditor : public InvariantAuditor {
+ public:
+  ForgottenAuditor() = default;
+};

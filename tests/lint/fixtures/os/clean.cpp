@@ -1,0 +1,18 @@
+// Negative fixture: unordered state traversed the sanctioned way must
+// produce zero findings even inside a watched layer.
+#include <map>
+#include <unordered_map>
+
+#include "common/det.hpp"
+
+struct CleanState {
+  std::unordered_map<int, int> reg_;
+  std::map<int, int> ordered_;
+
+  int checksum() const {
+    int sum = 0;
+    for (int key : det::sorted_keys(reg_)) sum += reg_.at(key);
+    for (const auto& [key, value] : ordered_) sum += value;
+    return sum;
+  }
+};

@@ -1,0 +1,15 @@
+// DET-1 fixture: hash-order traversal in a watched layer (fixtures/os/).
+#include <unordered_map>
+#include <unordered_set>
+
+struct Det1Bad {
+  std::unordered_map<int, int> table_;
+  std::unordered_set<int> members_;
+
+  int sum() const {
+    int total = 0;
+    for (const auto& [key, value] : table_) total += value;
+    for (auto it = members_.begin(); it != members_.end(); ++it) total += *it;
+    return total;
+  }
+};

@@ -1,0 +1,16 @@
+// DET-1 suppressions: both placements (line above, trailing), each with
+// the mandatory reason.
+#include <unordered_map>
+
+struct Det1Suppressed {
+  std::unordered_map<int, int> cache_;
+
+  int total() const {
+    int sum = 0;
+    // osap-lint: allow(DET-1) summation is order-insensitive
+    for (const auto& [key, value] : cache_) sum += value;
+    int n = 0;
+    for (const auto& [key, value] : cache_) ++n;  // osap-lint: allow(DET-1) counting is order-insensitive
+    return sum + n;
+  }
+};

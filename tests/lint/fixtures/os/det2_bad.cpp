@@ -1,0 +1,20 @@
+// DET-2 fixture: ambient randomness, wall clocks, and pointer keys.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <map>
+#include <random>
+
+struct Det2Bad {
+  std::map<Det2Bad*, int> by_addr_;
+
+  long sample() {
+    std::mt19937 gen(12345);
+    long x = rand();
+    x += static_cast<long>(std::time(nullptr));
+    auto now = std::chrono::system_clock::now();
+    (void)now;
+    (void)gen;
+    return x;
+  }
+};

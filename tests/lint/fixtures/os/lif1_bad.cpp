@@ -1,0 +1,12 @@
+// LIF-1 fixture: the self-capturing continuation cycle from PR 1.
+#include <functional>
+#include <memory>
+
+struct Lif1Bad {
+  std::shared_ptr<std::function<void()>> cont_;
+
+  void arm() {
+    auto step = std::make_shared<std::function<void()>>();
+    *step = [step] { (*step)(); };
+  }
+};

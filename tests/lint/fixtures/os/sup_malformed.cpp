@@ -1,0 +1,5 @@
+// Malformed suppressions are themselves findings, not silent no-ops.
+struct SupMalformed {
+  int x = 0;  // osap-lint: allow(DET-1)
+  int y = 0;  // osap-lint: allow(NOPE-9) not a rule
+};

@@ -1,0 +1,4 @@
+// A suppression with nothing to suppress earns a note, not silence.
+struct SupStale {
+  int x = 0;  // osap-lint: allow(LIF-1) nothing here actually
+};

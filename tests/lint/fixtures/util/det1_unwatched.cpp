@@ -1,0 +1,13 @@
+// Outside the watched layer dirs DET-1 does not apply: tools and tests
+// may traverse hash order when the result feeds no simulation decision.
+#include <unordered_map>
+
+struct Unwatched {
+  std::unordered_map<int, int> counters_;
+
+  int sum() const {
+    int total = 0;
+    for (const auto& [key, value] : counters_) total += value;
+    return total;
+  }
+};

@@ -1,0 +1,135 @@
+// osap-lint's own test bed: run the real binary over fixture sources with
+// known violations and assert exact rule hits, suppression accounting,
+// DET-1 layer scoping — and, as the meta-test, that the shipped src/ tree
+// lints clean.
+//
+// Paths come in as compile definitions (OSAP_LINT_BIN, OSAP_LINT_FIXTURES,
+// OSAP_LINT_SRC) so the test works from any build directory.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include <sys/wait.h>
+
+namespace {
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+LintRun run_lint(const std::string& args) {
+  LintRun result;
+  const std::string cmd = std::string(OSAP_LINT_BIN) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buf[4096];
+  while (std::fgets(buf, sizeof(buf), pipe) != nullptr) result.output += buf;
+  const int status = pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+int count(const std::string& haystack, const std::string& needle) {
+  int n = 0;
+  std::size_t at = 0;
+  while ((at = haystack.find(needle, at)) != std::string::npos) {
+    ++n;
+    at += needle.size();
+  }
+  return n;
+}
+
+#define EXPECT_HAS(out, needle) \
+  EXPECT_NE((out).find(needle), std::string::npos) << "missing '" << (needle) << "' in:\n" << (out)
+
+const std::string kFixtures = OSAP_LINT_FIXTURES;
+
+TEST(LintCli, ListRulesNamesAllFour) {
+  const LintRun run = run_lint("--list-rules");
+  EXPECT_EQ(run.exit_code, 0);
+  for (const char* rule : {"DET-1", "DET-2", "LIF-1", "AUD-1"}) EXPECT_HAS(run.output, rule);
+}
+
+TEST(LintCli, NoArgsIsUsageError) {
+  EXPECT_EQ(run_lint("").exit_code, 2);
+}
+
+TEST(LintCli, MissingPathIsIoError) {
+  EXPECT_EQ(run_lint(kFixtures + "/no-such-dir").exit_code, 2);
+}
+
+TEST(LintFixtures, FullSweepReportsEveryPlantedViolation) {
+  const LintRun run = run_lint(kFixtures);
+  EXPECT_EQ(run.exit_code, 1);
+  const std::string& out = run.output;
+
+  // DET-1: the two traversals in det1_bad.cpp, at their exact lines.
+  EXPECT_HAS(out, "det1_bad.cpp:11: DET-1: range-for over hash-ordered 'table_'");
+  EXPECT_HAS(out, "det1_bad.cpp:12: DET-1: iterator traversal of hash-ordered 'members_'");
+  EXPECT_EQ(count(out, " DET-1: "), 2) << out;
+
+  // DET-2: pointer key, engine, rand, wall clocks.
+  EXPECT_HAS(out, "det2_bad.cpp:9: DET-2: pointer-keyed 'map'");
+  EXPECT_HAS(out, "det2_bad.cpp:12: DET-2: 'mt19937'");
+  EXPECT_HAS(out, "det2_bad.cpp:13: DET-2: 'rand'");
+  EXPECT_HAS(out, "det2_bad.cpp:14: DET-2: 'time()'");
+  EXPECT_HAS(out, "det2_bad.cpp:15: DET-2: 'system_clock'");
+  EXPECT_EQ(count(out, " DET-2: "), 5) << out;
+
+  // LIF-1: the member declaration and the make_shared.
+  EXPECT_HAS(out, "lif1_bad.cpp:6: LIF-1: shared_ptr<std::function>");
+  EXPECT_HAS(out, "lif1_bad.cpp:9: LIF-1: make_shared<std::function>");
+  EXPECT_EQ(count(out, " LIF-1: "), 2) << out;
+
+  // AUD-1: unbalanced registration and a never-registered auditor, both
+  // anchored at the class declaration in the header.
+  EXPECT_HAS(out, "aud1_bad.hpp:6: AUD-1: auditor 'LeakyAuditor' has 1 audits().add(this) "
+                  "but 0 audits().remove(this)");
+  EXPECT_HAS(out,
+             "aud1_unregistered.hpp:4: AUD-1: auditor 'ForgottenAuditor' never calls "
+             "audits().add(this)");
+  EXPECT_EQ(count(out, " AUD-1: "), 2) << out;
+
+  // Malformed suppressions are findings; a stale one earns a note.
+  EXPECT_HAS(out, "sup_malformed.cpp:3: SUP: allow(DET-1) without a reason");
+  EXPECT_HAS(out, "sup_malformed.cpp:4: SUP: allow(NOPE-9) names an unknown rule");
+  EXPECT_HAS(out, "sup_stale.cpp:3: note: allow(LIF-1) suppresses nothing");
+
+  // Scoping and negatives: the unwatched copy of the DET-1 pattern and
+  // the sanctioned-idiom file must not appear as violations.
+  EXPECT_EQ(out.find("det1_unwatched.cpp"), std::string::npos) << out;
+  EXPECT_EQ(out.find("clean.cpp"), std::string::npos) << out;
+
+  EXPECT_HAS(out, "osap-lint: 13 violations, 2 suppressed");
+}
+
+TEST(LintFixtures, ValidSuppressionsSilenceBothPlacements) {
+  const LintRun run = run_lint(kFixtures + "/os/det1_suppressed.cpp");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_HAS(run.output, "osap-lint: 0 violations, 2 suppressed");
+}
+
+TEST(LintFixtures, Det1IsScopedToWatchedLayers) {
+  const LintRun run = run_lint(kFixtures + "/util/det1_unwatched.cpp");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_HAS(run.output, "osap-lint: 0 violations, 0 suppressed");
+}
+
+TEST(LintFixtures, SanctionedIdiomsPassInWatchedLayer) {
+  const LintRun run = run_lint(kFixtures + "/os/clean.cpp");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_HAS(run.output, "osap-lint: 0 violations, 0 suppressed");
+}
+
+// The meta-test: the tree the linter was built to guard must lint clean.
+// A regression here means someone reintroduced hash-order traversal,
+// ambient randomness, a continuation cycle, or a half-registered auditor.
+TEST(LintMeta, ShippedSourceTreeIsClean) {
+  const LintRun run = run_lint(OSAP_LINT_SRC);
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_HAS(run.output, "osap-lint: 0 violations, 0 suppressed");
+}
+
+}  // namespace

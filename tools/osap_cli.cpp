@@ -17,6 +17,10 @@
 //   osap trace    [--scheduler fifo|fair|hfsp|capacity|deadline]
 //                 [--primitive susp] [--jobs 12] [--nodes 4] [--seed 7]
 //       A SWIM-like trace under the chosen scheduler.
+//
+// `gantt`, `config` and `trace` also accept `--digest`: print the
+// simulation's event-trace FNV digest after the run. Two invocations with
+// identical flags must print identical digests (see docs/LINT.md).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -69,6 +73,12 @@ struct Args {
     return it == flags.end() ? fallback : std::stod(it->second);
   }
 };
+
+void maybe_print_digest(const Args& args, const Cluster& cluster) {
+  if (!args.flags.contains("digest")) return;
+  std::printf("trace-digest: %016llx\n",
+              static_cast<unsigned long long>(cluster.trace_digest()));
+}
 
 TwoJobParams params_from(const Args& args) {
   TwoJobParams params;
@@ -143,6 +153,7 @@ int cmd_gantt(const Args& args) {
   ds.on_complete("th", [&ds, primitive] { ds.restore("tl", 0, primitive); });
   cluster.run();
   std::printf("%s", recorder.render_gantt(args.num("cell", 3.0)).c_str());
+  maybe_print_digest(args, cluster);
   return 0;
 }
 
@@ -172,6 +183,7 @@ int cmd_config(const Args& args) {
   }
   table.print();
   std::printf("\n%s", recorder.render_gantt(3.0).c_str());
+  maybe_print_digest(args, cluster);
   return 0;
 }
 
@@ -241,6 +253,7 @@ int cmd_trace(const Args& args) {
   table.print();
   std::printf("\nscheduler=%s primitive=%s mean sojourn %.1f s\n", which.c_str(),
               to_string(primitive), sojourn.mean());
+  maybe_print_digest(args, cluster);
   return 0;
 }
 

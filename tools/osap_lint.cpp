@@ -1,0 +1,765 @@
+// osap-lint — the project's determinism & lifetime static-analysis pass.
+//
+// The simulator's claim to validity is that two runs of one scenario
+// produce byte-identical event streams (docs/LINT.md). This tool walks
+// C++ sources and enforces the codified rules that protect that claim,
+// with no libclang dependency — a comment/string-aware tokenizer plus
+// structural matchers is enough for the patterns involved:
+//
+//   DET-1  no range-for / iterator traversal of unordered_map/set state
+//          in the modeled layers (os, sim, sched, hadoop, yarn, hdfs,
+//          preempt, net). Hash order depends on the standard library and
+//          insertion history; use det::sorted_keys() or an ordered
+//          container.
+//   DET-2  no wall-clock, rand()/srand(), std::random_device, std::
+//          <random> engines/distributions (all randomness flows through
+//          osap::Rng), and no pointer-keyed ordered containers (address
+//          order is ASLR-dependent).
+//   LIF-1  no shared_ptr<std::function>: the self-capturing continuation
+//          pattern cycles and never frees (the PR-1 leak class); use the
+//          cycle-free recursive-lambda idiom.
+//   AUD-1  every class deriving InvariantAuditor registers with exactly
+//          one AuditRegistry: one audits().add(this) balanced by one
+//          audits().remove(this) in its header/source pair.
+//
+// A finding is silenced by an inline comment on the same line or the
+// line above:   // osap-lint: allow(DET-1) <reason>
+// The reason is mandatory; suppressions are counted and reported.
+//
+// Usage: osap_lint [--list-rules] [-v] <file-or-dir>...
+// Exit:  0 clean (possibly with suppressed findings), 1 violations,
+//        2 usage or I/O error.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// --- rule table -----------------------------------------------------------
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+constexpr RuleInfo kRules[] = {
+    {"DET-1", "no hash-order traversal of unordered containers in modeled layers"},
+    {"DET-2", "no wall-clock, ambient randomness, or pointer-keyed ordered containers"},
+    {"LIF-1", "no shared_ptr<std::function> (self-capture continuation cycles)"},
+    {"AUD-1", "every InvariantAuditor registers with exactly one AuditRegistry"},
+};
+
+bool known_rule(const std::string& id) {
+  for (const RuleInfo& r : kRules) {
+    if (id == r.id) return true;
+  }
+  return false;
+}
+
+/// Layer directories whose state feeds scheduling/eviction decisions;
+/// DET-1 applies to files living under any of them.
+constexpr const char* kWatchedDirs[] = {"os",   "sim",  "sched",   "hadoop",
+                                        "yarn", "hdfs", "preempt", "net"};
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+  bool suppressed = false;
+};
+
+struct Suppression {
+  int line = 0;        // line the allow-comment sits on
+  int applies_to = 0;  // line whose findings it silences
+  std::string rule;
+  bool used = false;
+};
+
+// --- lexing ---------------------------------------------------------------
+
+bool ident_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '_';
+}
+
+/// One scanned translation unit: raw text, a same-length `code` view with
+/// comments and literals blanked out (newlines preserved), and the
+/// comment text per line for suppression parsing.
+struct SourceFile {
+  std::string path;       // as reported in findings
+  std::string raw;
+  std::string code;
+  std::vector<std::size_t> line_starts;  // offset of each line's first char
+  std::map<int, std::string> comments;   // line -> concatenated comment text
+  std::vector<Suppression> suppressions;
+  bool det1_watched = false;
+
+  [[nodiscard]] int line_of(std::size_t offset) const {
+    const auto it = std::upper_bound(line_starts.begin(), line_starts.end(), offset);
+    return static_cast<int>(it - line_starts.begin());
+  }
+
+  /// True when the given line holds nothing but whitespace in the code
+  /// view (i.e. the line is blank or comment-only).
+  [[nodiscard]] bool code_blank(int line) const {
+    if (line < 1 || line > static_cast<int>(line_starts.size())) return true;
+    std::size_t begin = line_starts[static_cast<std::size_t>(line - 1)];
+    std::size_t end = line < static_cast<int>(line_starts.size())
+                          ? line_starts[static_cast<std::size_t>(line)]
+                          : code.size();
+    for (std::size_t i = begin; i < end; ++i) {
+      if (!std::isspace(static_cast<unsigned char>(code[i]))) return false;
+    }
+    return true;
+  }
+};
+
+/// Blank out comments, string and character literals (newlines kept so
+/// offsets map to lines); record comment text per line.
+void strip(SourceFile& f) {
+  const std::string& s = f.raw;
+  f.code.assign(s.size(), ' ');
+  f.line_starts.push_back(0);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\n') {
+      f.code[i] = '\n';
+      f.line_starts.push_back(i + 1);
+    }
+  }
+
+  const auto record_comment = [&f](std::size_t begin, std::size_t end) {
+    int line = f.line_of(begin);
+    std::string text;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (f.raw[i] == '\n') {
+        f.comments[line] += text;
+        text.clear();
+        ++line;
+      } else {
+        text += f.raw[i];
+      }
+    }
+    f.comments[line] += text;
+  };
+
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+      std::size_t j = i;
+      while (j < s.size() && s[j] != '\n') ++j;
+      record_comment(i, j);
+      i = j;
+      continue;
+    }
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+      std::size_t j = i + 2;
+      while (j + 1 < s.size() && !(s[j] == '*' && s[j + 1] == '/')) ++j;
+      j = std::min(j + 2, s.size());
+      record_comment(i, j);
+      i = j;
+      continue;
+    }
+    if (c == 'R' && i + 1 < s.size() && s[i + 1] == '"' &&
+        (i == 0 || !ident_char(s[i - 1]))) {
+      // Raw string: R"delim( ... )delim"
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < s.size() && s[p] != '(') delim += s[p++];
+      const std::string close = ")" + delim + "\"";
+      const std::size_t end = s.find(close, p);
+      i = end == std::string::npos ? s.size() : end + close.size();
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      std::size_t j = i + 1;
+      while (j < s.size() && s[j] != c) {
+        if (s[j] == '\\') ++j;
+        ++j;
+      }
+      i = std::min(j + 1, s.size());
+      continue;
+    }
+    f.code[i] = c;
+    ++i;
+  }
+}
+
+/// Parse `osap-lint: allow(RULE) reason` suppressions out of the comment
+/// map. A suppression on a comment-only line applies to the next line
+/// carrying code; a trailing comment applies to its own line.
+void parse_suppressions(SourceFile& f, std::vector<Finding>& findings) {
+  for (const auto& [line, text] : f.comments) {
+    std::size_t at = 0;
+    while ((at = text.find("osap-lint:", at)) != std::string::npos) {
+      std::size_t p = at + std::strlen("osap-lint:");
+      while (p < text.size() && text[p] == ' ') ++p;
+      if (text.compare(p, 6, "allow(") != 0) {
+        findings.push_back({f.path, line, "SUP",
+                            "malformed osap-lint comment — expected 'osap-lint: allow(RULE) reason'"});
+        break;
+      }
+      p += 6;
+      const std::size_t close = text.find(')', p);
+      if (close == std::string::npos) {
+        findings.push_back({f.path, line, "SUP", "unterminated allow( in osap-lint comment"});
+        break;
+      }
+      const std::string rule = text.substr(p, close - p);
+      std::string reason = text.substr(close + 1);
+      reason.erase(0, reason.find_first_not_of(" \t"));
+      if (!known_rule(rule)) {
+        findings.push_back({f.path, line, "SUP", "allow(" + rule + ") names an unknown rule"});
+      } else if (reason.empty()) {
+        findings.push_back(
+            {f.path, line, "SUP", "allow(" + rule + ") without a reason — say why"});
+      } else {
+        Suppression sup;
+        sup.line = line;
+        sup.rule = rule;
+        sup.applies_to = line;
+        if (f.code_blank(line)) {
+          int next = line + 1;
+          const int last = static_cast<int>(f.line_starts.size());
+          while (next <= last && f.code_blank(next)) ++next;
+          sup.applies_to = next;
+        }
+        f.suppressions.push_back(sup);
+      }
+      at = close;
+    }
+  }
+}
+
+// --- token scanning helpers ----------------------------------------------
+
+std::size_t skip_ws(const std::string& code, std::size_t i) {
+  while (i < code.size() && std::isspace(static_cast<unsigned char>(code[i]))) ++i;
+  return i;
+}
+
+/// Find the next whole-word occurrence of `word` at or after `from`.
+std::size_t find_word(const std::string& code, const std::string& word, std::size_t from) {
+  std::size_t i = from;
+  while ((i = code.find(word, i)) != std::string::npos) {
+    const bool left_ok = i == 0 || !ident_char(code[i - 1]);
+    const std::size_t end = i + word.size();
+    const bool right_ok = end >= code.size() || !ident_char(code[end]);
+    if (left_ok && right_ok) return i;
+    i = end;
+  }
+  return std::string::npos;
+}
+
+/// With code[i] == open, return the index one past the matching close.
+std::size_t skip_balanced(const std::string& code, std::size_t i, char open, char close) {
+  int depth = 0;
+  for (; i < code.size(); ++i) {
+    if (code[i] == open) ++depth;
+    if (code[i] == close && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+/// Skip a template argument list: code[i] == '<'; returns one past the
+/// matching '>'. Handles nesting; no shift operators occur inside the
+/// declarations this tool inspects.
+std::size_t skip_angles(const std::string& code, std::size_t i) {
+  int depth = 0;
+  for (; i < code.size(); ++i) {
+    if (code[i] == '<') ++depth;
+    if (code[i] == '>' && --depth == 0) return i + 1;
+    if (code[i] == ';') return std::string::npos;  // not a template after all
+  }
+  return std::string::npos;
+}
+
+std::string ident_at(const std::string& code, std::size_t i) {
+  std::size_t j = i;
+  while (j < code.size() && ident_char(code[j])) ++j;
+  return code.substr(i, j - i);
+}
+
+/// Identifier ending just before `end` (exclusive); empty if none.
+std::string ident_before(const std::string& code, std::size_t end) {
+  std::size_t i = end;
+  while (i > 0 && ident_char(code[i - 1])) --i;
+  return code.substr(i, end - i);
+}
+
+// --- pass 1: collect hash-ordered state names -----------------------------
+
+/// Names of variables/members declared as unordered_map/unordered_set, and
+/// names of functions returning one, across every scanned file. A global
+/// union is deliberate: kernel.cpp iterates Process members declared in
+/// process.hpp, so per-file scoping would go blind exactly where it
+/// matters. A same-named ordered container elsewhere is a tolerable
+/// false-positive source (none exist today; suppress if one appears).
+struct UnorderedNames {
+  std::set<std::string> vars;
+  std::set<std::string> fns;
+};
+
+void collect_unordered_names(const SourceFile& f, UnorderedNames& names) {
+  for (const char* kw : {"unordered_map", "unordered_set"}) {
+    std::size_t i = 0;
+    while ((i = find_word(f.code, kw, i)) != std::string::npos) {
+      std::size_t p = skip_ws(f.code, i + std::strlen(kw));
+      i += std::strlen(kw);
+      if (p >= f.code.size() || f.code[p] != '<') continue;
+      p = skip_angles(f.code, p);
+      if (p == std::string::npos) continue;
+      p = skip_ws(f.code, p);
+      while (p < f.code.size() && (f.code[p] == '&' || f.code[p] == '*')) {
+        p = skip_ws(f.code, p + 1);
+      }
+      const std::string name = ident_at(f.code, p);
+      if (name.empty()) continue;
+      p = skip_ws(f.code, p + name.size());
+      if (p >= f.code.size()) continue;
+      const char next = f.code[p];
+      if (next == ';' || next == '=' || next == '{' || next == ',' || next == ')') {
+        names.vars.insert(name);  // member / variable / parameter
+      } else if (next == '(') {
+        names.fns.insert(name);  // accessor returning the container
+      }
+    }
+  }
+}
+
+// --- DET-1 ----------------------------------------------------------------
+
+void check_det1(const SourceFile& f, const UnorderedNames& names,
+                std::vector<Finding>& findings) {
+  if (!f.det1_watched) return;
+  const std::string& code = f.code;
+
+  // Range-for over hash-ordered state.
+  std::size_t i = 0;
+  while ((i = find_word(code, "for", i)) != std::string::npos) {
+    std::size_t p = skip_ws(code, i + 3);
+    i += 3;
+    if (p >= code.size() || code[p] != '(') continue;
+    const std::size_t close = skip_balanced(code, p, '(', ')');
+    if (close == std::string::npos) continue;
+    // Top-level ':' (not '::') splits a range-for header.
+    std::size_t colon = std::string::npos;
+    int depth = 0;
+    for (std::size_t j = p + 1; j + 1 < close; ++j) {
+      const char c = code[j];
+      if (c == '(' || c == '[' || c == '{' || c == '<') ++depth;
+      if (c == ')' || c == ']' || c == '}' || c == '>') --depth;
+      if (c == ':' && depth == 0) {
+        if (code[j + 1] == ':' || (j > 0 && code[j - 1] == ':')) continue;
+        colon = j;
+        break;
+      }
+    }
+    if (colon == std::string::npos) continue;
+    std::size_t rb = colon + 1;
+    std::size_t re = close - 1;
+    while (rb < re && std::isspace(static_cast<unsigned char>(code[rb]))) ++rb;
+    while (re > rb && std::isspace(static_cast<unsigned char>(code[re - 1]))) --re;
+    if (re <= rb) continue;
+
+    std::string culprit;
+    if (code[re - 1] == ')') {
+      // Call expression: attribute to the callee — `p.regions()` is a
+      // hash-ordered accessor, `det::sorted_keys(m)` is the sanctioned
+      // wrapper and passes.
+      std::size_t open = re - 1;
+      int d = 0;
+      for (;; --open) {
+        if (code[open] == ')') ++d;
+        if (code[open] == '(' && --d == 0) break;
+        if (open == rb) break;
+      }
+      const std::string callee = ident_before(code, open);
+      if (names.fns.contains(callee)) culprit = callee + "()";
+    } else {
+      // Plain expression: attribute to the trailing identifier —
+      // `regions_`, `p.regions_`, `obs_->phases` all end in the member.
+      const std::string last = ident_before(code, re);
+      if (names.vars.contains(last)) culprit = last;
+    }
+    if (!culprit.empty()) {
+      findings.push_back({f.path, f.line_of(colon), "DET-1",
+                          "range-for over hash-ordered '" + culprit +
+                              "' — iterate det::sorted_keys() or an ordered container"});
+    }
+  }
+
+  // Iterator traversal: name.begin() / cbegin() / rbegin().
+  for (const char* fn : {"begin", "cbegin", "rbegin"}) {
+    std::size_t j = 0;
+    while ((j = find_word(code, fn, j)) != std::string::npos) {
+      const std::size_t at = j;
+      j += std::strlen(fn);
+      const std::size_t after = skip_ws(code, j);
+      if (after >= code.size() || code[after] != '(') continue;
+      if (at == 0 || code[at - 1] != '.') continue;
+      const std::string owner = ident_before(code, at - 1);
+      if (names.vars.contains(owner)) {
+        findings.push_back({f.path, f.line_of(at), "DET-1",
+                            "iterator traversal of hash-ordered '" + owner +
+                                "' — iterate det::sorted_keys() or an ordered container"});
+      }
+    }
+  }
+}
+
+// --- DET-2 ----------------------------------------------------------------
+
+void check_det2(const SourceFile& f, std::vector<Finding>& findings) {
+  const std::string& code = f.code;
+
+  const auto flag = [&](std::size_t at, const std::string& what, const char* why) {
+    findings.push_back({f.path, f.line_of(at), "DET-2", "'" + what + "' — " + why});
+  };
+
+  // Ambient randomness / wall clocks. All randomness flows through
+  // osap::Rng; the only clock is the virtual one.
+  constexpr const char* kBanned[] = {
+      "rand",           "srand",          "random_device",        "random_shuffle",
+      "mt19937",        "mt19937_64",     "minstd_rand",          "minstd_rand0",
+      "default_random_engine",            "ranlux24",             "ranlux48",
+      "knuth_b",        "system_clock",   "steady_clock",         "high_resolution_clock",
+      "gettimeofday",   "clock_gettime",
+  };
+  for (const char* word : kBanned) {
+    std::size_t i = 0;
+    while ((i = find_word(code, word, i)) != std::string::npos) {
+      const std::size_t at = i;
+      i += std::strlen(word);
+      // Member access (foo.rand, foo->rand) is someone else's identifier.
+      if (at > 0 && (code[at - 1] == '.' ||
+                     (at > 1 && code[at - 2] == '-' && code[at - 1] == '>'))) {
+        continue;
+      }
+      // `rand`/`srand` count only as calls; the others are type/clock
+      // names and count bare.
+      if (std::strcmp(word, "rand") == 0 || std::strcmp(word, "srand") == 0) {
+        const std::size_t p = skip_ws(code, at + std::strlen(word));
+        if (p >= code.size() || code[p] != '(') continue;
+      }
+      flag(at, word, "nondeterministic across runs/platforms; use osap::Rng / the sim clock");
+    }
+  }
+
+  // time(nullptr) / time(NULL) / time(0).
+  std::size_t i = 0;
+  while ((i = find_word(code, "time", i)) != std::string::npos) {
+    const std::size_t at = i;
+    i += 4;
+    if (at > 0 && (code[at - 1] == '.' ||
+                   (at > 1 && code[at - 2] == '-' && code[at - 1] == '>'))) {
+      continue;
+    }
+    std::size_t p = skip_ws(code, at + 4);
+    if (p >= code.size() || code[p] != '(') continue;
+    p = skip_ws(code, p + 1);
+    for (const char* arg : {"nullptr", "NULL", "0"}) {
+      if (code.compare(p, std::strlen(arg), arg) == 0) {
+        const std::size_t q = skip_ws(code, p + std::strlen(arg));
+        if (q < code.size() && code[q] == ')') {
+          flag(at, "time()", "wall clock; the simulation owns the only clock");
+        }
+        break;
+      }
+    }
+  }
+
+  // Pointer-keyed ordered containers: std::map<T*, ...> / std::set<T*>.
+  // Address order is ASLR-dependent, so iteration order — and every
+  // decision derived from it — changes run to run.
+  for (const char* kw : {"map", "set", "multimap", "multiset"}) {
+    std::size_t j = 0;
+    while ((j = find_word(code, kw, j)) != std::string::npos) {
+      const std::size_t at = j;
+      j += std::strlen(kw);
+      std::size_t p = skip_ws(code, at + std::strlen(kw));
+      if (p >= code.size() || code[p] != '<') continue;
+      // First template argument, up to a top-level ',' or '>'.
+      int depth = 0;
+      bool pointer_key = false;
+      for (std::size_t q = p; q < code.size(); ++q) {
+        const char c = code[q];
+        if (c == '<' || c == '(') ++depth;
+        if (c == '>' || c == ')') {
+          if (--depth == 0) break;
+        }
+        if (c == ',' && depth == 1) break;
+        if (c == '*' && depth == 1) pointer_key = true;
+        if (c == ';') break;
+      }
+      if (pointer_key) {
+        findings.push_back({f.path, f.line_of(at), "DET-2",
+                            std::string("pointer-keyed '") + kw +
+                                "' — order is ASLR-dependent; key by a stable id "
+                                "(pid/tid/region id)"});
+      }
+    }
+  }
+}
+
+// --- LIF-1 ----------------------------------------------------------------
+
+void check_lif1(const SourceFile& f, std::vector<Finding>& findings) {
+  const std::string& code = f.code;
+  for (const char* kw : {"shared_ptr", "make_shared"}) {
+    std::size_t i = 0;
+    while ((i = find_word(code, kw, i)) != std::string::npos) {
+      const std::size_t at = i;
+      i += std::strlen(kw);
+      std::size_t p = skip_ws(code, at + std::strlen(kw));
+      if (p >= code.size() || code[p] != '<') continue;
+      p = skip_ws(code, p + 1);
+      if (code.compare(p, 5, "std::") == 0) p = skip_ws(code, p + 5);
+      if (ident_at(f.code, p) == "function") {
+        findings.push_back(
+            {f.path, f.line_of(at), "LIF-1",
+             std::string(kw) +
+                 "<std::function> — a continuation that captures its own shared_ptr "
+                 "cycles and never frees; use the recursive-lambda idiom (docs/LINT.md)"});
+      }
+    }
+  }
+}
+
+// --- AUD-1 ----------------------------------------------------------------
+
+struct AuditorPair {
+  std::vector<std::pair<std::string, std::pair<const SourceFile*, int>>> classes;
+  int adds = 0;
+  int removes = 0;
+};
+
+void collect_aud1(const SourceFile& f, std::map<std::string, AuditorPair>& pairs) {
+  const fs::path p(f.path);
+  const std::string key = (p.parent_path() / p.stem()).string();
+  AuditorPair& pair = pairs[key];
+
+  // Classes whose base clause names InvariantAuditor.
+  const std::string& code = f.code;
+  std::size_t i = 0;
+  while ((i = find_word(code, "class", i)) != std::string::npos) {
+    const std::size_t at = i;
+    i += 5;
+    std::size_t p2 = skip_ws(code, at + 5);
+    const std::string name = ident_at(code, p2);
+    if (name.empty()) continue;
+    // Scan the head (up to '{' or ';') for a base clause naming the
+    // auditor interface.
+    std::size_t head_end = at;
+    while (head_end < code.size() && code[head_end] != '{' && code[head_end] != ';') ++head_end;
+    if (head_end >= code.size() || code[head_end] != '{') continue;  // fwd decl
+    const std::string head = code.substr(at, head_end - at);
+    const std::size_t colon = head.find(':');
+    if (colon == std::string::npos) continue;
+    if (head.find("InvariantAuditor", colon) == std::string::npos) continue;
+    pair.classes.emplace_back(name, std::make_pair(&f, f.line_of(at)));
+  }
+
+  // Registration calls, whitespace-insensitively.
+  std::string dense;
+  dense.reserve(code.size());
+  for (char c : code) {
+    if (!std::isspace(static_cast<unsigned char>(c))) dense += c;
+  }
+  const auto count = [&dense](const char* needle) {
+    int n = 0;
+    std::size_t at = 0;
+    while ((at = dense.find(needle, at)) != std::string::npos) {
+      ++n;
+      at += std::strlen(needle);
+    }
+    return n;
+  };
+  pair.adds += count("audits().add(this)");
+  pair.removes += count("audits().remove(this)");
+}
+
+void check_aud1(const std::map<std::string, AuditorPair>& pairs,
+                std::vector<Finding>& findings) {
+  for (const auto& [key, pair] : pairs) {
+    if (pair.classes.empty()) continue;
+    const int n = static_cast<int>(pair.classes.size());
+    for (const auto& [name, where] : pair.classes) {
+      if (pair.adds < n) {
+        findings.push_back({where.first->path, where.second, "AUD-1",
+                            "auditor '" + name +
+                                "' never calls audits().add(this) — its invariants are "
+                                "silently unchecked"});
+      } else if (pair.adds > n) {
+        findings.push_back({where.first->path, where.second, "AUD-1",
+                            "auditor '" + name +
+                                "' registers with more than one AuditRegistry (" +
+                                std::to_string(pair.adds) + " adds for " +
+                                std::to_string(n) + " auditor class(es))"});
+      }
+      if (pair.adds != pair.removes) {
+        findings.push_back({where.first->path, where.second, "AUD-1",
+                            "auditor '" + name + "' has " + std::to_string(pair.adds) +
+                                " audits().add(this) but " + std::to_string(pair.removes) +
+                                " audits().remove(this) — the registry holds raw pointers, "
+                                "unbalanced registration dangles"});
+      }
+    }
+  }
+}
+
+// --- driver ---------------------------------------------------------------
+
+bool lintable(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc";
+}
+
+bool watched_for_det1(const fs::path& p) {
+  for (const fs::path& part : p.parent_path()) {
+    for (const char* dir : kWatchedDirs) {
+      if (part == dir) return true;
+    }
+  }
+  return false;
+}
+
+int list_rules() {
+  std::printf("osap-lint rules (suppress with '// osap-lint: allow(RULE) reason'):\n");
+  for (const RuleInfo& r : kRules) {
+    std::printf("  %-6s %s\n", r.id, r.summary);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> roots;
+  bool verbose = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list-rules") return list_rules();
+    if (arg == "-v" || arg == "--verbose") {
+      verbose = true;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown flag %s\n", arg.c_str());
+      return 2;
+    } else {
+      roots.emplace_back(arg);
+    }
+  }
+  if (roots.empty()) {
+    std::fprintf(stderr, "usage: osap_lint [--list-rules] [-v] <file-or-dir>...\n");
+    return 2;
+  }
+
+  // Gather and load files (sorted for stable output).
+  std::vector<fs::path> files;
+  for (const fs::path& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (auto it = fs::recursive_directory_iterator(root, ec);
+           it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file() && lintable(it->path())) files.push_back(it->path());
+      }
+    } else if (fs::is_regular_file(root, ec) && lintable(root)) {
+      files.push_back(root);
+    } else {
+      std::fprintf(stderr, "osap-lint: cannot read %s\n", root.string().c_str());
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
+  std::vector<Finding> findings;
+  for (const fs::path& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+      std::fprintf(stderr, "osap-lint: cannot open %s\n", path.string().c_str());
+      return 2;
+    }
+    SourceFile f;
+    f.path = path.string();
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    f.raw = buf.str();
+    f.det1_watched = watched_for_det1(path);
+    strip(f);
+    parse_suppressions(f, findings);
+    sources.push_back(std::move(f));
+  }
+
+  // Pass 1: the global set of hash-ordered state names.
+  UnorderedNames names;
+  for (const SourceFile& f : sources) collect_unordered_names(f, names);
+  if (verbose) {
+    std::printf("osap-lint: %zu files, %zu unordered members, %zu unordered accessors\n",
+                sources.size(), names.vars.size(), names.fns.size());
+  }
+
+  // Pass 2: rule checks.
+  std::map<std::string, AuditorPair> aud_pairs;
+  for (const SourceFile& f : sources) {
+    check_det1(f, names, findings);
+    check_det2(f, findings);
+    check_lif1(f, findings);
+    collect_aud1(f, aud_pairs);
+  }
+  check_aud1(aud_pairs, findings);
+
+  // Apply suppressions (a finding's line, matched by rule).
+  for (SourceFile& f : sources) {
+    for (Suppression& sup : f.suppressions) {
+      for (Finding& finding : findings) {
+        if (finding.suppressed || finding.file != f.path) continue;
+        if (finding.rule == sup.rule && finding.line == sup.applies_to) {
+          finding.suppressed = true;
+          sup.used = true;
+        }
+      }
+    }
+  }
+
+  std::sort(findings.begin(), findings.end(), [](const Finding& a, const Finding& b) {
+    return std::tie(a.file, a.line, a.rule, a.message) <
+           std::tie(b.file, b.line, b.rule, b.message);
+  });
+
+  int violations = 0;
+  int suppressed = 0;
+  for (const Finding& f : findings) {
+    if (f.suppressed) {
+      ++suppressed;
+      if (verbose) {
+        std::printf("%s:%d: %s: suppressed: %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                    f.message.c_str());
+      }
+      continue;
+    }
+    ++violations;
+    std::printf("%s:%d: %s: %s\n", f.file.c_str(), f.line, f.rule.c_str(), f.message.c_str());
+  }
+  for (const SourceFile& f : sources) {
+    for (const Suppression& sup : f.suppressions) {
+      if (!sup.used) {
+        std::printf("%s:%d: note: allow(%s) suppresses nothing (stale suppression?)\n",
+                    f.path.c_str(), sup.line, sup.rule.c_str());
+      }
+    }
+  }
+  std::printf("osap-lint: %d violation%s, %d suppressed\n", violations,
+              violations == 1 ? "" : "s", suppressed);
+  return violations == 0 ? 0 : 1;
+}
