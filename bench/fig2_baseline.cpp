@@ -8,13 +8,42 @@
 //
 // Each point averages 20 seeded runs (min/max stay within a few % of the
 // mean, as the paper reports).
+//
+// Flags:
+//   --runs=N          repetitions per point (default 20)
+//   --counters=FILE   after the sweep, run one instrumented representative
+//                     point (susp, r=0.5) and write its observability JSON
+//                     (counters, hot-path profile, audit costs) to FILE —
+//                     this is what CI publishes as BENCH_fig2.json
+//   --trace=FILE      ditto, writing the Chrome trace-event JSON
 #include <cstdio>
+#include <cstring>
+#include <string>
 
 #include "bench_util.hpp"
 
-int main() {
+namespace {
+
+std::string flag_value(int argc, char** argv, const char* name) {
+  const std::string prefix = std::string("--") + name + "=";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], prefix.c_str(), prefix.size()) == 0) {
+      return argv[i] + prefix.size();
+    }
+  }
+  return "";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
   using namespace osap;
   using bench::run_point;
+
+  const std::string runs_flag = flag_value(argc, argv, "runs");
+  const int runs = runs_flag.empty() ? bench::kRuns : std::stoi(runs_flag);
+  const std::string counters_file = flag_value(argc, argv, "counters");
+  const std::string trace_file = flag_value(argc, argv, "trace");
 
   bench::print_header("Baseline: light-weight tasks", "Figures 2a and 2b");
 
@@ -29,7 +58,7 @@ int main() {
     std::vector<std::string> srow{std::to_string(rp)};
     std::vector<std::string> mrow{std::to_string(rp)};
     for (PreemptPrimitive p : primitives) {
-      const auto stats = run_point(p, r, 0, 0);
+      const auto stats = run_point(p, r, 0, 0, runs);
       srow.push_back(Table::num(stats.sojourn_th.mean()));
       mrow.push_back(Table::num(stats.makespan.mean()));
       max_spread = std::max({max_spread, stats.sojourn_th.spread(), stats.makespan.spread()});
@@ -44,5 +73,23 @@ int main() {
   std::printf("\nmax min/max deviation from the mean across all points: %.1f%%\n",
               100.0 * max_spread);
   std::printf("(paper: within 5%%)\n");
+
+  if (!counters_file.empty() || !trace_file.empty()) {
+    // One fully instrumented representative point: the suspend primitive
+    // at r=0.5. Cluster::run() writes the configured files on return.
+    TwoJobParams params;
+    params.primitive = PreemptPrimitive::Suspend;
+    params.progress_at_launch = 0.5;
+    params.cluster.trace.enabled = true;
+    params.cluster.trace.trace_file = trace_file;
+    params.cluster.trace.counters_file = counters_file;
+    run_two_job(params);
+    if (!counters_file.empty()) {
+      std::printf("\nobservability JSON written to %s\n", counters_file.c_str());
+    }
+    if (!trace_file.empty()) {
+      std::printf("trace written to %s (load in Perfetto)\n", trace_file.c_str());
+    }
+  }
   return 0;
 }

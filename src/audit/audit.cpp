@@ -1,6 +1,7 @@
 #include "audit/audit.hpp"
 
 #include <algorithm>
+#include <cstddef>
 #include <sstream>
 
 namespace osap {
@@ -9,10 +10,17 @@ void AuditRegistry::add(InvariantAuditor* auditor) {
   if (auditor == nullptr) return;
   if (std::find(auditors_.begin(), auditors_.end(), auditor) != auditors_.end()) return;
   auditors_.push_back(auditor);
+  costs_.push_back(AuditorCost{auditor->audit_label(), 0, 0});
 }
 
 void AuditRegistry::remove(InvariantAuditor* auditor) {
-  auditors_.erase(std::remove(auditors_.begin(), auditors_.end(), auditor), auditors_.end());
+  for (std::size_t i = 0; i < auditors_.size(); ++i) {
+    if (auditors_[i] != auditor) continue;
+    retired_costs_.push_back(std::move(costs_[i]));
+    auditors_.erase(auditors_.begin() + static_cast<std::ptrdiff_t>(i));
+    costs_.erase(costs_.begin() + static_cast<std::ptrdiff_t>(i));
+    return;
+  }
 }
 
 void AuditRegistry::run(std::vector<std::string>& violations) const {
@@ -23,6 +31,38 @@ void AuditRegistry::run(std::vector<std::string>& violations) const {
       violations.push_back("[" + auditor->audit_label() + "] " + std::move(message));
     }
   }
+}
+
+AuditRegistry::SweepStats AuditRegistry::sweep(std::vector<std::string>& violations) {
+  ++sweeps_;
+  SweepStats stats;
+  for (std::size_t i = 0; i < auditors_.size(); ++i) {
+    InvariantAuditor* auditor = auditors_[i];
+    if (auditor->audit_supports_dirty() && !auditor->audit_dirty()) {
+      ++stats.skipped;
+      ++costs_[i].skipped;
+      continue;
+    }
+    ++stats.swept;
+    ++costs_[i].swept;
+    std::vector<std::string> found;
+    auditor->audit(found);
+    if (found.empty()) {
+      // Clean pass: safe to skip until the next mutation re-dirties.
+      if (auditor->audit_supports_dirty()) auditor->clear_audit_dirty();
+      continue;
+    }
+    for (std::string& message : found) {
+      violations.push_back("[" + auditor->audit_label() + "] " + std::move(message));
+    }
+  }
+  return stats;
+}
+
+std::vector<AuditRegistry::AuditorCost> AuditRegistry::costs() const {
+  std::vector<AuditorCost> all = retired_costs_;
+  all.insert(all.end(), costs_.begin(), costs_.end());
+  return all;
 }
 
 std::string AuditRegistry::dump_all() const {

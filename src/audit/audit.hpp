@@ -61,6 +61,29 @@ class InvariantAuditor {
 
   /// Human-readable state dump for the diagnostic abort message.
   virtual void dump(std::ostream& os) const = 0;
+
+  // --- dirty-flagging -------------------------------------------------
+  // Auditors that mark themselves dirty on *every* state mutation may
+  // opt in (return true here); the periodic sweep then skips them while
+  // clean, which the hot-path profile showed dominates sweep cost on
+  // compute-heavy stretches. Opting in is a contract: a missed
+  // mark_audit_dirty() hides corruption from the periodic sweep (on-demand
+  // audit_now() still always runs everything). Auditors start dirty so
+  // construction-time state is checked at least once.
+
+  /// Opt-in switch; default is to be swept unconditionally.
+  [[nodiscard]] virtual bool audit_supports_dirty() const { return false; }
+
+  [[nodiscard]] bool audit_dirty() const noexcept { return audit_dirty_; }
+  /// Called by the registry after a clean pass over this auditor.
+  void clear_audit_dirty() noexcept { audit_dirty_ = false; }
+
+ protected:
+  /// Mutating methods of opted-in auditors call this.
+  void mark_audit_dirty() noexcept { audit_dirty_ = true; }
+
+ private:
+  bool audit_dirty_ = true;
 };
 
 class AuditRegistry {
@@ -71,6 +94,28 @@ class AuditRegistry {
   /// Sweep every auditor, labelling each violation with its source.
   void run(std::vector<std::string>& violations) const;
 
+  struct SweepStats {
+    std::size_t swept = 0;
+    std::size_t skipped = 0;
+  };
+
+  /// Dirty-aware periodic sweep: auditors that opt into dirty-flagging and
+  /// are currently clean are skipped; everyone else is audited, and an
+  /// opted-in auditor's flag is cleared only after a violation-free pass.
+  /// Per-auditor swept/skipped tallies accumulate into costs().
+  SweepStats sweep(std::vector<std::string>& violations);
+
+  /// Cumulative per-auditor sweep cost, in registration order. Survives
+  /// for the lifetime of the registry (labels are cached at add() so the
+  /// row outlives auditor removal).
+  struct AuditorCost {
+    std::string label;
+    std::uint64_t swept = 0;
+    std::uint64_t skipped = 0;
+  };
+  [[nodiscard]] std::vector<AuditorCost> costs() const;
+  [[nodiscard]] std::uint64_t sweeps() const noexcept { return sweeps_; }
+
   /// Every auditor's dump, concatenated.
   [[nodiscard]] std::string dump_all() const;
 
@@ -78,6 +123,11 @@ class AuditRegistry {
 
  private:
   std::vector<InvariantAuditor*> auditors_;
+  /// costs_[i] belongs to auditors_[i] while registered; on remove() the
+  /// row is retired to retired_costs_ so measurements survive teardown.
+  std::vector<AuditorCost> costs_;
+  std::vector<AuditorCost> retired_costs_;
+  std::uint64_t sweeps_ = 0;
 };
 
 }  // namespace osap

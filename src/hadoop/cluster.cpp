@@ -1,5 +1,6 @@
 #include "hadoop/cluster.hpp"
 
+#include <fstream>
 #include <iomanip>
 #include <sstream>
 
@@ -16,6 +17,7 @@ Cluster::Cluster(ClusterConfig cfg)
       jt_(sim_, net_, master_, cfg.hadoop) {
   OSAP_CHECK(cfg_.num_nodes >= 1);
   sim_.set_audit_config(cfg_.audit);
+  sim_.trace().configure(cfg_.trace);
   net_.register_node(master_);
   for (int i = 0; i < cfg_.num_nodes; ++i) {
     const NodeId node{static_cast<std::uint64_t>(i)};
@@ -92,6 +94,17 @@ void Cluster::run() {
     os << std::hex << std::setw(16) << std::setfill('0') << sim_.trace_digest();
     OSAP_LOG(Info, "cluster") << "trace digest " << os.str() << " after "
                               << std::dec << sim_.events_processed() << " events";
+  }
+  const trace::TraceConfig& tc = sim_.trace().config();
+  if (!tc.trace_file.empty()) {
+    std::ofstream out(tc.trace_file);
+    OSAP_CHECK_MSG(out.good(), "cannot open trace file " << tc.trace_file);
+    sim_.trace().tracer().write_json(out);
+  }
+  if (!tc.counters_file.empty()) {
+    std::ofstream out(tc.counters_file);
+    OSAP_CHECK_MSG(out.good(), "cannot open counters file " << tc.counters_file);
+    sim_.write_observability_json(out);
   }
 }
 

@@ -38,6 +38,9 @@ struct ClusterConfig {
   /// Log the event-trace digest (Simulation::trace_digest) when run()
   /// returns — the determinism witness; see docs/LINT.md.
   bool print_trace_digest = false;
+  /// Observability (src/trace): span tracing, counter dump destinations.
+  /// Tracing is purely passive — enabling it never changes the digest.
+  trace::TraceConfig trace;
   std::uint64_t seed = 1;
 };
 

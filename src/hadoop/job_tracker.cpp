@@ -7,6 +7,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "hadoop/task_tracker.hpp"
+#include "trace/context.hpp"
 
 namespace osap {
 
@@ -17,6 +18,17 @@ constexpr const char* kLog = "jobtracker";
 JobTracker::JobTracker(Simulation& sim, Network& net, NodeId master, HadoopConfig cfg)
     : sim_(sim), net_(net), master_(master), cfg_(cfg) {
   sim_.audits().add(this);
+  tracer_ = &sim_.trace().tracer();
+  trk_ = tracer_->track("cluster", "jobtracker");
+  sched_trk_ = tracer_->track("cluster", "scheduler");
+  shuffle_trk_ = tracer_->track("cluster", "shuffle");
+  trace::CounterRegistry& counters = sim_.trace().counters();
+  ctr_heartbeats_ = &counters.counter("jobtracker.heartbeats_handled");
+  ctr_actions_ = &counters.counter("jobtracker.actions_sent");
+  ctr_oob_maps_done_ = &counters.counter("jobtracker.oob_maps_done_pushes");
+  ctr_assignments_ = &counters.counter("scheduler.assignments");
+  ctr_suspends_ = &counters.counter("jobtracker.suspend_requests");
+  ctr_resumes_ = &counters.counter("jobtracker.resume_requests");
 }
 
 JobTracker::~JobTracker() { sim_.audits().remove(this); }
@@ -61,6 +73,10 @@ JobId JobTracker::submit_job(JobSpec spec) {
                        << job.tasks.size() << " tasks";
   jobs_.emplace(id, std::move(job));
   job_order_.push_back(id);
+  const Job& stored = jobs_.at(id);
+  tracer_->async_begin(trk_, "job", id.value(),
+                       {{"name", stored.spec.name},
+                        {"tasks", static_cast<std::uint64_t>(stored.tasks.size())}});
   emit(ClusterEventType::JobSubmitted, id, TaskId{}, NodeId{});
   if (scheduler_ != nullptr) scheduler_->job_added(id);
   return id;
@@ -74,6 +90,8 @@ bool JobTracker::suspend_task(TaskId id) {
   }
   t.state = TaskState::MustSuspend;
   command_sent_[id] = false;
+  ctr_suspends_->add();
+  tracer_->async_begin(trk_, "suspend", id.value(), {{"kind", "sigtstp"}});
   emit(ClusterEventType::TaskSuspendRequested, t.job, id, t.node);
   return true;
 }
@@ -88,6 +106,8 @@ bool JobTracker::checkpoint_suspend_task(TaskId id) {
   t.state = TaskState::MustSuspend;
   t.use_checkpoint = true;
   command_sent_[id] = false;
+  ctr_suspends_->add();
+  tracer_->async_begin(trk_, "suspend", id.value(), {{"kind", "checkpoint"}});
   emit(ClusterEventType::TaskSuspendRequested, t.job, id, t.node);
   return true;
 }
@@ -98,8 +118,10 @@ bool JobTracker::resume_task(TaskId id) {
     OSAP_LOG(Warn, kLog) << "resume " << id << " rejected in state " << to_string(t.state);
     return false;
   }
+  ctr_resumes_->add();
   emit(ClusterEventType::TaskResumeRequested, t.job, id, t.node);
   if (t.checkpointed) {
+    tracer_->instant(trk_, "resume_checkpointed", {{"task", id.value()}});
     // No process to SIGCONT: relaunch with fast-forward from the saved
     // counters (and re-read of any serialized state).
     t.spec.checkpoint_progress = t.progress;
@@ -112,6 +134,7 @@ bool JobTracker::resume_task(TaskId id) {
   }
   t.state = TaskState::MustResume;
   command_sent_[id] = false;
+  tracer_->async_begin(trk_, "resume", id.value());
   return true;
 }
 
@@ -139,11 +162,15 @@ void JobTracker::apply_report(const TrackerStatus& status, const TaskStatusRepor
     case ReportKind::Suspended:
       if (t.state == TaskState::MustSuspend) {
         t.state = TaskState::Suspended;
+        tracer_->async_end(trk_, "suspend", t.id.value());
         emit(ClusterEventType::TaskSuspended, t.job, t.id, status.node);
       }
       break;
     case ReportKind::Resumed:
       if (t.state == TaskState::MustResume || t.state == TaskState::Suspended) {
+        if (t.state == TaskState::MustResume) {
+          tracer_->async_end(trk_, "resume", t.id.value());
+        }
         t.state = TaskState::Running;
         emit(ClusterEventType::TaskResumed, t.job, t.id, status.node);
       }
@@ -177,6 +204,7 @@ void JobTracker::apply_report(const TrackerStatus& status, const TaskStatusRepor
     case ReportKind::Checkpointed:
       if (t.state == TaskState::MustSuspend) {
         t.state = TaskState::Suspended;
+        tracer_->async_end(trk_, "suspend", t.id.value(), {{"checkpointed", 1}});
         t.checkpointed = true;
         t.progress = report.progress;
         // The JVM is gone; the task is no longer bound to the tracker
@@ -191,6 +219,13 @@ void JobTracker::apply_report(const TrackerStatus& status, const TaskStatusRepor
 }
 
 void JobTracker::task_terminal(Task& task, TaskState state) {
+  // Close any suspend/resume span left open by a task that went terminal
+  // mid-protocol (killed or failed between the request and the ack).
+  if (task.state == TaskState::MustSuspend) {
+    tracer_->async_end(trk_, "suspend", task.id.value(), {{"aborted", 1}});
+  } else if (task.state == TaskState::MustResume) {
+    tracer_->async_end(trk_, "resume", task.id.value(), {{"aborted", 1}});
+  }
   task.state = state;
   task.node = NodeId{};
   task.tracker = TrackerId{};
@@ -214,7 +249,26 @@ void JobTracker::maybe_release_reduces(JobId id) {
     const Task& t = tasks_.at(tid);
     if (t.spec.type != TaskType::Reduce || !t.spec.wait_for_maps) continue;
     if (!t.live() || !t.tracker.valid()) continue;
-    maps_done_pending_.emplace(tid, false);
+    // Span from "last map succeeded" to the TaskTracker applying the
+    // release — the latency the out-of-band push exists to cut.
+    tracer_->async_begin(shuffle_trk_, "maps_done_delivery", tid.value(),
+                         {{"task", tid.value()}});
+    TaskTracker* tt = tracker(t.tracker);
+    if (cfg_.oob_maps_done && tt != nullptr) {
+      // Push the barrier release immediately instead of parking it until
+      // the reduce's next periodic heartbeat. Goes through
+      // deliver_actions, not on_response, so it never consumes the
+      // tracker's heartbeat round-trip bookkeeping.
+      ctr_oob_maps_done_->add();
+      ctr_actions_->add();
+      HeartbeatResponse push;
+      push.actions.push_back(TaskAction{ActionKind::MapsDone, tid, {}});
+      net_.send(master_, t.node, [tt, push = std::move(push)]() mutable {
+        tt->deliver_actions(std::move(push));
+      });
+    } else {
+      maps_done_pending_.emplace(tid, false);
+    }
   }
 }
 
@@ -224,6 +278,8 @@ void JobTracker::maybe_complete_job(JobId id) {
   if (job.tasks_completed < static_cast<int>(job.tasks.size())) return;
   job.state = JobState::Succeeded;
   job.completed_at = sim_.now();
+  tracer_->async_end(trk_, "job", id.value(),
+                     {{"tasks", static_cast<std::uint64_t>(job.tasks.size())}});
   OSAP_LOG(Info, kLog) << "job " << id << " completed, sojourn " << job.sojourn() << "s";
   emit(ClusterEventType::JobCompleted, id, TaskId{}, NodeId{});
   if (scheduler_ != nullptr) scheduler_->job_completed(id);
@@ -234,6 +290,8 @@ void JobTracker::on_heartbeat(TrackerStatus status) {
   OSAP_LOG(Debug, kLog) << "heartbeat from " << status.tracker << " (" << status.reports.size()
                         << " reports, " << status.free_map_slots << " free map slots)";
   if (tt == nullptr) return;
+  ctr_heartbeats_->add();
+  sim_.trace().profiler().add(trace::HotPath::HeartbeatHandle, status.reports.size());
 
   for (const TaskStatusReport& report : status.reports) apply_report(status, report);
 
@@ -277,7 +335,9 @@ void JobTracker::on_heartbeat(TrackerStatus status) {
 
   // Ask the scheduler for work for the free slots.
   if (scheduler_ != nullptr) {
-    for (TaskId tid : scheduler_->assign(status)) {
+    const std::vector<TaskId> assigned = scheduler_->assign(status);
+    sim_.trace().profiler().add(trace::HotPath::SchedulerAssign, assigned.size());
+    for (TaskId tid : assigned) {
       Task& t = tasks_.at(tid);
       OSAP_CHECK_MSG(t.state == TaskState::Unassigned,
                      "scheduler assigned " << tid << " in state " << to_string(t.state));
@@ -293,9 +353,13 @@ void JobTracker::on_heartbeat(TrackerStatus status) {
       }
       TaskAction action{ActionKind::Launch, tid, t.spec};
       response.actions.push_back(std::move(action));
+      ctr_assignments_->add();
+      tracer_->instant(sched_trk_, "assign",
+                       {{"task", tid.value()}, {"tracker", status.tracker.value()}});
       emit(ClusterEventType::TaskLaunched, t.job, tid, status.node);
     }
   }
+  ctr_actions_->add(response.actions.size());
 
   // Every heartbeat gets a response, even an empty one.
   net_.send(master_, status.node, [tt, response = std::move(response)]() mutable {

@@ -13,6 +13,7 @@
 // and schedulers.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <unordered_map>
 #include <vector>
@@ -122,6 +123,18 @@ class JobTracker final : public InvariantAuditor {
   std::unordered_map<TaskId, bool> maps_done_pending_;
   IdGenerator<JobId> job_ids_;
   IdGenerator<TaskId> task_ids_;
+
+  // --- observability (src/trace) -----------------------------------------
+  trace::Tracer* tracer_ = nullptr;
+  std::uint32_t trk_ = 0;          ///< ("cluster", "jobtracker") track
+  std::uint32_t sched_trk_ = 0;    ///< ("cluster", "scheduler") track
+  std::uint32_t shuffle_trk_ = 0;  ///< ("cluster", "shuffle") track
+  trace::Counter* ctr_heartbeats_ = nullptr;
+  trace::Counter* ctr_actions_ = nullptr;
+  trace::Counter* ctr_oob_maps_done_ = nullptr;
+  trace::Counter* ctr_assignments_ = nullptr;
+  trace::Counter* ctr_suspends_ = nullptr;
+  trace::Counter* ctr_resumes_ = nullptr;
 };
 
 }  // namespace osap

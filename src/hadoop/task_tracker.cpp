@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "hadoop/job_tracker.hpp"
+#include "trace/context.hpp"
 
 namespace osap {
 
@@ -17,6 +18,14 @@ TaskTracker::TaskTracker(Simulation& sim, Kernel& kernel, Network& net, TrackerI
                          HadoopConfig cfg)
     : sim_(sim), kernel_(kernel), net_(net), id_(id), node_(node), cfg_(cfg) {
   sim_.audits().add(this);
+  tracer_ = &sim_.trace().tracer();
+  trk_ = tracer_->track(kernel_.name(), "tasktracker");
+  shuffle_trk_ = tracer_->track("cluster", "shuffle");
+  trace::CounterRegistry& counters = sim_.trace().counters();
+  const std::string prefix = kernel_.name() + ".tasktracker.";
+  ctr_heartbeats_ = &counters.counter(prefix + "heartbeats_sent");
+  ctr_oob_heartbeats_ = &counters.counter(prefix + "oob_heartbeats");
+  ctr_actions_ = &counters.counter(prefix + "actions_applied");
 }
 
 TaskTracker::~TaskTracker() { sim_.audits().remove(this); }
@@ -84,19 +93,40 @@ void TaskTracker::send_status(bool out_of_band) {
     report.swapped_in = kernel_.vmm().swapped_in_total(task.pid);
     status.reports.push_back(report);
   }
+  sim_.trace().profiler().add(trace::HotPath::HeartbeatAssembly, status.reports.size());
+  ctr_heartbeats_->add();
+  if (out_of_band) ctr_oob_heartbeats_->add();
+  // Round-trip span: ends when the JobTracker's response arrives. The
+  // JobTracker responds to every heartbeat and per-pair delivery is FIFO,
+  // so responses pair with sends in order.
+  const std::uint64_t span = ++hb_seq_;
+  tracer_->async_begin(trk_, out_of_band ? "oob_heartbeat" : "heartbeat", span,
+                       {{"reports", static_cast<std::uint64_t>(status.reports.size())}});
+  outstanding_hb_.emplace_back(span, out_of_band);
   net_.send(node_, master_, [jt = jt_, status = std::move(status)]() mutable {
     jt->on_heartbeat(std::move(status));
   });
   // Out-of-band heartbeats do not reset the periodic timer, matching
   // Hadoop's "status now, schedule stays" behaviour.
-  (void)out_of_band;
 }
 
 void TaskTracker::on_response(HeartbeatResponse response) {
+  if (!outstanding_hb_.empty()) {
+    const auto [span, oob] = outstanding_hb_.front();
+    outstanding_hb_.pop_front();
+    tracer_->async_end(trk_, oob ? "oob_heartbeat" : "heartbeat", span,
+                       {{"actions", static_cast<std::uint64_t>(response.actions.size())}});
+  }
+  for (const TaskAction& action : response.actions) apply(action);
+}
+
+void TaskTracker::deliver_actions(HeartbeatResponse response) {
   for (const TaskAction& action : response.actions) apply(action);
 }
 
 void TaskTracker::apply(const TaskAction& action) {
+  ctr_actions_->add();
+  tracer_->instant(trk_, to_string(action.kind), {{"task", action.task.value()}});
   OSAP_LOG(Debug, kLog) << id_ << ": action " << to_string(action.kind) << " for "
                         << action.task;
   switch (action.kind) {
@@ -109,6 +139,7 @@ void TaskTracker::apply(const TaskAction& action) {
       // The reduce's shuffle inputs are complete: release its barrier so
       // the sort can begin. If the task is suspended the release is
       // remembered and takes effect on SIGCONT.
+      tracer_->async_end(shuffle_trk_, "maps_done_delivery", action.task.value());
       const auto it = live_.find(action.task);
       if (it != live_.end()) kernel_.release_barrier(it->second.pid, "maps");
       break;
@@ -184,6 +215,9 @@ void TaskTracker::launch(const TaskAction& action) {
               },
       });
   live_.emplace(tid, task);
+  tracer_->async_begin(trk_, "task", tid.value(),
+                       {{"name", action.spec.name},
+                        {"type", task.type == TaskType::Map ? "map" : "reduce"}});
 }
 
 void TaskTracker::do_kill(TaskId id) {
@@ -256,6 +290,7 @@ void TaskTracker::on_task_exit(TaskId id, ExitInfo info) {
       --used_reduce_slots_;
     }
     queue_report(id, ReportKind::Succeeded);
+    tracer_->async_end(trk_, "task", id.value(), {{"outcome", "succeeded"}});
     live_.erase(it);
     if (cfg_.out_of_band_heartbeat) send_status(true);
     return;
@@ -275,6 +310,7 @@ void TaskTracker::on_task_exit(TaskId id, ExitInfo info) {
     report.swapped_out = kernel_.vmm().swapped_out_total(task.pid);
     report.swapped_in = kernel_.vmm().swapped_in_total(task.pid);
     pending_reports_.push_back(report);
+    tracer_->async_end(trk_, "task", id.value(), {{"outcome", "checkpointed"}});
     live_.erase(it);
     if (cfg_.out_of_band_heartbeat) send_status(true);
     return;
@@ -294,6 +330,7 @@ void TaskTracker::on_task_exit(TaskId id, ExitInfo info) {
     --used_reduce_slots_;
   }
   queue_report(id, ReportKind::Failed);
+  tracer_->async_end(trk_, "task", id.value(), {{"outcome", "failed"}});
   live_.erase(it);
   if (cfg_.out_of_band_heartbeat) send_status(true);
 }
@@ -307,6 +344,7 @@ void TaskTracker::finish_cleanup(TaskId id) {
     --used_reduce_slots_;
   }
   queue_report(id, ReportKind::KilledAck);
+  tracer_->async_end(trk_, "task", id.value(), {{"outcome", "killed"}});
   live_.erase(it);
   if (cfg_.out_of_band_heartbeat) send_status(true);
 }

@@ -9,7 +9,10 @@
 // kill primitive.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "audit/audit.hpp"
@@ -36,6 +39,12 @@ class TaskTracker final : public InvariantAuditor {
 
   /// Heartbeat response delivery (called through the network).
   void on_response(HeartbeatResponse response);
+
+  /// Apply JobTracker-pushed actions that are NOT a response to one of our
+  /// heartbeats (e.g. the out-of-band "maps done" push). Kept separate
+  /// from on_response so unsolicited messages never consume the
+  /// heartbeat round-trip bookkeeping.
+  void deliver_actions(HeartbeatResponse response);
 
   [[nodiscard]] TrackerId id() const noexcept { return id_; }
   [[nodiscard]] NodeId node() const noexcept { return node_; }
@@ -106,6 +115,19 @@ class TaskTracker final : public InvariantAuditor {
   int used_reduce_slots_ = 0;
   int suspended_ = 0;
   EventId hb_timer_ = 0;
+
+  // --- observability (src/trace) -----------------------------------------
+  trace::Tracer* tracer_ = nullptr;
+  std::uint32_t trk_ = 0;          ///< (node, "tasktracker") track
+  std::uint32_t shuffle_trk_ = 0;  ///< ("cluster", "shuffle") track
+  /// Round-trip spans for in-flight heartbeats. The JobTracker answers
+  /// every heartbeat exactly once and the network is FIFO per pair, so
+  /// responses match sends in order; (span id, was out-of-band).
+  std::deque<std::pair<std::uint64_t, bool>> outstanding_hb_;
+  std::uint64_t hb_seq_ = 0;
+  trace::Counter* ctr_heartbeats_ = nullptr;
+  trace::Counter* ctr_oob_heartbeats_ = nullptr;
+  trace::Counter* ctr_actions_ = nullptr;
 };
 
 }  // namespace osap

@@ -22,6 +22,7 @@ FluidResource& Network::downlink(NodeId node) {
 }
 
 void Network::send(NodeId from, NodeId to, std::function<void()> deliver) {
+  sim_.trace().profiler().add(trace::HotPath::NetDelivery);
   const Duration lat = (from == to) ? cfg_.loopback_latency : cfg_.latency;
   sim_.after(lat, std::move(deliver));
 }

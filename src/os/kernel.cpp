@@ -5,6 +5,7 @@
 #include "common/det.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
+#include "trace/context.hpp"
 
 namespace osap {
 
@@ -21,6 +22,12 @@ Kernel::Kernel(Simulation& sim, OsConfig cfg, std::string name)
       vmm_(sim, disk_, cfg, name_ + ".vmm") {
   vmm_.set_oom_handler([this] { handle_oom(); });
   sim_.audits().add(this);
+  tracer_ = &sim_.trace().tracer();
+  trk_ = tracer_->track(name_, "kernel");
+  trace::CounterRegistry& counters = sim_.trace().counters();
+  ctr_spawned_ = &counters.counter(name_ + ".kernel.spawned");
+  ctr_signals_ = &counters.counter(name_ + ".kernel.signals");
+  ctr_oom_kills_ = &counters.counter(name_ + ".kernel.oom_kills");
 }
 
 Kernel::~Kernel() { sim_.audits().remove(this); }
@@ -36,6 +43,7 @@ const Process* Kernel::find(Pid pid) const {
 }
 
 Pid Kernel::spawn(Program program, ProcessHooks hooks) {
+  mark_audit_dirty();
   const Pid pid = pids_.next();
   auto proc = std::make_unique<Process>(pid, std::move(program), std::move(hooks));
   proc->kernel_ = this;
@@ -44,6 +52,8 @@ Pid Kernel::spawn(Program program, ProcessHooks hooks) {
   vmm_.register_process(pid);
   Process* raw = proc.get();
   procs_.emplace(pid, std::move(proc));
+  ctr_spawned_->add();
+  tracer_->instant(trk_, "spawn", {{"pid", pid.value()}, {"name", raw->name()}});
   OSAP_LOG(Debug, kLog) << name_ << ": spawned " << pid << " (" << raw->name() << ")";
   // First phase starts on a fresh event so hooks never fire inside spawn().
   sim_.after(0, [this, pid] {
@@ -56,6 +66,7 @@ Pid Kernel::spawn(Program program, ProcessHooks hooks) {
 void Kernel::signal(Pid pid, Signal sig) {
   Process* p = find(pid);
   if (p == nullptr || p->state_ == ProcState::Zombie) return;  // ESRCH
+  ctr_signals_->add();
   OSAP_LOG(Debug, kLog) << name_ << ": " << to_string(sig) << " -> " << pid << " ("
                         << to_string(p->state_) << ")";
   switch (sig) {
@@ -74,17 +85,22 @@ void Kernel::signal(Pid pid, Signal sig) {
 
 void Kernel::deliver_tstp(Process& p) {
   if (p.state_ != ProcState::Running) return;  // already stopping/stopped
+  mark_audit_dirty();
   p.state_ = ProcState::Stopping;
   const std::uint64_t gen = ++p.signal_gen_;
   const Pid pid = p.pid_;
+  tracer_->async_begin(trk_, "sigtstp_window", pid.value(), {{"pid", pid.value()}});
   // The handler window: the task's SIGTSTP handler tidies external state
   // (network connections, streaming pipes) before the stop takes effect.
   sim_.after(cfg_.sigtstp_handler_delay, [this, pid, gen] {
     Process* p = find(pid);
     if (p == nullptr || p->signal_gen_ != gen || p->state_ != ProcState::Stopping) return;
+    mark_audit_dirty();
     p->state_ = ProcState::Stopped;
     pause_legs(*p);
     vmm_.set_stopped(pid, true);
+    tracer_->async_end(trk_, "sigtstp_window", pid.value());
+    tracer_->async_begin(trk_, "stopped", pid.value(), {{"pid", pid.value()}});
     OSAP_LOG(Debug, kLog) << name_ << ": " << pid << " stopped";
     if (p->hooks_.on_stopped) p->hooks_.on_stopped();
   });
@@ -93,13 +109,17 @@ void Kernel::deliver_tstp(Process& p) {
 void Kernel::deliver_cont(Process& p) {
   if (p.state_ == ProcState::Stopping) {
     // SIGCONT raced the handler window: the stop never materializes.
+    mark_audit_dirty();
     ++p.signal_gen_;
     p.state_ = ProcState::Running;
+    tracer_->async_end(trk_, "sigtstp_window", p.pid_.value(), {{"cancelled", 1}});
     return;
   }
   if (p.state_ != ProcState::Stopped) return;
+  mark_audit_dirty();
   p.state_ = ProcState::Running;
   vmm_.set_stopped(p.pid_, false);
+  tracer_->async_end(trk_, "stopped", p.pid_.value());
   resume_legs(p);
   auto deferred = std::move(p.deferred_);
   p.deferred_.clear();
@@ -110,9 +130,16 @@ void Kernel::deliver_cont(Process& p) {
 void Kernel::terminate(Pid pid, ExitReason reason) {
   auto it = procs_.find(pid);
   if (it == procs_.end()) return;
+  mark_audit_dirty();
   // Take ownership so the exit hook can safely re-enter the kernel.
   std::unique_ptr<Process> p = std::move(it->second);
   procs_.erase(it);
+  // Close any suspend-protocol span left open by a mid-cycle kill.
+  if (p->state_ == ProcState::Stopping) {
+    tracer_->async_end(trk_, "sigtstp_window", pid.value(), {{"killed", 1}});
+  } else if (p->state_ == ProcState::Stopped) {
+    tracer_->async_end(trk_, "stopped", pid.value(), {{"killed", 1}});
+  }
   ++p->signal_gen_;
   cpu_.cancel(p->run_.cpu);
   disk_.cancel(p->run_.disk);
@@ -120,6 +147,9 @@ void Kernel::terminate(Pid pid, ExitReason reason) {
   vmm_.release_process(pid);
   p->state_ = ProcState::Zombie;
   p->ended_at_ = sim_.now();
+  tracer_->instant(trk_, "exit",
+                   {{"pid", pid.value()},
+                    {"reason", reason == ExitReason::Finished ? "finished" : "killed"}});
   OSAP_LOG(Debug, kLog) << name_ << ": " << pid << " exited ("
                         << (reason == ExitReason::Finished ? "finished" : "killed") << ")";
   if (p->hooks_.on_exit) p->hooks_.on_exit(ExitInfo{reason});
@@ -156,6 +186,7 @@ void Kernel::run_or_defer(Pid pid, std::function<void()> fn) {
   Process* p = find(pid);
   if (p == nullptr) return;
   if (p->state_ == ProcState::Stopped) {
+    mark_audit_dirty();
     p->deferred_.push_back(std::move(fn));
   } else {
     fn();
@@ -166,6 +197,7 @@ RegionId Kernel::region_of(Process& p, const std::string& name, bool create) {
   auto it = p.regions_.find(name);
   if (it != p.regions_.end()) return it->second;
   OSAP_CHECK_MSG(create, p.name() << " touches unknown region '" << name << "'");
+  mark_audit_dirty();
   const RegionId rid = vmm_.create_region(p.pid_, name);
   p.regions_.emplace(name, rid);
   return rid;
@@ -175,12 +207,14 @@ void Kernel::leg_done(Pid pid) {
   run_or_defer(pid, [this, pid] {
     Process* p = find(pid);
     if (p == nullptr) return;
+    mark_audit_dirty();
     OSAP_CHECK(p->run_.outstanding > 0);
     if (--p->run_.outstanding == 0) advance(*p);
   });
 }
 
 void Kernel::advance(Process& p) {
+  mark_audit_dirty();
   // Phase epilogue.
   const Phase& phase = p.program_.phases[p.phase_idx_];
   if (const auto* alloc = std::get_if<AllocPhase>(&phase)) {
@@ -200,6 +234,7 @@ void Kernel::start_phase(Process& p) {
     terminate(p.pid_, ExitReason::Finished);
     return;
   }
+  mark_audit_dirty();
   const Pid pid = p.pid_;
   const Phase& phase = p.program_.phases[p.phase_idx_];
 
@@ -295,6 +330,7 @@ void Kernel::release_barrier(Pid pid, const std::string& name) {
       p->released_barriers_.end()) {
     return;
   }
+  mark_audit_dirty();
   p->released_barriers_.push_back(name);
   if (p->run_.waiting_barrier == name) {
     p->run_.waiting_barrier.clear();
@@ -408,6 +444,8 @@ void Kernel::handle_oom() {
     }
   }
   OSAP_CHECK_MSG(victim.valid() && worst > 0, "OOM with no killable process on " << name_);
+  ctr_oom_kills_->add();
+  tracer_->instant(trk_, "oom_kill", {{"pid", victim.value()}, {"resident_bytes", worst}});
   OSAP_LOG(Warn, kLog) << name_ << ": OOM killer chose " << victim << " holding "
                        << format_bytes(worst);
   terminate(victim, ExitReason::OomKilled);

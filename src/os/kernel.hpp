@@ -79,10 +79,16 @@ class Kernel final : public InvariantAuditor {
   void audit(std::vector<std::string>& violations) const override;
   /// Per-node process table.
   void dump(std::ostream& os) const override;
+  /// Every mutator marks the audit-dirty flag, so the periodic sweep may
+  /// skip this kernel across clean stretches.
+  [[nodiscard]] bool audit_supports_dirty() const override { return true; }
 
   /// Testing-only fault injection: desynchronize the VMM stopped flag
   /// from the process state so the signal-state audit fires.
-  void testing_corrupt_stop_state(Pid pid) { vmm_.set_stopped(pid, true); }
+  void testing_corrupt_stop_state(Pid pid) {
+    vmm_.set_stopped(pid, true);
+    mark_audit_dirty();
+  }
 
  private:
   friend class Process;
@@ -112,6 +118,13 @@ class Kernel final : public InvariantAuditor {
   Vmm vmm_;
   std::unordered_map<Pid, std::unique_ptr<Process>> procs_;
   IdGenerator<Pid> pids_;
+
+  // --- observability (src/trace) -----------------------------------------
+  trace::Tracer* tracer_ = nullptr;
+  std::uint32_t trk_ = 0;  ///< trace track (node process, "kernel" thread)
+  trace::Counter* ctr_spawned_ = nullptr;
+  trace::Counter* ctr_signals_ = nullptr;
+  trace::Counter* ctr_oom_kills_ = nullptr;
 };
 
 }  // namespace osap

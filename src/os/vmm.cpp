@@ -5,6 +5,7 @@
 #include "common/det.hpp"
 #include "common/log.hpp"
 #include "sim/simulation.hpp"
+#include "trace/context.hpp"
 
 namespace osap {
 
@@ -24,22 +25,39 @@ Vmm::Vmm(Simulation& sim, Disk& disk, const OsConfig& cfg, std::string name)
   OSAP_CHECK(cfg_.high_watermark >= cfg_.low_watermark);
   OSAP_CHECK(cfg_.vm_chunk > 0);
   sim_.audits().add(this);
+
+  // Track: the node half of a "node0.vmm"-style name becomes the trace
+  // process, the subsystem half the thread; a bare name maps to itself.
+  tracer_ = &sim_.trace().tracer();
+  const auto dot = name_.rfind('.');
+  const std::string process = dot == std::string::npos ? name_ : name_.substr(0, dot);
+  const std::string thread = dot == std::string::npos ? name_ : name_.substr(dot + 1);
+  trk_ = tracer_->track(process, thread);
+  trace::CounterRegistry& counters = sim_.trace().counters();
+  ctr_paged_out_ = &counters.counter(name_ + ".paged_out_bytes");
+  ctr_paged_in_ = &counters.counter(name_ + ".paged_in_bytes");
+  ctr_discarded_ = &counters.counter(name_ + ".swap_discarded_bytes");
+  ctr_swap_out_io_ = &counters.counter(name_ + ".swap_out_io_bytes");
+  ctr_swap_in_io_ = &counters.counter(name_ + ".swap_in_io_bytes");
 }
 
 Vmm::~Vmm() { sim_.audits().remove(this); }
 
 void Vmm::register_process(Pid pid) {
+  mark_audit_dirty();
   const bool inserted = procs_.emplace(pid, ProcInfo{}).second;
   OSAP_CHECK_MSG(inserted, "pid " << pid << " registered twice");
 }
 
 void Vmm::set_stopped(Pid pid, bool stopped) {
+  mark_audit_dirty();
   auto it = procs_.find(pid);
   if (it == procs_.end()) return;  // already exited
   it->second.stopped = stopped;
 }
 
 void Vmm::release_process(Pid pid) {
+  mark_audit_dirty();
   auto it = procs_.find(pid);
   if (it == procs_.end()) return;
   for (RegionId rid : it->second.regions) {
@@ -52,6 +70,7 @@ void Vmm::release_process(Pid pid) {
     free_ += r.resident_clean + r.resident_dirty;
     OSAP_CHECK(swap_used_ >= r.swapped + r.resident_clean);
     swap_used_ -= r.swapped + r.resident_clean;
+    ctr_discarded_->add(r.swapped);
     regions_.erase(rit);
   }
   // Keep the ProcInfo entry: the cumulative paging counters are the
@@ -61,6 +80,7 @@ void Vmm::release_process(Pid pid) {
 }
 
 RegionId Vmm::create_region(Pid pid, std::string name) {
+  mark_audit_dirty();
   auto it = procs_.find(pid);
   OSAP_CHECK_MSG(it != procs_.end(), "create_region for unknown " << pid);
   const RegionId rid = region_ids_.next();
@@ -74,15 +94,20 @@ RegionId Vmm::create_region(Pid pid, std::string name) {
 }
 
 void Vmm::mark_hot(RegionId rid, bool hot) {
+  mark_audit_dirty();
   auto it = regions_.find(rid);
   if (it == regions_.end()) return;
   it->second.hot = hot;
   if (hot) touch(it->second);
 }
 
-void Vmm::touch(Region& region) { region.last_touch = ++touch_seq_; }
+void Vmm::touch(Region& region) {
+  mark_audit_dirty();
+  region.last_touch = ++touch_seq_;
+}
 
 void Vmm::commit(RegionId rid, Bytes bytes, std::function<void()> done) {
+  sim_.trace().profiler().add(trace::HotPath::VmmCommit, bytes);
   auto it = regions_.find(rid);
   OSAP_CHECK_MSG(it != regions_.end(), "commit to missing " << rid);
   const Pid pid = it->second.pid;
@@ -104,6 +129,7 @@ void Vmm::commit(RegionId rid, Bytes bytes, std::function<void()> done) {
     }
     const Bytes chunk = std::min<Bytes>(op->remaining, cfg_.vm_chunk);
     acquire_frames(chunk, op->pid, [this, op, self, chunk] {
+      mark_audit_dirty();
       auto rit = regions_.find(op->rid);
       if (rit == regions_.end()) {
         // Owner was killed while we waited for frames: return them.
@@ -149,6 +175,7 @@ void Vmm::page_in(RegionId rid, bool dirtying, std::function<void()> done) {
     const Bytes chunk = std::min<Bytes>(left, cfg_.vm_chunk);
     op->remaining -= chunk;
     acquire_frames(chunk, op->pid, [this, op, self, chunk] {
+      mark_audit_dirty();
       auto rit2 = regions_.find(op->rid);
       if (rit2 == regions_.end()) {
         free_ += chunk;
@@ -156,7 +183,12 @@ void Vmm::page_in(RegionId rid, bool dirtying, std::function<void()> done) {
       }
       // Frames held; now read the extent back from the swap device.
       held_ += chunk;
-      disk_.start(IoClass::SwapIn, chunk, [this, op, self, chunk] {
+      ctr_swap_in_io_->add(chunk);
+      const std::uint64_t span = ++io_span_seq_;
+      tracer_->async_begin(trk_, "swap_in", span, {{"bytes", chunk}});
+      disk_.start(IoClass::SwapIn, chunk, [this, op, self, chunk, span] {
+        mark_audit_dirty();
+        tracer_->async_end(trk_, "swap_in", span);
         OSAP_CHECK(held_ >= chunk);
         held_ -= chunk;
         auto rit3 = regions_.find(op->rid);
@@ -167,6 +199,7 @@ void Vmm::page_in(RegionId rid, bool dirtying, std::function<void()> done) {
         Region& r = rit3->second;
         const Bytes moved = std::min(chunk, r.swapped);
         r.swapped -= moved;
+        ctr_paged_in_->add(moved);
         if (op->dirtying) {
           r.resident_dirty += moved;
           OSAP_CHECK(swap_used_ >= moved);
@@ -186,6 +219,7 @@ void Vmm::page_in(RegionId rid, bool dirtying, std::function<void()> done) {
 }
 
 void Vmm::release(RegionId rid, Bytes bytes) {
+  mark_audit_dirty();
   auto it = regions_.find(rid);
   if (it == regions_.end()) return;
   Region& r = it->second;
@@ -201,11 +235,13 @@ void Vmm::release(RegionId rid, Bytes bytes) {
   // as do the slots that backed the freed clean pages.
   const Bytes from_swap = std::min(left, r.swapped);
   r.swapped -= from_swap;
+  ctr_discarded_->add(from_swap);
   OSAP_CHECK(swap_used_ >= from_swap + from_clean);
   swap_used_ -= from_swap + from_clean;
 }
 
 void Vmm::dirty_resident(RegionId rid) {
+  mark_audit_dirty();
   auto it = regions_.find(rid);
   if (it == regions_.end()) return;
   Region& r = it->second;
@@ -219,6 +255,7 @@ void Vmm::dirty_resident(RegionId rid) {
 }
 
 void Vmm::fs_cache_insert(Bytes bytes) {
+  mark_audit_dirty();
   // The cache never pushes free memory below the low watermark; beyond
   // that it recycles its own oldest entries (a no-op in this model).
   const Bytes headroom = sat_sub(free_, cfg_.low_watermark_bytes());
@@ -228,6 +265,7 @@ void Vmm::fs_cache_insert(Bytes bytes) {
 }
 
 Bytes Vmm::evict_from_region(Region& region, Bytes want, VictimPlan& plan) {
+  mark_audit_dirty();
   Bytes taken = 0;
   // Clean extents have a valid swap copy: dropping them is free. The data
   // now lives only in that swap copy, so the extent moves to `swapped`
@@ -235,6 +273,7 @@ Bytes Vmm::evict_from_region(Region& region, Bytes want, VictimPlan& plan) {
   const Bytes clean = std::min(want, region.resident_clean);
   region.resident_clean -= clean;
   region.swapped += clean;
+  ctr_paged_out_->add(clean);
   free_ += clean;
   plan.instant += clean;
   taken += clean;
@@ -244,6 +283,7 @@ Bytes Vmm::evict_from_region(Region& region, Bytes want, VictimPlan& plan) {
   if (dirty > 0) {
     region.resident_dirty -= dirty;
     region.swapped += dirty;
+    ctr_paged_out_->add(dirty);
     swap_used_ += dirty;
     plan.io += dirty;
     taken += dirty;
@@ -255,6 +295,7 @@ Bytes Vmm::evict_from_region(Region& region, Bytes want, VictimPlan& plan) {
 }
 
 Vmm::VictimPlan Vmm::select_victims(Bytes want, Pid requester) {
+  mark_audit_dirty();
   VictimPlan plan;
   Bytes taken = 0;
 
@@ -318,6 +359,7 @@ Vmm::VictimPlan Vmm::select_victims(Bytes want, Pid requester) {
           if (hit == 0) continue;
           r.resident_dirty -= hit;
           r.swapped += hit;
+          ctr_paged_out_->add(hit);
           swap_used_ += hit;
           pit->second.swapped_out_total += hit;
           swapped_out_all_ += hit;
@@ -334,12 +376,14 @@ Vmm::VictimPlan Vmm::select_victims(Bytes want, Pid requester) {
 
 void Vmm::acquire_frames(Bytes bytes, Pid requester, std::function<void()> grant, int depth,
                          int rounds) {
+  mark_audit_dirty();
   const Bytes reserve = cfg_.low_watermark_bytes();
   if (free_ >= bytes + reserve) {
     free_ -= bytes;
     grant();
     return;
   }
+  sim_.trace().profiler().add(trace::HotPath::VmmReclaim, bytes);
   if (rounds >= kMaxReclaimRounds) {
     std::ostringstream os;
     os << name_ << ": reclaim livelock — " << rounds << " reclaim rounds for a "
@@ -363,8 +407,13 @@ void Vmm::acquire_frames(Bytes bytes, Pid requester, std::function<void()> grant
       // the legitimate victims — the compounding behind Fig. 4.
       const Bytes refault = plan.refault;
       const RegionId rid = plan.refault_region;
-      disk_.start(IoClass::SwapIn, refault, [this, refault, rid, requester, depth] {
+      ctr_swap_in_io_->add(refault);
+      const std::uint64_t span = ++io_span_seq_;
+      tracer_->async_begin(trk_, "swap_in", span, {{"bytes", refault}, {"refault", 1}});
+      disk_.start(IoClass::SwapIn, refault, [this, refault, rid, requester, depth, span] {
+        tracer_->async_end(trk_, "swap_in", span);
         acquire_frames(refault, requester, [this, refault, rid] {
+          mark_audit_dirty();
           auto it = regions_.find(rid);
           if (it == regions_.end()) {
             free_ += refault;
@@ -373,6 +422,7 @@ void Vmm::acquire_frames(Bytes bytes, Pid requester, std::function<void()> grant
           Region& r = it->second;
           const Bytes moved = std::min(refault, r.swapped);
           r.swapped -= moved;
+          ctr_paged_in_->add(moved);
           r.resident_clean += moved;
           free_ += refault - moved;
           auto pit = procs_.find(r.pid);
@@ -402,7 +452,13 @@ void Vmm::acquire_frames(Bytes bytes, Pid requester, std::function<void()> grant
     // their regions but are not yet grantable.
     const Bytes io = plan.io;
     held_ += io;
-    disk_.start(IoClass::SwapOut, io, [this, io, proceed = std::move(proceed)]() mutable {
+    ctr_swap_out_io_->add(io);
+    const std::uint64_t span = ++io_span_seq_;
+    tracer_->async_begin(trk_, "swap_out", span, {{"bytes", io}});
+    disk_.start(IoClass::SwapOut, io,
+                [this, io, span, proceed = std::move(proceed)]() mutable {
+      mark_audit_dirty();
+      tracer_->async_end(trk_, "swap_out", span);
       OSAP_CHECK(held_ >= io);
       held_ -= io;
       free_ += io;
@@ -501,6 +557,19 @@ void Vmm::audit(std::vector<std::string>& violations) const {
     std::ostringstream os;
     os << "swap overcommitted: " << format_bytes(swap_used_) << " > device size "
        << format_bytes(cfg_.swap_size);
+    violations.push_back(os.str());
+  }
+
+  // Paging-counter conservation: every byte ever paged out is either back
+  // in RAM (paged_in), discarded with its slot (free/exit), or still out.
+  const Bytes out = ctr_paged_out_->value();
+  const Bytes in = ctr_paged_in_->value();
+  const Bytes discarded = ctr_discarded_->value();
+  if (out != in + discarded + swapped) {
+    std::ostringstream os;
+    os << "paging counters broken: paged_out " << format_bytes(out) << " != paged_in "
+       << format_bytes(in) << " + discarded " << format_bytes(discarded) << " + swapped "
+       << format_bytes(swapped);
     violations.push_back(os.str());
   }
 

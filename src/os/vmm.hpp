@@ -42,6 +42,11 @@
 #include "os/config.hpp"
 #include "os/disk.hpp"
 
+namespace osap::trace {
+class Counter;
+class Tracer;
+}  // namespace osap::trace
+
 namespace osap {
 
 struct RegionTag { static const char* prefix() { return "region_"; } };
@@ -116,13 +121,21 @@ class Vmm final : public InvariantAuditor {
   [[nodiscard]] std::string audit_label() const override { return name_; }
   /// Audited invariants: frame conservation (free + cache + in-flight +
   /// resident == usable RAM), swap-slot exactness (swap_used == swapped +
-  /// clean copies), swap capacity, and region<->process list consistency.
+  /// clean copies), swap capacity, region<->process list consistency, and
+  /// paging-counter conservation (paged_out == paged_in + discarded +
+  /// currently swapped).
   void audit(std::vector<std::string>& violations) const override;
   void dump(std::ostream& os) const override;
+  /// Every mutator marks the audit-dirty flag, so the periodic sweep may
+  /// skip this VMM across clean (pure-compute) stretches.
+  [[nodiscard]] bool audit_supports_dirty() const override { return true; }
 
   /// Testing-only fault injection: skew the free-frame counter so the
   /// conservation audit fires. Never call outside audit tests.
-  void testing_corrupt_free_frames(Bytes delta) { free_ += delta; }
+  void testing_corrupt_free_frames(Bytes delta) {
+    free_ += delta;
+    mark_audit_dirty();
+  }
 
  private:
   struct Region {
@@ -179,6 +192,20 @@ class Vmm final : public InvariantAuditor {
   Bytes swapped_out_all_ = 0;
   std::uint64_t touch_seq_ = 0;
   std::function<void()> oom_handler_;
+
+  // --- observability (src/trace) -----------------------------------------
+  // Counter references are resolved once at construction; the registry
+  // guarantees them stable. The paging counters obey an exact conservation
+  // law cross-checked by audit(): paged_out == paged_in + discarded +
+  // currently-swapped bytes.
+  trace::Tracer* tracer_ = nullptr;
+  std::uint32_t trk_ = 0;  ///< trace track (node process, "vmm" thread)
+  trace::Counter* ctr_paged_out_ = nullptr;   ///< resident -> swapped moves
+  trace::Counter* ctr_paged_in_ = nullptr;    ///< swapped -> resident moves
+  trace::Counter* ctr_discarded_ = nullptr;   ///< swapped bytes dropped (free/exit)
+  trace::Counter* ctr_swap_out_io_ = nullptr; ///< bytes written to the swap device
+  trace::Counter* ctr_swap_in_io_ = nullptr;  ///< bytes read from the swap device
+  std::uint64_t io_span_seq_ = 0;             ///< async span ids for swap I/O
 };
 
 }  // namespace osap

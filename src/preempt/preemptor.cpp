@@ -1,6 +1,7 @@
 #include "preempt/preemptor.hpp"
 
 #include "common/error.hpp"
+#include "trace/context.hpp"
 
 namespace osap {
 
@@ -23,6 +24,9 @@ PreemptPrimitive parse_primitive(std::string_view name) {
 }
 
 bool Preemptor::preempt(TaskId victim, PreemptPrimitive primitive) {
+  trace::Tracer& tracer = jt_->sim().trace().tracer();
+  tracer.instant(tracer.track("cluster", "preemptor"), "preempt",
+                 {{"primitive", to_string(primitive)}, {"task", victim.value()}});
   switch (primitive) {
     case PreemptPrimitive::Wait:
       return true;  // deliberately do nothing
@@ -37,6 +41,9 @@ bool Preemptor::preempt(TaskId victim, PreemptPrimitive primitive) {
 }
 
 bool Preemptor::restore(TaskId victim, PreemptPrimitive primitive) {
+  trace::Tracer& tracer = jt_->sim().trace().tracer();
+  tracer.instant(tracer.track("cluster", "preemptor"), "restore",
+                 {{"primitive", to_string(primitive)}, {"task", victim.value()}});
   switch (primitive) {
     case PreemptPrimitive::Wait:
     case PreemptPrimitive::Kill:

@@ -184,6 +184,7 @@ void FluidResource::rearm() {
 }
 
 void FluidResource::update() {
+  sim_.trace().profiler().add(trace::HotPath::FluidUpdate, active_.size());
   std::vector<ConsumerId> completed;
   settle(completed);
   std::vector<std::function<void()>> callbacks;

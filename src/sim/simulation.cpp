@@ -1,5 +1,8 @@
 #include "sim/simulation.hpp"
 
+#include <algorithm>
+#include <vector>
+
 #include "common/error.hpp"
 #include "common/log.hpp"
 
@@ -7,6 +10,7 @@ namespace osap {
 
 Simulation::Simulation() {
   Logger::instance().set_clock([this] { return now_; });
+  trace_.tracer().set_clock([this] { return now_; });
 }
 
 Simulation::~Simulation() { Logger::instance().clear_clock(); }
@@ -44,9 +48,10 @@ bool Simulation::step() {
     if (advanced < audit_cfg_.min_advance_floor) min_advance_abort(advanced);
     window_anchor_ = now_;
   }
+  trace_.profiler().add(trace::HotPath::EventDispatch, queue_.pending());
   fired.fn();
   if (audit_cfg_.enabled && audits_.size() > 0 && processed_ % audit_cfg_.stride == 0) {
-    audit_now();
+    sweep_audits();
   }
   return true;
 }
@@ -54,7 +59,17 @@ bool Simulation::step() {
 void Simulation::audit_now() const {
   std::vector<std::string> violations;
   audits_.run(violations);
-  if (violations.empty()) return;
+  if (!violations.empty()) audit_abort(violations);
+}
+
+void Simulation::sweep_audits() {
+  std::vector<std::string> violations;
+  const AuditRegistry::SweepStats stats = audits_.sweep(violations);
+  trace_.profiler().add(trace::HotPath::AuditSweep, stats.swept);
+  if (!violations.empty()) audit_abort(violations);
+}
+
+void Simulation::audit_abort(const std::vector<std::string>& violations) const {
   std::ostringstream os;
   os << "invariant audit failed at t=" << now_ << " after " << processed_
      << " events (" << queue_.pending() << " pending):";
@@ -62,6 +77,30 @@ void Simulation::audit_now() const {
   os << "\n" << audits_.dump_all();
   OSAP_LOG(Error, "audit") << os.str();
   throw SimError(os.str());
+}
+
+void Simulation::write_observability_json(std::ostream& os) const {
+  os << "{\n\"events_processed\":" << processed_ << ",\n";
+  {
+    std::ostringstream digest;
+    digest << "0x" << std::hex << trace_digest_.value();
+    os << "\"trace_digest\":\"" << digest.str() << "\",\n";
+  }
+  trace_.counters().write_json(os);
+  os << ",\n";
+  trace_.profiler().write_json(os);
+  os << ",\n\"audit_sweeps\":{\"sweeps\":" << audits_.sweeps() << ",\"auditors\":[";
+  std::vector<AuditRegistry::AuditorCost> costs = audits_.costs();
+  std::sort(costs.begin(), costs.end(),
+            [](const auto& a, const auto& b) { return a.label < b.label; });
+  bool first = true;
+  for (const auto& c : costs) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  {\"label\":\"" << c.label << "\",\"swept\":" << c.swept
+       << ",\"skipped\":" << c.skipped << "}";
+  }
+  os << "\n]}\n}\n";
 }
 
 void Simulation::min_advance_abort(Duration advanced) const {

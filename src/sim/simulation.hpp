@@ -13,6 +13,7 @@
 #include "common/det.hpp"
 #include "common/time.hpp"
 #include "sim/event_queue.hpp"
+#include "trace/context.hpp"
 
 namespace osap {
 
@@ -62,10 +63,24 @@ class Simulation {
   void set_audit_config(const AuditConfig& cfg) noexcept { audit_cfg_ = cfg; }
   [[nodiscard]] const AuditConfig& audit_config() const noexcept { return audit_cfg_; }
   /// Sweep all auditors now; throws SimError with a diagnostic dump if any
-  /// invariant is violated (regardless of the enabled flag).
+  /// invariant is violated (regardless of the enabled flag). Always a full
+  /// sweep — dirty-flag skipping applies only to the periodic sweep.
   void audit_now() const;
 
+  // --- observability ------------------------------------------------------
+  /// Tracer + counters + hot-path profiler (src/trace). Purely passive:
+  /// recording never schedules events, so the event-trace digest is
+  /// identical whether or not tracing is enabled.
+  [[nodiscard]] trace::TraceContext& trace() noexcept { return trace_; }
+  [[nodiscard]] const trace::TraceContext& trace() const noexcept { return trace_; }
+  /// Machine-readable end-of-run dump: counters, gauges, hot-path profile,
+  /// per-auditor sweep costs, events processed, event-trace digest.
+  void write_observability_json(std::ostream& os) const;
+
  private:
+  /// Periodic stride sweep: dirty-aware, profiled, aborts like audit_now().
+  void sweep_audits();
+  [[noreturn]] void audit_abort(const std::vector<std::string>& violations) const;
   [[noreturn]] void watchdog_abort(SimTime event_time, EventId event_id) const;
   [[noreturn]] void min_advance_abort(Duration advanced) const;
 
@@ -79,6 +94,7 @@ class Simulation {
   /// Clock value at the start of the current min-advance window.
   SimTime window_anchor_ = 0;
   det::Fnv1a trace_digest_;
+  trace::TraceContext trace_;
 };
 
 }  // namespace osap

@@ -1,0 +1,51 @@
+// TraceContext bundles the three observability instruments — tracer,
+// counter registry, hot-path profiler — behind one handle owned by the
+// Simulation, so every layer reaches them through `sim.trace()` without
+// threading three references around.
+#pragma once
+
+#include <string>
+
+#include "trace/counters.hpp"
+#include "trace/profile.hpp"
+#include "trace/trace.hpp"
+
+namespace osap::trace {
+
+struct TraceConfig {
+  /// Record trace events (counters and the profiler are always on —
+  /// they are plain integer adds).
+  bool enabled = false;
+  /// Write the Chrome trace-event JSON here at end of run ("" = don't).
+  /// A non-empty path implies `enabled`.
+  std::string trace_file;
+  /// Write the counters/profile/audit-cost JSON here at end of run.
+  std::string counters_file;
+};
+
+class TraceContext {
+ public:
+  void configure(const TraceConfig& cfg) {
+    cfg_ = cfg;
+    tracer_.set_enabled(cfg.enabled || !cfg.trace_file.empty());
+  }
+
+  [[nodiscard]] const TraceConfig& config() const noexcept { return cfg_; }
+
+  Tracer& tracer() noexcept { return tracer_; }
+  [[nodiscard]] const Tracer& tracer() const noexcept { return tracer_; }
+
+  CounterRegistry& counters() noexcept { return counters_; }
+  [[nodiscard]] const CounterRegistry& counters() const noexcept { return counters_; }
+
+  HotPathProfiler& profiler() noexcept { return profiler_; }
+  [[nodiscard]] const HotPathProfiler& profiler() const noexcept { return profiler_; }
+
+ private:
+  TraceConfig cfg_;
+  Tracer tracer_;
+  CounterRegistry counters_;
+  HotPathProfiler profiler_;
+};
+
+}  // namespace osap::trace

@@ -1,0 +1,33 @@
+#include "trace/counters.hpp"
+
+#include <limits>
+#include <ostream>
+
+namespace osap::trace {
+
+std::uint64_t CounterRegistry::value(const std::string& name) const {
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second.value();
+}
+
+void CounterRegistry::write_json(std::ostream& os) const {
+  os << "\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  \"" << name << "\":" << c.value();
+  }
+  os << (first ? "}" : "\n}") << ",\n\"gauges\":{";
+  first = true;
+  const auto prec = os.precision(std::numeric_limits<double>::max_digits10);
+  for (const auto& [name, g] : gauges_) {
+    if (!first) os << ",";
+    first = false;
+    os << "\n  \"" << name << "\":" << g.value();
+  }
+  os.precision(prec);
+  os << (first ? "}" : "\n}");
+}
+
+}  // namespace osap::trace

@@ -1,0 +1,62 @@
+// Counter registry: named monotonic counters and gauges with dotted
+// per-subsystem namespaces ("node0.vmm.paged_out_bytes"), dumped as
+// machine-readable JSON — the start of the BENCH_*.json trajectory.
+//
+// Counters are always on: an increment is one integer add, and keeping
+// them unconditional means conservation laws (pages out vs in) can be
+// cross-checked by the invariant auditors in every run, not just traced
+// ones. Storage is std::map so iteration (and the JSON dump) is sorted
+// and references returned by counter()/gauge() stay stable forever.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+
+namespace osap::trace {
+
+/// Monotonically increasing event/volume counter.
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept { value_ += delta; }
+  [[nodiscard]] std::uint64_t value() const noexcept { return value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+/// Last-write-wins instantaneous value (queue depths, headline metrics).
+class Gauge {
+ public:
+  void set(double v) noexcept { value_ = v; }
+  [[nodiscard]] double value() const noexcept { return value_; }
+
+ private:
+  double value_ = 0;
+};
+
+class CounterRegistry {
+ public:
+  /// Find-or-create by fully qualified dotted name.
+  Counter& counter(const std::string& name) { return counters_[name]; }
+  Gauge& gauge(const std::string& name) { return gauges_[name]; }
+
+  /// Read a counter without creating it (0 when absent) — for tests and
+  /// cross-subsystem checks.
+  [[nodiscard]] std::uint64_t value(const std::string& name) const;
+
+  [[nodiscard]] const std::map<std::string, Counter>& counters() const noexcept {
+    return counters_;
+  }
+  [[nodiscard]] const std::map<std::string, Gauge>& gauges() const noexcept { return gauges_; }
+
+  /// {"counters": {...sorted...}, "gauges": {...sorted...}}
+  void write_json(std::ostream& os) const;
+
+ private:
+  std::map<std::string, Counter> counters_;
+  std::map<std::string, Gauge> gauges_;
+};
+
+}  // namespace osap::trace

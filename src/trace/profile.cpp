@@ -1,0 +1,43 @@
+#include "trace/profile.hpp"
+
+#include <ostream>
+
+namespace osap::trace {
+
+const char* HotPathProfiler::name(HotPath p) noexcept {
+  switch (p) {
+    case HotPath::EventDispatch:
+      return "EventDispatch";
+    case HotPath::FluidUpdate:
+      return "FluidUpdate";
+    case HotPath::NetDelivery:
+      return "NetDelivery";
+    case HotPath::VmmCommit:
+      return "VmmCommit";
+    case HotPath::VmmReclaim:
+      return "VmmReclaim";
+    case HotPath::HeartbeatAssembly:
+      return "HeartbeatAssembly";
+    case HotPath::HeartbeatHandle:
+      return "HeartbeatHandle";
+    case HotPath::SchedulerAssign:
+      return "SchedulerAssign";
+    case HotPath::AuditSweep:
+      return "AuditSweep";
+    case HotPath::kCount:
+      break;
+  }
+  return "?";
+}
+
+void HotPathProfiler::write_json(std::ostream& os) const {
+  os << "\"hot_paths\":{";
+  for (std::size_t i = 0; i < stats_.size(); ++i) {
+    if (i != 0) os << ",";
+    os << "\n  \"" << name(static_cast<HotPath>(i)) << "\":{\"calls\":" << stats_[i].calls
+       << ",\"work\":" << stats_[i].work << "}";
+  }
+  os << "\n}";
+}
+
+}  // namespace osap::trace

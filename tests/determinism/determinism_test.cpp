@@ -25,11 +25,12 @@ namespace {
 
 /// Many light mappers racing for a few slots: stresses scheduler and
 /// heartbeat-report ordering (the task_tracker / job_tracker loops).
-std::uint64_t run_map_heavy(std::uint64_t seed) {
+std::uint64_t run_map_heavy(std::uint64_t seed, bool tracing = false) {
   ClusterConfig cfg = paper_cluster();
   cfg.num_nodes = 3;
   cfg.hadoop.map_slots = 2;
   cfg.seed = seed;
+  cfg.trace.enabled = tracing;
   Cluster cluster(cfg);
   cluster.set_scheduler(std::make_unique<FifoScheduler>());
   Rng rng(seed);
@@ -44,11 +45,12 @@ std::uint64_t run_map_heavy(std::uint64_t seed) {
 
 /// A seeded suspend/resume/kill storm: stresses the preemption state
 /// machines and the RM/JT victim-selection tie-breaks.
-std::uint64_t run_preemption_heavy(std::uint64_t seed) {
+std::uint64_t run_preemption_heavy(std::uint64_t seed, bool tracing = false) {
   ClusterConfig cfg = paper_cluster();
   cfg.num_nodes = 2;
   cfg.hadoop.map_slots = 2;
   cfg.seed = seed;
+  cfg.trace.enabled = tracing;
   Cluster cluster(cfg);
   auto sched = std::make_unique<DummyScheduler>(cluster);
   cluster.set_scheduler(std::move(sched));
@@ -112,10 +114,11 @@ std::uint64_t run_preemption_heavy(std::uint64_t seed) {
 /// Two stateful mappers whose combined footprint overcommits RAM: the
 /// VMM reclaims, swaps, and (possibly) OOM-kills — the code paths where
 /// hash-order victim selection used to hide.
-std::uint64_t run_memory_pressure(std::uint64_t seed) {
+std::uint64_t run_memory_pressure(std::uint64_t seed, bool tracing = false) {
   ClusterConfig cfg = paper_cluster();
   cfg.hadoop.map_slots = 2;
   cfg.seed = seed;
+  cfg.trace.enabled = tracing;
   Cluster cluster(cfg);
   cluster.set_scheduler(std::make_unique<FifoScheduler>());
   cluster.submit(single_task_job("hog0", 1, hungry_map_task(gib(1.5), 64 * MiB)));
@@ -142,6 +145,27 @@ TEST(TraceDigest, MemoryPressureDoubleRunMatches) {
   const std::uint64_t first = run_memory_pressure(13);
   const std::uint64_t second = run_memory_pressure(13);
   EXPECT_EQ(first, second) << "memory-pressure event stream is not reproducible";
+}
+
+// The tracing-invariance law (docs/OBSERVABILITY.md): the tracer is a
+// pure observer, so flipping it on must not perturb the event stream.
+// One digest flip here means some recording call scheduled an event or
+// steered a decision.
+TEST(TraceDigest, MapHeavyUnchangedByTracing) {
+  EXPECT_EQ(run_map_heavy(42, /*tracing=*/false), run_map_heavy(42, /*tracing=*/true))
+      << "enabling the tracer changed the map-heavy event stream";
+}
+
+TEST(TraceDigest, PreemptionHeavyUnchangedByTracing) {
+  EXPECT_EQ(run_preemption_heavy(7, /*tracing=*/false),
+            run_preemption_heavy(7, /*tracing=*/true))
+      << "enabling the tracer changed the preemption-heavy event stream";
+}
+
+TEST(TraceDigest, MemoryPressureUnchangedByTracing) {
+  EXPECT_EQ(run_memory_pressure(13, /*tracing=*/false),
+            run_memory_pressure(13, /*tracing=*/true))
+      << "enabling the tracer changed the memory-pressure event stream";
 }
 
 TEST(TraceDigest, DifferentSeedsDiverge) {

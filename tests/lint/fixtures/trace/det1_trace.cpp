@@ -1,0 +1,15 @@
+// DET-1 fixture: hash-order traversal inside the trace layer
+// (fixtures/trace/). Counter flushing feeds the observability JSON, so
+// it must walk det::sorted_keys, never hash order.
+#include <string>
+#include <unordered_map>
+
+struct TraceDet1Bad {
+  std::unordered_map<std::string, long> flush_totals_;
+
+  long flush() const {
+    long total = 0;
+    for (const auto& [name, value] : flush_totals_) total += value;
+    return total;
+  }
+};

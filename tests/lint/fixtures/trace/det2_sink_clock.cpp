@@ -1,0 +1,11 @@
+// DET-2 fixture: a wall clock leaking into a trace sink. Trace
+// timestamps must come from the simulation clock — a host clock here
+// would differ between runs and break the tracing-on/off digest law.
+#include <chrono>
+
+struct TraceSinkClockBad {
+  long stamp() {
+    auto wall = std::chrono::steady_clock::now();
+    return wall.time_since_epoch().count();
+  }
+};

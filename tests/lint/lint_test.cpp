@@ -65,10 +65,12 @@ TEST(LintFixtures, FullSweepReportsEveryPlantedViolation) {
   EXPECT_EQ(run.exit_code, 1);
   const std::string& out = run.output;
 
-  // DET-1: the two traversals in det1_bad.cpp, at their exact lines.
+  // DET-1: the two traversals in det1_bad.cpp plus the one in the trace
+  // layer, at their exact lines.
   EXPECT_HAS(out, "det1_bad.cpp:11: DET-1: range-for over hash-ordered 'table_'");
   EXPECT_HAS(out, "det1_bad.cpp:12: DET-1: iterator traversal of hash-ordered 'members_'");
-  EXPECT_EQ(count(out, " DET-1: "), 2) << out;
+  EXPECT_HAS(out, "det1_trace.cpp:12: DET-1: range-for over hash-ordered 'flush_totals_'");
+  EXPECT_EQ(count(out, " DET-1: "), 3) << out;
 
   // DET-2: pointer key, engine, rand, wall clocks.
   EXPECT_HAS(out, "det2_bad.cpp:9: DET-2: pointer-keyed 'map'");
@@ -76,7 +78,8 @@ TEST(LintFixtures, FullSweepReportsEveryPlantedViolation) {
   EXPECT_HAS(out, "det2_bad.cpp:13: DET-2: 'rand'");
   EXPECT_HAS(out, "det2_bad.cpp:14: DET-2: 'time()'");
   EXPECT_HAS(out, "det2_bad.cpp:15: DET-2: 'system_clock'");
-  EXPECT_EQ(count(out, " DET-2: "), 5) << out;
+  EXPECT_HAS(out, "det2_sink_clock.cpp:8: DET-2: 'steady_clock'");
+  EXPECT_EQ(count(out, " DET-2: "), 6) << out;
 
   // LIF-1: the member declaration and the make_shared.
   EXPECT_HAS(out, "lif1_bad.cpp:6: LIF-1: shared_ptr<std::function>");
@@ -102,7 +105,7 @@ TEST(LintFixtures, FullSweepReportsEveryPlantedViolation) {
   EXPECT_EQ(out.find("det1_unwatched.cpp"), std::string::npos) << out;
   EXPECT_EQ(out.find("clean.cpp"), std::string::npos) << out;
 
-  EXPECT_HAS(out, "osap-lint: 13 violations, 2 suppressed");
+  EXPECT_HAS(out, "osap-lint: 15 violations, 2 suppressed");
 }
 
 TEST(LintFixtures, ValidSuppressionsSilenceBothPlacements) {
@@ -115,6 +118,20 @@ TEST(LintFixtures, Det1IsScopedToWatchedLayers) {
   const LintRun run = run_lint(kFixtures + "/util/det1_unwatched.cpp");
   EXPECT_EQ(run.exit_code, 0) << run.output;
   EXPECT_HAS(run.output, "osap-lint: 0 violations, 0 suppressed");
+}
+
+TEST(LintFixtures, Det1CoversTraceLayer) {
+  // src/trace feeds scheduling-visible JSON output, so it is a watched
+  // DET-1 layer like os/ and sched/.
+  const LintRun run = run_lint(kFixtures + "/trace/det1_trace.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_HAS(run.output, "DET-1: range-for over hash-ordered 'flush_totals_'");
+}
+
+TEST(LintFixtures, Det2CatchesWallClockInTraceSink) {
+  const LintRun run = run_lint(kFixtures + "/trace/det2_sink_clock.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_HAS(run.output, "DET-2: 'steady_clock'");
 }
 
 TEST(LintFixtures, SanctionedIdiomsPassInWatchedLayer) {

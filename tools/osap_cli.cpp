@@ -20,7 +20,11 @@
 //
 // `gantt`, `config` and `trace` also accept `--digest`: print the
 // simulation's event-trace FNV digest after the run. Two invocations with
-// identical flags must print identical digests (see docs/LINT.md).
+// identical flags must print identical digests (see docs/LINT.md). They
+// also accept `--trace=<file>` (write a Chrome trace-event JSON, loadable
+// in Perfetto) and `--counters=<file>` (write the observability JSON:
+// counters, hot-path profile, audit sweep costs); see docs/OBSERVABILITY.md.
+// Flags take either `--key value` or `--key=value` form.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -52,7 +56,9 @@ struct Args {
       const std::string token = argv[i];
       if (token.rfind("--", 0) == 0) {
         const std::string key = token.substr(2);
-        if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        if (const auto eq = key.find('='); eq != std::string::npos) {
+          args.flags[key.substr(0, eq)] = key.substr(eq + 1);
+        } else if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
           args.flags[key] = argv[++i];
         } else {
           args.flags[key] = "true";
@@ -73,6 +79,13 @@ struct Args {
     return it == flags.end() ? fallback : std::stod(it->second);
   }
 };
+
+/// Wire `--trace=` / `--counters=` output destinations into the cluster
+/// config. Cluster::run() writes the files when the paths are non-empty.
+void apply_trace_flags(const Args& args, ClusterConfig& cfg) {
+  cfg.trace.trace_file = args.get("trace", "");
+  cfg.trace.counters_file = args.get("counters", "");
+}
 
 void maybe_print_digest(const Args& args, const Cluster& cluster) {
   if (!args.flags.contains("digest")) return;
@@ -137,6 +150,7 @@ int cmd_gantt(const Args& args) {
   TwoJobParams params = params_from(args);
   ClusterConfig cfg = params.cluster;
   cfg.seed = params.seed;
+  apply_trace_flags(args, cfg);
   Cluster cluster(cfg);
   TimelineRecorder recorder(cluster.job_tracker());
   auto sched = std::make_unique<DummyScheduler>(cluster);
@@ -167,7 +181,9 @@ int cmd_config(const Args& args) {
     std::fprintf(stderr, "cannot open %s\n", args.positional[0].c_str());
     return 1;
   }
-  Cluster cluster(paper_cluster());
+  ClusterConfig cfg = paper_cluster();
+  apply_trace_flags(args, cfg);
+  Cluster cluster(cfg);
   TimelineRecorder recorder(cluster.job_tracker());
   auto sched = std::make_unique<DummyScheduler>(cluster);
   DummyScheduler& ds = *sched;
@@ -191,6 +207,7 @@ int cmd_trace(const Args& args) {
   ClusterConfig cfg = paper_cluster();
   cfg.num_nodes = static_cast<int>(args.num("nodes", 4));
   cfg.seed = static_cast<std::uint64_t>(args.num("seed", 7));
+  apply_trace_flags(args, cfg);
   Cluster cluster(cfg);
   const PreemptPrimitive primitive = parse_primitive(args.get("primitive", "susp"));
   const std::string which = args.get("scheduler", "hfsp");

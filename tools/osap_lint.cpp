@@ -68,7 +68,8 @@ bool known_rule(const std::string& id) {
 /// Layer directories whose state feeds scheduling/eviction decisions;
 /// DET-1 applies to files living under any of them.
 constexpr const char* kWatchedDirs[] = {"os",   "sim",  "sched",   "hadoop",
-                                        "yarn", "hdfs", "preempt", "net"};
+                                        "yarn", "hdfs", "preempt", "net",
+                                        "trace"};
 
 struct Finding {
   std::string file;
