@@ -1,0 +1,79 @@
+#include "fault/fault.hpp"
+
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace osap::fault {
+
+namespace {
+
+NodeId node_arg(std::istringstream& line) {
+  std::uint64_t index = 0;
+  line >> index;
+  return NodeId{index};
+}
+
+}  // namespace
+
+FaultPlan parse_fault_plan(std::istream& in) {
+  FaultPlan plan;
+  std::string raw;
+  int lineno = 0;
+  while (std::getline(in, raw)) {
+    ++lineno;
+    // Strip comments and whitespace-only lines.
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream line(raw);
+    std::string verb;
+    if (!(line >> verb)) continue;
+    if (verb == "crash") {
+      NodeCrash f;
+      line >> f.at;
+      f.node = node_arg(line);
+      OSAP_CHECK_MSG(!line.fail(), "fault plan line " << lineno << ": crash <t> <node>");
+      plan.crashes.push_back(f);
+    } else if (verb == "hang") {
+      TrackerHang f;
+      line >> f.at;
+      f.node = node_arg(line);
+      line >> f.duration;
+      OSAP_CHECK_MSG(!line.fail() && f.duration > 0,
+                     "fault plan line " << lineno << ": hang <t> <node> <duration>");
+      plan.hangs.push_back(f);
+    } else if (verb == "drop-heartbeats") {
+      HeartbeatDrop f;
+      line >> f.from >> f.until;
+      f.node = node_arg(line);
+      OSAP_CHECK_MSG(!line.fail() && f.until > f.from,
+                     "fault plan line " << lineno << ": drop-heartbeats <from> <until> <node>");
+      plan.heartbeat_drops.push_back(f);
+    } else if (verb == "delay-messages") {
+      MessageDelay f;
+      line >> f.from >> f.until;
+      f.node = node_arg(line);
+      line >> f.extra;
+      OSAP_CHECK_MSG(!line.fail() && f.until > f.from && f.extra > 0,
+                     "fault plan line " << lineno
+                                        << ": delay-messages <from> <until> <node> <extra>");
+      plan.delays.push_back(f);
+    } else if (verb == "lose-checkpoints") {
+      CheckpointLoss f;
+      line >> f.at;
+      f.node = node_arg(line);
+      OSAP_CHECK_MSG(!line.fail(), "fault plan line " << lineno << ": lose-checkpoints <t> <node>");
+      plan.checkpoint_losses.push_back(f);
+    } else {
+      OSAP_CHECK_MSG(false, "fault plan line " << lineno << ": unknown verb '" << verb << "'");
+    }
+  }
+  return plan;
+}
+
+FaultPlan parse_fault_plan(const std::string& text) {
+  std::istringstream in(text);
+  return parse_fault_plan(in);
+}
+
+}  // namespace osap::fault

@@ -1,0 +1,63 @@
+// FaultInjector: executes a FaultPlan against a Cluster, deterministically.
+//
+// Every fault is scheduled as an ordinary simulation event at its scripted
+// time, and the message-level faults (drops, delays) are applied by a pure
+// (from, to, now) filter installed into the Network — so a fault run is
+// exactly as deterministic as a fault-free one. The injector is also an
+// InvariantAuditor: it checks that crashed nodes actually went dark and
+// that no fault fired more often than planned.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+
+#include "audit/audit.hpp"
+#include "fault/fault.hpp"
+#include "hadoop/cluster.hpp"
+
+namespace osap::fault {
+
+class FaultInjector final : public InvariantAuditor {
+ public:
+  /// Schedules the plan immediately; construct after the Cluster (and
+  /// destroy before it). Installs the cluster's network message filter —
+  /// one injector per cluster.
+  FaultInjector(Cluster& cluster, FaultPlan plan);
+  ~FaultInjector() override;
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  [[nodiscard]] bool node_crashed(NodeId node) const { return crashed_.contains(node); }
+
+  // --- invariant auditing ---------------------------------------------------
+  [[nodiscard]] std::string audit_label() const override { return "fault-injector"; }
+  /// Audited invariants: a crashed node's tracker is quiesced (crashed
+  /// flag set, nothing hosted) and fired-fault counts stay within the
+  /// plan.
+  void audit(std::vector<std::string>& violations) const override;
+  void dump(std::ostream& os) const override;
+
+ private:
+  void arm();
+  [[nodiscard]] MsgFate filter(NodeId from, NodeId to);
+
+  Cluster& cluster_;
+  FaultPlan plan_;
+  NodeId master_;
+  /// Nodes whose crash fault has fired (value unused; map keeps the
+  /// det::sorted_keys idiom available for dumps).
+  std::unordered_map<NodeId, bool> crashed_;
+  std::uint64_t crashes_fired_ = 0;
+  std::uint64_t hangs_fired_ = 0;
+  std::uint64_t checkpoint_losses_fired_ = 0;
+
+  trace::Tracer* tracer_ = nullptr;
+  std::uint32_t trk_ = 0;  ///< ("cluster", "faults") track
+  trace::Counter* ctr_crashes_ = nullptr;
+  trace::Counter* ctr_hangs_ = nullptr;
+  trace::Counter* ctr_checkpoint_losses_ = nullptr;
+  trace::Counter* ctr_msgs_dropped_ = nullptr;
+  trace::Counter* ctr_msgs_delayed_ = nullptr;
+};
+
+}  // namespace osap::fault

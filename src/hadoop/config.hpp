@@ -31,6 +31,28 @@ struct HadoopConfig {
   /// Duration of the cleanup attempt that removes a killed task's
   /// temporary output; it occupies the slot before a successor can start.
   Duration kill_cleanup_duration = seconds(4.0);
+
+  // --- failure model (docs/FAULTS.md) -----------------------------------
+  /// Attempts a task may burn (OOM deaths and other unrequested exits)
+  /// before the task — and its job — fail terminally. Mirrors Hadoop 1's
+  /// `mapred.map.max.attempts` / `mapred.reduce.max.attempts` (default 4).
+  /// Kills requested by the framework (preemption) and attempts lost to a
+  /// dead tracker do not count, matching Hadoop's killed-vs-failed split.
+  int max_task_attempts = 4;
+  /// Heartbeat-lease window: a tracker silent for this long is declared
+  /// lost and its attempts (live *and* suspended — a SIGTSTP-parked JVM
+  /// dies with its node) are requeued. Mirrors
+  /// `mapred.tasktracker.expiry.interval` (default 10 min; our smaller
+  /// default keeps simulated recovery visible). 0 disables expiry.
+  Duration tracker_expiry = seconds(30);
+  /// How often the JobTracker sweeps leases. Hadoop checks from a
+  /// dedicated thread; one sweep per heartbeat interval keeps detection
+  /// latency within one period of the configured expiry.
+  Duration expiry_check_interval = seconds(3);
+  /// Unrequested attempt failures on one tracker before the JobTracker
+  /// stops assigning work to it (Hadoop's per-job tracker blacklist,
+  /// folded cluster-wide here). 0 disables blacklisting.
+  int tracker_blacklist_failures = 4;
 };
 
 }  // namespace osap

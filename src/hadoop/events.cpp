@@ -17,6 +17,11 @@ const char* to_string(ClusterEventType t) noexcept {
     case ClusterEventType::TaskKilled: return "task-killed";
     case ClusterEventType::TaskSucceeded: return "task-succeeded";
     case ClusterEventType::TaskFailed: return "task-failed";
+    case ClusterEventType::TaskLost: return "task-lost";
+    case ClusterEventType::MapOutputLost: return "map-output-lost";
+    case ClusterEventType::JobFailed: return "job-failed";
+    case ClusterEventType::TrackerLost: return "tracker-lost";
+    case ClusterEventType::TrackerBlacklisted: return "tracker-blacklisted";
   }
   return "?";
 }
@@ -29,6 +34,7 @@ const char* to_string(ActionKind k) noexcept {
     case ActionKind::Resume: return "resume";
     case ActionKind::CheckpointSuspend: return "checkpoint-suspend";
     case ActionKind::MapsDone: return "maps-done";
+    case ActionKind::ReinitTracker: return "reinit-tracker";
   }
   return "?";
 }

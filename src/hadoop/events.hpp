@@ -18,6 +18,19 @@ enum class ClusterEventType {
   TaskKilled,
   TaskSucceeded,
   TaskFailed,
+  /// Attempt forfeited because its tracker was declared lost (lease
+  /// expiry / node crash). Unlike TaskFailed it does not charge the
+  /// task's attempt budget (Hadoop's killed-vs-failed distinction).
+  TaskLost,
+  /// A Succeeded map's output vanished with its node; the map is
+  /// rescheduled so shuffling reduces can fetch it again (Hadoop 1
+  /// local-disk shuffle semantics).
+  MapOutputLost,
+  /// A job failed terminally (a task exhausted `max_task_attempts`, or no
+  /// usable trackers remain).
+  JobFailed,
+  TrackerLost,
+  TrackerBlacklisted,
 };
 
 const char* to_string(ClusterEventType t) noexcept;

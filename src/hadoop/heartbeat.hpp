@@ -54,6 +54,12 @@ enum class ActionKind {
   /// All of the task's job's maps have succeeded: a reduce launched with
   /// `wait_for_maps` may leave its shuffle barrier and start sorting.
   MapsDone,
+  /// The JobTracker declared this tracker lost while it was still alive
+  /// (lease expired during a heartbeat-loss window). Everything it hosts
+  /// has already been requeued elsewhere, so it must silently discard its
+  /// attempts and rejoin with a clean slate — Hadoop 1's reinitialization
+  /// path for a tracker that heartbeats after being expired.
+  ReinitTracker,
 };
 
 const char* to_string(ActionKind k) noexcept;

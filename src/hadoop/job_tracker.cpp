@@ -29,13 +29,30 @@ JobTracker::JobTracker(Simulation& sim, Network& net, NodeId master, HadoopConfi
   ctr_assignments_ = &counters.counter("scheduler.assignments");
   ctr_suspends_ = &counters.counter("jobtracker.suspend_requests");
   ctr_resumes_ = &counters.counter("jobtracker.resume_requests");
+  ctr_trackers_lost_ = &counters.counter("jobtracker.trackers_lost");
+  ctr_tracker_reinits_ = &counters.counter("jobtracker.tracker_reinits");
+  ctr_trackers_blacklisted_ = &counters.counter("jobtracker.trackers_blacklisted");
+  ctr_tasks_lost_ = &counters.counter("jobtracker.tasks_lost");
+  ctr_task_failures_ = &counters.counter("jobtracker.task_failures");
+  ctr_map_outputs_lost_ = &counters.counter("jobtracker.map_outputs_lost");
+  ctr_checkpoints_lost_ = &counters.counter("jobtracker.checkpoints_lost");
+  ctr_jobs_failed_ = &counters.counter("jobtracker.jobs_failed");
+  if (cfg_.tracker_expiry > 0 && cfg_.expiry_check_interval > 0) {
+    lease_timer_ = sim_.after(cfg_.expiry_check_interval, [this] { check_leases(); });
+  }
 }
 
-JobTracker::~JobTracker() { sim_.audits().remove(this); }
+JobTracker::~JobTracker() {
+  if (lease_timer_ != 0) sim_.cancel(lease_timer_);
+  sim_.audits().remove(this);
+}
 
 void JobTracker::register_tracker(TaskTracker& tracker) {
   const bool inserted = trackers_.emplace(tracker.id(), &tracker).second;
   OSAP_CHECK_MSG(inserted, tracker.id() << " registered twice");
+  // The lease starts at registration: a tracker that never heartbeats at
+  // all still expires.
+  last_heartbeat_.emplace(tracker.id(), sim_.now());
 }
 
 void JobTracker::set_scheduler(Scheduler* scheduler) {
@@ -144,6 +161,20 @@ bool JobTracker::kill_task(TaskId id) {
     OSAP_LOG(Warn, kLog) << "kill " << id << " rejected in state " << to_string(t.state);
     return false;
   }
+  if (t.state == TaskState::Suspended && t.checkpointed) {
+    // Checkpoint-parked: there is no process (and no tracker binding) to
+    // send a Kill action to — a queued must_kill_ entry would never match
+    // a tracker and wedge forever. Discard the checkpoint in place.
+    emit(ClusterEventType::TaskKillRequested, t.job, id, NodeId{});
+    emit(ClusterEventType::TaskKilled, t.job, id, NodeId{});
+    t.checkpointed = false;
+    t.spec.checkpoint_progress = 0;
+    t.spec.checkpoint_state = 0;
+    t.checkpoint_node = NodeId{};
+    task_terminal(t, TaskState::Unassigned);
+    reset_attempt_state(t);
+    return true;
+  }
   must_kill_[id] = false;  // false = not yet sent
   emit(ClusterEventType::TaskKillRequested, t.job, id, t.node);
   return true;
@@ -157,17 +188,18 @@ void JobTracker::apply_report(const TrackerStatus& status, const TaskStatusRepor
   t.swapped_in = std::max(t.swapped_in, report.swapped_in);
   switch (report.kind) {
     case ReportKind::Progress:
-      if (t.live()) t.progress = report.progress;
+      if (t.live() && t.tracker == status.tracker) t.progress = report.progress;
       break;
     case ReportKind::Suspended:
-      if (t.state == TaskState::MustSuspend) {
+      if (t.state == TaskState::MustSuspend && t.tracker == status.tracker) {
         t.state = TaskState::Suspended;
         tracer_->async_end(trk_, "suspend", t.id.value());
         emit(ClusterEventType::TaskSuspended, t.job, t.id, status.node);
       }
       break;
     case ReportKind::Resumed:
-      if (t.state == TaskState::MustResume || t.state == TaskState::Suspended) {
+      if ((t.state == TaskState::MustResume || t.state == TaskState::Suspended) &&
+          t.tracker == status.tracker) {
         if (t.state == TaskState::MustResume) {
           tracer_->async_end(trk_, "resume", t.id.value());
         }
@@ -176,10 +208,14 @@ void JobTracker::apply_report(const TrackerStatus& status, const TaskStatusRepor
       }
       break;
     case ReportKind::Succeeded:
-      if (!t.done()) {
+      if (!t.done() && t.tracker == status.tracker) {
         t.progress = 1.0;
         t.completed_at = sim_.now();
         task_terminal(t, TaskState::Succeeded);
+        // Map output is served from the worker's local disk (Hadoop 1
+        // shuffle); remember where it lives so losing the node re-runs
+        // the map.
+        t.completed_node = status.node;
         emit(ClusterEventType::TaskSucceeded, t.job, t.id, status.node);
         Job& job = jobs_.at(t.job);
         ++job.tasks_completed;
@@ -190,23 +226,43 @@ void JobTracker::apply_report(const TrackerStatus& status, const TaskStatusRepor
     case ReportKind::KilledAck: {
       // The attempt is gone and its temporary output cleaned; the task
       // itself goes back to the pool, losing all progress — the kill
-      // primitive's defining cost.
+      // primitive's defining cost. A stale ack (the task was already
+      // forfeited to a lost tracker and rebound elsewhere) is ignored.
+      if (!t.live() || t.tracker != status.tracker) break;
       emit(ClusterEventType::TaskKilled, t.job, t.id, status.node);
       task_terminal(t, TaskState::Unassigned);
-      t.progress = 0;
+      reset_attempt_state(t);
       break;
     }
-    case ReportKind::Failed:
+    case ReportKind::Failed: {
+      if (!t.live() || t.tracker != status.tracker) break;
       emit(ClusterEventType::TaskFailed, t.job, t.id, status.node);
-      task_terminal(t, TaskState::Unassigned);
-      t.progress = 0;
+      ctr_task_failures_->add();
+      ++t.attempts_failed;
+      note_tracker_failure(status.tracker, status.node);
+      if (t.attempts_failed >= cfg_.max_task_attempts) {
+        // Attempt budget exhausted: the task fails terminally and takes
+        // its job down (Hadoop 1 `mapred.*.max.attempts` semantics). A
+        // Failed task counts toward nothing — maybe_complete_job only
+        // counts Succeeded.
+        OSAP_LOG(Warn, kLog) << t.id << " failed " << t.attempts_failed
+                             << " attempts, failing " << t.job;
+        task_terminal(t, TaskState::Failed);
+        reset_attempt_state(t);
+        fail_job(t.job, t.id, status.node);
+      } else {
+        task_terminal(t, TaskState::Unassigned);
+        reset_attempt_state(t);
+      }
       break;
+    }
     case ReportKind::Checkpointed:
-      if (t.state == TaskState::MustSuspend) {
+      if (t.state == TaskState::MustSuspend && t.tracker == status.tracker) {
         t.state = TaskState::Suspended;
         tracer_->async_end(trk_, "suspend", t.id.value(), {{"checkpointed", 1}});
         t.checkpointed = true;
         t.progress = report.progress;
+        t.checkpoint_node = status.node;
         // The JVM is gone; the task is no longer bound to the tracker
         // (though checkpoint files make same-node relaunches cheaper).
         t.node = NodeId{};
@@ -272,6 +328,136 @@ void JobTracker::maybe_release_reduces(JobId id) {
   }
 }
 
+void JobTracker::reset_attempt_state(Task& task) {
+  // Everything here is per-attempt: leaking it into the successor attempt
+  // double-counts paging, resurrects stale checkpoint/suspend intents, or
+  // (completed_at) makes a requeued task look finished. The durable
+  // checkpoint inputs (spec.checkpoint_progress / checkpoint_state /
+  // checkpoint_node) survive on disk across attempts and are cleared only
+  // by an explicit kill or a checkpoint disk loss.
+  task.progress = 0;
+  task.checkpointed = false;
+  task.use_checkpoint = false;
+  task.swapped_out = 0;
+  task.swapped_in = 0;
+  task.completed_at = -1;
+  task.completed_node = NodeId{};
+}
+
+void JobTracker::check_leases() {
+  if (cfg_.tracker_expiry > 0) {
+    for (TrackerId id : det::sorted_keys(last_heartbeat_)) {
+      if (lost_.contains(id)) continue;
+      if (sim_.now() - last_heartbeat_.at(id) >= cfg_.tracker_expiry) declare_lost(id);
+    }
+  }
+  lease_timer_ = sim_.after(cfg_.expiry_check_interval, [this] { check_leases(); });
+}
+
+void JobTracker::declare_lost(TrackerId id) {
+  TaskTracker* tt = tracker(id);
+  OSAP_CHECK_MSG(tt != nullptr, "declaring unknown " << id << " lost");
+  const NodeId node = tt->node();
+  lost_.emplace(id, true);
+  ctr_trackers_lost_->add();
+  tracer_->instant(trk_, "tracker_lost", {{"tracker", id.value()}});
+  OSAP_LOG(Warn, kLog) << id << " lease expired at t=" << sim_.now() << ", declared lost";
+  emit(ClusterEventType::TrackerLost, JobId{}, TaskId{}, node);
+
+  // Forfeit every attempt bound to the tracker — running *and* suspended:
+  // a SIGTSTP-parked JVM dies with its node, so the suspended attempt's
+  // work is gone and the task restarts from scratch elsewhere. Loss does
+  // not charge the attempt budget (Hadoop's killed-vs-failed split).
+  for (TaskId tid : det::sorted_keys(tasks_)) {
+    Task& t = tasks_.at(tid);
+    if (t.tracker != id || !t.live()) continue;
+    ctr_tasks_lost_->add();
+    emit(ClusterEventType::TaskLost, t.job, tid, t.node);
+    task_terminal(t, TaskState::Unassigned);
+    reset_attempt_state(t);
+  }
+
+  // Re-run Succeeded maps whose output lived on the dead node: Hadoop 1
+  // reduces fetch map output from the worker's local disk, so the outputs
+  // died with it and shuffling reduces would wait forever.
+  for (TaskId tid : det::sorted_keys(tasks_)) {
+    Task& t = tasks_.at(tid);
+    if (t.state != TaskState::Succeeded || t.spec.type != TaskType::Map) continue;
+    if (t.completed_node != node) continue;
+    if (jobs_.at(t.job).state != JobState::Running) continue;
+    ctr_map_outputs_lost_->add();
+    emit(ClusterEventType::MapOutputLost, t.job, tid, node);
+    t.state = TaskState::Unassigned;
+    reset_attempt_state(t);
+    --jobs_.at(t.job).tasks_completed;
+  }
+
+  // Checkpoint files on the node's disk are gone too.
+  lose_checkpoints_on(node);
+  maybe_fail_cluster();
+}
+
+void JobTracker::lose_checkpoints_on(NodeId node) {
+  for (TaskId tid : det::sorted_keys(tasks_)) {
+    Task& t = tasks_.at(tid);
+    if (t.checkpoint_node != node) continue;
+    ctr_checkpoints_lost_->add();
+    t.spec.checkpoint_progress = 0;
+    t.spec.checkpoint_state = 0;
+    t.checkpoint_node = NodeId{};
+    if (t.state == TaskState::Suspended && t.checkpointed) {
+      // Parked on the lost checkpoint: nothing to resume, requeue from
+      // scratch.
+      ctr_tasks_lost_->add();
+      emit(ClusterEventType::TaskLost, t.job, tid, node);
+      t.checkpointed = false;
+      task_terminal(t, TaskState::Unassigned);
+      reset_attempt_state(t);
+    }
+  }
+}
+
+void JobTracker::fail_job(JobId id, TaskId cause, NodeId node) {
+  Job& job = jobs_.at(id);
+  if (job.state != JobState::Running) return;
+  job.state = JobState::Failed;
+  job.completed_at = sim_.now();
+  ctr_jobs_failed_->add();
+  // Reap the job's surviving attempts; the scheduler skips non-Running
+  // jobs, so nothing relaunches.
+  for (TaskId tid : job.tasks) {
+    if (tasks_.at(tid).live()) kill_task(tid);
+  }
+  tracer_->async_end(trk_, "job", id.value(), {{"failed", 1}});
+  OSAP_LOG(Warn, kLog) << "job " << id << " FAILED at t=" << sim_.now();
+  emit(ClusterEventType::JobFailed, id, cause, node);
+  if (scheduler_ != nullptr) scheduler_->job_completed(id);
+}
+
+void JobTracker::note_tracker_failure(TrackerId id, NodeId node) {
+  if (cfg_.tracker_blacklist_failures <= 0) return;
+  const int failures = ++failures_on_tracker_[id];
+  if (failures < cfg_.tracker_blacklist_failures || blacklisted_.contains(id)) return;
+  blacklisted_.emplace(id, true);
+  ctr_trackers_blacklisted_->add();
+  tracer_->instant(trk_, "tracker_blacklisted", {{"tracker", id.value()}});
+  OSAP_LOG(Warn, kLog) << id << " blacklisted after " << failures << " attempt failures";
+  emit(ClusterEventType::TrackerBlacklisted, JobId{}, TaskId{}, node);
+  maybe_fail_cluster();
+}
+
+void JobTracker::maybe_fail_cluster() {
+  if (trackers_.empty()) return;
+  for (TrackerId id : det::sorted_keys(trackers_)) {
+    if (!lost_.contains(id) && !blacklisted_.contains(id)) return;
+  }
+  // No tracker left to run anything: every Running job fails now rather
+  // than waiting on heartbeats that cannot come.
+  for (JobId jid : job_order_) {
+    if (jobs_.at(jid).state == JobState::Running) fail_job(jid, TaskId{}, NodeId{});
+  }
+}
+
 void JobTracker::maybe_complete_job(JobId id) {
   Job& job = jobs_.at(id);
   if (job.state != JobState::Running) return;
@@ -292,6 +478,26 @@ void JobTracker::on_heartbeat(TrackerStatus status) {
   if (tt == nullptr) return;
   ctr_heartbeats_->add();
   sim_.trace().profiler().add(trace::HotPath::HeartbeatHandle, status.reports.size());
+
+  if (lost_.erase(status.tracker) > 0) {
+    // The tracker was expired while actually alive (a heartbeat-loss
+    // window or a daemon hang). Everything it hosted has already been
+    // requeued, so its reports describe attempts we forfeited: skip them
+    // and order a clean-slate reinitialization — Hadoop 1's answer to a
+    // tracker that heartbeats after being declared lost.
+    last_heartbeat_[status.tracker] = sim_.now();
+    ctr_tracker_reinits_->add();
+    tracer_->instant(trk_, "tracker_reinit", {{"tracker", status.tracker.value()}});
+    OSAP_LOG(Warn, kLog) << status.tracker << " rejoined after expiry, reinitializing";
+    HeartbeatResponse reinit;
+    reinit.actions.push_back(TaskAction{ActionKind::ReinitTracker, TaskId{}, {}});
+    ctr_actions_->add();
+    net_.send(master_, status.node, [tt, reinit = std::move(reinit)]() mutable {
+      tt->on_response(std::move(reinit));
+    });
+    return;
+  }
+  last_heartbeat_[status.tracker] = sim_.now();
 
   for (const TaskStatusReport& report : status.reports) apply_report(status, report);
 
@@ -333,8 +539,9 @@ void JobTracker::on_heartbeat(TrackerStatus status) {
     sent = true;
   }
 
-  // Ask the scheduler for work for the free slots.
-  if (scheduler_ != nullptr) {
+  // Ask the scheduler for work for the free slots. Blacklisted trackers
+  // still heartbeat (their in-flight acks matter) but get no new work.
+  if (scheduler_ != nullptr && !blacklisted_.contains(status.tracker)) {
     const std::vector<TaskId> assigned = scheduler_->assign(status);
     sim_.trace().profiler().add(trace::HotPath::SchedulerAssign, assigned.size());
     for (TaskId tid : assigned) {
@@ -417,6 +624,21 @@ void JobTracker::audit(std::vector<std::string>& violations) const {
     if (bound && trackers_.find(t.tracker) == trackers_.end()) {
       flag(tid, " bound to unregistered ", t.tracker);
     }
+    if (bound && lost_.contains(t.tracker)) {
+      flag(tid, " still bound to lost ", t.tracker);
+    }
+    if (t.attempts_failed < 0 ||
+        (cfg_.max_task_attempts > 0 && t.attempts_failed > cfg_.max_task_attempts)) {
+      flag(tid, " has ", t.attempts_failed, " failed attempts (cap ",
+           cfg_.max_task_attempts, ")");
+    }
+    if (t.state == TaskState::Failed && jobs_.at(t.job).state != JobState::Failed) {
+      flag(tid, " is Failed but its ", t.job, " is ",
+           jobs_.at(t.job).state == JobState::Running ? "Running" : "not Failed");
+    }
+  }
+  for (TrackerId trk_id : det::sorted_keys(trackers_)) {
+    if (!last_heartbeat_.contains(trk_id)) flag(trk_id, " has no heartbeat lease");
   }
   const auto check_command_map = [&](const auto& map, const char* what) {
     for (TaskId tid : det::sorted_keys(map)) {
@@ -446,6 +668,9 @@ void JobTracker::audit(std::vector<std::string>& violations) const {
       flag(jid, " marked Succeeded with only ", succeeded, "/", job.tasks.size(),
            " tasks done");
     }
+    if (job.state == JobState::Failed && job.completed_at < 0) {
+      flag(jid, " marked Failed without a completion time");
+    }
   }
 }
 
@@ -453,6 +678,12 @@ void JobTracker::dump(std::ostream& os) const {
   os << jobs_.size() << " jobs, " << tasks_.size() << " tasks; pending commands: "
      << command_sent_.size() << " susp/res, " << must_kill_.size() << " kill, "
      << maps_done_pending_.size() << " maps-done\n";
+  if (!lost_.empty() || !blacklisted_.empty()) {
+    os << "  trackers:";
+    for (TrackerId id : det::sorted_keys(lost_)) os << ' ' << id << "[lost]";
+    for (TrackerId id : det::sorted_keys(blacklisted_)) os << ' ' << id << "[blacklisted]";
+    os << '\n';
+  }
   for (JobId jid : job_order_) {
     const Job& job = jobs_.at(jid);
     os << "  " << jid << " (" << job.spec.name << ") " << job.tasks_completed << "/"

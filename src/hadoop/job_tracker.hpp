@@ -63,6 +63,21 @@ class JobTracker final : public InvariantAuditor {
   /// UNASSIGNED pool for rescheduling (losing its work).
   bool kill_task(TaskId id);
 
+  // --- failure model (docs/FAULTS.md) --------------------------------------
+  /// The node's local disk lost its Natjam checkpoint files: forget every
+  /// saved fast-forward state on it, requeueing checkpoint-parked tasks
+  /// from scratch. Fault-injection entry point (a node crash does this
+  /// implicitly through lease expiry).
+  void lose_checkpoints_on(NodeId node);
+  /// True once the heartbeat lease expired and the tracker was declared
+  /// lost (cleared if it later heartbeats again and is reinitialized).
+  [[nodiscard]] bool tracker_lost(TrackerId id) const { return lost_.contains(id); }
+  /// True once the tracker accumulated `tracker_blacklist_failures`
+  /// unrequested attempt failures; blacklisted trackers get no new work.
+  [[nodiscard]] bool tracker_blacklisted(TrackerId id) const {
+    return blacklisted_.contains(id);
+  }
+
   // --- heartbeat entry point (via network) ---------------------------------
   void on_heartbeat(TrackerStatus status);
 
@@ -103,6 +118,26 @@ class JobTracker final : public InvariantAuditor {
   /// for every live reduce of the job.
   void maybe_release_reduces(JobId id);
 
+  // --- failure model (docs/FAULTS.md) --------------------------------------
+  /// Periodic lease sweep; re-arms itself every `expiry_check_interval`.
+  void check_leases();
+  /// Lease expired: requeue the tracker's live and suspended attempts,
+  /// re-run Succeeded maps whose output lived on its disk, and drop any
+  /// checkpoints stored there.
+  void declare_lost(TrackerId id);
+  /// Clear per-attempt state a requeue must not leak into the successor
+  /// (progress, paging totals, checkpoint/suspend flags, completion stamp).
+  void reset_attempt_state(Task& task);
+  /// Terminal job failure: mark Failed, kill remaining live tasks, notify
+  /// the scheduler. `cause`/`node` identify the triggering task (invalid
+  /// for cluster-wide failures).
+  void fail_job(JobId id, TaskId cause, NodeId node);
+  /// Blacklist bookkeeping for an unrequested attempt failure.
+  void note_tracker_failure(TrackerId id, NodeId node);
+  /// Every registered tracker is lost or blacklisted: nothing can run, so
+  /// fail all Running jobs instead of spinning forever.
+  void maybe_fail_cluster();
+
   Simulation& sim_;
   Network& net_;
   NodeId master_;
@@ -124,6 +159,17 @@ class JobTracker final : public InvariantAuditor {
   IdGenerator<JobId> job_ids_;
   IdGenerator<TaskId> task_ids_;
 
+  // --- failure model -------------------------------------------------------
+  /// Last heartbeat arrival per registered tracker (the lease).
+  std::unordered_map<TrackerId, SimTime> last_heartbeat_;
+  /// Trackers whose lease expired (value unused; a map keeps the
+  /// det::sorted_keys traversal idiom uniform).
+  std::unordered_map<TrackerId, bool> lost_;
+  /// Unrequested attempt failures per tracker (blacklist bookkeeping).
+  std::unordered_map<TrackerId, int> failures_on_tracker_;
+  std::unordered_map<TrackerId, bool> blacklisted_;
+  EventId lease_timer_ = 0;
+
   // --- observability (src/trace) -----------------------------------------
   trace::Tracer* tracer_ = nullptr;
   std::uint32_t trk_ = 0;          ///< ("cluster", "jobtracker") track
@@ -135,6 +181,15 @@ class JobTracker final : public InvariantAuditor {
   trace::Counter* ctr_assignments_ = nullptr;
   trace::Counter* ctr_suspends_ = nullptr;
   trace::Counter* ctr_resumes_ = nullptr;
+  // Failure counters (jobtracker.* namespace; see docs/FAULTS.md).
+  trace::Counter* ctr_trackers_lost_ = nullptr;
+  trace::Counter* ctr_tracker_reinits_ = nullptr;
+  trace::Counter* ctr_trackers_blacklisted_ = nullptr;
+  trace::Counter* ctr_tasks_lost_ = nullptr;
+  trace::Counter* ctr_task_failures_ = nullptr;
+  trace::Counter* ctr_map_outputs_lost_ = nullptr;
+  trace::Counter* ctr_checkpoints_lost_ = nullptr;
+  trace::Counter* ctr_jobs_failed_ = nullptr;
 };
 
 }  // namespace osap

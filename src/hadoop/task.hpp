@@ -110,6 +110,10 @@ struct Task {
   TaskState state = TaskState::Unassigned;
 
   int attempts_started = 0;
+  /// Unrequested attempt deaths (OOM kills, crashes) charged against
+  /// `hadoop.max_task_attempts`. Framework kills and tracker-loss
+  /// requeues do not count (Hadoop's killed-vs-failed split).
+  int attempts_failed = 0;
   /// Node of the live (running or suspended) attempt.
   NodeId node;
   TrackerId tracker;
@@ -117,6 +121,14 @@ struct Task {
 
   SimTime first_launched_at = -1;
   SimTime completed_at = -1;
+  /// Node whose local disk holds this (Succeeded) map's output. Hadoop 1
+  /// serves map output from the worker's own disk, so losing the node
+  /// loses the output and forces a re-execution while reduces shuffle.
+  NodeId completed_node;
+  /// Node whose disk holds the Natjam checkpoint files (set on the
+  /// Checkpointed report); a disk-loss fault there invalidates the
+  /// fast-forward state.
+  NodeId checkpoint_node;
   /// Paging totals of the last attempt, reported by the TaskTracker.
   Bytes swapped_out = 0;
   Bytes swapped_in = 0;

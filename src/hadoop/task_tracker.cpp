@@ -71,7 +71,10 @@ void TaskTracker::schedule_next_heartbeat() {
 }
 
 void TaskTracker::send_status(bool out_of_band) {
-  if (jt_ == nullptr) return;
+  if (jt_ == nullptr || crashed_) return;
+  // A wedged daemon assembles nothing: reports stay queued and flush on
+  // the first heartbeat after the hang.
+  if (hung_until_ > sim_.now()) return;
   TrackerStatus status;
   status.tracker = id_;
   status.node = node_;
@@ -111,6 +114,7 @@ void TaskTracker::send_status(bool out_of_band) {
 }
 
 void TaskTracker::on_response(HeartbeatResponse response) {
+  if (crashed_) return;  // in-flight response to a dead node
   if (!outstanding_hb_.empty()) {
     const auto [span, oob] = outstanding_hb_.front();
     outstanding_hb_.pop_front();
@@ -121,7 +125,70 @@ void TaskTracker::on_response(HeartbeatResponse response) {
 }
 
 void TaskTracker::deliver_actions(HeartbeatResponse response) {
+  if (crashed_) return;
   for (const TaskAction& action : response.actions) apply(action);
+}
+
+void TaskTracker::crash() {
+  if (crashed_) return;
+  OSAP_LOG(Warn, kLog) << id_ << " crashed at t=" << sim_.now();
+  crashed_ = true;
+  if (hb_timer_ != 0) {
+    sim_.cancel(hb_timer_);
+    hb_timer_ = 0;
+  }
+  // Heartbeats in flight will never be answered usefully; close their
+  // round-trip spans as aborted.
+  for (const auto& [span, oob] : outstanding_hb_) {
+    tracer_->async_end(trk_, oob ? "oob_heartbeat" : "heartbeat", span, {{"aborted", 1}});
+  }
+  outstanding_hb_.clear();
+  pending_reports_.clear();
+  teardown_attempts("node-crash");
+}
+
+void TaskTracker::hang(Duration duration) {
+  if (crashed_ || duration <= 0) return;
+  OSAP_LOG(Warn, kLog) << id_ << " daemon hangs for " << duration << "s at t=" << sim_.now();
+  hung_until_ = std::max(hung_until_, sim_.now() + duration);
+}
+
+void TaskTracker::reinit() {
+  OSAP_LOG(Warn, kLog) << id_ << " reinitializing (expired while alive)";
+  pending_reports_.clear();
+  teardown_attempts("reinit");
+}
+
+void TaskTracker::teardown_attempts(const char* outcome) {
+  silent_teardown_ = true;
+  teardown_outcome_ = outcome;
+  for (TaskId tid : det::sorted_keys(live_)) {
+    const auto it = live_.find(tid);
+    if (it == live_.end()) continue;
+    LiveTask& task = it->second;
+    if (task.helper.valid()) {
+      kernel_.signal(task.helper, Signal::Kill);
+      task.helper = Pid{};
+    }
+    if (task.in_cleanup) {
+      // The cleanup attempt's process is already gone; free the slot it
+      // was holding (its finish_cleanup timer finds nothing later).
+      if (task.type == TaskType::Map) {
+        --used_map_slots_;
+      } else {
+        --used_reduce_slots_;
+      }
+      tracer_->async_end(trk_, "task", tid.value(), {{"outcome", outcome}});
+      live_.erase(it);
+      continue;
+    }
+    // SIGKILL works on running and stopped processes alike; on_exit runs
+    // synchronously and takes the silent-teardown path in on_task_exit,
+    // which erases the entry and settles the slot accounting.
+    kernel_.signal(task.pid, Signal::Kill);
+  }
+  silent_teardown_ = false;
+  teardown_outcome_ = "";
 }
 
 void TaskTracker::apply(const TaskAction& action) {
@@ -144,6 +211,7 @@ void TaskTracker::apply(const TaskAction& action) {
       if (it != live_.end()) kernel_.release_barrier(it->second.pid, "maps");
       break;
     }
+    case ActionKind::ReinitTracker: reinit(); break;
   }
 }
 
@@ -267,6 +335,29 @@ void TaskTracker::on_task_exit(TaskId id, ExitInfo info) {
   auto it = live_.find(id);
   if (it == live_.end()) return;
   LiveTask& task = it->second;
+  if (silent_teardown_) {
+    // Crash / reinit teardown: forget the attempt without reporting —
+    // a dead node reports nothing, and a reinitialized tracker's attempts
+    // were already forfeited by the JobTracker.
+    if (task.helper.valid()) kernel_.signal(task.helper, Signal::Kill);
+    if (task.suspended) {
+      --suspended_;
+      task.suspended = false;
+      if (task.type == TaskType::Map) {
+        ++used_map_slots_;
+      } else {
+        ++used_reduce_slots_;
+      }
+    }
+    if (task.type == TaskType::Map) {
+      --used_map_slots_;
+    } else {
+      --used_reduce_slots_;
+    }
+    tracer_->async_end(trk_, "task", id.value(), {{"outcome", teardown_outcome_}});
+    live_.erase(it);
+    return;
+  }
   if (task.helper.valid()) {
     // The pipe closes with the task: the helper sees EOF and exits.
     kernel_.signal(task.helper, Signal::Kill);
@@ -378,6 +469,11 @@ void TaskTracker::audit(std::vector<std::string>& violations) const {
     (os << ... << parts);
     violations.push_back(os.str());
   };
+  if (crashed_ && (!live_.empty() || used_map_slots_ != 0 || used_reduce_slots_ != 0 ||
+                   suspended_ != 0)) {
+    flag("crashed tracker still hosts ", live_.size(), " attempts (map=", used_map_slots_,
+         " reduce=", used_reduce_slots_, " suspended=", suspended_, ")");
+  }
   int map_slots = 0;
   int reduce_slots = 0;
   int suspended = 0;
@@ -422,7 +518,10 @@ void TaskTracker::audit(std::vector<std::string>& violations) const {
 void TaskTracker::dump(std::ostream& os) const {
   os << id_ << " on " << node_ << ": " << used_map_slots_ << "/" << cfg_.map_slots
      << " map slots, " << used_reduce_slots_ << "/" << cfg_.reduce_slots << " reduce slots, "
-     << suspended_ << " suspended, " << live_.size() << " live tasks\n";
+     << suspended_ << " suspended, " << live_.size() << " live tasks";
+  if (crashed_) os << " [CRASHED]";
+  if (hung_until_ > 0) os << " [hung until t=" << hung_until_ << "]";
+  os << '\n';
   for (TaskId tid : det::sorted_keys(live_)) {
     const LiveTask& task = live_.at(tid);
     const Process* p = kernel_.find(task.pid);

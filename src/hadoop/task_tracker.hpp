@@ -46,6 +46,20 @@ class TaskTracker final : public InvariantAuditor {
   /// heartbeat round-trip bookkeeping.
   void deliver_actions(HeartbeatResponse response);
 
+  // --- fault injection (src/fault, docs/FAULTS.md) -------------------------
+  /// The node dies: heartbeats stop, every hosted attempt (running,
+  /// suspended, checkpointing, cleanup) is torn down silently — nothing is
+  /// reported, because a dead node reports nothing. Recovery happens on
+  /// the JobTracker side via heartbeat-lease expiry. Irreversible.
+  void crash();
+  /// The tracker daemon wedges for `duration`: no heartbeats (periodic or
+  /// out-of-band) are sent until it unsticks, while already-running task
+  /// attempts keep executing. Pending reports queue up and flush on the
+  /// first post-hang heartbeat — unless the lease expired meanwhile, in
+  /// which case the JobTracker orders a reinitialization.
+  void hang(Duration duration);
+  [[nodiscard]] bool crashed() const noexcept { return crashed_; }
+
   [[nodiscard]] TrackerId id() const noexcept { return id_; }
   [[nodiscard]] NodeId node() const noexcept { return node_; }
   [[nodiscard]] Kernel& kernel() noexcept { return kernel_; }
@@ -91,6 +105,13 @@ class TaskTracker final : public InvariantAuditor {
   void send_status(bool out_of_band);
   void apply(const TaskAction& action);
 
+  /// ReinitTracker action: the JobTracker expired our lease while we were
+  /// alive; discard every hosted attempt silently and rejoin clean.
+  void reinit();
+  /// Silently kill and forget all hosted attempts (crash / reinit); the
+  /// given outcome labels the closed task spans.
+  void teardown_attempts(const char* outcome);
+
   void launch(const TaskAction& action);
   void do_kill(TaskId id);
   void do_suspend(TaskId id);
@@ -115,6 +136,12 @@ class TaskTracker final : public InvariantAuditor {
   int used_reduce_slots_ = 0;
   int suspended_ = 0;
   EventId hb_timer_ = 0;
+  bool crashed_ = false;
+  /// Daemon hang window end (heartbeats suppressed until then).
+  SimTime hung_until_ = -1;
+  /// True while teardown_attempts runs: on_task_exit skips reporting.
+  bool silent_teardown_ = false;
+  const char* teardown_outcome_ = "";
 
   // --- observability (src/trace) -----------------------------------------
   trace::Tracer* tracer_ = nullptr;

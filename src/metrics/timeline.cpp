@@ -56,6 +56,7 @@ std::string TimelineRecorder::render_gantt(double seconds_per_cell) const {
       case ClusterEventType::TaskKilled: glyph = ' '; break;
       case ClusterEventType::TaskSucceeded: glyph = '|'; break;
       case ClusterEventType::TaskFailed: glyph = ' '; break;
+      case ClusterEventType::TaskLost: glyph = ' '; break;
       default: continue;
     }
     tasks[e.task].push_back(Span{e.time, glyph});

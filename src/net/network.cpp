@@ -23,7 +23,18 @@ FluidResource& Network::downlink(NodeId node) {
 
 void Network::send(NodeId from, NodeId to, std::function<void()> deliver) {
   sim_.trace().profiler().add(trace::HotPath::NetDelivery);
-  const Duration lat = (from == to) ? cfg_.loopback_latency : cfg_.latency;
+  Duration lat = (from == to) ? cfg_.loopback_latency : cfg_.latency;
+  if (filter_) {
+    const MsgFate fate = filter_(from, to);
+    if (fate.drop) {
+      ++msgs_dropped_;
+      return;
+    }
+    if (fate.extra_delay > 0) {
+      ++msgs_delayed_;
+      lat += fate.extra_delay;
+    }
+  }
   sim_.after(lat, std::move(deliver));
 }
 

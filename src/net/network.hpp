@@ -28,6 +28,14 @@ struct NetConfig {
   Duration loopback_latency = ms(0.05);
 };
 
+/// Fault-injection verdict for one control message (src/fault installs a
+/// filter returning these; see docs/FAULTS.md). Dropped messages vanish
+/// silently — exactly what a partitioned or dead NIC does to a heartbeat.
+struct MsgFate {
+  bool drop = false;
+  Duration extra_delay = 0;
+};
+
 class Network {
  public:
   using TransferId = FluidResource::ConsumerId;
@@ -39,6 +47,16 @@ class Network {
 
   /// Deliver a control message after the link latency.
   void send(NodeId from, NodeId to, std::function<void()> deliver);
+
+  /// Install (or clear, with an empty function) the control-message fault
+  /// filter consulted by send(). The filter must be a pure function of
+  /// (from, to) and the current simulated time — any other input would
+  /// break digest determinism.
+  void set_message_filter(std::function<MsgFate(NodeId from, NodeId to)> filter) {
+    filter_ = std::move(filter);
+  }
+  [[nodiscard]] std::uint64_t messages_dropped() const noexcept { return msgs_dropped_; }
+  [[nodiscard]] std::uint64_t messages_delayed() const noexcept { return msgs_delayed_; }
 
   /// Move `bytes` from `from` to `to`; `done` fires when the last byte
   /// lands. Same-node transfers complete after loopback latency only.
@@ -57,6 +75,9 @@ class Network {
   NetConfig cfg_;
   std::unordered_map<NodeId, std::unique_ptr<FluidResource>> downlinks_;
   Bytes bytes_moved_ = 0;
+  std::function<MsgFate(NodeId, NodeId)> filter_;
+  std::uint64_t msgs_dropped_ = 0;
+  std::uint64_t msgs_delayed_ = 0;
 };
 
 }  // namespace osap

@@ -61,8 +61,10 @@ struct ProtocolAuditor::Observer {
       case ClusterEventType::TaskKilled:
       case ClusterEventType::TaskSucceeded:
       case ClusterEventType::TaskFailed:
-        // A kill or completion may land in any phase and voids the round
-        // trip in flight.
+      case ClusterEventType::TaskLost:
+        // A kill, completion, or tracker loss may land in any phase and
+        // voids the round trip in flight (a suspended attempt dies with
+        // its node, so its next launch starts a fresh protocol).
         phase = Phase::None;
         break;
       default:

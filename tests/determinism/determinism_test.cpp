@@ -15,6 +15,7 @@
 
 #include "common/det.hpp"
 #include "common/rng.hpp"
+#include "fault/injector.hpp"
 #include "sched/dummy.hpp"
 #include "sched/fifo.hpp"
 #include "sim/simulation.hpp"
@@ -129,6 +130,36 @@ std::uint64_t run_memory_pressure(std::uint64_t seed, bool tracing = false) {
   return cluster.trace_digest();
 }
 
+/// A scripted fault storm — crash, daemon hang past the lease, a
+/// heartbeat-drop window and a congested link — over a map-heavy
+/// workload. The recovery machinery (lease sweep, TaskLost requeues,
+/// reinit-on-rejoin) runs the same code paths the fault tests exercise;
+/// here the law is that the whole storm replays bit-identically.
+std::uint64_t run_fault_storm(std::uint64_t seed, bool tracing = false) {
+  ClusterConfig cfg = paper_cluster();
+  cfg.num_nodes = 3;
+  cfg.hadoop.map_slots = 2;
+  cfg.hadoop.tracker_expiry = seconds(9);
+  cfg.hadoop.expiry_check_interval = seconds(1);
+  cfg.seed = seed;
+  cfg.trace.enabled = tracing;
+  Cluster cluster(cfg);
+  cluster.set_scheduler(std::make_unique<FifoScheduler>());
+  Rng rng(seed);
+  for (int i = 0; i < 6; ++i) {
+    cluster.submit(single_task_job("map" + std::to_string(i), i % 3,
+                                   jitter_task(light_map_task(128 * MiB), rng)));
+  }
+  fault::FaultInjector injector(cluster, fault::parse_fault_plan(
+                                             "drop-heartbeats 3 8 0\n"
+                                             "delay-messages 0 60 1 0.05\n"
+                                             "hang 6 1 12\n"
+                                             "crash 15 2\n"));
+  cluster.run_until(3000.0);
+  EXPECT_TRUE(cluster.job_tracker().all_jobs_done());
+  return cluster.trace_digest();
+}
+
 TEST(TraceDigest, MapHeavyDoubleRunMatches) {
   const std::uint64_t first = run_map_heavy(42);
   const std::uint64_t second = run_map_heavy(42);
@@ -145,6 +176,12 @@ TEST(TraceDigest, MemoryPressureDoubleRunMatches) {
   const std::uint64_t first = run_memory_pressure(13);
   const std::uint64_t second = run_memory_pressure(13);
   EXPECT_EQ(first, second) << "memory-pressure event stream is not reproducible";
+}
+
+TEST(TraceDigest, FaultStormDoubleRunMatches) {
+  const std::uint64_t first = run_fault_storm(21);
+  const std::uint64_t second = run_fault_storm(21);
+  EXPECT_EQ(first, second) << "fault-storm event stream is not reproducible";
 }
 
 // The tracing-invariance law (docs/OBSERVABILITY.md): the tracer is a
@@ -166,6 +203,11 @@ TEST(TraceDigest, MemoryPressureUnchangedByTracing) {
   EXPECT_EQ(run_memory_pressure(13, /*tracing=*/false),
             run_memory_pressure(13, /*tracing=*/true))
       << "enabling the tracer changed the memory-pressure event stream";
+}
+
+TEST(TraceDigest, FaultStormUnchangedByTracing) {
+  EXPECT_EQ(run_fault_storm(21, /*tracing=*/false), run_fault_storm(21, /*tracing=*/true))
+      << "enabling the tracer changed the fault-storm event stream";
 }
 
 TEST(TraceDigest, DifferentSeedsDiverge) {

@@ -1,0 +1,14 @@
+// DET-1 fixture: hash-order traversal inside the fault layer
+// (fixtures/fault/). Fault scheduling and crash bookkeeping feed the
+// event stream directly, so traversal must walk det::sorted_keys.
+#include <unordered_map>
+
+struct FaultDet1Bad {
+  std::unordered_map<int, bool> crashed_nodes_;
+
+  int count() const {
+    int n = 0;
+    for (const auto& [node, dead] : crashed_nodes_) n += dead ? 1 : 0;
+    return n;
+  }
+};

@@ -70,7 +70,8 @@ TEST(LintFixtures, FullSweepReportsEveryPlantedViolation) {
   EXPECT_HAS(out, "det1_bad.cpp:11: DET-1: range-for over hash-ordered 'table_'");
   EXPECT_HAS(out, "det1_bad.cpp:12: DET-1: iterator traversal of hash-ordered 'members_'");
   EXPECT_HAS(out, "det1_trace.cpp:12: DET-1: range-for over hash-ordered 'flush_totals_'");
-  EXPECT_EQ(count(out, " DET-1: "), 3) << out;
+  EXPECT_HAS(out, "det1_fault.cpp:11: DET-1: range-for over hash-ordered 'crashed_nodes_'");
+  EXPECT_EQ(count(out, " DET-1: "), 4) << out;
 
   // DET-2: pointer key, engine, rand, wall clocks.
   EXPECT_HAS(out, "det2_bad.cpp:9: DET-2: pointer-keyed 'map'");
@@ -105,7 +106,7 @@ TEST(LintFixtures, FullSweepReportsEveryPlantedViolation) {
   EXPECT_EQ(out.find("det1_unwatched.cpp"), std::string::npos) << out;
   EXPECT_EQ(out.find("clean.cpp"), std::string::npos) << out;
 
-  EXPECT_HAS(out, "osap-lint: 15 violations, 2 suppressed");
+  EXPECT_HAS(out, "osap-lint: 16 violations, 2 suppressed");
 }
 
 TEST(LintFixtures, ValidSuppressionsSilenceBothPlacements) {
@@ -126,6 +127,14 @@ TEST(LintFixtures, Det1CoversTraceLayer) {
   const LintRun run = run_lint(kFixtures + "/trace/det1_trace.cpp");
   EXPECT_EQ(run.exit_code, 1) << run.output;
   EXPECT_HAS(run.output, "DET-1: range-for over hash-ordered 'flush_totals_'");
+}
+
+TEST(LintFixtures, Det1CoversFaultLayer) {
+  // src/fault schedules failures straight into the event stream, so it is
+  // a watched DET-1 layer like hadoop/ and net/.
+  const LintRun run = run_lint(kFixtures + "/fault/det1_fault.cpp");
+  EXPECT_EQ(run.exit_code, 1) << run.output;
+  EXPECT_HAS(run.output, "DET-1: range-for over hash-ordered 'crashed_nodes_'");
 }
 
 TEST(LintFixtures, Det2CatchesWallClockInTraceSink) {

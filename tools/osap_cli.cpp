@@ -24,13 +24,20 @@
 // also accept `--trace=<file>` (write a Chrome trace-event JSON, loadable
 // in Perfetto) and `--counters=<file>` (write the observability JSON:
 // counters, hot-path profile, audit sweep costs); see docs/OBSERVABILITY.md.
+// `--faults=<file>` injects a scripted failure schedule (node crashes,
+// tracker hangs, heartbeat drops, message delays, checkpoint losses) into
+// the run; see docs/FAULTS.md for the plan syntax.
 // Flags take either `--key value` or `--key=value` form.
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <map>
+#include <memory>
 #include <string>
 
+#include "common/error.hpp"
+
+#include "fault/injector.hpp"
 #include "metrics/stats.hpp"
 #include "metrics/table.hpp"
 #include "metrics/timeline.hpp"
@@ -85,6 +92,16 @@ struct Args {
 void apply_trace_flags(const Args& args, ClusterConfig& cfg) {
   cfg.trace.trace_file = args.get("trace", "");
   cfg.trace.counters_file = args.get("counters", "");
+}
+
+/// Build the injector for `--faults=<file>`, or nullptr without the flag.
+/// The returned injector must outlive Cluster::run().
+std::unique_ptr<fault::FaultInjector> maybe_inject_faults(const Args& args, Cluster& cluster) {
+  const std::string path = args.get("faults", "");
+  if (path.empty()) return nullptr;
+  std::ifstream in(path);
+  OSAP_CHECK_MSG(in, "cannot open fault plan " << path);
+  return std::make_unique<fault::FaultInjector>(cluster, fault::parse_fault_plan(in));
 }
 
 void maybe_print_digest(const Args& args, const Cluster& cluster) {
@@ -165,6 +182,7 @@ int cmd_gantt(const Args& args) {
     ds.preempt("tl", 0, primitive);
   });
   ds.on_complete("th", [&ds, primitive] { ds.restore("tl", 0, primitive); });
+  const auto faults = maybe_inject_faults(args, cluster);
   cluster.run();
   std::printf("%s", recorder.render_gantt(args.num("cell", 3.0)).c_str());
   maybe_print_digest(args, cluster);
@@ -189,12 +207,16 @@ int cmd_config(const Args& args) {
   DummyScheduler& ds = *sched;
   cluster.set_scheduler(std::move(sched));
   load_dummy_config(in, ds, cluster);
+  const auto faults = maybe_inject_faults(args, cluster);
   cluster.run();
   const JobTracker& jt = cluster.job_tracker();
   Table table({"job", "state", "submitted (s)", "sojourn (s)"});
   for (JobId id : jt.jobs_in_order()) {
     const Job& job = jt.job(id);
-    table.row({job.spec.name, job.state == JobState::Succeeded ? "succeeded" : "incomplete",
+    const char* state = job.state == JobState::Succeeded   ? "succeeded"
+                        : job.state == JobState::Failed    ? "failed"
+                                                           : "incomplete";
+    table.row({job.spec.name, state,
                Table::num(job.submitted_at, 2), Table::num(job.sojourn())});
   }
   table.print();
@@ -258,6 +280,7 @@ int cmd_trace(const Args& args) {
       ids->emplace_back(name, cluster.submit(std::move(spec)));
     });
   }
+  const auto faults = maybe_inject_faults(args, cluster);
   cluster.run();
   const JobTracker& jt = cluster.job_tracker();
   Table table({"job", "tasks", "sojourn (s)"});

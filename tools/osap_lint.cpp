@@ -69,7 +69,7 @@ bool known_rule(const std::string& id) {
 /// DET-1 applies to files living under any of them.
 constexpr const char* kWatchedDirs[] = {"os",   "sim",  "sched",   "hadoop",
                                         "yarn", "hdfs", "preempt", "net",
-                                        "trace"};
+                                        "trace", "fault"};
 
 struct Finding {
   std::string file;
