@@ -53,6 +53,24 @@ struct HadoopConfig {
   /// stops assigning work to it (Hadoop's per-job tracker blacklist,
   /// folded cluster-wide here). 0 disables blacklisting.
   int tracker_blacklist_failures = 4;
+
+  // --- speculative execution (docs/SPECULATION.md) ----------------------
+  /// Launch backup attempts for straggling tasks (Hadoop's
+  /// `mapred.*.tasks.speculative.execution`). Off by default here: the
+  /// OS-assisted preemption experiments deliberately park tasks in
+  /// SUSPENDED, and a speculating JobTracker treats a parked task as the
+  /// straggler it genuinely looks like — an interaction experiments must
+  /// opt into, not trip over.
+  bool speculative_execution = false;
+  /// A task is speculatable when its estimated time-to-completion exceeds
+  /// the mean estimate over its job's running candidates by this factor.
+  double speculative_slowness = 1.5;
+  /// Minimum age of the current attempt before its progress rate is
+  /// trusted (Hadoop speculates nothing younger than a minute; scaled to
+  /// our shorter tasks).
+  Duration speculative_min_runtime = seconds(15);
+  /// Upper bound on concurrently running backup attempts per job.
+  int speculative_cap = 1;
 };
 
 }  // namespace osap

@@ -22,6 +22,11 @@ const char* to_string(ClusterEventType t) noexcept {
     case ClusterEventType::JobFailed: return "job-failed";
     case ClusterEventType::TrackerLost: return "tracker-lost";
     case ClusterEventType::TrackerBlacklisted: return "tracker-blacklisted";
+    case ClusterEventType::TaskSpeculated: return "task-speculated";
+    case ClusterEventType::SpeculationWon: return "speculation-won";
+    case ClusterEventType::SpeculationLost: return "speculation-lost";
+    case ClusterEventType::SpeculationKilled: return "speculation-killed";
+    case ClusterEventType::SpeculationPromoted: return "speculation-promoted";
   }
   return "?";
 }

@@ -31,6 +31,22 @@ enum class ClusterEventType {
   JobFailed,
   TrackerLost,
   TrackerBlacklisted,
+  /// Speculative execution (docs/SPECULATION.md): a backup attempt was
+  /// launched for a straggling task (`node` is the copy's node).
+  TaskSpeculated,
+  /// The backup attempt finished before the original: the copy's output
+  /// is taken and the original attempt is killed budget-free.
+  SpeculationWon,
+  /// The backup attempt was forfeited without resolving the race (its
+  /// tracker was lost, or the copy died unrequested).
+  SpeculationLost,
+  /// A race-losing attempt (original or copy) was killed and its cleanup
+  /// acknowledged; never charged against the attempt budget.
+  SpeculationKilled,
+  /// The original attempt vanished (tracker lost / unrequested death)
+  /// while a copy was racing: the copy was promoted to primary instead of
+  /// requeueing the task from scratch.
+  SpeculationPromoted,
 };
 
 const char* to_string(ClusterEventType t) noexcept;

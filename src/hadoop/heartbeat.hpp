@@ -43,6 +43,9 @@ struct TrackerStatus {
 };
 
 enum class ActionKind {
+  /// Start an attempt. Also used to start a speculative backup attempt:
+  /// the copy is the same TaskId launched on a different tracker, so
+  /// per-tracker bookkeeping needs no new action kind.
   Launch,
   Kill,
   Suspend,

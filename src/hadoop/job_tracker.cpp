@@ -1,7 +1,11 @@
 #include "hadoop/job_tracker.hpp"
 
+#include <algorithm>
+#include <cmath>
 #include <iomanip>
+#include <limits>
 #include <sstream>
+#include <utility>
 
 #include "common/det.hpp"
 #include "common/error.hpp"
@@ -37,6 +41,10 @@ JobTracker::JobTracker(Simulation& sim, Network& net, NodeId master, HadoopConfi
   ctr_map_outputs_lost_ = &counters.counter("jobtracker.map_outputs_lost");
   ctr_checkpoints_lost_ = &counters.counter("jobtracker.checkpoints_lost");
   ctr_jobs_failed_ = &counters.counter("jobtracker.jobs_failed");
+  ctr_spec_launched_ = &counters.counter("speculation.launched");
+  ctr_spec_won_ = &counters.counter("speculation.won");
+  ctr_spec_lost_ = &counters.counter("speculation.lost");
+  ctr_spec_killed_ = &counters.counter("speculation.killed");
   if (cfg_.tracker_expiry > 0 && cfg_.expiry_check_interval > 0) {
     lease_timer_ = sim_.after(cfg_.expiry_check_interval, [this] { check_leases(); });
   }
@@ -138,6 +146,14 @@ bool JobTracker::resume_task(TaskId id) {
   ctr_resumes_->add();
   emit(ClusterEventType::TaskResumeRequested, t.job, id, t.node);
   if (t.checkpointed) {
+    if (t.speculating()) {
+      // A backup attempt is already racing the parked original: the
+      // fastest way to "resume" the task is to adopt that running copy
+      // rather than relaunch from the checkpoint and widen the race.
+      t.checkpointed = false;
+      promote_speculative(t);
+      return true;
+    }
     tracer_->instant(trk_, "resume_checkpointed", {{"task", id.value()}});
     // No process to SIGCONT: relaunch with fast-forward from the saved
     // counters (and re-read of any serialized state).
@@ -161,6 +177,9 @@ bool JobTracker::kill_task(TaskId id) {
     OSAP_LOG(Warn, kLog) << "kill " << id << " rejected in state " << to_string(t.state);
     return false;
   }
+  // Killing the task means killing every attempt; the backup copy goes
+  // budget-free through the attempt-only machinery.
+  if (t.speculating()) kill_speculative(id);
   if (t.state == TaskState::Suspended && t.checkpointed) {
     // Checkpoint-parked: there is no process (and no tracker binding) to
     // send a Kill action to — a queued must_kill_ entry would never match
@@ -175,9 +194,56 @@ bool JobTracker::kill_task(TaskId id) {
     reset_attempt_state(t);
     return true;
   }
-  must_kill_[id] = false;  // false = not yet sent
+  enqueue_kill(id, t.tracker, /*attempt_only=*/false);
   emit(ClusterEventType::TaskKillRequested, t.job, id, t.node);
   return true;
+}
+
+bool JobTracker::kill_speculative(TaskId id) {
+  Task& t = task_mutable(id);
+  if (!t.speculating()) return false;
+  emit(ClusterEventType::TaskKillRequested, t.job, id, t.spec_node);
+  enqueue_kill(id, t.spec_tracker, /*attempt_only=*/true);
+  clear_speculative(t);
+  return true;
+}
+
+void JobTracker::enqueue_kill(TaskId id, TrackerId target, bool attempt_only) {
+  OSAP_CHECK_MSG(target.valid(), "kill order for " << id << " with no tracker");
+  std::vector<KillOrder>& orders = must_kill_[id];
+  for (KillOrder& order : orders) {
+    if (order.tracker != target) continue;
+    // Repeated kill (e.g. fail_job after an explicit kill): re-arm the
+    // existing order so the command is resent, matching the pre-race
+    // overwrite semantics.
+    order.sent = false;
+    order.attempt_only = order.attempt_only && attempt_only;
+    return;
+  }
+  orders.push_back(KillOrder{target, /*sent=*/false, attempt_only});
+}
+
+bool JobTracker::erase_kill_order(TaskId id, TrackerId target, bool* attempt_only) {
+  const auto it = must_kill_.find(id);
+  if (it == must_kill_.end()) return false;
+  std::vector<KillOrder>& orders = it->second;
+  for (auto order = orders.begin(); order != orders.end(); ++order) {
+    if (order->tracker != target) continue;
+    if (attempt_only != nullptr) *attempt_only = order->attempt_only;
+    orders.erase(order);
+    if (orders.empty()) must_kill_.erase(it);
+    return true;
+  }
+  return false;
+}
+
+bool JobTracker::kill_pending_on(TaskId id, TrackerId target) const {
+  const auto it = must_kill_.find(id);
+  if (it == must_kill_.end()) return false;
+  for (const KillOrder& order : it->second) {
+    if (order.tracker == target) return true;
+  }
+  return false;
 }
 
 void JobTracker::apply_report(const TrackerStatus& status, const TaskStatusReport& report) {
@@ -186,9 +252,18 @@ void JobTracker::apply_report(const TrackerStatus& status, const TaskStatusRepor
   Task& t = it->second;
   t.swapped_out = std::max(t.swapped_out, report.swapped_out);
   t.swapped_in = std::max(t.swapped_in, report.swapped_in);
+  // Every report is routed per attempt by its reporting tracker: the
+  // primary attempt lives on t.tracker, a racing backup copy on
+  // t.spec_tracker, and anything else is stale.
+  const bool from_primary = t.tracker == status.tracker;
+  const bool from_backup = t.speculating() && t.spec_tracker == status.tracker;
   switch (report.kind) {
     case ReportKind::Progress:
-      if (t.live() && t.tracker == status.tracker) t.progress = report.progress;
+      if (t.live() && from_primary) {
+        t.progress = report.progress;
+      } else if (t.live() && from_backup) {
+        t.spec_progress = report.progress;
+      }
       break;
     case ReportKind::Suspended:
       if (t.state == TaskState::MustSuspend && t.tracker == status.tracker) {
@@ -208,34 +283,81 @@ void JobTracker::apply_report(const TrackerStatus& status, const TaskStatusRepor
       }
       break;
     case ReportKind::Succeeded:
-      if (!t.done() && t.tracker == status.tracker) {
-        t.progress = 1.0;
-        t.completed_at = sim_.now();
-        task_terminal(t, TaskState::Succeeded);
-        // Map output is served from the worker's local disk (Hadoop 1
-        // shuffle); remember where it lives so losing the node re-runs
-        // the map.
-        t.completed_node = status.node;
-        emit(ClusterEventType::TaskSucceeded, t.job, t.id, status.node);
-        Job& job = jobs_.at(t.job);
-        ++job.tasks_completed;
-        if (t.spec.type == TaskType::Map) maybe_release_reduces(t.job);
-        maybe_complete_job(t.job);
+      if (!t.done() && from_primary) {
+        // The original finished first: a still-racing copy is the loser
+        // and is killed budget-free (first-finisher-wins, §speculation).
+        if (t.speculating()) kill_speculative(t.id);
+        task_succeeded(t, status.node);
+      } else if (!t.done() && from_backup) {
+        // The backup attempt won the race; its output is the task's
+        // output. The original attempt is the loser.
+        ctr_spec_won_->add();
+        emit(ClusterEventType::SpeculationWon, t.job, t.id, status.node);
+        if (t.state == TaskState::Suspended && t.checkpointed) {
+          // Checkpoint-parked original: no process to kill — discard the
+          // parked checkpoint in place.
+          t.checkpointed = false;
+          t.spec.checkpoint_progress = 0;
+          t.spec.checkpoint_state = 0;
+          t.checkpoint_node = NodeId{};
+        } else if (t.tracker.valid()) {
+          emit(ClusterEventType::TaskKillRequested, t.job, t.id, t.node);
+          enqueue_kill(t.id, t.tracker, /*attempt_only=*/true);
+        }
+        clear_speculative(t);
+        task_succeeded(t, status.node);
+      } else {
+        // A race loser finished before its Kill landed (dead heat): retire
+        // the pending order — the attempt exited on its own and its
+        // output is discarded in favor of the winner's.
+        if (erase_kill_order(t.id, status.tracker)) {
+          tracer_->instant(trk_, "speculation_dead_heat", {{"task", t.id.value()}});
+        }
       }
       break;
     case ReportKind::KilledAck: {
+      bool attempt_only = false;
+      if (!erase_kill_order(t.id, status.tracker, &attempt_only)) break;
+      if (attempt_only) {
+        // A race loser (original or copy) is gone and cleaned; the task's
+        // own state was already settled by the winner, so only count it.
+        ctr_spec_killed_->add();
+        emit(ClusterEventType::SpeculationKilled, t.job, t.id, status.node);
+        break;
+      }
       // The attempt is gone and its temporary output cleaned; the task
       // itself goes back to the pool, losing all progress — the kill
       // primitive's defining cost. A stale ack (the task was already
       // forfeited to a lost tracker and rebound elsewhere) is ignored.
-      if (!t.live() || t.tracker != status.tracker) break;
+      if (!t.live() || !from_primary) break;
       emit(ClusterEventType::TaskKilled, t.job, t.id, status.node);
       task_terminal(t, TaskState::Unassigned);
       reset_attempt_state(t);
       break;
     }
     case ReportKind::Failed: {
-      if (!t.live() || t.tracker != status.tracker) break;
+      if (!t.live()) break;
+      if (from_backup) {
+        // The copy died unrequested: the race dissolves and the healthy
+        // original carries on. No attempt-budget charge (speculation is
+        // the framework's gamble, not the task's fault), but the flaky
+        // tracker is still noted for blacklisting.
+        ctr_spec_lost_->add();
+        emit(ClusterEventType::SpeculationLost, t.job, t.id, status.node);
+        clear_speculative(t);
+        note_tracker_failure(status.tracker, status.node);
+        break;
+      }
+      if (!from_primary) {
+        // A race loser died (e.g. OOM) before its Kill landed: treat the
+        // death as the ack it will never send.
+        bool attempt_only = false;
+        if (erase_kill_order(t.id, status.tracker, &attempt_only) && attempt_only) {
+          ctr_spec_killed_->add();
+          emit(ClusterEventType::SpeculationKilled, t.job, t.id, status.node);
+        }
+        break;
+      }
       emit(ClusterEventType::TaskFailed, t.job, t.id, status.node);
       ctr_task_failures_->add();
       ++t.attempts_failed;
@@ -244,12 +366,17 @@ void JobTracker::apply_report(const TrackerStatus& status, const TaskStatusRepor
         // Attempt budget exhausted: the task fails terminally and takes
         // its job down (Hadoop 1 `mapred.*.max.attempts` semantics). A
         // Failed task counts toward nothing — maybe_complete_job only
-        // counts Succeeded.
+        // counts Succeeded. A racing copy cannot save an exhausted task.
         OSAP_LOG(Warn, kLog) << t.id << " failed " << t.attempts_failed
                              << " attempts, failing " << t.job;
+        if (t.speculating()) kill_speculative(t.id);
         task_terminal(t, TaskState::Failed);
         reset_attempt_state(t);
         fail_job(t.job, t.id, status.node);
+      } else if (t.speculating()) {
+        // The original died but a copy is already racing: adopt the copy
+        // instead of requeueing from scratch.
+        promote_speculative(t);
       } else {
         task_terminal(t, TaskState::Unassigned);
         reset_attempt_state(t);
@@ -282,12 +409,70 @@ void JobTracker::task_terminal(Task& task, TaskState state) {
   } else if (task.state == TaskState::MustResume) {
     tracer_->async_end(trk_, "resume", task.id.value(), {{"aborted", 1}});
   }
+  OSAP_CHECK_MSG(!task.speculating(),
+                 task.id << " went terminal with a backup attempt still bound");
   task.state = state;
   task.node = NodeId{};
   task.tracker = TrackerId{};
+  task.attempt_started_at = -1;
   command_sent_.erase(task.id);
-  must_kill_.erase(task.id);
+  // Keep attempt-only kill orders: they target a race-losing attempt
+  // still dying on its tracker, and only its ack retires them. Orders for
+  // the primary attempt are moot once the task leaves the live states.
+  if (const auto it = must_kill_.find(task.id); it != must_kill_.end()) {
+    std::erase_if(it->second, [](const KillOrder& order) { return !order.attempt_only; });
+    if (it->second.empty()) must_kill_.erase(it);
+  }
   maps_done_pending_.erase(task.id);
+}
+
+void JobTracker::task_succeeded(Task& t, NodeId node) {
+  t.progress = 1.0;
+  t.completed_at = sim_.now();
+  task_terminal(t, TaskState::Succeeded);
+  // Map output is served from the worker's local disk (Hadoop 1 shuffle);
+  // remember where it lives so losing the node re-runs the map.
+  t.completed_node = node;
+  emit(ClusterEventType::TaskSucceeded, t.job, t.id, node);
+  Job& job = jobs_.at(t.job);
+  ++job.tasks_completed;
+  if (t.spec.type == TaskType::Map) maybe_release_reduces(t.job);
+  maybe_complete_job(t.job);
+}
+
+void JobTracker::clear_speculative(Task& task) {
+  task.spec_tracker = TrackerId{};
+  task.spec_node = NodeId{};
+  task.spec_progress = 0;
+  task.spec_started_at = -1;
+  if (const auto it = maps_done_pending_.find(task.id); it != maps_done_pending_.end()) {
+    it->second.spec_sent = false;
+  }
+}
+
+void JobTracker::promote_speculative(Task& task) {
+  OSAP_CHECK_MSG(task.speculating(), task.id << " promoted without a backup attempt");
+  // Close any suspend/resume protocol left open on the vanishing primary.
+  if (task.state == TaskState::MustSuspend) {
+    tracer_->async_end(trk_, "suspend", task.id.value(), {{"aborted", 1}});
+  } else if (task.state == TaskState::MustResume) {
+    tracer_->async_end(trk_, "resume", task.id.value(), {{"aborted", 1}});
+  }
+  task.state = TaskState::Running;
+  task.tracker = task.spec_tracker;
+  task.node = task.spec_node;
+  task.progress = task.spec_progress;
+  task.attempt_started_at = task.spec_started_at;
+  task.checkpointed = false;
+  task.use_checkpoint = false;
+  command_sent_.erase(task.id);
+  // The copy's MapsDone bookkeeping becomes the primary's.
+  if (const auto it = maps_done_pending_.find(task.id); it != maps_done_pending_.end()) {
+    it->second.primary_sent = it->second.spec_sent;
+  }
+  clear_speculative(task);
+  tracer_->instant(trk_, "speculation_promoted", {{"task", task.id.value()}});
+  emit(ClusterEventType::SpeculationPromoted, task.job, task.id, task.node);
 }
 
 bool JobTracker::maps_pending(const Job& job) const {
@@ -306,26 +491,114 @@ void JobTracker::maybe_release_reduces(JobId id) {
     if (t.spec.type != TaskType::Reduce || !t.spec.wait_for_maps) continue;
     if (!t.live() || !t.tracker.valid()) continue;
     // Span from "last map succeeded" to the TaskTracker applying the
-    // release — the latency the out-of-band push exists to cut.
+    // release — the latency the out-of-band push exists to cut. Opened
+    // once per task even when a racing copy gets its own release.
     tracer_->async_begin(shuffle_trk_, "maps_done_delivery", tid.value(),
                          {{"task", tid.value()}});
-    TaskTracker* tt = tracker(t.tracker);
-    if (cfg_.oob_maps_done && tt != nullptr) {
-      // Push the barrier release immediately instead of parking it until
-      // the reduce's next periodic heartbeat. Goes through
-      // deliver_actions, not on_response, so it never consumes the
-      // tracker's heartbeat round-trip bookkeeping.
-      ctr_oob_maps_done_->add();
-      ctr_actions_->add();
-      HeartbeatResponse push;
-      push.actions.push_back(TaskAction{ActionKind::MapsDone, tid, {}});
-      net_.send(master_, t.node, [tt, push = std::move(push)]() mutable {
-        tt->deliver_actions(std::move(push));
-      });
-    } else {
-      maps_done_pending_.emplace(tid, false);
+    // A racing reduce holds the shuffle barrier in *both* attempts;
+    // release each through its own tracker.
+    bool parked = false;
+    for (const auto& [target, node] :
+         {std::pair{t.tracker, t.node}, std::pair{t.spec_tracker, t.spec_node}}) {
+      if (!target.valid()) continue;
+      TaskTracker* tt = tracker(target);
+      if (cfg_.oob_maps_done && tt != nullptr) {
+        // Push the barrier release immediately instead of parking it until
+        // the reduce's next periodic heartbeat. Goes through
+        // deliver_actions, not on_response, so it never consumes the
+        // tracker's heartbeat round-trip bookkeeping.
+        ctr_oob_maps_done_->add();
+        ctr_actions_->add();
+        HeartbeatResponse push;
+        push.actions.push_back(TaskAction{ActionKind::MapsDone, tid, {}});
+        net_.send(master_, node, [tt, push = std::move(push)]() mutable {
+          tt->deliver_actions(std::move(push));
+        });
+      } else {
+        parked = true;
+      }
+    }
+    if (parked) maps_done_pending_.emplace(tid, MapsDonePending{});
+  }
+}
+
+void JobTracker::maybe_speculate(const TrackerStatus& status, int free_maps, int free_reduces,
+                                 HeartbeatResponse& response) {
+  if (!cfg_.speculative_execution) return;
+  if (free_maps <= 0 && free_reduces <= 0) return;
+  std::uint64_t scanned = 0;
+  for (JobId jid : job_order_) {
+    if (free_maps <= 0 && free_reduces <= 0) break;
+    const Job& job = jobs_.at(jid);
+    if (job.state != JobState::Running) continue;
+    // Per-job budget of concurrently racing copies.
+    int racing = 0;
+    for (TaskId tid : job.tasks) {
+      if (tasks_.at(tid).speculating()) ++racing;
+    }
+    if (racing >= cfg_.speculative_cap) continue;
+    // Estimate time-to-completion for every attempt old enough to judge.
+    // ETA = remaining work / observed rate = (1-p) * elapsed / p; a stuck
+    // attempt (p ≈ 0) estimates infinite. The job mean is taken over the
+    // finite estimates only — with no trustworthy baseline (e.g. every
+    // attempt just launched, or a single stuck task) nothing speculates.
+    double eta_sum = 0;
+    int eta_count = 0;
+    std::vector<std::pair<TaskId, double>> candidates;  // task-id order
+    for (TaskId tid : job.tasks) {
+      const Task& t = tasks_.at(tid);
+      if (!t.live() || t.attempt_started_at < 0) continue;
+      const Duration elapsed = sim_.now() - t.attempt_started_at;
+      if (elapsed < cfg_.speculative_min_runtime) continue;
+      ++scanned;
+      const double eta = t.progress > 1e-9
+                             ? (1.0 - t.progress) * static_cast<double>(elapsed) / t.progress
+                             : std::numeric_limits<double>::infinity();
+      if (std::isfinite(eta)) {
+        eta_sum += eta;
+        ++eta_count;
+      }
+      candidates.emplace_back(tid, eta);
+    }
+    if (eta_count == 0) continue;
+    const double mean = eta_sum / eta_count;
+    // Candidates are scanned in job.tasks order (ascending task id), which
+    // breaks ETA ties deterministically.
+    for (const auto& [tid, eta] : candidates) {
+      if (free_maps <= 0 && free_reduces <= 0) break;
+      if (racing >= cfg_.speculative_cap) break;
+      if (eta <= cfg_.speculative_slowness * mean) continue;
+      Task& t = tasks_.at(tid);
+      if (t.speculating()) continue;
+      if (t.tracker == status.tracker) continue;  // never race on the same tracker
+      if (kill_pending_on(tid, status.tracker)) continue;  // old attempt still dying here
+      int& slots = t.spec.type == TaskType::Map ? free_maps : free_reduces;
+      if (slots <= 0) continue;
+      --slots;
+      ++racing;
+      t.spec_tracker = status.tracker;
+      t.spec_node = status.node;
+      t.spec_progress = 0;
+      t.spec_started_at = sim_.now();
+      ++t.attempts_started;
+      ++t.attempts_speculative;
+      // The copy starts from scratch: checkpoint files are node-local to
+      // the original's node, so no fast-forward. Barrier semantics
+      // (wait_for_maps) are inherited from the primary so both attempts
+      // are released together.
+      TaskSpec copy = t.spec;
+      copy.checkpoint_progress = 0;
+      copy.checkpoint_state = 0;
+      response.actions.push_back(TaskAction{ActionKind::Launch, tid, std::move(copy)});
+      ctr_spec_launched_->add();
+      tracer_->instant(sched_trk_, "speculate",
+                       {{"task", tid.value()}, {"tracker", status.tracker.value()}});
+      emit(ClusterEventType::TaskSpeculated, t.job, tid, status.node);
+      OSAP_LOG(Info, kLog) << "speculating " << tid << " on " << status.tracker
+                           << " (eta " << eta << "s vs job mean " << mean << "s)";
     }
   }
+  sim_.trace().profiler().add(trace::HotPath::SpeculationScan, scanned);
 }
 
 void JobTracker::reset_attempt_state(Task& task) {
@@ -342,6 +615,7 @@ void JobTracker::reset_attempt_state(Task& task) {
   task.swapped_in = 0;
   task.completed_at = -1;
   task.completed_node = NodeId{};
+  task.attempt_started_at = -1;
 }
 
 void JobTracker::check_leases() {
@@ -364,15 +638,37 @@ void JobTracker::declare_lost(TrackerId id) {
   OSAP_LOG(Warn, kLog) << id << " lease expired at t=" << sim_.now() << ", declared lost";
   emit(ClusterEventType::TrackerLost, JobId{}, TaskId{}, node);
 
+  // Kill orders addressed to the dead tracker can never be acked.
+  for (TaskId tid : det::sorted_keys(must_kill_)) {
+    std::vector<KillOrder>& orders = must_kill_.at(tid);
+    std::erase_if(orders, [id](const KillOrder& order) { return order.tracker == id; });
+    if (orders.empty()) must_kill_.erase(tid);
+  }
+
+  // Forfeit racing backup attempts hosted on the dead tracker: the race
+  // dissolves and the primary attempt carries on, budget untouched.
+  for (TaskId tid : det::sorted_keys(tasks_)) {
+    Task& t = tasks_.at(tid);
+    if (t.spec_tracker != id) continue;
+    ctr_spec_lost_->add();
+    emit(ClusterEventType::SpeculationLost, t.job, tid, node);
+    clear_speculative(t);
+  }
+
   // Forfeit every attempt bound to the tracker — running *and* suspended:
   // a SIGTSTP-parked JVM dies with its node, so the suspended attempt's
   // work is gone and the task restarts from scratch elsewhere. Loss does
-  // not charge the attempt budget (Hadoop's killed-vs-failed split).
+  // not charge the attempt budget (Hadoop's killed-vs-failed split). A
+  // task with a surviving backup copy adopts it instead of requeueing.
   for (TaskId tid : det::sorted_keys(tasks_)) {
     Task& t = tasks_.at(tid);
     if (t.tracker != id || !t.live()) continue;
     ctr_tasks_lost_->add();
     emit(ClusterEventType::TaskLost, t.job, tid, t.node);
+    if (t.speculating()) {
+      promote_speculative(t);
+      continue;
+    }
     task_terminal(t, TaskState::Unassigned);
     reset_attempt_state(t);
   }
@@ -407,10 +703,15 @@ void JobTracker::lose_checkpoints_on(NodeId node) {
     t.checkpoint_node = NodeId{};
     if (t.state == TaskState::Suspended && t.checkpointed) {
       // Parked on the lost checkpoint: nothing to resume, requeue from
-      // scratch.
+      // scratch — unless a backup copy is racing, which becomes the
+      // attempt.
       ctr_tasks_lost_->add();
       emit(ClusterEventType::TaskLost, t.job, tid, node);
       t.checkpointed = false;
+      if (t.speculating()) {
+        promote_speculative(t);
+        continue;
+      }
       task_terminal(t, TaskState::Unassigned);
       reset_attempt_state(t);
     }
@@ -509,12 +810,11 @@ void JobTracker::on_heartbeat(TrackerStatus status) {
   // applies them in sequence), so walk each pending-command map in task-id
   // order, never hash order.
   for (TaskId tid : det::sorted_keys(must_kill_)) {
-    bool& sent = must_kill_.at(tid);
-    if (sent) continue;
-    const Task& t = tasks_.at(tid);
-    if (t.tracker != status.tracker) continue;
-    response.actions.push_back(TaskAction{ActionKind::Kill, tid, {}});
-    sent = true;
+    for (KillOrder& order : must_kill_.at(tid)) {
+      if (order.sent || order.tracker != status.tracker) continue;
+      response.actions.push_back(TaskAction{ActionKind::Kill, tid, {}});
+      order.sent = true;
+    }
   }
   for (TaskId tid : det::sorted_keys(command_sent_)) {
     bool& sent = command_sent_.at(tid);
@@ -531,33 +831,45 @@ void JobTracker::on_heartbeat(TrackerStatus status) {
     }
   }
   for (TaskId tid : det::sorted_keys(maps_done_pending_)) {
-    bool& sent = maps_done_pending_.at(tid);
-    if (sent) continue;
+    MapsDonePending& pending = maps_done_pending_.at(tid);
     const Task& t = tasks_.at(tid);
-    if (t.tracker != status.tracker) continue;
-    response.actions.push_back(TaskAction{ActionKind::MapsDone, tid, {}});
-    sent = true;
+    if (!pending.primary_sent && t.tracker == status.tracker) {
+      response.actions.push_back(TaskAction{ActionKind::MapsDone, tid, {}});
+      pending.primary_sent = true;
+    }
+    if (!pending.spec_sent && t.speculating() && t.spec_tracker == status.tracker) {
+      response.actions.push_back(TaskAction{ActionKind::MapsDone, tid, {}});
+      pending.spec_sent = true;
+    }
   }
 
   // Ask the scheduler for work for the free slots. Blacklisted trackers
   // still heartbeat (their in-flight acks matter) but get no new work.
   if (scheduler_ != nullptr && !blacklisted_.contains(status.tracker)) {
+    int free_maps = status.free_map_slots;
+    int free_reduces = status.free_reduce_slots;
     const std::vector<TaskId> assigned = scheduler_->assign(status);
     sim_.trace().profiler().add(trace::HotPath::SchedulerAssign, assigned.size());
     for (TaskId tid : assigned) {
       Task& t = tasks_.at(tid);
       OSAP_CHECK_MSG(t.state == TaskState::Unassigned,
                      "scheduler assigned " << tid << " in state " << to_string(t.state));
+      // A race-losing attempt of this very task may still be dying on the
+      // tracker (kill order in flight): launching there would collide
+      // with it, so leave the task pooled for a later heartbeat.
+      if (kill_pending_on(tid, status.tracker)) continue;
       t.state = TaskState::Running;
       t.node = status.node;
       t.tracker = status.tracker;
       ++t.attempts_started;
+      t.attempt_started_at = sim_.now();
       if (t.first_launched_at < 0) t.first_launched_at = sim_.now();
       if (t.spec.type == TaskType::Reduce) {
         // Stamp the barrier flag per attempt: a reduce launched while maps
         // still run must block after its shuffle until MapsDone arrives.
         t.spec.wait_for_maps = maps_pending(jobs_.at(t.job));
       }
+      --(t.spec.type == TaskType::Map ? free_maps : free_reduces);
       TaskAction action{ActionKind::Launch, tid, t.spec};
       response.actions.push_back(std::move(action));
       ctr_assignments_->add();
@@ -565,6 +877,8 @@ void JobTracker::on_heartbeat(TrackerStatus status) {
                        {{"task", tid.value()}, {"tracker", status.tracker.value()}});
       emit(ClusterEventType::TaskLaunched, t.job, tid, status.node);
     }
+    // Straggler detection fills whatever slots the scheduler left over.
+    maybe_speculate(status, free_maps, free_reduces, response);
   }
   ctr_actions_->add(response.actions.size());
 
@@ -627,6 +941,17 @@ void JobTracker::audit(std::vector<std::string>& violations) const {
     if (bound && lost_.contains(t.tracker)) {
       flag(tid, " still bound to lost ", t.tracker);
     }
+    if (t.speculating()) {
+      if (!t.live()) flag(tid, " is ", to_string(t.state), " but still has a backup attempt");
+      if (t.spec_tracker == t.tracker) flag(tid, " races both attempts on ", t.tracker);
+      if (trackers_.find(t.spec_tracker) == trackers_.end()) {
+        flag(tid, " backup attempt on unregistered ", t.spec_tracker);
+      }
+      if (lost_.contains(t.spec_tracker)) {
+        flag(tid, " backup attempt still on lost ", t.spec_tracker);
+      }
+      if (t.spec_started_at < 0) flag(tid, " backup attempt without a launch time");
+    }
     if (t.attempts_failed < 0 ||
         (cfg_.max_task_attempts > 0 && t.attempts_failed > cfg_.max_task_attempts)) {
       flag(tid, " has ", t.attempts_failed, " failed attempts (cap ",
@@ -652,8 +977,37 @@ void JobTracker::audit(std::vector<std::string>& violations) const {
     }
   };
   check_command_map(command_sent_, "suspend/resume");
-  check_command_map(must_kill_, "kill");
   check_command_map(maps_done_pending_, "maps-done");
+  // Kill orders get their own rules: an attempt-only order may outlive the
+  // task's live states (it tracks a dying race loser), but every order
+  // must target a registered, non-lost tracker, at most once per tracker.
+  for (TaskId tid : det::sorted_keys(must_kill_)) {
+    const std::vector<KillOrder>& orders = must_kill_.at(tid);
+    const auto it = tasks_.find(tid);
+    if (it == tasks_.end()) {
+      flag("kill command addressed to unknown ", tid);
+      continue;
+    }
+    if (orders.empty()) flag("empty kill-order list for ", tid);
+    for (std::size_t i = 0; i < orders.size(); ++i) {
+      const KillOrder& order = orders[i];
+      if (!order.attempt_only && !it->second.live()) {
+        flag("kill command pending for ", tid, " in terminal state ",
+             to_string(it->second.state));
+      }
+      if (trackers_.find(order.tracker) == trackers_.end()) {
+        flag("kill order for ", tid, " targets unregistered ", order.tracker);
+      }
+      if (lost_.contains(order.tracker)) {
+        flag("kill order for ", tid, " targets lost ", order.tracker);
+      }
+      for (std::size_t j = i + 1; j < orders.size(); ++j) {
+        if (orders[j].tracker == order.tracker) {
+          flag("duplicate kill orders for ", tid, " on ", order.tracker);
+        }
+      }
+    }
+  }
   for (JobId jid : job_order_) {
     const Job& job = jobs_.at(jid);
     int succeeded = 0;
@@ -695,6 +1049,10 @@ void JobTracker::dump(std::ostream& os) const {
          << std::fixed << std::setprecision(2) << t.progress;
       if (t.tracker.valid()) os << " on " << t.tracker;
       if (t.checkpointed) os << " [checkpointed]";
+      if (t.speculating()) {
+        os << " [copy on " << t.spec_tracker << " progress=" << std::fixed
+           << std::setprecision(2) << t.spec_progress << "]";
+      }
       os << '\n';
     }
   }

@@ -60,8 +60,13 @@ class JobTracker final : public InvariantAuditor {
   /// Request resumption of a suspended task.
   bool resume_task(TaskId id);
   /// Request the kill of a live task attempt; the task returns to the
-  /// UNASSIGNED pool for rescheduling (losing its work).
+  /// UNASSIGNED pool for rescheduling (losing its work). A racing backup
+  /// attempt is reaped alongside the primary one.
   bool kill_task(TaskId id);
+  /// Kill only the task's racing backup attempt, if any (budget-free, no
+  /// task-state transition) — the lever for preempting a speculative copy
+  /// without disturbing the original. Returns false when nothing races.
+  bool kill_speculative(TaskId id);
 
   // --- failure model (docs/FAULTS.md) --------------------------------------
   /// The node's local disk lost its Natjam checkpoint files: forget every
@@ -109,14 +114,55 @@ class JobTracker final : public InvariantAuditor {
   }
 
  private:
+  /// A pending Kill command addressed to one specific attempt. The classic
+  /// order (`attempt_only == false`) returns the task to the UNASSIGNED
+  /// pool when its ack arrives; an attempt-only order (race losers,
+  /// speculative copies) just reaps the attempt and leaves the task's
+  /// state alone. At most one order per (task, tracker).
+  struct KillOrder {
+    TrackerId tracker;
+    bool sent = false;
+    bool attempt_only = false;
+  };
+  /// Per-attempt delivery flags for a parked MapsDone barrier release
+  /// (only used when `oob_maps_done` is off).
+  struct MapsDonePending {
+    bool primary_sent = false;
+    bool spec_sent = false;
+  };
+
   void emit(ClusterEventType type, JobId job, TaskId task, NodeId node);
   void apply_report(const TrackerStatus& status, const TaskStatusReport& report);
   void task_terminal(Task& task, TaskState state);
   void maybe_complete_job(JobId id);
+  /// Success bookkeeping shared by both race outcomes: whichever attempt
+  /// reported first supplies the output (and, for maps, the node its
+  /// output now lives on).
+  void task_succeeded(Task& task, NodeId node);
   [[nodiscard]] bool maps_pending(const Job& job) const;
   /// A map just succeeded: if it was the job's last one, queue MapsDone
-  /// for every live reduce of the job.
+  /// for every live reduce of the job (both attempts of a racing one).
   void maybe_release_reduces(JobId id);
+
+  // --- speculative execution (docs/SPECULATION.md) -------------------------
+  /// Straggler detector + backup-attempt launcher. Runs after the
+  /// scheduler's assignment pass, filling the reporting tracker's leftover
+  /// slots with copies of tasks whose estimated time-to-completion exceeds
+  /// `speculative_slowness` × the job mean.
+  void maybe_speculate(const TrackerStatus& status, int free_maps, int free_reduces,
+                       HeartbeatResponse& response);
+  /// Drop the backup-attempt binding (race resolved or copy forfeited).
+  void clear_speculative(Task& task);
+  /// The primary attempt vanished while a copy was racing: adopt the copy
+  /// as the new primary instead of requeueing the task from scratch.
+  void promote_speculative(Task& task);
+  /// Queue a Kill command for the attempt of `id` hosted on `target`.
+  /// Idempotent: a duplicate re-arms the existing order for resend.
+  void enqueue_kill(TaskId id, TrackerId target, bool attempt_only);
+  /// Retire the pending kill order for (task, tracker), reporting whether
+  /// one existed and whether it was attempt-only.
+  bool erase_kill_order(TaskId id, TrackerId target, bool* attempt_only = nullptr);
+  [[nodiscard]] bool kill_pending_on(TaskId id, TrackerId target) const;
 
   // --- failure model (docs/FAULTS.md) --------------------------------------
   /// Periodic lease sweep; re-arms itself every `expiry_check_interval`.
@@ -152,10 +198,12 @@ class JobTracker final : public InvariantAuditor {
   /// Tasks with an un-sent Suspend/Resume command (cleared when the
   /// command is piggybacked).
   std::unordered_map<TaskId, bool> command_sent_;
-  std::unordered_map<TaskId, bool> must_kill_;
+  /// Pending Kill commands per task; a racing task can owe kills to both
+  /// its attempts at once.
+  std::unordered_map<TaskId, std::vector<KillOrder>> must_kill_;
   /// Reduces owed a MapsDone action (their job's maps all succeeded after
   /// they launched with the shuffle barrier armed).
-  std::unordered_map<TaskId, bool> maps_done_pending_;
+  std::unordered_map<TaskId, MapsDonePending> maps_done_pending_;
   IdGenerator<JobId> job_ids_;
   IdGenerator<TaskId> task_ids_;
 
@@ -190,6 +238,11 @@ class JobTracker final : public InvariantAuditor {
   trace::Counter* ctr_map_outputs_lost_ = nullptr;
   trace::Counter* ctr_checkpoints_lost_ = nullptr;
   trace::Counter* ctr_jobs_failed_ = nullptr;
+  // Speculation counters (speculation.* namespace; see docs/SPECULATION.md).
+  trace::Counter* ctr_spec_launched_ = nullptr;
+  trace::Counter* ctr_spec_won_ = nullptr;
+  trace::Counter* ctr_spec_lost_ = nullptr;
+  trace::Counter* ctr_spec_killed_ = nullptr;
 };
 
 }  // namespace osap

@@ -114,10 +114,25 @@ struct Task {
   /// `hadoop.max_task_attempts`. Framework kills and tracker-loss
   /// requeues do not count (Hadoop's killed-vs-failed split).
   int attempts_failed = 0;
+  /// Backup attempts launched over the task's lifetime (speculative
+  /// execution; never charged against `max_task_attempts`).
+  int attempts_speculative = 0;
   /// Node of the live (running or suspended) attempt.
   NodeId node;
   TrackerId tracker;
   double progress = 0;
+  /// Launch time of the current primary attempt (-1 when unassigned);
+  /// the straggler detector's progress-rate clock.
+  SimTime attempt_started_at = -1;
+
+  // --- speculative backup attempt (docs/SPECULATION.md) -----------------
+  /// Binding of the live backup attempt; invalid when none is racing. The
+  /// copy runs the same TaskId on a *different* tracker, so every status
+  /// report is routed by (task, reporting tracker).
+  TrackerId spec_tracker;
+  NodeId spec_node;
+  double spec_progress = 0;
+  SimTime spec_started_at = -1;
 
   SimTime first_launched_at = -1;
   SimTime completed_at = -1;
@@ -137,6 +152,9 @@ struct Task {
   bool checkpointed = false;
   /// Pending suspend should use the checkpoint path instead of SIGTSTP.
   bool use_checkpoint = false;
+
+  /// A backup attempt is currently racing the primary one.
+  [[nodiscard]] bool speculating() const noexcept { return spec_tracker.valid(); }
 
   [[nodiscard]] bool live() const noexcept {
     return state == TaskState::Running || state == TaskState::MustSuspend ||

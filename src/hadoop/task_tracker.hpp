@@ -7,6 +7,12 @@
 // memory stays behind for the VMM to manage. Kills run a cleanup attempt
 // that holds the slot briefly — the overhead the paper attributes to the
 // kill primitive.
+//
+// Speculative backup attempts (docs/SPECULATION.md) need nothing special
+// here: a copy is the same TaskId launched on a different tracker, and all
+// per-attempt state (live_, pids, suspension) is already per-tracker. At
+// most one attempt of a task ever runs on one tracker — the JobTracker
+// guarantees it and launch() checks it.
 #pragma once
 
 #include <cstdint>

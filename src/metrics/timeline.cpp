@@ -57,6 +57,8 @@ std::string TimelineRecorder::render_gantt(double seconds_per_cell) const {
       case ClusterEventType::TaskSucceeded: glyph = '|'; break;
       case ClusterEventType::TaskFailed: glyph = ' '; break;
       case ClusterEventType::TaskLost: glyph = ' '; break;
+      case ClusterEventType::TaskSpeculated: glyph = '~'; break;
+      case ClusterEventType::SpeculationPromoted: glyph = '='; break;
       default: continue;
     }
     tasks[e.task].push_back(Span{e.time, glyph});

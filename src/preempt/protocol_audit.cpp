@@ -10,6 +10,10 @@ namespace osap {
 
 struct ProtocolAuditor::Observer {
   std::unordered_map<TaskId, Phase> phase_by_task;
+  /// Node of the attempt whose suspend round trip is in flight: a kill
+  /// aimed at a *different* node reaps a speculative copy and must not
+  /// void the original's round trip.
+  std::unordered_map<TaskId, NodeId> suspend_node_by_task;
   /// Buffered until the next audit sweep.
   std::vector<std::string> violations;
 
@@ -37,6 +41,7 @@ struct ProtocolAuditor::Observer {
       case ClusterEventType::TaskSuspendRequested:
         if (phase != Phase::None) illegal();
         phase = Phase::SuspendRequested;
+        suspend_node_by_task[e.task] = e.node;
         break;
       case ClusterEventType::TaskSuspended:
         if (phase != Phase::SuspendRequested) illegal();
@@ -57,7 +62,19 @@ struct ProtocolAuditor::Observer {
         if (phase != Phase::None && phase != Phase::ResumeRequested) illegal();
         phase = Phase::None;
         break;
-      case ClusterEventType::TaskKillRequested:
+      case ClusterEventType::TaskKillRequested: {
+        // A kill request carries the node of the attempt it reaps. One
+        // aimed at a different node than the in-flight suspension takes
+        // down a speculative copy only — the original's round trip stays
+        // live and a later resume is legal.
+        const auto it = suspend_node_by_task.find(e.task);
+        if (it != suspend_node_by_task.end() && e.node.valid() && it->second.valid() &&
+            e.node != it->second) {
+          break;
+        }
+        phase = Phase::None;
+        break;
+      }
       case ClusterEventType::TaskKilled:
       case ClusterEventType::TaskSucceeded:
       case ClusterEventType::TaskFailed:

@@ -51,6 +51,10 @@ bool DummyScheduler::restore(const std::string& job_name, int task_index,
   return preemptor_->restore(task_of(job_name, task_index), primitive);
 }
 
+bool DummyScheduler::kill_speculative(const std::string& job_name, int task_index) {
+  return jt_->kill_speculative(task_of(job_name, task_index));
+}
+
 void DummyScheduler::job_added(JobId id) {
   const Job& job = jt_->job(id);
   by_name_.emplace(job.spec.name, id);

@@ -44,6 +44,9 @@ class DummyScheduler : public FifoScheduler {
   bool preempt(const std::string& job_name, int task_index, PreemptPrimitive primitive);
   /// Resume/reschedule the named task after the high-priority work.
   bool restore(const std::string& job_name, int task_index, PreemptPrimitive primitive);
+  /// Kill only the named task's racing backup attempt (speculative
+  /// execution); the primary attempt is untouched. False when none races.
+  bool kill_speculative(const std::string& job_name, int task_index);
 
   [[nodiscard]] JobId job_of(const std::string& job_name) const;
   [[nodiscard]] TaskId task_of(const std::string& job_name, int task_index) const;

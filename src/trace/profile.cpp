@@ -22,6 +22,8 @@ const char* HotPathProfiler::name(HotPath p) noexcept {
       return "HeartbeatHandle";
     case HotPath::SchedulerAssign:
       return "SchedulerAssign";
+    case HotPath::SpeculationScan:
+      return "SpeculationScan";
     case HotPath::AuditSweep:
       return "AuditSweep";
     case HotPath::kCount:

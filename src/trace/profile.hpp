@@ -24,6 +24,7 @@ enum class HotPath : std::uint8_t {
   HeartbeatAssembly,  ///< TaskTracker::send_status — work = reports.
   HeartbeatHandle,    ///< JobTracker::on_heartbeat — work = actions sent.
   SchedulerAssign,    ///< Scheduler assignment loop — work = launches.
+  SpeculationScan,    ///< Straggler detector sweep — work = candidates.
   AuditSweep,         ///< Periodic invariant sweep — work = auditors run.
   kCount,
 };

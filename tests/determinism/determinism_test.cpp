@@ -160,6 +160,56 @@ std::uint64_t run_fault_storm(std::uint64_t seed, bool tracing = false) {
   return cluster.trace_digest();
 }
 
+/// Speculative execution under duress: two stragglers (one SIGTSTP-
+/// suspended, one Natjam-parked) trip the detector, their copies race on
+/// slots freed by the suspensions, and a node crash lands mid-race. The
+/// detector sweep, first-finisher-wins resolution and promote-on-loss
+/// paths all feed the digest; a cleanup loop then resumes whatever is
+/// still parked so the run can actually finish.
+std::uint64_t run_speculation_storm(std::uint64_t seed, bool tracing = false) {
+  ClusterConfig cfg = paper_cluster();
+  cfg.num_nodes = 4;
+  cfg.hadoop.tracker_expiry = seconds(9);
+  cfg.hadoop.expiry_check_interval = seconds(1);
+  cfg.hadoop.speculative_execution = true;
+  cfg.hadoop.speculative_cap = 2;
+  cfg.hadoop.speculative_min_runtime = seconds(10);
+  cfg.seed = seed;
+  cfg.trace.enabled = tracing;
+  Cluster cluster(cfg);
+  auto sched = std::make_unique<DummyScheduler>(cluster);
+  DummyScheduler& ds = *sched;
+  cluster.set_scheduler(std::move(sched));
+
+  Rng rng(seed);
+  JobSpec job;
+  job.name = "spec";
+  for (int i = 0; i < 4; ++i) {
+    TaskSpec spec = jitter_task(light_map_task(256 * MiB), rng);
+    spec.preferred_node = cluster.node(i);
+    job.tasks.push_back(spec);
+  }
+  ds.submit_at(0.05, job);
+  ds.at_progress("spec", 0, 0.3,
+                 [&ds] { ds.preempt("spec", 0, PreemptPrimitive::Suspend); });
+  ds.at_progress("spec", 1, 0.5,
+                 [&ds] { ds.preempt("spec", 1, PreemptPrimitive::NatjamCheckpoint); });
+  fault::FaultInjector injector(cluster, fault::parse_fault_plan("crash 55 3\n"));
+
+  JobTracker& jt = cluster.job_tracker();
+  auto cleanup = [&cluster, &jt, &ds](auto self) -> void {
+    for (TaskId tid : jt.job(ds.job_of("spec")).tasks) {
+      if (jt.task(tid).state == TaskState::Suspended) jt.resume_task(tid);
+    }
+    if (!jt.all_jobs_done()) cluster.sim().after(10.0, [self] { self(self); });
+  };
+  cluster.sim().at(150.0, [cleanup] { cleanup(cleanup); });
+
+  cluster.run_until(3000.0);
+  EXPECT_TRUE(jt.all_jobs_done());
+  return cluster.trace_digest();
+}
+
 TEST(TraceDigest, MapHeavyDoubleRunMatches) {
   const std::uint64_t first = run_map_heavy(42);
   const std::uint64_t second = run_map_heavy(42);
@@ -182,6 +232,12 @@ TEST(TraceDigest, FaultStormDoubleRunMatches) {
   const std::uint64_t first = run_fault_storm(21);
   const std::uint64_t second = run_fault_storm(21);
   EXPECT_EQ(first, second) << "fault-storm event stream is not reproducible";
+}
+
+TEST(TraceDigest, SpeculationStormDoubleRunMatches) {
+  const std::uint64_t first = run_speculation_storm(34);
+  const std::uint64_t second = run_speculation_storm(34);
+  EXPECT_EQ(first, second) << "speculation-storm event stream is not reproducible";
 }
 
 // The tracing-invariance law (docs/OBSERVABILITY.md): the tracer is a
@@ -208,6 +264,12 @@ TEST(TraceDigest, MemoryPressureUnchangedByTracing) {
 TEST(TraceDigest, FaultStormUnchangedByTracing) {
   EXPECT_EQ(run_fault_storm(21, /*tracing=*/false), run_fault_storm(21, /*tracing=*/true))
       << "enabling the tracer changed the fault-storm event stream";
+}
+
+TEST(TraceDigest, SpeculationStormUnchangedByTracing) {
+  EXPECT_EQ(run_speculation_storm(34, /*tracing=*/false),
+            run_speculation_storm(34, /*tracing=*/true))
+      << "enabling the tracer changed the speculation-storm event stream";
 }
 
 TEST(TraceDigest, DifferentSeedsDiverge) {

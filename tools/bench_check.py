@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Bench-regression gate: diff a fresh fig2 observability dump against the
+committed baseline (BENCH_fig2.json at the repo root).
+
+The simulator is deterministic, but the gate still compares with a
+tolerance rather than bit-exactly: the baseline is regenerated rarely and
+small counter drift (an extra heartbeat round, an audit sweep moved by a
+config tweak) is expected churn, while a 2x jump in events_processed or
+VmmReclaim work is exactly the kind of silent regression the gate exists
+to catch.
+
+Usage:
+    bench_check.py BASELINE CURRENT [--tolerance 0.10]
+    bench_check.py BASELINE --self-test
+
+Exit status: 0 clean, 1 regression (or self-test failure), 2 bad input.
+"""
+
+import argparse
+import copy
+import json
+import sys
+
+
+def flatten(dump):
+    """Numeric leaves worth gating, as {dotted.key: value}."""
+    out = {"events_processed": dump.get("events_processed", 0)}
+    for name, value in dump.get("counters", {}).items():
+        out[f"counters.{name}"] = value
+    for name, hp in dump.get("hot_paths", {}).items():
+        out[f"hot_paths.{name}.calls"] = hp.get("calls", 0)
+        out[f"hot_paths.{name}.work"] = hp.get("work", 0)
+    return out
+
+
+def deviation(base, cur):
+    """Relative deviation with a floor so tiny counters don't dominate."""
+    return abs(cur - base) / max(abs(base), 10.0)
+
+
+def check(baseline, current, tolerance):
+    """Return a list of (key, base, cur, deviation) regressions."""
+    base_flat = flatten(baseline)
+    cur_flat = flatten(current)
+    problems = []
+    for key, base in sorted(base_flat.items()):
+        if key not in cur_flat:
+            problems.append((key, base, None, float("inf")))
+            continue
+        dev = deviation(base, cur_flat[key])
+        if dev > tolerance:
+            problems.append((key, base, cur_flat[key], dev))
+    for key in sorted(set(cur_flat) - set(base_flat)):
+        print(f"note: new metric not in baseline (regenerate it?): {key}")
+    return problems
+
+
+def self_test(baseline, tolerance):
+    """The gate must pass an identical dump and fail a perturbed one."""
+    if check(baseline, baseline, tolerance):
+        print("self-test FAILED: identical dump did not pass")
+        return 1
+    perturbed = copy.deepcopy(baseline)
+    key = max(perturbed["counters"], key=lambda k: perturbed["counters"][k])
+    perturbed["counters"][key] = int(perturbed["counters"][key] * (1 + 4 * tolerance)) + 100
+    if not check(baseline, perturbed, tolerance):
+        print(f"self-test FAILED: perturbing counters.{key} was not flagged")
+        return 1
+    dropped = copy.deepcopy(baseline)
+    del dropped["counters"][key]
+    if not check(baseline, dropped, tolerance):
+        print(f"self-test FAILED: dropping counters.{key} was not flagged")
+        return 1
+    print("self-test passed: identical dump accepted, regressions flagged")
+    return 0
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("baseline")
+    ap.add_argument("current", nargs="?")
+    ap.add_argument("--tolerance", type=float, default=0.10,
+                    help="max relative deviation per metric (default 0.10)")
+    ap.add_argument("--self-test", action="store_true",
+                    help="verify the gate itself flags an injected regression")
+    args = ap.parse_args()
+
+    try:
+        with open(args.baseline) as f:
+            baseline = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"cannot load baseline {args.baseline}: {e}")
+        return 2
+
+    if args.self_test:
+        return self_test(baseline, args.tolerance)
+
+    if not args.current:
+        print("missing CURRENT dump (or use --self-test)")
+        return 2
+    try:
+        with open(args.current) as f:
+            current = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"cannot load current dump {args.current}: {e}")
+        return 2
+
+    problems = check(baseline, current, args.tolerance)
+    if problems:
+        print(f"bench regression vs {args.baseline} (tolerance {args.tolerance:.0%}):")
+        for key, base, cur, dev in problems:
+            shown = "MISSING" if cur is None else cur
+            print(f"  {key}: baseline {base} -> current {shown} ({dev:.1%})")
+        print("If this change is intentional, regenerate the baseline:")
+        print("  ./build/bench/fig2_baseline --runs=2 --counters=$(pwd)/BENCH_fig2.json \\")
+        print("      --trace=$(pwd)/BENCH_fig2_trace.json")
+        return 1
+    print(f"bench gate clean: {len(flatten(baseline))} metrics within "
+          f"{args.tolerance:.0%} of {args.baseline}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,7 @@
 //   osap gantt    [--primitive susp] [--r 0.5] [--tl-state ...] [--th-state ...]
 //       One run, rendered as a Figure-1-style schedule.
 //
-//   osap config <file>
+//   osap config <file> [--nodes 1] [--seed 1]
 //       Run a dummy-scheduler configuration file (§III-B) and report
 //       every job's outcome.
 //
@@ -27,6 +27,10 @@
 // `--faults=<file>` injects a scripted failure schedule (node crashes,
 // tracker hangs, heartbeat drops, message delays, checkpoint losses) into
 // the run; see docs/FAULTS.md for the plan syntax.
+// `gantt`, `config` and `trace` also accept `--speculation` (turn on
+// speculative backup attempts; see docs/SPECULATION.md) with optional
+// `--spec-slowness`, `--spec-cap` and `--spec-min-runtime` tuning knobs.
+//
 // Flags take either `--key value` or `--key=value` form.
 #include <cstdio>
 #include <cstring>
@@ -92,6 +96,19 @@ struct Args {
 void apply_trace_flags(const Args& args, ClusterConfig& cfg) {
   cfg.trace.trace_file = args.get("trace", "");
   cfg.trace.counters_file = args.get("counters", "");
+}
+
+/// Wire `--speculation` (plus the optional `--spec-slowness`, `--spec-cap`
+/// and `--spec-min-runtime` tuning knobs) into the Hadoop config.
+/// Speculative execution is opt-in: see docs/SPECULATION.md.
+void apply_speculation_flags(const Args& args, ClusterConfig& cfg) {
+  if (args.flags.contains("speculation")) cfg.hadoop.speculative_execution = true;
+  cfg.hadoop.speculative_slowness =
+      args.num("spec-slowness", cfg.hadoop.speculative_slowness);
+  cfg.hadoop.speculative_cap =
+      static_cast<int>(args.num("spec-cap", cfg.hadoop.speculative_cap));
+  cfg.hadoop.speculative_min_runtime =
+      args.num("spec-min-runtime", cfg.hadoop.speculative_min_runtime);
 }
 
 /// Build the injector for `--faults=<file>`, or nullptr without the flag.
@@ -168,6 +185,7 @@ int cmd_gantt(const Args& args) {
   ClusterConfig cfg = params.cluster;
   cfg.seed = params.seed;
   apply_trace_flags(args, cfg);
+  apply_speculation_flags(args, cfg);
   Cluster cluster(cfg);
   TimelineRecorder recorder(cluster.job_tracker());
   auto sched = std::make_unique<DummyScheduler>(cluster);
@@ -200,7 +218,10 @@ int cmd_config(const Args& args) {
     return 1;
   }
   ClusterConfig cfg = paper_cluster();
+  cfg.num_nodes = static_cast<int>(args.num("nodes", cfg.num_nodes));
+  cfg.seed = static_cast<std::uint64_t>(args.num("seed", cfg.seed));
   apply_trace_flags(args, cfg);
+  apply_speculation_flags(args, cfg);
   Cluster cluster(cfg);
   TimelineRecorder recorder(cluster.job_tracker());
   auto sched = std::make_unique<DummyScheduler>(cluster);
@@ -230,6 +251,7 @@ int cmd_trace(const Args& args) {
   cfg.num_nodes = static_cast<int>(args.num("nodes", 4));
   cfg.seed = static_cast<std::uint64_t>(args.num("seed", 7));
   apply_trace_flags(args, cfg);
+  apply_speculation_flags(args, cfg);
   Cluster cluster(cfg);
   const PreemptPrimitive primitive = parse_primitive(args.get("primitive", "susp"));
   const std::string which = args.get("scheduler", "hfsp");
