@@ -7,7 +7,6 @@
 #include <sstream>
 #include <utility>
 
-#include "common/det.hpp"
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "hadoop/task_tracker.hpp"
@@ -17,7 +16,40 @@ namespace osap {
 
 namespace {
 constexpr const char* kLog = "jobtracker";
+
+[[nodiscard]] constexpr bool state_live(TaskState s) noexcept {
+  return s == TaskState::Running || s == TaskState::MustSuspend ||
+         s == TaskState::Suspended || s == TaskState::MustResume;
 }
+[[nodiscard]] constexpr bool state_done(TaskState s) noexcept {
+  return s == TaskState::Succeeded || s == TaskState::Failed;
+}
+
+/// A task's contribution to its job's remaining-bytes total: the HFSP
+/// remaining size counts floor((1-progress) * input) for every not-done
+/// task, with progress counting only while an attempt is live.
+[[nodiscard]] Bytes remaining_contrib(const Task& t) noexcept {
+  if (state_done(t.state)) return 0;
+  const double left = 1.0 - (state_live(t.state) ? t.progress : 0.0);
+  return static_cast<Bytes>(left * static_cast<double>(t.spec.input_bytes));
+}
+
+/// Add or remove `id` from the index sets a task in state `s` belongs to.
+void index_task(Job& job, TaskId id, TaskState s, bool add) {
+  const auto upd = [&](FlatIdSet<TaskId>& set) {
+    if (add) {
+      set.insert(id);
+    } else {
+      set.erase(id);
+    }
+  };
+  if (s == TaskState::Unassigned) upd(job.unassigned);
+  if (state_live(s)) upd(job.live);
+  if (s == TaskState::Suspended) upd(job.suspended);
+  if (!state_done(s)) upd(job.not_done);
+}
+
+}  // namespace
 
 JobTracker::JobTracker(Simulation& sim, Network& net, NodeId master, HadoopConfig cfg)
     : sim_(sim), net_(net), master_(master), cfg_(cfg) {
@@ -56,11 +88,17 @@ JobTracker::~JobTracker() {
 }
 
 void JobTracker::register_tracker(TaskTracker& tracker) {
-  const bool inserted = trackers_.emplace(tracker.id(), &tracker).second;
+  const auto idx = static_cast<std::uint32_t>(tracker_slots_.size());
+  const bool inserted = tracker_index_.emplace(tracker.id(), idx).second;
   OSAP_CHECK_MSG(inserted, tracker.id() << " registered twice");
+  TrackerSlot slot;
+  slot.tracker = &tracker;
+  slot.id = tracker.id();
   // The lease starts at registration: a tracker that never heartbeats at
   // all still expires.
-  last_heartbeat_.emplace(tracker.id(), sim_.now());
+  slot.last_heartbeat = sim_.now();
+  tracker_slots_.push_back(slot);
+  file_lease(idx);
 }
 
 void JobTracker::set_scheduler(Scheduler* scheduler) {
@@ -69,8 +107,73 @@ void JobTracker::set_scheduler(Scheduler* scheduler) {
 }
 
 TaskTracker* JobTracker::tracker(TrackerId id) {
-  const auto it = trackers_.find(id);
-  return it == trackers_.end() ? nullptr : it->second;
+  TrackerSlot* s = slot(id);
+  return s == nullptr ? nullptr : s->tracker;
+}
+
+Job& JobTracker::job_ref(JobId id) {
+  OSAP_CHECK_MSG(id.value() < jobs_.size(), "unknown " << id);
+  return jobs_[id.value()];
+}
+
+void JobTracker::set_task_state(Task& task, TaskState to) {
+  const TaskState from = task.state;
+  if (from == to) return;
+  Job& job = job_ref(task.job);
+  job.remaining_bytes -= remaining_contrib(task);
+  index_task(job, task.id, from, /*add=*/false);
+  task.state = to;
+  index_task(job, task.id, to, /*add=*/true);
+  job.remaining_bytes += remaining_contrib(task);
+  job.spec_next_check = 0;
+  reindex_job(job);
+  if (task.spec.type == TaskType::Map) {
+    // The shuffle-barrier count tracks maps crossing the SUCCEEDED
+    // boundary in either direction (a lost map output moves one back).
+    if (to == TaskState::Succeeded) --job.maps_not_succeeded;
+    if (from == TaskState::Succeeded) ++job.maps_not_succeeded;
+  }
+}
+
+void JobTracker::reindex_job(Job& job) {
+  const bool running = job.state == JobState::Running;
+  const Bytes key = running ? job.remaining_bytes : 0;
+  if (key != job.indexed_remaining) {
+    if (job.indexed_remaining != 0) jobs_by_remaining_.erase({job.indexed_remaining, job.id});
+    if (key != 0) jobs_by_remaining_.insert({key, job.id});
+    job.indexed_remaining = key;
+  }
+  if (running && !job.unassigned.empty()) {
+    schedulable_jobs_.insert(job.id);
+  } else {
+    schedulable_jobs_.erase(job.id);
+  }
+}
+
+void JobTracker::set_task_spec(TaskId id, TaskSpec spec) {
+  Task& task = task_mutable(id);
+  Job& job = job_ref(task.job);
+  job.remaining_bytes -= remaining_contrib(task);
+  task.spec = std::move(spec);
+  job.remaining_bytes += remaining_contrib(task);
+  job.spec_next_check = 0;
+  reindex_job(job);
+}
+
+void JobTracker::set_task_progress(Task& task, double progress) {
+  Job& job = job_ref(task.job);
+  job.remaining_bytes -= remaining_contrib(task);
+  task.progress = progress;
+  job.remaining_bytes += remaining_contrib(task);
+  job.spec_next_check = 0;
+  reindex_job(job);
+}
+
+void JobTracker::file_lease(std::uint32_t idx) {
+  if (cfg_.tracker_expiry <= 0) return;
+  TrackerSlot& s = tracker_slots_[idx];
+  s.lease_deadline = s.last_heartbeat + cfg_.tracker_expiry;
+  lease_wheel_[s.lease_deadline].push_back(idx);
 }
 
 void JobTracker::emit(ClusterEventType type, JobId job, TaskId task, NodeId node) {
@@ -82,23 +185,31 @@ void JobTracker::emit(ClusterEventType type, JobId job, TaskId task, NodeId node
 JobId JobTracker::submit_job(JobSpec spec) {
   Job job;
   job.id = job_ids_.next();
+  OSAP_CHECK(job.id.value() == jobs_.size());  // dense ids index jobs_ directly
   job.submitted_at = sim_.now();
   for (TaskSpec& ts : spec.tasks) {
     Task task;
     task.id = task_ids_.next();
+    OSAP_CHECK(task.id.value() == tasks_.size());
     task.job = job.id;
     if (ts.name == "task") ts.name = spec.name + "/" + std::to_string(job.tasks.size());
     task.spec = ts;
     job.tasks.push_back(task.id);
-    tasks_.emplace(task.id, std::move(task));
+    job.unassigned.insert(task.id);
+    job.not_done.insert(task.id);
+    job.remaining_bytes += remaining_contrib(task);
+    if (task.spec.type == TaskType::Map) ++job.maps_not_succeeded;
+    tasks_.push_back(std::move(task));
   }
   job.spec = std::move(spec);
   const JobId id = job.id;
   OSAP_LOG(Info, kLog) << "job " << id << " (" << job.spec.name << ") submitted with "
                        << job.tasks.size() << " tasks";
-  jobs_.emplace(id, std::move(job));
+  jobs_.push_back(std::move(job));
   job_order_.push_back(id);
-  const Job& stored = jobs_.at(id);
+  running_jobs_.insert(id);
+  reindex_job(jobs_[id.value()]);
+  const Job& stored = jobs_[id.value()];
   tracer_->async_begin(trk_, "job", id.value(),
                        {{"name", stored.spec.name},
                         {"tasks", static_cast<std::uint64_t>(stored.tasks.size())}});
@@ -113,7 +224,7 @@ bool JobTracker::suspend_task(TaskId id) {
     OSAP_LOG(Warn, kLog) << "suspend " << id << " rejected in state " << to_string(t.state);
     return false;
   }
-  t.state = TaskState::MustSuspend;
+  set_task_state(t, TaskState::MustSuspend);
   command_sent_[id] = false;
   ctr_suspends_->add();
   tracer_->async_begin(trk_, "suspend", id.value(), {{"kind", "sigtstp"}});
@@ -128,7 +239,7 @@ bool JobTracker::checkpoint_suspend_task(TaskId id) {
                          << to_string(t.state);
     return false;
   }
-  t.state = TaskState::MustSuspend;
+  set_task_state(t, TaskState::MustSuspend);
   t.use_checkpoint = true;
   command_sent_[id] = false;
   ctr_suspends_->add();
@@ -161,11 +272,11 @@ bool JobTracker::resume_task(TaskId id) {
     t.spec.checkpoint_state = t.spec.state_memory + 64 * KiB;
     t.checkpointed = false;
     t.use_checkpoint = false;
-    t.progress = 0;
+    set_task_progress(t, 0);
     task_terminal(t, TaskState::Unassigned);
     return true;
   }
-  t.state = TaskState::MustResume;
+  set_task_state(t, TaskState::MustResume);
   command_sent_[id] = false;
   tracer_->async_begin(trk_, "resume", id.value());
   return true;
@@ -247,9 +358,8 @@ bool JobTracker::kill_pending_on(TaskId id, TrackerId target) const {
 }
 
 void JobTracker::apply_report(const TrackerStatus& status, const TaskStatusReport& report) {
-  const auto it = tasks_.find(report.task);
-  if (it == tasks_.end()) return;
-  Task& t = it->second;
+  if (report.task.value() >= tasks_.size()) return;
+  Task& t = tasks_[report.task.value()];
   t.swapped_out = std::max(t.swapped_out, report.swapped_out);
   t.swapped_in = std::max(t.swapped_in, report.swapped_in);
   // Every report is routed per attempt by its reporting tracker: the
@@ -260,14 +370,14 @@ void JobTracker::apply_report(const TrackerStatus& status, const TaskStatusRepor
   switch (report.kind) {
     case ReportKind::Progress:
       if (t.live() && from_primary) {
-        t.progress = report.progress;
+        set_task_progress(t, report.progress);
       } else if (t.live() && from_backup) {
         t.spec_progress = report.progress;
       }
       break;
     case ReportKind::Suspended:
       if (t.state == TaskState::MustSuspend && t.tracker == status.tracker) {
-        t.state = TaskState::Suspended;
+        set_task_state(t, TaskState::Suspended);
         tracer_->async_end(trk_, "suspend", t.id.value());
         emit(ClusterEventType::TaskSuspended, t.job, t.id, status.node);
       }
@@ -278,7 +388,7 @@ void JobTracker::apply_report(const TrackerStatus& status, const TaskStatusRepor
         if (t.state == TaskState::MustResume) {
           tracer_->async_end(trk_, "resume", t.id.value());
         }
-        t.state = TaskState::Running;
+        set_task_state(t, TaskState::Running);
         emit(ClusterEventType::TaskResumed, t.job, t.id, status.node);
       }
       break;
@@ -385,10 +495,10 @@ void JobTracker::apply_report(const TrackerStatus& status, const TaskStatusRepor
     }
     case ReportKind::Checkpointed:
       if (t.state == TaskState::MustSuspend && t.tracker == status.tracker) {
-        t.state = TaskState::Suspended;
+        set_task_state(t, TaskState::Suspended);
         tracer_->async_end(trk_, "suspend", t.id.value(), {{"checkpointed", 1}});
         t.checkpointed = true;
-        t.progress = report.progress;
+        set_task_progress(t, report.progress);
         t.checkpoint_node = status.node;
         // The JVM is gone; the task is no longer bound to the tracker
         // (though checkpoint files make same-node relaunches cheaper).
@@ -411,7 +521,7 @@ void JobTracker::task_terminal(Task& task, TaskState state) {
   }
   OSAP_CHECK_MSG(!task.speculating(),
                  task.id << " went terminal with a backup attempt still bound");
-  task.state = state;
+  set_task_state(task, state);
   task.node = NodeId{};
   task.tracker = TrackerId{};
   task.attempt_started_at = -1;
@@ -427,20 +537,21 @@ void JobTracker::task_terminal(Task& task, TaskState state) {
 }
 
 void JobTracker::task_succeeded(Task& t, NodeId node) {
-  t.progress = 1.0;
+  set_task_progress(t, 1.0);
   t.completed_at = sim_.now();
   task_terminal(t, TaskState::Succeeded);
   // Map output is served from the worker's local disk (Hadoop 1 shuffle);
   // remember where it lives so losing the node re-runs the map.
   t.completed_node = node;
   emit(ClusterEventType::TaskSucceeded, t.job, t.id, node);
-  Job& job = jobs_.at(t.job);
+  Job& job = job_ref(t.job);
   ++job.tasks_completed;
   if (t.spec.type == TaskType::Map) maybe_release_reduces(t.job);
   maybe_complete_job(t.job);
 }
 
 void JobTracker::clear_speculative(Task& task) {
+  if (task.spec_tracker.valid()) --job_ref(task.job).speculating;
   task.spec_tracker = TrackerId{};
   task.spec_node = NodeId{};
   task.spec_progress = 0;
@@ -458,10 +569,10 @@ void JobTracker::promote_speculative(Task& task) {
   } else if (task.state == TaskState::MustResume) {
     tracer_->async_end(trk_, "resume", task.id.value(), {{"aborted", 1}});
   }
-  task.state = TaskState::Running;
+  set_task_state(task, TaskState::Running);
   task.tracker = task.spec_tracker;
   task.node = task.spec_node;
-  task.progress = task.spec_progress;
+  set_task_progress(task, task.spec_progress);
   task.attempt_started_at = task.spec_started_at;
   task.checkpointed = false;
   task.use_checkpoint = false;
@@ -476,20 +587,18 @@ void JobTracker::promote_speculative(Task& task) {
 }
 
 bool JobTracker::maps_pending(const Job& job) const {
-  for (TaskId tid : job.tasks) {
-    const Task& t = tasks_.at(tid);
-    if (t.spec.type == TaskType::Map && t.state != TaskState::Succeeded) return true;
-  }
-  return false;
+  return job.maps_not_succeeded > 0;
 }
 
 void JobTracker::maybe_release_reduces(JobId id) {
-  const Job& job = jobs_.at(id);
+  const Job& job = job_ref(id);
   if (maps_pending(job)) return;
-  for (TaskId tid : job.tasks) {
-    const Task& t = tasks_.at(tid);
+  // Live tasks only can hold the barrier; the set iterates in ascending
+  // task id, the same order the old full walk of job.tasks visited them.
+  for (TaskId tid : job.live) {
+    const Task& t = tasks_[tid.value()];
     if (t.spec.type != TaskType::Reduce || !t.spec.wait_for_maps) continue;
-    if (!t.live() || !t.tracker.valid()) continue;
+    if (!t.tracker.valid()) continue;
     // Span from "last map succeeded" to the TaskTracker applying the
     // release — the latency the out-of-band push exists to cut. Opened
     // once per task even when a racing copy gets its own release.
@@ -527,55 +636,118 @@ void JobTracker::maybe_speculate(const TrackerStatus& status, int free_maps, int
   if (!cfg_.speculative_execution) return;
   if (free_maps <= 0 && free_reduces <= 0) return;
   std::uint64_t scanned = 0;
-  for (JobId jid : job_order_) {
+  for (JobId jid : running_jobs_) {
     if (free_maps <= 0 && free_reduces <= 0) break;
-    const Job& job = jobs_.at(jid);
-    if (job.state != JobState::Running) continue;
-    // Per-job budget of concurrently racing copies.
-    int racing = 0;
-    for (TaskId tid : job.tasks) {
-      if (tasks_.at(tid).speculating()) ++racing;
-    }
-    if (racing >= cfg_.speculative_cap) continue;
+    Job& job = jobs_[jid.value()];
+    // Per-job budget of concurrently racing copies — a maintained count,
+    // not a scan.
+    if (job.speculating >= cfg_.speculative_cap) continue;
+    const SimTime now = sim_.now();
+    // Between mutations of its attempt set, a job's ETAs are known linear
+    // functions of time, so the previous scan computed the earliest
+    // moment the slowness threshold could next be crossed — before that,
+    // this heartbeat's scan provably launches nothing.
+    if (now < job.spec_next_check) continue;
     // Estimate time-to-completion for every attempt old enough to judge.
     // ETA = remaining work / observed rate = (1-p) * elapsed / p; a stuck
     // attempt (p ≈ 0) estimates infinite. The job mean is taken over the
     // finite estimates only — with no trustworthy baseline (e.g. every
     // attempt just launched, or a single stuck task) nothing speculates.
+    // Only live attempts are inspected: the job's live-task index, in
+    // ascending task id, is exactly the old filtered walk of job.tasks.
     double eta_sum = 0;
+    double eta_max = 0;
     int eta_count = 0;
-    std::vector<std::pair<TaskId, double>> candidates;  // task-id order
-    for (TaskId tid : job.tasks) {
-      const Task& t = tasks_.at(tid);
-      if (!t.live() || t.attempt_started_at < 0) continue;
-      const Duration elapsed = sim_.now() - t.attempt_started_at;
-      if (elapsed < cfg_.speculative_min_runtime) continue;
+    // Linear ETA model per judged attempt j: eta_j(t) = k_j * (t - s_j)
+    // with k = (1-p)/p, aggregated as K = sum k and B = sum k*s so the
+    // future threshold test n*eta_j(t) > S*(K*t - B) solves in closed
+    // form below.
+    double k_total = 0;
+    double ks_total = 0;
+    SimTime next_join = kTimeNever;  // earliest min-runtime graduation
+    spec_scratch_.clear();  // candidates, in ascending task-id order
+    for (TaskId tid : job.live) {
+      const Task& t = tasks_[tid.value()];
+      if (t.attempt_started_at < 0) continue;
+      const Duration elapsed = now - t.attempt_started_at;
+      if (elapsed < cfg_.speculative_min_runtime) {
+        // Exact graduation instant: the first representable time at which
+        // the (t - s < R) youth test above flips. s + R can round below
+        // it (heartbeat-aligned starts resonate with R), which would pin
+        // the bound at `now` for a whole synchronized-heartbeat round.
+        SimTime join = t.attempt_started_at + cfg_.speculative_min_runtime;
+        while (join - t.attempt_started_at < cfg_.speculative_min_runtime) {
+          join = std::nextafter(join, kTimeNever);
+        }
+        next_join = std::min(next_join, join);
+        continue;
+      }
       ++scanned;
-      const double eta = t.progress > 1e-9
-                             ? (1.0 - t.progress) * static_cast<double>(elapsed) / t.progress
-                             : std::numeric_limits<double>::infinity();
-      if (std::isfinite(eta)) {
+      double eta;
+      if (t.progress > 1e-9) {
+        eta = (1.0 - t.progress) * static_cast<double>(elapsed) / t.progress;
         eta_sum += eta;
         ++eta_count;
+        const double k = (1.0 - t.progress) / t.progress;
+        k_total += k;
+        ks_total += k * t.attempt_started_at;
+      } else {
+        eta = std::numeric_limits<double>::infinity();
       }
-      candidates.emplace_back(tid, eta);
+      if (eta > eta_max) eta_max = eta;
+      spec_scratch_.emplace_back(tid, eta);
     }
-    if (eta_count == 0) continue;
+    if (eta_count == 0) {
+      // No trustworthy baseline; one can only appear when a young attempt
+      // graduates past min-runtime (or a mutation resets the cache).
+      job.spec_next_check = next_join;
+      continue;
+    }
     const double mean = eta_sum / eta_count;
-    // Candidates are scanned in job.tasks order (ascending task id), which
-    // breaks ETA ties deterministically.
-    for (const auto& [tid, eta] : candidates) {
+    // If even the slowest attempt clears the threshold, the launch pass
+    // below cannot trigger — skip it (an infinite ETA always exceeds).
+    if (eta_max <= cfg_.speculative_slowness * mean) {
+      // All judged ETAs are finite here (an infinite one would be
+      // eta_max). n*eta_j(t) - S*sum(eta_i(t)) is a max of linear
+      // functions of t: convex, currently <= 0, so it crosses zero at
+      // most once — at the earliest crossing among attempts whose ETA
+      // outgrows the threshold line (slope test d > 0). Graduations
+      // re-shape the set, so the bound is also capped at the next one;
+      // everything else that moves an ETA goes through a choke point
+      // that resets the cache.
+      const double S = cfg_.speculative_slowness;
+      const double n = eta_count;
+      SimTime cross = kTimeNever;
+      for (const auto& [tid, eta] : spec_scratch_) {
+        const Task& t = tasks_[tid.value()];
+        const double k = (1.0 - t.progress) / t.progress;
+        const double d = n * k - S * k_total;
+        if (d <= 0) continue;
+        cross = std::min(cross, (n * k * t.attempt_started_at - S * ks_total) / d);
+      }
+      // Conservative margin on the solved crossing: rescanning a hair
+      // early is free (the scan stays authoritative), skipping past a
+      // real crossing is not. The graduation bound is exact — no margin.
+      if (cross < kTimeNever) cross -= 1e-6 * std::max(1.0, std::abs(cross));
+      const SimTime bound = std::min(next_join, cross);
+      job.spec_next_check = bound > now ? bound : 0;
+      continue;
+    }
+    job.spec_next_check = 0;
+    // Candidates are scanned in ascending task id, which breaks ETA ties
+    // deterministically.
+    for (const auto& [tid, eta] : spec_scratch_) {
       if (free_maps <= 0 && free_reduces <= 0) break;
-      if (racing >= cfg_.speculative_cap) break;
+      if (job.speculating >= cfg_.speculative_cap) break;
       if (eta <= cfg_.speculative_slowness * mean) continue;
-      Task& t = tasks_.at(tid);
+      Task& t = tasks_[tid.value()];
       if (t.speculating()) continue;
       if (t.tracker == status.tracker) continue;  // never race on the same tracker
       if (kill_pending_on(tid, status.tracker)) continue;  // old attempt still dying here
       int& slots = t.spec.type == TaskType::Map ? free_maps : free_reduces;
       if (slots <= 0) continue;
       --slots;
-      ++racing;
+      ++job.speculating;
       t.spec_tracker = status.tracker;
       t.spec_node = status.node;
       t.spec_progress = 0;
@@ -608,7 +780,7 @@ void JobTracker::reset_attempt_state(Task& task) {
   // checkpoint inputs (spec.checkpoint_progress / checkpoint_state /
   // checkpoint_node) survive on disk across attempts and are cleared only
   // by an explicit kill or a checkpoint disk loss.
-  task.progress = 0;
+  set_task_progress(task, 0);
   task.checkpointed = false;
   task.use_checkpoint = false;
   task.swapped_out = 0;
@@ -620,38 +792,61 @@ void JobTracker::reset_attempt_state(Task& task) {
 
 void JobTracker::check_leases() {
   if (cfg_.tracker_expiry > 0) {
-    for (TrackerId id : det::sorted_keys(last_heartbeat_)) {
-      if (lost_.contains(id)) continue;
-      if (sim_.now() - last_heartbeat_.at(id) >= cfg_.tracker_expiry) declare_lost(id);
+    // Pop the due wheel buckets only. A tracker that heartbeat since it
+    // was filed is lazily refiled at its true deadline; the rest expired.
+    // Expiry fires in ascending TrackerId order — the order the old
+    // every-tracker sweep declared them in.
+    std::vector<TrackerId> expired;
+    while (!lease_wheel_.empty() && lease_wheel_.begin()->first <= sim_.now()) {
+      const std::vector<std::uint32_t> due = std::move(lease_wheel_.begin()->second);
+      lease_wheel_.erase(lease_wheel_.begin());
+      for (std::uint32_t idx : due) {
+        TrackerSlot& s = tracker_slots_[idx];
+        if (s.lost) {  // unfiled at loss; a stale filing is inert
+          s.lease_deadline = -1;
+          continue;
+        }
+        const SimTime deadline = s.last_heartbeat + cfg_.tracker_expiry;
+        if (deadline > sim_.now()) {
+          s.lease_deadline = deadline;
+          lease_wheel_[deadline].push_back(idx);
+        } else {
+          s.lease_deadline = -1;
+          expired.push_back(s.id);
+        }
+      }
     }
+    std::sort(expired.begin(), expired.end());
+    for (TrackerId id : expired) declare_lost(id);
   }
   lease_timer_ = sim_.after(cfg_.expiry_check_interval, [this] { check_leases(); });
 }
 
 void JobTracker::declare_lost(TrackerId id) {
-  TaskTracker* tt = tracker(id);
-  OSAP_CHECK_MSG(tt != nullptr, "declaring unknown " << id << " lost");
-  const NodeId node = tt->node();
-  lost_.emplace(id, true);
+  TrackerSlot* s = slot(id);
+  OSAP_CHECK_MSG(s != nullptr, "declaring unknown " << id << " lost");
+  const NodeId node = s->tracker->node();
+  s->lost = true;
+  s->lease_deadline = -1;  // out of the wheel until it rejoins
   ctr_trackers_lost_->add();
   tracer_->instant(trk_, "tracker_lost", {{"tracker", id.value()}});
   OSAP_LOG(Warn, kLog) << id << " lease expired at t=" << sim_.now() << ", declared lost";
   emit(ClusterEventType::TrackerLost, JobId{}, TaskId{}, node);
 
   // Kill orders addressed to the dead tracker can never be acked.
-  for (TaskId tid : det::sorted_keys(must_kill_)) {
-    std::vector<KillOrder>& orders = must_kill_.at(tid);
-    std::erase_if(orders, [id](const KillOrder& order) { return order.tracker == id; });
-    if (orders.empty()) must_kill_.erase(tid);
+  for (auto it = must_kill_.begin(); it != must_kill_.end();) {
+    std::erase_if(it->second, [id](const KillOrder& order) { return order.tracker == id; });
+    it = it->second.empty() ? must_kill_.erase(it) : std::next(it);
   }
 
   // Forfeit racing backup attempts hosted on the dead tracker: the race
   // dissolves and the primary attempt carries on, budget untouched.
-  for (TaskId tid : det::sorted_keys(tasks_)) {
-    Task& t = tasks_.at(tid);
+  // (Tracker loss is rare, so these remain full sweeps — the deque walks
+  // tasks in ascending id, the old det::sorted_keys order.)
+  for (Task& t : tasks_) {
     if (t.spec_tracker != id) continue;
     ctr_spec_lost_->add();
-    emit(ClusterEventType::SpeculationLost, t.job, tid, node);
+    emit(ClusterEventType::SpeculationLost, t.job, t.id, node);
     clear_speculative(t);
   }
 
@@ -660,11 +855,10 @@ void JobTracker::declare_lost(TrackerId id) {
   // work is gone and the task restarts from scratch elsewhere. Loss does
   // not charge the attempt budget (Hadoop's killed-vs-failed split). A
   // task with a surviving backup copy adopts it instead of requeueing.
-  for (TaskId tid : det::sorted_keys(tasks_)) {
-    Task& t = tasks_.at(tid);
+  for (Task& t : tasks_) {
     if (t.tracker != id || !t.live()) continue;
     ctr_tasks_lost_->add();
-    emit(ClusterEventType::TaskLost, t.job, tid, t.node);
+    emit(ClusterEventType::TaskLost, t.job, t.id, t.node);
     if (t.speculating()) {
       promote_speculative(t);
       continue;
@@ -676,16 +870,15 @@ void JobTracker::declare_lost(TrackerId id) {
   // Re-run Succeeded maps whose output lived on the dead node: Hadoop 1
   // reduces fetch map output from the worker's local disk, so the outputs
   // died with it and shuffling reduces would wait forever.
-  for (TaskId tid : det::sorted_keys(tasks_)) {
-    Task& t = tasks_.at(tid);
+  for (Task& t : tasks_) {
     if (t.state != TaskState::Succeeded || t.spec.type != TaskType::Map) continue;
     if (t.completed_node != node) continue;
-    if (jobs_.at(t.job).state != JobState::Running) continue;
+    if (jobs_[t.job.value()].state != JobState::Running) continue;
     ctr_map_outputs_lost_->add();
-    emit(ClusterEventType::MapOutputLost, t.job, tid, node);
-    t.state = TaskState::Unassigned;
+    emit(ClusterEventType::MapOutputLost, t.job, t.id, node);
+    set_task_state(t, TaskState::Unassigned);
     reset_attempt_state(t);
-    --jobs_.at(t.job).tasks_completed;
+    --jobs_[t.job.value()].tasks_completed;
   }
 
   // Checkpoint files on the node's disk are gone too.
@@ -694,8 +887,7 @@ void JobTracker::declare_lost(TrackerId id) {
 }
 
 void JobTracker::lose_checkpoints_on(NodeId node) {
-  for (TaskId tid : det::sorted_keys(tasks_)) {
-    Task& t = tasks_.at(tid);
+  for (Task& t : tasks_) {
     if (t.checkpoint_node != node) continue;
     ctr_checkpoints_lost_->add();
     t.spec.checkpoint_progress = 0;
@@ -706,7 +898,7 @@ void JobTracker::lose_checkpoints_on(NodeId node) {
       // scratch — unless a backup copy is racing, which becomes the
       // attempt.
       ctr_tasks_lost_->add();
-      emit(ClusterEventType::TaskLost, t.job, tid, node);
+      emit(ClusterEventType::TaskLost, t.job, t.id, node);
       t.checkpointed = false;
       if (t.speculating()) {
         promote_speculative(t);
@@ -719,15 +911,19 @@ void JobTracker::lose_checkpoints_on(NodeId node) {
 }
 
 void JobTracker::fail_job(JobId id, TaskId cause, NodeId node) {
-  Job& job = jobs_.at(id);
+  Job& job = job_ref(id);
   if (job.state != JobState::Running) return;
   job.state = JobState::Failed;
+  running_jobs_.erase(id);
+  reindex_job(job);
   job.completed_at = sim_.now();
   ctr_jobs_failed_->add();
   // Reap the job's surviving attempts; the scheduler skips non-Running
-  // jobs, so nothing relaunches.
-  for (TaskId tid : job.tasks) {
-    if (tasks_.at(tid).live()) kill_task(tid);
+  // jobs, so nothing relaunches. Snapshot the live index: kill_task
+  // retires a checkpoint-parked task immediately, mutating the set.
+  const std::vector<TaskId> live(job.live.begin(), job.live.end());
+  for (TaskId tid : live) {
+    if (tasks_[tid.value()].live()) kill_task(tid);
   }
   tracer_->async_end(trk_, "job", id.value(), {{"failed", 1}});
   OSAP_LOG(Warn, kLog) << "job " << id << " FAILED at t=" << sim_.now();
@@ -737,9 +933,11 @@ void JobTracker::fail_job(JobId id, TaskId cause, NodeId node) {
 
 void JobTracker::note_tracker_failure(TrackerId id, NodeId node) {
   if (cfg_.tracker_blacklist_failures <= 0) return;
-  const int failures = ++failures_on_tracker_[id];
-  if (failures < cfg_.tracker_blacklist_failures || blacklisted_.contains(id)) return;
-  blacklisted_.emplace(id, true);
+  TrackerSlot* s = slot(id);
+  OSAP_CHECK_MSG(s != nullptr, "attempt failure on unknown " << id);
+  const int failures = ++s->failures;
+  if (failures < cfg_.tracker_blacklist_failures || s->blacklisted) return;
+  s->blacklisted = true;
   ctr_trackers_blacklisted_->add();
   tracer_->instant(trk_, "tracker_blacklisted", {{"tracker", id.value()}});
   OSAP_LOG(Warn, kLog) << id << " blacklisted after " << failures << " attempt failures";
@@ -748,22 +946,24 @@ void JobTracker::note_tracker_failure(TrackerId id, NodeId node) {
 }
 
 void JobTracker::maybe_fail_cluster() {
-  if (trackers_.empty()) return;
-  for (TrackerId id : det::sorted_keys(trackers_)) {
-    if (!lost_.contains(id) && !blacklisted_.contains(id)) return;
+  if (tracker_slots_.empty()) return;
+  for (const TrackerSlot& s : tracker_slots_) {
+    if (!s.lost && !s.blacklisted) return;
   }
   // No tracker left to run anything: every Running job fails now rather
-  // than waiting on heartbeats that cannot come.
-  for (JobId jid : job_order_) {
-    if (jobs_.at(jid).state == JobState::Running) fail_job(jid, TaskId{}, NodeId{});
-  }
+  // than waiting on heartbeats that cannot come. Snapshot: fail_job
+  // shrinks the running set as it goes.
+  const std::vector<JobId> running(running_jobs_.begin(), running_jobs_.end());
+  for (JobId jid : running) fail_job(jid, TaskId{}, NodeId{});
 }
 
 void JobTracker::maybe_complete_job(JobId id) {
-  Job& job = jobs_.at(id);
+  Job& job = job_ref(id);
   if (job.state != JobState::Running) return;
   if (job.tasks_completed < static_cast<int>(job.tasks.size())) return;
   job.state = JobState::Succeeded;
+  running_jobs_.erase(id);
+  reindex_job(job);
   job.completed_at = sim_.now();
   tracer_->async_end(trk_, "job", id.value(),
                      {{"tasks", static_cast<std::uint64_t>(job.tasks.size())}});
@@ -773,20 +973,23 @@ void JobTracker::maybe_complete_job(JobId id) {
 }
 
 void JobTracker::on_heartbeat(TrackerStatus status) {
-  TaskTracker* tt = tracker(status.tracker);
+  TrackerSlot* s = slot(status.tracker);
   OSAP_LOG(Debug, kLog) << "heartbeat from " << status.tracker << " (" << status.reports.size()
                         << " reports, " << status.free_map_slots << " free map slots)";
-  if (tt == nullptr) return;
+  if (s == nullptr) return;
+  TaskTracker* tt = s->tracker;
   ctr_heartbeats_->add();
   sim_.trace().profiler().add(trace::HotPath::HeartbeatHandle, status.reports.size());
 
-  if (lost_.erase(status.tracker) > 0) {
+  if (s->lost) {
     // The tracker was expired while actually alive (a heartbeat-loss
     // window or a daemon hang). Everything it hosted has already been
     // requeued, so its reports describe attempts we forfeited: skip them
     // and order a clean-slate reinitialization — Hadoop 1's answer to a
     // tracker that heartbeats after being declared lost.
-    last_heartbeat_[status.tracker] = sim_.now();
+    s->lost = false;
+    s->last_heartbeat = sim_.now();
+    file_lease(static_cast<std::uint32_t>(s - tracker_slots_.data()));
     ctr_tracker_reinits_->add();
     tracer_->instant(trk_, "tracker_reinit", {{"tracker", status.tracker.value()}});
     OSAP_LOG(Warn, kLog) << status.tracker << " rejoined after expiry, reinitializing";
@@ -798,7 +1001,7 @@ void JobTracker::on_heartbeat(TrackerStatus status) {
     });
     return;
   }
-  last_heartbeat_[status.tracker] = sim_.now();
+  s->last_heartbeat = sim_.now();
 
   for (const TaskStatusReport& report : status.reports) apply_report(status, report);
 
@@ -807,19 +1010,18 @@ void JobTracker::on_heartbeat(TrackerStatus status) {
   // Piggyback pending kill / suspend / resume commands addressed to this
   // tracker (§III-B).
   // Action order inside one response is tracker-visible (the TaskTracker
-  // applies them in sequence), so walk each pending-command map in task-id
-  // order, never hash order.
-  for (TaskId tid : det::sorted_keys(must_kill_)) {
-    for (KillOrder& order : must_kill_.at(tid)) {
+  // applies them in sequence); the pending-command maps are ordered, so
+  // plain iteration walks them in task-id order.
+  for (auto& [tid, orders] : must_kill_) {
+    for (KillOrder& order : orders) {
       if (order.sent || order.tracker != status.tracker) continue;
       response.actions.push_back(TaskAction{ActionKind::Kill, tid, {}});
       order.sent = true;
     }
   }
-  for (TaskId tid : det::sorted_keys(command_sent_)) {
-    bool& sent = command_sent_.at(tid);
+  for (auto& [tid, sent] : command_sent_) {
     if (sent) continue;
-    Task& t = tasks_.at(tid);
+    Task& t = tasks_[tid.value()];
     if (t.tracker != status.tracker) continue;
     if (t.state == TaskState::MustSuspend) {
       response.actions.push_back(TaskAction{
@@ -830,9 +1032,8 @@ void JobTracker::on_heartbeat(TrackerStatus status) {
       sent = true;
     }
   }
-  for (TaskId tid : det::sorted_keys(maps_done_pending_)) {
-    MapsDonePending& pending = maps_done_pending_.at(tid);
-    const Task& t = tasks_.at(tid);
+  for (auto& [tid, pending] : maps_done_pending_) {
+    const Task& t = tasks_[tid.value()];
     if (!pending.primary_sent && t.tracker == status.tracker) {
       response.actions.push_back(TaskAction{ActionKind::MapsDone, tid, {}});
       pending.primary_sent = true;
@@ -845,20 +1046,20 @@ void JobTracker::on_heartbeat(TrackerStatus status) {
 
   // Ask the scheduler for work for the free slots. Blacklisted trackers
   // still heartbeat (their in-flight acks matter) but get no new work.
-  if (scheduler_ != nullptr && !blacklisted_.contains(status.tracker)) {
+  if (scheduler_ != nullptr && !s->blacklisted) {
     int free_maps = status.free_map_slots;
     int free_reduces = status.free_reduce_slots;
     const std::vector<TaskId> assigned = scheduler_->assign(status);
     sim_.trace().profiler().add(trace::HotPath::SchedulerAssign, assigned.size());
     for (TaskId tid : assigned) {
-      Task& t = tasks_.at(tid);
+      Task& t = tasks_[tid.value()];
       OSAP_CHECK_MSG(t.state == TaskState::Unassigned,
                      "scheduler assigned " << tid << " in state " << to_string(t.state));
       // A race-losing attempt of this very task may still be dying on the
       // tracker (kill order in flight): launching there would collide
       // with it, so leave the task pooled for a later heartbeat.
       if (kill_pending_on(tid, status.tracker)) continue;
-      t.state = TaskState::Running;
+      set_task_state(t, TaskState::Running);
       t.node = status.node;
       t.tracker = status.tracker;
       ++t.attempts_started;
@@ -867,7 +1068,7 @@ void JobTracker::on_heartbeat(TrackerStatus status) {
       if (t.spec.type == TaskType::Reduce) {
         // Stamp the barrier flag per attempt: a reduce launched while maps
         // still run must block after its shuffle until MapsDone arrives.
-        t.spec.wait_for_maps = maps_pending(jobs_.at(t.job));
+        t.spec.wait_for_maps = maps_pending(jobs_[t.job.value()]);
       }
       --(t.spec.type == TaskType::Map ? free_maps : free_reduces);
       TaskAction action{ActionKind::Launch, tid, t.spec};
@@ -889,28 +1090,22 @@ void JobTracker::on_heartbeat(TrackerStatus status) {
 }
 
 const Job& JobTracker::job(JobId id) const {
-  const auto it = jobs_.find(id);
-  OSAP_CHECK_MSG(it != jobs_.end(), "unknown " << id);
-  return it->second;
+  OSAP_CHECK_MSG(id.value() < jobs_.size(), "unknown " << id);
+  return jobs_[id.value()];
 }
 
 const Task& JobTracker::task(TaskId id) const {
-  const auto it = tasks_.find(id);
-  OSAP_CHECK_MSG(it != tasks_.end(), "unknown " << id);
-  return it->second;
+  OSAP_CHECK_MSG(id.value() < tasks_.size(), "unknown " << id);
+  return tasks_[id.value()];
 }
 
 Task& JobTracker::task_mutable(TaskId id) {
-  const auto it = tasks_.find(id);
-  OSAP_CHECK_MSG(it != tasks_.end(), "unknown " << id);
-  return it->second;
+  OSAP_CHECK_MSG(id.value() < tasks_.size(), "unknown " << id);
+  return tasks_[id.value()];
 }
 
 bool JobTracker::all_jobs_done() const {
-  for (JobId id : job_order_) {
-    if (jobs_.at(id).state == JobState::Running) return false;
-  }
-  return true;
+  return running_jobs_.empty();
 }
 
 void JobTracker::audit(std::vector<std::string>& violations) const {
@@ -919,8 +1114,8 @@ void JobTracker::audit(std::vector<std::string>& violations) const {
     (os << ... << parts);
     violations.push_back(os.str());
   };
-  for (TaskId tid : det::sorted_keys(tasks_)) {
-    const Task& t = tasks_.at(tid);
+  for (const Task& t : tasks_) {
+    const TaskId tid = t.id;
     if (t.progress < -1e-9 || t.progress > 1.0 + 1e-9) {
       flag(tid, " progress ", t.progress, " out of [0,1]");
     }
@@ -935,19 +1130,19 @@ void JobTracker::audit(std::vector<std::string>& violations) const {
     if (checkpoint_parked && bound) {
       flag(tid, " is checkpoint-suspended but still bound to ", t.tracker);
     }
-    if (bound && trackers_.find(t.tracker) == trackers_.end()) {
+    if (bound && slot(t.tracker) == nullptr) {
       flag(tid, " bound to unregistered ", t.tracker);
     }
-    if (bound && lost_.contains(t.tracker)) {
+    if (bound && tracker_lost(t.tracker)) {
       flag(tid, " still bound to lost ", t.tracker);
     }
     if (t.speculating()) {
       if (!t.live()) flag(tid, " is ", to_string(t.state), " but still has a backup attempt");
       if (t.spec_tracker == t.tracker) flag(tid, " races both attempts on ", t.tracker);
-      if (trackers_.find(t.spec_tracker) == trackers_.end()) {
+      if (slot(t.spec_tracker) == nullptr) {
         flag(tid, " backup attempt on unregistered ", t.spec_tracker);
       }
-      if (lost_.contains(t.spec_tracker)) {
+      if (tracker_lost(t.spec_tracker)) {
         flag(tid, " backup attempt still on lost ", t.spec_tracker);
       }
       if (t.spec_started_at < 0) flag(tid, " backup attempt without a launch time");
@@ -957,22 +1152,43 @@ void JobTracker::audit(std::vector<std::string>& violations) const {
       flag(tid, " has ", t.attempts_failed, " failed attempts (cap ",
            cfg_.max_task_attempts, ")");
     }
-    if (t.state == TaskState::Failed && jobs_.at(t.job).state != JobState::Failed) {
+    if (t.state == TaskState::Failed && jobs_[t.job.value()].state != JobState::Failed) {
       flag(tid, " is Failed but its ", t.job, " is ",
-           jobs_.at(t.job).state == JobState::Running ? "Running" : "not Failed");
+           jobs_[t.job.value()].state == JobState::Running ? "Running" : "not Failed");
     }
   }
-  for (TrackerId trk_id : det::sorted_keys(trackers_)) {
-    if (!last_heartbeat_.contains(trk_id)) flag(trk_id, " has no heartbeat lease");
+  // Lease-wheel consistency: every filing matches its slot's recorded
+  // deadline, and (with expiry enabled) each slot is filed exactly once
+  // while live, never while lost.
+  std::vector<int> filings(tracker_slots_.size(), 0);
+  for (const auto& [deadline, idxs] : lease_wheel_) {
+    for (std::uint32_t idx : idxs) {
+      if (idx >= tracker_slots_.size()) {
+        flag("lease wheel files unknown tracker slot ", idx);
+        continue;
+      }
+      ++filings[idx];
+      if (tracker_slots_[idx].lease_deadline != deadline) {
+        flag(tracker_slots_[idx].id, " filed in the lease wheel at t=", deadline,
+             " but its slot records t=", tracker_slots_[idx].lease_deadline);
+      }
+    }
+  }
+  for (std::size_t i = 0; i < tracker_slots_.size(); ++i) {
+    const TrackerSlot& s = tracker_slots_[i];
+    const int expected = (cfg_.tracker_expiry > 0 && !s.lost) ? 1 : 0;
+    if (filings[i] != expected) {
+      flag(s.id, " has ", filings[i], " lease-wheel filings (expected ", expected, ")");
+    }
   }
   const auto check_command_map = [&](const auto& map, const char* what) {
-    for (TaskId tid : det::sorted_keys(map)) {
-      const auto it = tasks_.find(tid);
-      if (it == tasks_.end()) {
+    for (const auto& [tid, unused] : map) {
+      (void)unused;
+      if (tid.value() >= tasks_.size()) {
         flag(what, " command addressed to unknown ", tid);
-      } else if (!it->second.live()) {
+      } else if (!tasks_[tid.value()].live()) {
         flag(what, " command pending for ", tid, " in terminal state ",
-             to_string(it->second.state));
+             to_string(tasks_[tid.value()].state));
       }
     }
   };
@@ -981,24 +1197,22 @@ void JobTracker::audit(std::vector<std::string>& violations) const {
   // Kill orders get their own rules: an attempt-only order may outlive the
   // task's live states (it tracks a dying race loser), but every order
   // must target a registered, non-lost tracker, at most once per tracker.
-  for (TaskId tid : det::sorted_keys(must_kill_)) {
-    const std::vector<KillOrder>& orders = must_kill_.at(tid);
-    const auto it = tasks_.find(tid);
-    if (it == tasks_.end()) {
+  for (const auto& [tid, orders] : must_kill_) {
+    if (tid.value() >= tasks_.size()) {
       flag("kill command addressed to unknown ", tid);
       continue;
     }
+    const Task& t = tasks_[tid.value()];
     if (orders.empty()) flag("empty kill-order list for ", tid);
     for (std::size_t i = 0; i < orders.size(); ++i) {
       const KillOrder& order = orders[i];
-      if (!order.attempt_only && !it->second.live()) {
-        flag("kill command pending for ", tid, " in terminal state ",
-             to_string(it->second.state));
+      if (!order.attempt_only && !t.live()) {
+        flag("kill command pending for ", tid, " in terminal state ", to_string(t.state));
       }
-      if (trackers_.find(order.tracker) == trackers_.end()) {
+      if (slot(order.tracker) == nullptr) {
         flag("kill order for ", tid, " targets unregistered ", order.tracker);
       }
-      if (lost_.contains(order.tracker)) {
+      if (tracker_lost(order.tracker)) {
         flag("kill order for ", tid, " targets lost ", order.tracker);
       }
       for (std::size_t j = i + 1; j < orders.size(); ++j) {
@@ -1009,10 +1223,59 @@ void JobTracker::audit(std::vector<std::string>& violations) const {
     }
   }
   for (JobId jid : job_order_) {
-    const Job& job = jobs_.at(jid);
+    const Job& job = jobs_[jid.value()];
+    // Recompute the incremental indexes from the ground truth (task
+    // states) — the choke point must have kept them exact.
+    FlatIdSet<TaskId> unassigned;
+    FlatIdSet<TaskId> live;
+    FlatIdSet<TaskId> suspended;
+    FlatIdSet<TaskId> not_done;
+    int speculating = 0;
+    int maps_not_succeeded = 0;
     int succeeded = 0;
+    Bytes remaining_bytes = 0;
     for (TaskId tid : job.tasks) {
-      if (tasks_.at(tid).state == TaskState::Succeeded) ++succeeded;
+      const Task& t = tasks_[tid.value()];
+      if (t.state == TaskState::Succeeded) ++succeeded;
+      if (t.state == TaskState::Unassigned) unassigned.insert(tid);
+      if (t.live()) live.insert(tid);
+      if (t.state == TaskState::Suspended) suspended.insert(tid);
+      if (!t.done()) not_done.insert(tid);
+      if (t.speculating()) ++speculating;
+      if (t.spec.type == TaskType::Map && t.state != TaskState::Succeeded) {
+        ++maps_not_succeeded;
+      }
+      remaining_bytes += remaining_contrib(t);
+    }
+    if (unassigned != job.unassigned) flag(jid, " unassigned-task index out of sync");
+    if (live != job.live) flag(jid, " live-task index out of sync");
+    if (suspended != job.suspended) flag(jid, " suspended-task index out of sync");
+    if (not_done != job.not_done) flag(jid, " not-done-task index out of sync");
+    if (remaining_bytes != job.remaining_bytes) {
+      flag(jid, " remaining-bytes total is ", job.remaining_bytes, " but tasks sum to ",
+           remaining_bytes);
+    }
+    const bool should_file = job.state == JobState::Running && job.remaining_bytes != 0;
+    const Bytes want_key = should_file ? job.remaining_bytes : 0;
+    if (job.indexed_remaining != want_key) {
+      flag(jid, " filed under remaining key ", job.indexed_remaining, ", expected ", want_key);
+    }
+    if (should_file && !jobs_by_remaining_.contains({job.remaining_bytes, jid})) {
+      flag(jid, " missing from the jobs-by-remaining index");
+    }
+    const bool should_schedule = job.state == JobState::Running && !job.unassigned.empty();
+    if (schedulable_jobs_.contains(jid) != should_schedule) {
+      flag(jid, should_schedule ? " missing from" : " stale in", " the schedulable-jobs index");
+    }
+    if (speculating != job.speculating) {
+      flag(jid, " counts ", job.speculating, " racing copies but ", speculating, " are bound");
+    }
+    if (maps_not_succeeded != job.maps_not_succeeded) {
+      flag(jid, " counts ", job.maps_not_succeeded, " pending maps but ", maps_not_succeeded,
+           " are not SUCCEEDED");
+    }
+    if ((job.state == JobState::Running) != running_jobs_.contains(jid)) {
+      flag(jid, " running-set membership disagrees with its state");
     }
     if (job.tasks_completed != succeeded) {
       flag(jid, " counts ", job.tasks_completed, " completed tasks but ", succeeded,
@@ -1032,18 +1295,26 @@ void JobTracker::dump(std::ostream& os) const {
   os << jobs_.size() << " jobs, " << tasks_.size() << " tasks; pending commands: "
      << command_sent_.size() << " susp/res, " << must_kill_.size() << " kill, "
      << maps_done_pending_.size() << " maps-done\n";
-  if (!lost_.empty() || !blacklisted_.empty()) {
+  std::vector<TrackerId> lost;
+  std::vector<TrackerId> blacklisted;
+  for (const TrackerSlot& s : tracker_slots_) {
+    if (s.lost) lost.push_back(s.id);
+    if (s.blacklisted) blacklisted.push_back(s.id);
+  }
+  if (!lost.empty() || !blacklisted.empty()) {
+    std::sort(lost.begin(), lost.end());
+    std::sort(blacklisted.begin(), blacklisted.end());
     os << "  trackers:";
-    for (TrackerId id : det::sorted_keys(lost_)) os << ' ' << id << "[lost]";
-    for (TrackerId id : det::sorted_keys(blacklisted_)) os << ' ' << id << "[blacklisted]";
+    for (TrackerId id : lost) os << ' ' << id << "[lost]";
+    for (TrackerId id : blacklisted) os << ' ' << id << "[blacklisted]";
     os << '\n';
   }
   for (JobId jid : job_order_) {
-    const Job& job = jobs_.at(jid);
+    const Job& job = jobs_[jid.value()];
     os << "  " << jid << " (" << job.spec.name << ") " << job.tasks_completed << "/"
        << job.tasks.size() << " done\n";
     for (TaskId tid : job.tasks) {
-      const Task& t = tasks_.at(tid);
+      const Task& t = tasks_[tid.value()];
       os << "    " << tid << ' ' << std::setw(9) << to_string(t.spec.type) << ' '
          << std::setw(12) << to_string(t.state) << " progress="
          << std::fixed << std::setprecision(2) << t.progress;

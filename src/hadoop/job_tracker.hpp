@@ -14,11 +14,16 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
+#include <set>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "audit/audit.hpp"
+#include "common/flat_set.hpp"
 #include "common/ids.hpp"
 #include "hadoop/config.hpp"
 #include "hadoop/events.hpp"
@@ -76,11 +81,15 @@ class JobTracker final : public InvariantAuditor {
   void lose_checkpoints_on(NodeId node);
   /// True once the heartbeat lease expired and the tracker was declared
   /// lost (cleared if it later heartbeats again and is reinitialized).
-  [[nodiscard]] bool tracker_lost(TrackerId id) const { return lost_.contains(id); }
+  [[nodiscard]] bool tracker_lost(TrackerId id) const {
+    const TrackerSlot* s = slot(id);
+    return s != nullptr && s->lost;
+  }
   /// True once the tracker accumulated `tracker_blacklist_failures`
   /// unrequested attempt failures; blacklisted trackers get no new work.
   [[nodiscard]] bool tracker_blacklisted(TrackerId id) const {
-    return blacklisted_.contains(id);
+    const TrackerSlot* s = slot(id);
+    return s != nullptr && s->blacklisted;
   }
 
   // --- heartbeat entry point (via network) ---------------------------------
@@ -90,7 +99,32 @@ class JobTracker final : public InvariantAuditor {
   [[nodiscard]] const Job& job(JobId id) const;
   [[nodiscard]] const Task& task(TaskId id) const;
   [[nodiscard]] Task& task_mutable(TaskId id);
+
+  /// Replace a task's spec (e.g. a Spark recompute after a lost cache).
+  /// Goes through the tracker so the job's remaining-bytes total follows
+  /// the new input size; writing task_mutable(id).spec directly would
+  /// silently desync it (the audit checks).
+  void set_task_spec(TaskId id, TaskSpec spec);
   [[nodiscard]] const std::vector<JobId>& jobs_in_order() const noexcept { return job_order_; }
+  /// Jobs still in JobState::Running, ascending id — what schedulers and
+  /// the straggler detector iterate instead of filtering jobs_in_order().
+  /// Ids are dense and submission-ordered, so this is the same order a
+  /// filtered jobs_in_order() walk produces.
+  [[nodiscard]] const FlatIdSet<JobId>& running_jobs() const noexcept { return running_jobs_; }
+
+  /// Running jobs with remaining work, ordered by (remaining bytes, id).
+  /// begin() is the HFSP head job: the old ascending-id min-scan picked
+  /// the smallest size with lowest-id tie-break, which is exactly
+  /// lexicographic (size, id) order.
+  [[nodiscard]] const std::set<std::pair<Bytes, JobId>>& jobs_by_remaining() const noexcept {
+    return jobs_by_remaining_;
+  }
+
+  /// Running jobs with at least one UNASSIGNED task — the only jobs a
+  /// scheduler's launch sweep can do anything with.
+  [[nodiscard]] const FlatIdSet<JobId>& schedulable_jobs() const noexcept {
+    return schedulable_jobs_;
+  }
   [[nodiscard]] bool all_jobs_done() const;
   [[nodiscard]] TaskTracker* tracker(TrackerId id);
   [[nodiscard]] NodeId master_node() const noexcept { return master_; }
@@ -130,6 +164,46 @@ class JobTracker final : public InvariantAuditor {
     bool primary_sent = false;
     bool spec_sent = false;
   };
+  /// Flat per-tracker hot state, index-addressed in registration order
+  /// (docs/PERF.md). Everything a heartbeat or lease sweep touches lives
+  /// here in one cache line instead of four hash maps.
+  struct TrackerSlot {
+    TaskTracker* tracker = nullptr;
+    TrackerId id;
+    /// Last heartbeat arrival (the lease; starts at registration).
+    SimTime last_heartbeat = 0;
+    /// Wheel deadline this tracker is filed under; -1 when not filed
+    /// (declared lost, or lease expiry disabled).
+    SimTime lease_deadline = -1;
+    bool lost = false;
+    bool blacklisted = false;
+    /// Unrequested attempt failures (blacklist bookkeeping).
+    int failures = 0;
+  };
+
+  [[nodiscard]] const TrackerSlot* slot(TrackerId id) const {
+    const auto it = tracker_index_.find(id);
+    return it == tracker_index_.end() ? nullptr : &tracker_slots_[it->second];
+  }
+  [[nodiscard]] TrackerSlot* slot(TrackerId id) {
+    const auto it = tracker_index_.find(id);
+    return it == tracker_index_.end() ? nullptr : &tracker_slots_[it->second];
+  }
+  [[nodiscard]] Job& job_ref(JobId id);
+  /// The single choke point for task-state writes: transitions the state
+  /// and keeps the owning job's index sets and counters in sync. Every
+  /// `task.state = ...` in the implementation goes through here.
+  void set_task_state(Task& task, TaskState to);
+  /// Single write path for a task's progress: keeps the owning job's
+  /// remaining-bytes total exact.
+  void set_task_progress(Task& task, double progress);
+  /// Refile `job` in the derived job indexes (jobs_by_remaining_,
+  /// schedulable_jobs_) after anything that can move its key or
+  /// membership: remaining-bytes changes, unassigned-pool transitions,
+  /// job completion or failure.
+  void reindex_job(Job& job);
+  /// File the tracker in the lease wheel at last_heartbeat + expiry.
+  void file_lease(std::uint32_t idx);
 
   void emit(ClusterEventType type, JobId job, TaskId task, NodeId node);
   void apply_report(const TrackerStatus& status, const TaskStatusReport& report);
@@ -191,31 +265,43 @@ class JobTracker final : public InvariantAuditor {
   Scheduler* scheduler_ = nullptr;
   std::vector<std::function<void(const ClusterEvent&)>> event_hooks_;
 
-  std::unordered_map<TrackerId, TaskTracker*> trackers_;
-  std::unordered_map<JobId, Job> jobs_;
-  std::unordered_map<TaskId, Task> tasks_;
+  /// Tracker hot state, index-addressed in registration order; the id ->
+  /// index map is a lookup table only and is never iterated.
+  std::vector<TrackerSlot> tracker_slots_;
+  std::unordered_map<TrackerId, std::uint32_t> tracker_index_;
+  /// Jobs and tasks, indexed directly by their dense ids (ids are handed
+  /// out sequentially from 0 and entries are never erased). A deque keeps
+  /// references stable across growth.
+  std::deque<Job> jobs_;
+  std::deque<Task> tasks_;
   std::vector<JobId> job_order_;
+  /// Jobs still Running, ascending id (maintained by the job-state
+  /// transitions in submit/complete/fail).
+  FlatIdSet<JobId> running_jobs_;
+  std::set<std::pair<Bytes, JobId>> jobs_by_remaining_;
+  FlatIdSet<JobId> schedulable_jobs_;
+  /// Straggler-scan scratch (candidate attempts of one job); a member so
+  /// the per-heartbeat scan reuses one allocation.
+  std::vector<std::pair<TaskId, double>> spec_scratch_;
   /// Tasks with an un-sent Suspend/Resume command (cleared when the
-  /// command is piggybacked).
-  std::unordered_map<TaskId, bool> command_sent_;
+  /// command is piggybacked). Ordered maps: heartbeat handling walks these
+  /// in task-id order directly, no sorted-key snapshots.
+  std::map<TaskId, bool> command_sent_;
   /// Pending Kill commands per task; a racing task can owe kills to both
   /// its attempts at once.
-  std::unordered_map<TaskId, std::vector<KillOrder>> must_kill_;
+  std::map<TaskId, std::vector<KillOrder>> must_kill_;
   /// Reduces owed a MapsDone action (their job's maps all succeeded after
   /// they launched with the shuffle barrier armed).
-  std::unordered_map<TaskId, MapsDonePending> maps_done_pending_;
+  std::map<TaskId, MapsDonePending> maps_done_pending_;
   IdGenerator<JobId> job_ids_;
   IdGenerator<TaskId> task_ids_;
 
   // --- failure model -------------------------------------------------------
-  /// Last heartbeat arrival per registered tracker (the lease).
-  std::unordered_map<TrackerId, SimTime> last_heartbeat_;
-  /// Trackers whose lease expired (value unused; a map keeps the
-  /// det::sorted_keys traversal idiom uniform).
-  std::unordered_map<TrackerId, bool> lost_;
-  /// Unrequested attempt failures per tracker (blacklist bookkeeping).
-  std::unordered_map<TrackerId, int> failures_on_tracker_;
-  std::unordered_map<TrackerId, bool> blacklisted_;
+  /// Lease wheel: tracker slots filed by their lease deadline
+  /// (last_heartbeat + expiry at filing time). The sweep pops only the due
+  /// buckets and lazily refiles trackers that heartbeat since — O(due)
+  /// per sweep instead of O(trackers).
+  std::map<SimTime, std::vector<std::uint32_t>> lease_wheel_;
   EventId lease_timer_ = 0;
 
   // --- observability (src/trace) -----------------------------------------

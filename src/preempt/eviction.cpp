@@ -42,7 +42,9 @@ TaskId pick_victim(EvictionPolicy policy, const std::vector<EvictionCandidate>& 
 
 std::vector<EvictionCandidate> collect_candidates(const JobTracker& jt, JobId job) {
   std::vector<EvictionCandidate> out;
-  for (TaskId tid : jt.job(job).tasks) {
+  // Candidates come from the job's live index (ascending task id, like
+  // the old full walk); the Running filter still applies within it.
+  for (TaskId tid : jt.job(job).live) {
     const Task& t = jt.task(tid);
     if (t.state != TaskState::Running) continue;
     EvictionCandidate c;

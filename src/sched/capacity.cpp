@@ -51,26 +51,22 @@ int CapacityScheduler::guaranteed_slots(const std::string& queue) const {
 }
 
 int CapacityScheduler::used_slots(const std::string& queue) const {
+  // Every job (even a non-Running one whose attempts are still winding
+  // down) can hold slots: Running | MustSuspend | MustResume is the live
+  // index minus the parked Suspended tasks.
   int used = 0;
   for (JobId jid : jt_->jobs_in_order()) {
     if (queue_of(jid) != queue) continue;
-    for (TaskId tid : jt_->job(jid).tasks) {
-      const TaskState s = jt_->task(tid).state;
-      if (s == TaskState::Running || s == TaskState::MustSuspend || s == TaskState::MustResume) {
-        ++used;
-      }
-    }
+    const Job& job = jt_->job(jid);
+    used += static_cast<int>(job.live.size() - job.suspended.size());
   }
   return used;
 }
 
 bool CapacityScheduler::queue_has_demand(const std::string& queue) const {
-  for (JobId jid : jt_->jobs_in_order()) {
-    const Job& job = jt_->job(jid);
-    if (job.state != JobState::Running || queue_of(jid) != queue) continue;
-    for (TaskId tid : job.tasks) {
-      if (jt_->task(tid).state == TaskState::Unassigned) return true;
-    }
+  for (JobId jid : jt_->running_jobs()) {
+    if (queue_of(jid) != queue) continue;
+    if (!jt_->job(jid).unassigned.empty()) return true;
   }
   return false;
 }
@@ -130,10 +126,10 @@ std::vector<TaskId> CapacityScheduler::assign(const TrackerStatus& status) {
     }
   }
   if (!someone_waiting) {
+    // Suspended tasks of every job, Running or not (request_resume only
+    // queues; transitions happen in on_heartbeat below).
     for (JobId jid : jt_->jobs_in_order()) {
-      for (TaskId tid : jt_->job(jid).tasks) {
-        if (jt_->task(tid).state == TaskState::Suspended) resume_policy_->request_resume(tid);
-      }
+      for (TaskId tid : jt_->job(jid).suspended) resume_policy_->request_resume(tid);
     }
   }
   free_maps -= resume_policy_->on_heartbeat(status);
@@ -150,12 +146,11 @@ std::vector<TaskId> CapacityScheduler::assign(const TrackerStatus& status) {
 
   std::vector<TaskId> out;
   for (const QueueConfig* q : order) {
-    for (JobId jid : jt_->jobs_in_order()) {
+    for (JobId jid : jt_->running_jobs()) {
       const Job& job = jt_->job(jid);
-      if (job.state != JobState::Running || queue_of(jid) != q->name) continue;
-      for (TaskId tid : job.tasks) {
+      if (queue_of(jid) != q->name) continue;
+      for (TaskId tid : job.unassigned) {
         const Task& task = jt_->task(tid);
-        if (task.state != TaskState::Unassigned) continue;
         if (task.spec.preferred_node.valid() && task.spec.preferred_node != status.node) {
           continue;
         }

@@ -17,10 +17,12 @@ void DeadlineScheduler::attached() {
 }
 
 Duration DeadlineScheduler::remaining_work(JobId id) const {
+  // The not-done index iterates in ascending task id — the same order the
+  // old filtered walk of job.tasks summed in, so this floating-point
+  // accumulation is bit-identical.
   double seconds = 0;
-  for (TaskId tid : jt_->job(id).tasks) {
+  for (TaskId tid : jt_->job(id).not_done) {
     const Task& t = jt_->task(tid);
-    if (t.done()) continue;
     const double left = 1.0 - (t.live() ? t.progress : 0.0);
     seconds += left * static_cast<double>(t.spec.input_bytes) * options_.seconds_per_byte;
   }
@@ -34,10 +36,7 @@ Duration DeadlineScheduler::laxity(JobId id) const {
 }
 
 std::vector<JobId> DeadlineScheduler::edf_order() const {
-  std::vector<JobId> order;
-  for (JobId jid : jt_->jobs_in_order()) {
-    if (jt_->job(jid).state == JobState::Running) order.push_back(jid);
-  }
+  std::vector<JobId> order(jt_->running_jobs().begin(), jt_->running_jobs().end());
   std::stable_sort(order.begin(), order.end(), [this](JobId a, JobId b) {
     const SimTime da = jt_->job(a).spec.deadline < 0 ? kTimeNever : jt_->job(a).spec.deadline;
     const SimTime db = jt_->job(b).spec.deadline < 0 ? kTimeNever : jt_->job(b).spec.deadline;
@@ -58,20 +57,16 @@ std::vector<TaskId> DeadlineScheduler::assign(const TrackerStatus& status) {
   for (JobId jid : order) {
     const Job& job = jt_->job(jid);
     if (job.spec.deadline < 0) continue;
-    for (TaskId tid : job.tasks) {
-      if (jt_->task(tid).state == TaskState::Unassigned) {
-        deadline_job_waiting = true;
-        break;
-      }
+    if (!job.unassigned.empty()) {
+      deadline_job_waiting = true;
+      break;
     }
-    if (deadline_job_waiting) break;
   }
   for (JobId jid : order) {
     const Job& job = jt_->job(jid);
     if (job.spec.deadline < 0 && deadline_job_waiting) continue;
-    for (TaskId tid : job.tasks) {
-      if (jt_->task(tid).state == TaskState::Suspended) resume_policy_->request_resume(tid);
-    }
+    // request_resume only queues; transitions happen in on_heartbeat.
+    for (TaskId tid : job.suspended) resume_policy_->request_resume(tid);
   }
   int free_maps = status.free_map_slots;
   int free_reduces = status.free_reduce_slots;
@@ -81,9 +76,8 @@ std::vector<TaskId> DeadlineScheduler::assign(const TrackerStatus& status) {
   int urgent_unserved = 0;
   JobId most_urgent;
   for (JobId jid : order) {
-    for (TaskId tid : jt_->job(jid).tasks) {
+    for (TaskId tid : jt_->job(jid).unassigned) {
       const Task& task = jt_->task(tid);
-      if (task.state != TaskState::Unassigned) continue;
       if (task.spec.preferred_node.valid() && task.spec.preferred_node != status.node) continue;
       int& budget = task.spec.type == TaskType::Map ? free_maps : free_reduces;
       if (budget > 0) {

@@ -20,26 +20,19 @@ void FairScheduler::job_added(JobId id) { satisfied_at_[id] = jt_->now(); }
 void FairScheduler::job_completed(JobId id) { satisfied_at_.erase(id); }
 
 int FairScheduler::running_or_pending_command(JobId id) const {
-  int n = 0;
-  for (TaskId tid : jt_->job(id).tasks) {
-    const TaskState s = jt_->task(tid).state;
-    if (s == TaskState::Running || s == TaskState::MustSuspend || s == TaskState::MustResume) ++n;
-  }
-  return n;
+  // Running | MustSuspend | MustResume = live minus the parked Suspended.
+  const Job& job = jt_->job(id);
+  return static_cast<int>(job.live.size() - job.suspended.size());
 }
 
 int FairScheduler::demand(JobId id) const {
-  int n = 0;
-  for (TaskId tid : jt_->job(id).tasks) {
-    if (!jt_->task(tid).done()) ++n;
-  }
-  return n;
+  return static_cast<int>(jt_->job(id).not_done.size());
 }
 
 double FairScheduler::fair_share() const {
   int active = 0;
-  for (JobId id : jt_->jobs_in_order()) {
-    if (jt_->job(id).state == JobState::Running && demand(id) > 0) ++active;
+  for (JobId id : jt_->running_jobs()) {
+    if (demand(id) > 0) ++active;
   }
   if (active == 0) return static_cast<double>(options_.cluster_map_slots);
   return static_cast<double>(options_.cluster_map_slots) / active;
@@ -52,25 +45,17 @@ void FairScheduler::resume_where_possible(const TrackerStatus& status, int& free
   // heartbeat.
   const double share = fair_share();
   bool someone_waiting = false;
-  for (JobId jid : jt_->jobs_in_order()) {
-    const Job& job = jt_->job(jid);
-    if (job.state != JobState::Running) continue;
+  for (JobId jid : jt_->running_jobs()) {
     if (running_or_pending_command(jid) >= static_cast<int>(share + 1e-9) + 1) continue;
-    for (TaskId tid : job.tasks) {
-      if (jt_->task(tid).state == TaskState::Unassigned) {
-        someone_waiting = true;
-        break;
-      }
+    if (!jt_->job(jid).unassigned.empty()) {
+      someone_waiting = true;
+      break;
     }
-    if (someone_waiting) break;
   }
   if (!someone_waiting) {
-    for (JobId jid : jt_->jobs_in_order()) {
-      const Job& job = jt_->job(jid);
-      if (job.state != JobState::Running) continue;
-      for (TaskId tid : job.tasks) {
-        if (jt_->task(tid).state == TaskState::Suspended) resume_policy_->request_resume(tid);
-      }
+    for (JobId jid : jt_->running_jobs()) {
+      // request_resume only queues; transitions happen in on_heartbeat.
+      for (TaskId tid : jt_->job(jid).suspended) resume_policy_->request_resume(tid);
     }
   }
   free_maps -= resume_policy_->on_heartbeat(status);
@@ -79,9 +64,7 @@ void FairScheduler::resume_where_possible(const TrackerStatus& status, int& free
 void FairScheduler::check_starvation() {
   const double share = fair_share();
   const SimTime now = jt_->now();
-  for (JobId jid : jt_->jobs_in_order()) {
-    const Job& job = jt_->job(jid);
-    if (job.state != JobState::Running) continue;
+  for (JobId jid : jt_->running_jobs()) {
     const int want = std::min(demand(jid), static_cast<int>(share + 1e-9) > 0
                                                ? static_cast<int>(share + 1e-9)
                                                : 1);
@@ -95,8 +78,8 @@ void FairScheduler::check_starvation() {
     // Starved: preempt a victim from the job furthest above its share.
     JobId fattest;
     int fattest_excess = 0;
-    for (JobId other : jt_->jobs_in_order()) {
-      if (other == jid || jt_->job(other).state != JobState::Running) continue;
+    for (JobId other : jt_->running_jobs()) {
+      if (other == jid) continue;
       const int excess = running_or_pending_command(other) -
                          static_cast<int>(share + 1e-9);
       if (excess > fattest_excess) {
@@ -126,17 +109,18 @@ std::vector<TaskId> FairScheduler::assign(const TrackerStatus& status) {
   std::vector<TaskId> out;
   if (free_maps <= 0 && free_reduces <= 0) return out;
 
-  // Hand slots to jobs in ascending (running / share) order.
-  std::vector<JobId> queue = jt_->jobs_in_order();
+  // Hand slots to jobs in ascending (running / share) order. Sorting the
+  // running set then walking it is the same order the old sort-everything-
+  // then-filter pass produced: the comparator reads only per-element state,
+  // and stable_sort keeps the ascending-id relative order of ties.
+  std::vector<JobId> queue(jt_->running_jobs().begin(), jt_->running_jobs().end());
   std::stable_sort(queue.begin(), queue.end(), [this](JobId a, JobId b) {
     return running_or_pending_command(a) < running_or_pending_command(b);
   });
   for (JobId jid : queue) {
     const Job& job = jt_->job(jid);
-    if (job.state != JobState::Running) continue;
-    for (TaskId tid : job.tasks) {
+    for (TaskId tid : job.unassigned) {
       const Task& task = jt_->task(tid);
-      if (task.state != TaskState::Unassigned) continue;
       if (task.spec.preferred_node.valid() && task.spec.preferred_node != status.node) continue;
       int& budget = task.spec.type == TaskType::Map ? free_maps : free_reduces;
       if (budget <= 0) continue;

@@ -5,7 +5,10 @@
 namespace osap {
 
 std::vector<JobId> FifoScheduler::job_queue() const {
-  std::vector<JobId> queue = jt_->jobs_in_order();
+  // Sorting the running set matches the old sort-all-then-filter order:
+  // the comparator reads only per-job state, and stable_sort keeps the
+  // ascending-id (submission) order of equal priorities.
+  std::vector<JobId> queue(jt_->running_jobs().begin(), jt_->running_jobs().end());
   std::stable_sort(queue.begin(), queue.end(), [this](JobId a, JobId b) {
     return jt_->job(a).spec.priority > jt_->job(b).spec.priority;
   });
@@ -31,10 +34,8 @@ std::vector<TaskId> FifoScheduler::assign(const TrackerStatus& status) {
   for (const bool local_pass : {true, false}) {
     for (JobId jid : job_queue()) {
       const Job& job = jt_->job(jid);
-      if (job.state != JobState::Running) continue;
-      for (TaskId tid : job.tasks) {
+      for (TaskId tid : job.unassigned) {
         const Task& task = jt_->task(tid);
-        if (task.state != TaskState::Unassigned) continue;
         if (std::find(out.begin(), out.end(), tid) != out.end()) continue;
         const bool is_local =
             !task.spec.preferred_node.valid() || task.spec.preferred_node == status.node;

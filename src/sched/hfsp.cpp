@@ -15,30 +15,18 @@ void HfspScheduler::attached() {
 }
 
 Bytes HfspScheduler::remaining_size(JobId id) const {
-  Bytes remaining = 0;
-  for (TaskId tid : jt_->job(id).tasks) {
-    const Task& t = jt_->task(tid);
-    if (t.done()) continue;
-    const double left = 1.0 - (t.live() ? t.progress : 0.0);
-    remaining += static_cast<Bytes>(left * static_cast<double>(t.spec.input_bytes));
-  }
-  return remaining;
+  // The JobTracker keeps this total exact through its task-state and
+  // task-progress choke points: per-task integer contributions are
+  // swapped out and back in as they change, so the running sum equals
+  // the old per-call rescan of every not-done task bit for bit.
+  return jt_->job(id).remaining_bytes;
 }
 
 JobId HfspScheduler::head_job() const {
-  JobId head;
-  Bytes best = 0;
-  for (JobId jid : jt_->jobs_in_order()) {
-    const Job& job = jt_->job(jid);
-    if (job.state != JobState::Running) continue;
-    const Bytes size = remaining_size(jid);
-    if (size == 0) continue;
-    if (!head.valid() || size < best) {
-      head = jid;
-      best = size;
-    }
-  }
-  return head;
+  // Front of the (remaining, id) order index — the old ascending-id
+  // min-scan's pick, since strict-less kept the lowest id on size ties.
+  const auto& by_remaining = jt_->jobs_by_remaining();
+  return by_remaining.empty() ? JobId{} : by_remaining.begin()->second;
 }
 
 std::vector<TaskId> HfspScheduler::assign(const TrackerStatus& status) {
@@ -46,19 +34,17 @@ std::vector<TaskId> HfspScheduler::assign(const TrackerStatus& status) {
   const JobId head = head_job();
   if (!head.valid()) return out;
 
-  // The head job gets its suspended tasks back first.
-  for (TaskId tid : jt_->job(head).tasks) {
-    if (jt_->task(tid).state == TaskState::Suspended) resume_policy_->request_resume(tid);
-  }
+  // The head job gets its suspended tasks back first (request_resume only
+  // queues; nothing transitions until resume_policy_->on_heartbeat below).
+  for (TaskId tid : jt_->job(head).suspended) resume_policy_->request_resume(tid);
   int free_maps = status.free_map_slots;
   int free_reduces = status.free_reduce_slots;
   free_maps -= resume_policy_->on_heartbeat(status);
 
   // Launch the head job's pending tasks.
   int head_pending = 0;
-  for (TaskId tid : jt_->job(head).tasks) {
+  for (TaskId tid : jt_->job(head).unassigned) {
     const Task& task = jt_->task(tid);
-    if (task.state != TaskState::Unassigned) continue;
     if (task.spec.preferred_node.valid() && task.spec.preferred_node != status.node) continue;
     int& budget = task.spec.type == TaskType::Map ? free_maps : free_reduces;
     if (budget > 0) {
@@ -74,8 +60,8 @@ std::vector<TaskId> HfspScheduler::assign(const TrackerStatus& status) {
   while (head_pending > 0 && budget > 0) {
     JobId fattest;
     Bytes fattest_size = 0;
-    for (JobId jid : jt_->jobs_in_order()) {
-      if (jid == head || jt_->job(jid).state != JobState::Running) continue;
+    for (JobId jid : jt_->running_jobs()) {
+      if (jid == head) continue;
       const Bytes size = remaining_size(jid);
       if (size > fattest_size &&
           !collect_candidates(*jt_, jid).empty()) {
@@ -95,15 +81,15 @@ std::vector<TaskId> HfspScheduler::assign(const TrackerStatus& status) {
     --budget;
   }
 
-  // Leftover slots go to the remaining jobs, smallest first.
+  // Leftover slots go to the remaining jobs, smallest first. Only jobs
+  // with a non-empty unassigned pool can take one; skipping the rest
+  // skips exactly the iterations the old running-jobs walk wasted.
   while (free_maps > 0 || free_reduces > 0) {
     bool assigned = false;
-    for (JobId jid : jt_->jobs_in_order()) {
+    for (JobId jid : jt_->schedulable_jobs()) {
       const Job& job = jt_->job(jid);
-      if (job.state != JobState::Running) continue;
-      for (TaskId tid : job.tasks) {
+      for (TaskId tid : job.unassigned) {
         const Task& task = jt_->task(tid);
-        if (task.state != TaskState::Unassigned) continue;
         if (std::find(out.begin(), out.end(), tid) != out.end()) continue;
         if (task.spec.preferred_node.valid() && task.spec.preferred_node != status.node) continue;
         int& budget = task.spec.type == TaskType::Map ? free_maps : free_reduces;

@@ -1,58 +1,240 @@
 #include "sim/event_queue.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "common/error.hpp"
 
 namespace osap {
 
+namespace {
+
+/// Bucket-count policy: grow when buckets average > 2 live events, shrink
+/// (with hysteresis) when the calendar is mostly empty.
+[[nodiscard]] constexpr bool should_grow(std::size_t live, std::size_t buckets) noexcept {
+  return live > 2 * buckets;
+}
+[[nodiscard]] constexpr bool should_shrink(std::size_t live, std::size_t buckets) noexcept {
+  return live < buckets / 4;
+}
+
+/// A day bucket holding more than this many entries is a sign the day
+/// width no longer matches the event population (it was estimated from an
+/// earlier, sparser era); pop() reacts by re-estimating via compact().
+constexpr std::size_t kScanTarget = 64;
+
+}  // namespace
+
+std::uint64_t EventQueue::day_of(SimTime t) const noexcept {
+  // Pure function of (t, width_): scans rely on every entry mapping to
+  // the same day until the next rebuild. The clamp keeps a huge t /
+  // tiny width from overflowing the day counter; entries past it just
+  // share the final day and are ordered by the (time, id) min-scan.
+  const double day = t / width_;
+  return day < 1e18 ? static_cast<std::uint64_t>(day) : static_cast<std::uint64_t>(1e18);
+}
+
 EventId EventQueue::push(SimTime t, std::function<void()> fn) {
   OSAP_CHECK_MSG(t >= 0 && t < kTimeNever, "event time must be finite, got " << t);
   const EventId id = next_id_++;
-  heap_.push(Entry{t, id, std::move(fn)});
-  live_.insert(id);
+
+  std::uint32_t slot;
+  if (free_head_ != kNoSlot) {
+    slot = free_head_;
+    free_head_ = arena_[slot].next_free;
+  } else {
+    slot = static_cast<std::uint32_t>(arena_.size());
+    arena_.emplace_back();
+  }
+  arena_[slot].fn = std::move(fn);
+  arena_[slot].id = id;
+  slot_of_.emplace(id, slot);
+
+  if (should_grow(live_ + 1, buckets_.size())) compact(buckets_.size() * 2);
+
+  const std::uint64_t day = day_of(t);
+  // An empty calendar's cursor is stale; otherwise only rewind it — the
+  // cursor is a lower bound on the earliest pending day.
+  if (live_ == 0 || day < cur_day_) cur_day_ = day;
+  buckets_[day % buckets_.size()].push_back(Entry{t, id, day, slot});
+  ++live_;
+  peek_valid_ = false;
   return id;
 }
 
 void EventQueue::cancel(EventId id) {
   // Cancelling an id that already fired (or never existed) is a no-op —
   // periodic re-arm patterns cancel their own just-fired timer.
-  if (live_.erase(id) > 0) cancelled_.insert(id);
+  const auto it = slot_of_.find(id);
+  if (it == slot_of_.end()) return;
+  const std::uint32_t slot = it->second;
+  slot_of_.erase(it);
+  // Release the closure (and everything it captures) right now; the
+  // calendar entry becomes a POD tombstone, recognized by the id
+  // mismatch and dropped by the next scan or compaction.
+  arena_[slot].fn = nullptr;
+  arena_[slot].id = 0;
+  arena_[slot].next_free = free_head_;
+  free_head_ = slot;
+  --live_;
+  ++cancelled_;
+  peek_valid_ = false;
+  if (cancelled_ >= 64 && cancelled_ > live_) compact(buckets_.size());
 }
 
-void EventQueue::drop_cancelled() {
-  while (!heap_.empty()) {
-    const auto it = cancelled_.find(heap_.top().id);
-    if (it == cancelled_.end()) break;
-    cancelled_.erase(it);
-    heap_.pop();
+void EventQueue::compact(std::size_t new_buckets) {
+  std::vector<Entry> entries;
+  entries.reserve(live_);
+  for (std::vector<Entry>& bucket : buckets_) {
+    for (const Entry& e : bucket) {
+      if (arena_[e.slot].id == e.id) entries.push_back(e);
+    }
+    bucket.clear();
   }
+  cancelled_ = 0;
+  pops_since_compact_ = 0;
+
+  // Re-estimate the day width so a bucket holds ~2 events: too wide and
+  // pops scan long buckets, too narrow and pops trudge through empty
+  // days. A sorted subsample spans (almost) the full population, so
+  // span / population approximates the mean inter-event gap no matter
+  // the sampling stride.
+  if (entries.size() >= 2) {
+    std::vector<SimTime> sample;
+    const std::size_t stride = std::max<std::size_t>(1, entries.size() / 64);
+    for (std::size_t i = 0; i < entries.size(); i += stride) sample.push_back(entries[i].time);
+    std::sort(sample.begin(), sample.end());
+    const SimTime span = sample.back() - sample.front();
+    if (span > 0) {
+      width_ = std::max(2.0 * span / static_cast<double>(entries.size()), 1e-9);
+    }
+  }
+
+  buckets_.assign(std::max(new_buckets, kMinBuckets), {});
+  cur_day_ = ~std::uint64_t{0};
+  for (Entry e : entries) {
+    e.day = day_of(e.time);  // the width (and so every day) may have moved
+    cur_day_ = std::min(cur_day_, e.day);
+    buckets_[e.day % buckets_.size()].push_back(e);
+  }
+  if (entries.empty()) cur_day_ = 0;
+  peek_valid_ = false;
 }
 
-bool EventQueue::empty() const noexcept { return live_.empty(); }
+bool EventQueue::find_min() {
+  if (live_ == 0) return false;
+  if (peek_valid_) return true;
 
-SimTime EventQueue::next_time() const noexcept {
-  const_cast<EventQueue*>(this)->drop_cancelled();
-  return heap_.empty() ? kTimeNever : heap_.top().time;
+  const std::size_t nb = buckets_.size();
+  // Day-by-day scan: the earliest entry of the current day, pruning
+  // tombstones in passing. Entries from later days sharing the bucket
+  // stay put. After a calendar's worth of empty days the population is
+  // sparse — locate the global minimum directly instead.
+  for (std::size_t advanced = 0; advanced <= nb; ++advanced, ++cur_day_) {
+    std::vector<Entry>& bucket = buckets_[cur_day_ % nb];
+    bool found = false;
+    SimTime best_time = kTimeNever;
+    EventId best_id = 0;
+    for (std::size_t i = 0; i < bucket.size();) {
+      const Entry& e = bucket[i];
+      if (arena_[e.slot].id != e.id) {
+        bucket[i] = bucket.back();
+        bucket.pop_back();
+        --cancelled_;
+        continue;
+      }
+      if (e.day == cur_day_ &&
+          (!found || e.time < best_time || (e.time == best_time && e.id < best_id))) {
+        found = true;
+        best_time = e.time;
+        best_id = e.id;
+        peek_bucket_ = cur_day_ % nb;
+        peek_index_ = i;
+      }
+      ++i;
+    }
+    if (found) {
+      // A day this crowded means the width was tuned for a sparser era
+      // (the population only re-tunes on grow/shrink otherwise); ask
+      // pop() to rebuild. Rate-limited there, so a pathological
+      // population (everything at one instant) cannot thrash.
+      overloaded_ = bucket.size() > kScanTarget;
+      peek_valid_ = true;
+      return true;
+    }
+  }
+
+  // Direct search: global (time, id) minimum across every bucket.
+  bool found = false;
+  SimTime best_time = kTimeNever;
+  std::uint64_t best_day = 0;
+  EventId best_id = 0;
+  for (std::size_t b = 0; b < nb; ++b) {
+    std::vector<Entry>& bucket = buckets_[b];
+    for (std::size_t i = 0; i < bucket.size();) {
+      const Entry& e = bucket[i];
+      if (arena_[e.slot].id != e.id) {
+        bucket[i] = bucket.back();
+        bucket.pop_back();
+        --cancelled_;
+        continue;
+      }
+      if (!found || e.time < best_time || (e.time == best_time && e.id < best_id)) {
+        found = true;
+        best_time = e.time;
+        best_day = e.day;
+        best_id = e.id;
+        peek_bucket_ = b;
+        peek_index_ = i;
+      }
+      ++i;
+    }
+  }
+  OSAP_CHECK(found);  // live_ > 0 guarantees a pending entry exists
+  cur_day_ = best_day;
+  peek_valid_ = true;
+  return true;
+}
+
+SimTime EventQueue::next_time() {
+  if (!find_min()) return kTimeNever;
+  return buckets_[peek_bucket_][peek_index_].time;
 }
 
 std::vector<std::pair<SimTime, EventId>> EventQueue::pending_events() const {
-  // The underlying container of a priority_queue is inaccessible; rebuild
-  // the view from a copy. Debug-only, cost is acceptable.
   std::vector<std::pair<SimTime, EventId>> out;
-  auto copy = heap_;
-  while (!copy.empty()) {
-    if (!cancelled_.contains(copy.top().id)) out.emplace_back(copy.top().time, copy.top().id);
-    copy.pop();
-  }
+  out.reserve(live_);
+  for_each_pending([&out](SimTime t, EventId id) { out.emplace_back(t, id); });
   return out;
 }
 
 EventQueue::Fired EventQueue::pop() {
-  drop_cancelled();
-  OSAP_CHECK(!heap_.empty());
-  const Entry& top = heap_.top();
-  Fired fired{top.time, top.id, std::move(top.fn)};
-  heap_.pop();
-  live_.erase(fired.id);
+  OSAP_CHECK(find_min());
+  std::vector<Entry>& bucket = buckets_[peek_bucket_];
+  const Entry e = bucket[peek_index_];
+  bucket[peek_index_] = bucket.back();
+  bucket.pop_back();
+  peek_valid_ = false;
+
+  Fired fired{e.time, e.id, std::move(arena_[e.slot].fn)};
+  arena_[e.slot].fn = nullptr;
+  arena_[e.slot].id = 0;
+  arena_[e.slot].next_free = free_head_;
+  free_head_ = e.slot;
+  slot_of_.erase(e.id);
+  --live_;
+  ++pops_since_compact_;
+  if (should_shrink(live_, buckets_.size()) && buckets_.size() > kMinBuckets) {
+    compact(buckets_.size() / 2);
+  } else if (overloaded_ && pops_since_compact_ > buckets_.size()) {
+    // Steady-state re-tune: the population level never tripped a
+    // grow/shrink, but find_min keeps scanning oversized days. One
+    // rebuild per calendar's worth of pops bounds the amortized cost at
+    // O(live / buckets) ≈ O(1) per pop even if the width estimate can't
+    // improve (e.g. every pending event shares one timestamp).
+    overloaded_ = false;
+    compact(buckets_.size());
+  }
   return fired;
 }
 

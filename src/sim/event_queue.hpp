@@ -1,11 +1,28 @@
-// Priority queue of timestamped events with stable FIFO tie-breaking and
-// O(1) cancellation (lazy deletion on pop).
+// Calendar queue of timestamped events with stable FIFO tie-breaking and
+// O(1) cancellation that releases the closure eagerly.
+//
+// Structure (Brown's calendar queue, 1988): events hash into an array of
+// "day" buckets by floor(time / width); pop scans the current day for
+// the earliest (time, id) pair and advances day by day, falling back to
+// a direct search when the calendar is sparse. The bucket count tracks
+// the number of pending events (amortized O(1) resize) so buckets stay
+// short and push/pop are O(1) for the steady-state timer populations a
+// warehouse-scale simulation carries. Pop order is the total order
+// (time, then insertion id) — exactly the binary heap's order, so the
+// event-stream digest is unchanged by construction (docs/PERF.md).
+//
+// Closures live in a slot arena, not in the calendar: bucket entries are
+// small PODs {time, id, slot}, and cancel() frees the slot (and the
+// std::function plus everything it captures) immediately. A cancelled
+// entry leaves only a POD tombstone behind, detected on scan by an
+// id mismatch against the arena slot and dropped in passing; when
+// tombstones outnumber live events the calendar is compacted outright.
 #pragma once
 
 #include <cstdint>
 #include <functional>
-#include <queue>
-#include <unordered_set>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/time.hpp"
@@ -21,14 +38,17 @@ class EventQueue {
   /// insertion order.
   EventId push(SimTime t, std::function<void()> fn);
 
-  /// Cancel a pending event. Cancelling an already-fired or unknown id is
-  /// a harmless no-op (the id space is never reused).
+  /// Cancel a pending event, releasing its closure immediately.
+  /// Cancelling an already-fired or unknown id is a harmless no-op (the
+  /// id space is never reused).
   void cancel(EventId id);
 
-  [[nodiscard]] bool empty() const noexcept;
+  [[nodiscard]] bool empty() const noexcept { return live_ == 0; }
 
-  /// Time of the earliest pending event; kTimeNever when empty.
-  [[nodiscard]] SimTime next_time() const noexcept;
+  /// Time of the earliest pending event; kTimeNever when empty. Advances
+  /// the calendar cursor and prunes tombstones in passing, hence
+  /// non-const (the old const version hid this behind a const_cast).
+  [[nodiscard]] SimTime next_time();
 
   /// Remove and return the earliest pending event.
   /// Precondition: !empty().
@@ -39,33 +59,78 @@ class EventQueue {
   };
   Fired pop();
 
-  [[nodiscard]] std::size_t pending() const noexcept { return live_.size(); }
+  [[nodiscard]] std::size_t pending() const noexcept { return live_; }
+
+  /// Cancelled tombstones still occupying calendar buckets (their
+  /// closures are already freed). Bounded by compaction; exposed for the
+  /// cancellation-storm stress test.
+  [[nodiscard]] std::size_t cancelled_entries() const noexcept { return cancelled_; }
+
+  /// Visit every pending (time, id) pair, unordered, without copying or
+  /// draining anything: O(pending) per full iteration.
+  template <typename Fn>
+  void for_each_pending(Fn&& fn) const {
+    for (const std::vector<Entry>& bucket : buckets_) {
+      for (const Entry& e : bucket) {
+        if (arena_[e.slot].id == e.id) fn(e.time, e.id);
+      }
+    }
+  }
 
   /// Debug view of pending (time, id) pairs, unordered.
   [[nodiscard]] std::vector<std::pair<SimTime, EventId>> pending_events() const;
 
  private:
+  /// POD calendar entry; the closure lives in arena_[slot]. Stale when
+  /// arena_[slot].id != id (the event was cancelled, and the slot is
+  /// free or already reused by a later event). The entry's day is
+  /// computed once at filing time (and again on rebuilds, when the width
+  /// changes) so the day-scan in find_min() compares integers instead of
+  /// dividing per entry.
   struct Entry {
     SimTime time;
     EventId id;
-    // `fn` lives in the heap entry; moved out on pop.
-    mutable std::function<void()> fn;
+    std::uint64_t day;
+    std::uint32_t slot;
   };
-  struct Later {
-    bool operator()(const Entry& a, const Entry& b) const noexcept {
-      if (a.time != b.time) return a.time > b.time;
-      return a.id > b.id;  // stable FIFO for ties
-    }
+  struct Slot {
+    std::function<void()> fn;
+    EventId id = 0;  // 0 = free
+    std::uint32_t next_free = kNoSlot;
   };
+  static constexpr std::uint32_t kNoSlot = ~std::uint32_t{0};
 
-  void drop_cancelled();
+  [[nodiscard]] std::uint64_t day_of(SimTime t) const noexcept;
+  /// Locate the earliest pending entry into peek_*; false when empty.
+  bool find_min();
+  /// Drop stale tombstones everywhere; optionally rebuild with
+  /// `new_buckets` buckets and a width re-estimated from the survivors.
+  void compact(std::size_t new_buckets);
 
-  std::priority_queue<Entry, std::vector<Entry>, Later> heap_;
-  /// Ids currently pending in the heap; cancelling removes from here.
-  std::unordered_set<EventId> live_;
-  /// Cancelled ids whose heap entries are lazily dropped on pop.
-  std::unordered_set<EventId> cancelled_;
+  std::vector<std::vector<Entry>> buckets_ = std::vector<std::vector<Entry>>(kMinBuckets);
+  double width_ = 1.0;
+  std::uint64_t cur_day_ = 0;  ///< floor(earliest pending time / width_) or less
+  std::size_t live_ = 0;       ///< pending, non-cancelled events
+  std::size_t cancelled_ = 0;  ///< tombstone entries still in buckets_
+
+  std::vector<Slot> arena_;
+  std::uint32_t free_head_ = kNoSlot;
+  /// Slot of each pending id, for cancel(); never iterated.
+  std::unordered_map<EventId, std::uint32_t> slot_of_;
+
+  /// Set by find_min() when the found day's bucket scan ran long; pop()
+  /// answers with a (rate-limited) re-tuning compact.
+  bool overloaded_ = false;
+  std::size_t pops_since_compact_ = 0;
+
+  /// Cached result of find_min(), invalidated by push/cancel/pop.
+  bool peek_valid_ = false;
+  std::size_t peek_bucket_ = 0;
+  std::size_t peek_index_ = 0;
+
   EventId next_id_ = 1;
+
+  static constexpr std::size_t kMinBuckets = 8;
 };
 
 }  // namespace osap

@@ -196,9 +196,8 @@ void SparkDriver::restore(PreemptPrimitive primitive) {
         if (stage.read_from_cache) {
           bool rewrote = false;
           for (TaskId tid : jt.job(*current_job_).tasks) {
-            Task& task = jt.task_mutable(tid);
-            if (task.state == TaskState::Unassigned) {
-              task.spec = task_for(stage, /*cache_hit=*/false);
+            if (jt.task(tid).state == TaskState::Unassigned) {
+              jt.set_task_spec(tid, task_for(stage, /*cache_hit=*/false));
               rewrote = true;
             }
           }

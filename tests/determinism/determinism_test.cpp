@@ -1,214 +1,19 @@
 // The runtime witness behind osap-lint: a scenario run twice from the
 // same seed must replay the exact same event stream, bit for bit. The
 // Simulation folds every fired event's (time, id) into an FNV-1a digest;
-// these tests build three stressful workloads — map-heavy, a seeded
-// preemption storm, and thrashing-level memory pressure — and assert the
-// digest survives a full re-run. Any hash-order iteration, ambient
-// randomness, or address-dependent decision anywhere in the stack shows
-// up here as a digest mismatch.
+// the workloads live in workloads.hpp (shared with the golden-digest
+// test) and these tests assert the digest survives a full re-run. Any
+// hash-order iteration, ambient randomness, or address-dependent
+// decision anywhere in the stack shows up here as a digest mismatch.
 #include <gtest/gtest.h>
 
 #include <cstdint>
-#include <memory>
-#include <string>
-#include <vector>
 
 #include "common/det.hpp"
-#include "common/rng.hpp"
-#include "fault/injector.hpp"
-#include "sched/dummy.hpp"
-#include "sched/fifo.hpp"
-#include "sim/simulation.hpp"
-#include "workload/profiles.hpp"
+#include "workloads.hpp"
 
 namespace osap {
 namespace {
-
-/// Many light mappers racing for a few slots: stresses scheduler and
-/// heartbeat-report ordering (the task_tracker / job_tracker loops).
-std::uint64_t run_map_heavy(std::uint64_t seed, bool tracing = false) {
-  ClusterConfig cfg = paper_cluster();
-  cfg.num_nodes = 3;
-  cfg.hadoop.map_slots = 2;
-  cfg.seed = seed;
-  cfg.trace.enabled = tracing;
-  Cluster cluster(cfg);
-  cluster.set_scheduler(std::make_unique<FifoScheduler>());
-  Rng rng(seed);
-  for (int i = 0; i < 8; ++i) {
-    cluster.submit(single_task_job("map" + std::to_string(i), i % 3,
-                                   jitter_task(light_map_task(128 * MiB), rng)));
-  }
-  cluster.run_until(3000.0);
-  EXPECT_TRUE(cluster.job_tracker().all_jobs_done());
-  return cluster.trace_digest();
-}
-
-/// A seeded suspend/resume/kill storm: stresses the preemption state
-/// machines and the RM/JT victim-selection tie-breaks.
-std::uint64_t run_preemption_heavy(std::uint64_t seed, bool tracing = false) {
-  ClusterConfig cfg = paper_cluster();
-  cfg.num_nodes = 2;
-  cfg.hadoop.map_slots = 2;
-  cfg.seed = seed;
-  cfg.trace.enabled = tracing;
-  Cluster cluster(cfg);
-  auto sched = std::make_unique<DummyScheduler>(cluster);
-  cluster.set_scheduler(std::move(sched));
-  auto rng = std::make_shared<Rng>(seed);
-
-  std::vector<JobId> jobs;
-  for (int i = 0; i < 4; ++i) {
-    const Bytes state = (i % 2 == 0) ? 0 : gib(1.0);
-    TaskSpec spec =
-        state > 0 ? hungry_map_task(state, 128 * MiB) : light_map_task(128 * MiB);
-    jobs.push_back(cluster.submit(single_task_job("job" + std::to_string(i), i % 3, spec)));
-  }
-
-  JobTracker& jt = cluster.job_tracker();
-  auto storm = [&cluster, &jt, rng, jobs](auto self) -> void {
-    if (cluster.sim().now() > 90.0) return;
-    std::vector<TaskId> live, suspended;
-    for (JobId jid : jobs) {
-      for (TaskId tid : jt.job(jid).tasks) {
-        const Task& t = jt.task(tid);
-        if (t.state == TaskState::Running) live.push_back(tid);
-        if (t.state == TaskState::Suspended) suspended.push_back(tid);
-      }
-    }
-    switch (rng->uniform_int(0, 2)) {
-      case 0:
-        if (!live.empty()) jt.suspend_task(live[rng->next_u64() % live.size()]);
-        break;
-      case 1:
-        if (!suspended.empty()) jt.resume_task(suspended[rng->next_u64() % suspended.size()]);
-        break;
-      case 2:
-        if (!live.empty() && rng->uniform() < 0.3) {
-          jt.kill_task(live[rng->next_u64() % live.size()]);
-        }
-        break;
-    }
-    cluster.sim().after(3.0, [self] { self(self); });
-  };
-  cluster.sim().at(5.0, [storm] { storm(storm); });
-
-  auto cleanup = [&cluster, &jt, jobs](auto self) -> void {
-    bool any = false;
-    for (JobId jid : jobs) {
-      for (TaskId tid : jt.job(jid).tasks) {
-        if (jt.task(tid).state == TaskState::Suspended) {
-          jt.resume_task(tid);
-          any = true;
-        }
-      }
-    }
-    if (any || !jt.all_jobs_done()) cluster.sim().after(10.0, [self] { self(self); });
-  };
-  cluster.sim().at(95.0, [cleanup] { cleanup(cleanup); });
-
-  cluster.run_until(3000.0);
-  EXPECT_TRUE(jt.all_jobs_done());
-  return cluster.trace_digest();
-}
-
-/// Two stateful mappers whose combined footprint overcommits RAM: the
-/// VMM reclaims, swaps, and (possibly) OOM-kills — the code paths where
-/// hash-order victim selection used to hide.
-std::uint64_t run_memory_pressure(std::uint64_t seed, bool tracing = false) {
-  ClusterConfig cfg = paper_cluster();
-  cfg.hadoop.map_slots = 2;
-  cfg.seed = seed;
-  cfg.trace.enabled = tracing;
-  Cluster cluster(cfg);
-  cluster.set_scheduler(std::make_unique<FifoScheduler>());
-  cluster.submit(single_task_job("hog0", 1, hungry_map_task(gib(1.5), 64 * MiB)));
-  cluster.submit(single_task_job("hog1", 0, hungry_map_task(gib(1.5), 64 * MiB)));
-  cluster.submit(single_task_job("light", 2, light_map_task(64 * MiB)));
-  cluster.run_until(3000.0);
-  EXPECT_TRUE(cluster.job_tracker().all_jobs_done());
-  return cluster.trace_digest();
-}
-
-/// A scripted fault storm — crash, daemon hang past the lease, a
-/// heartbeat-drop window and a congested link — over a map-heavy
-/// workload. The recovery machinery (lease sweep, TaskLost requeues,
-/// reinit-on-rejoin) runs the same code paths the fault tests exercise;
-/// here the law is that the whole storm replays bit-identically.
-std::uint64_t run_fault_storm(std::uint64_t seed, bool tracing = false) {
-  ClusterConfig cfg = paper_cluster();
-  cfg.num_nodes = 3;
-  cfg.hadoop.map_slots = 2;
-  cfg.hadoop.tracker_expiry = seconds(9);
-  cfg.hadoop.expiry_check_interval = seconds(1);
-  cfg.seed = seed;
-  cfg.trace.enabled = tracing;
-  Cluster cluster(cfg);
-  cluster.set_scheduler(std::make_unique<FifoScheduler>());
-  Rng rng(seed);
-  for (int i = 0; i < 6; ++i) {
-    cluster.submit(single_task_job("map" + std::to_string(i), i % 3,
-                                   jitter_task(light_map_task(128 * MiB), rng)));
-  }
-  fault::FaultInjector injector(cluster, fault::parse_fault_plan(
-                                             "drop-heartbeats 3 8 0\n"
-                                             "delay-messages 0 60 1 0.05\n"
-                                             "hang 6 1 12\n"
-                                             "crash 15 2\n"));
-  cluster.run_until(3000.0);
-  EXPECT_TRUE(cluster.job_tracker().all_jobs_done());
-  return cluster.trace_digest();
-}
-
-/// Speculative execution under duress: two stragglers (one SIGTSTP-
-/// suspended, one Natjam-parked) trip the detector, their copies race on
-/// slots freed by the suspensions, and a node crash lands mid-race. The
-/// detector sweep, first-finisher-wins resolution and promote-on-loss
-/// paths all feed the digest; a cleanup loop then resumes whatever is
-/// still parked so the run can actually finish.
-std::uint64_t run_speculation_storm(std::uint64_t seed, bool tracing = false) {
-  ClusterConfig cfg = paper_cluster();
-  cfg.num_nodes = 4;
-  cfg.hadoop.tracker_expiry = seconds(9);
-  cfg.hadoop.expiry_check_interval = seconds(1);
-  cfg.hadoop.speculative_execution = true;
-  cfg.hadoop.speculative_cap = 2;
-  cfg.hadoop.speculative_min_runtime = seconds(10);
-  cfg.seed = seed;
-  cfg.trace.enabled = tracing;
-  Cluster cluster(cfg);
-  auto sched = std::make_unique<DummyScheduler>(cluster);
-  DummyScheduler& ds = *sched;
-  cluster.set_scheduler(std::move(sched));
-
-  Rng rng(seed);
-  JobSpec job;
-  job.name = "spec";
-  for (int i = 0; i < 4; ++i) {
-    TaskSpec spec = jitter_task(light_map_task(256 * MiB), rng);
-    spec.preferred_node = cluster.node(i);
-    job.tasks.push_back(spec);
-  }
-  ds.submit_at(0.05, job);
-  ds.at_progress("spec", 0, 0.3,
-                 [&ds] { ds.preempt("spec", 0, PreemptPrimitive::Suspend); });
-  ds.at_progress("spec", 1, 0.5,
-                 [&ds] { ds.preempt("spec", 1, PreemptPrimitive::NatjamCheckpoint); });
-  fault::FaultInjector injector(cluster, fault::parse_fault_plan("crash 55 3\n"));
-
-  JobTracker& jt = cluster.job_tracker();
-  auto cleanup = [&cluster, &jt, &ds](auto self) -> void {
-    for (TaskId tid : jt.job(ds.job_of("spec")).tasks) {
-      if (jt.task(tid).state == TaskState::Suspended) jt.resume_task(tid);
-    }
-    if (!jt.all_jobs_done()) cluster.sim().after(10.0, [self] { self(self); });
-  };
-  cluster.sim().at(150.0, [cleanup] { cleanup(cleanup); });
-
-  cluster.run_until(3000.0);
-  EXPECT_TRUE(jt.all_jobs_done());
-  return cluster.trace_digest();
-}
 
 TEST(TraceDigest, MapHeavyDoubleRunMatches) {
   const std::uint64_t first = run_map_heavy(42);

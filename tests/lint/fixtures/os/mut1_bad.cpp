@@ -1,0 +1,22 @@
+// MUT-1 fixture: a "const" accessor that mutates through const_cast —
+// the pattern the calendar queue's next_time() used to hide its cursor
+// advance behind.
+namespace osap {
+
+class Calendar {
+ public:
+  unsigned peek() const {
+    auto* self = const_cast<Calendar*>(this);
+    ++self->scans_;
+    return self->scans_;
+  }
+  unsigned scans() const {
+    // osap-lint: allow(MUT-1) fixture exercising the suppression path
+    return const_cast<Calendar*>(this)->scans_;
+  }
+
+ private:
+  unsigned scans_ = 0;
+};
+
+}  // namespace osap

@@ -49,7 +49,9 @@ const std::string kFixtures = OSAP_LINT_FIXTURES;
 TEST(LintCli, ListRulesNamesAllFour) {
   const LintRun run = run_lint("--list-rules");
   EXPECT_EQ(run.exit_code, 0);
-  for (const char* rule : {"DET-1", "DET-2", "LIF-1", "AUD-1"}) EXPECT_HAS(run.output, rule);
+  for (const char* rule : {"DET-1", "DET-2", "LIF-1", "AUD-1", "MUT-1"}) {
+    EXPECT_HAS(run.output, rule);
+  }
 }
 
 TEST(LintCli, NoArgsIsUsageError) {
@@ -96,6 +98,11 @@ TEST(LintFixtures, FullSweepReportsEveryPlantedViolation) {
              "audits().add(this)");
   EXPECT_EQ(count(out, " AUD-1: "), 2) << out;
 
+  // MUT-1: the const_cast in the "const" accessor; the suppressed twin
+  // below it counts toward the suppression total only.
+  EXPECT_HAS(out, "mut1_bad.cpp:9: MUT-1: 'const_cast'");
+  EXPECT_EQ(count(out, " MUT-1: "), 1) << out;
+
   // Malformed suppressions are findings; a stale one earns a note.
   EXPECT_HAS(out, "sup_malformed.cpp:3: SUP: allow(DET-1) without a reason");
   EXPECT_HAS(out, "sup_malformed.cpp:4: SUP: allow(NOPE-9) names an unknown rule");
@@ -106,7 +113,7 @@ TEST(LintFixtures, FullSweepReportsEveryPlantedViolation) {
   EXPECT_EQ(out.find("det1_unwatched.cpp"), std::string::npos) << out;
   EXPECT_EQ(out.find("clean.cpp"), std::string::npos) << out;
 
-  EXPECT_HAS(out, "osap-lint: 16 violations, 2 suppressed");
+  EXPECT_HAS(out, "osap-lint: 17 violations, 3 suppressed");
 }
 
 TEST(LintFixtures, ValidSuppressionsSilenceBothPlacements) {

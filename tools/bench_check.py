@@ -9,8 +9,14 @@ config tweak) is expected churn, while a 2x jump in events_processed or
 VmmReclaim work is exactly the kind of silent regression the gate exists
 to catch.
 
+Wall-clock metrics (wall_ms, events_per_sec — present in the scale
+baseline, BENCH_scale.json) are gated separately with a one-sided band:
+runners vary wildly in speed, so only a large slowdown fails the gate
+(current wall_ms above baseline * wall-tolerance, or events_per_sec
+below baseline / wall-tolerance). Getting faster never fails.
+
 Usage:
-    bench_check.py BASELINE CURRENT [--tolerance 0.10]
+    bench_check.py BASELINE CURRENT [--tolerance 0.10] [--wall-tolerance 3.0]
     bench_check.py BASELINE --self-test
 
 Exit status: 0 clean, 1 regression (or self-test failure), 2 bad input.
@@ -22,9 +28,16 @@ import json
 import sys
 
 
+# Wall-clock leaves: too noisy for the relative-deviation check, gated
+# one-sided instead. "upper" = regression is exceeding the band upward.
+WALL_KEYS = {"wall_ms": "upper", "events_per_sec": "lower"}
+
+
 def flatten(dump):
-    """Numeric leaves worth gating, as {dotted.key: value}."""
+    """Deterministic numeric leaves worth gating, as {dotted.key: value}."""
     out = {"events_processed": dump.get("events_processed", 0)}
+    if "sim_seconds" in dump:
+        out["sim_seconds"] = dump["sim_seconds"]
     for name, value in dump.get("counters", {}).items():
         out[f"counters.{name}"] = value
     for name, hp in dump.get("hot_paths", {}).items():
@@ -55,7 +68,24 @@ def check(baseline, current, tolerance):
     return problems
 
 
-def self_test(baseline, tolerance):
+def check_wall(baseline, current, wall_tolerance):
+    """One-sided wall-clock band; returns (key, base, cur, limit) failures."""
+    problems = []
+    for key, side in sorted(WALL_KEYS.items()):
+        if key not in baseline:
+            continue
+        base = baseline[key]
+        cur = current.get(key)
+        if cur is None:
+            problems.append((key, base, None, base))
+            continue
+        limit = base * wall_tolerance if side == "upper" else base / wall_tolerance
+        if (side == "upper" and cur > limit) or (side == "lower" and cur < limit):
+            problems.append((key, base, cur, limit))
+    return problems
+
+
+def self_test(baseline, tolerance, wall_tolerance):
     """The gate must pass an identical dump and fail a perturbed one."""
     if check(baseline, baseline, tolerance):
         print("self-test FAILED: identical dump did not pass")
@@ -71,6 +101,19 @@ def self_test(baseline, tolerance):
     if not check(baseline, dropped, tolerance):
         print(f"self-test FAILED: dropping counters.{key} was not flagged")
         return 1
+    if check_wall(baseline, baseline, wall_tolerance):
+        print("self-test FAILED: identical wall metrics did not pass")
+        return 1
+    for wall_key, side in WALL_KEYS.items():
+        if wall_key not in baseline:
+            continue
+        slowed = copy.deepcopy(baseline)
+        factor = 2 * wall_tolerance
+        slowed[wall_key] = (baseline[wall_key] * factor if side == "upper"
+                            else baseline[wall_key] / factor)
+        if not check_wall(baseline, slowed, wall_tolerance):
+            print(f"self-test FAILED: {factor:g}x slowdown in {wall_key} was not flagged")
+            return 1
     print("self-test passed: identical dump accepted, regressions flagged")
     return 0
 
@@ -81,6 +124,9 @@ def main():
     ap.add_argument("current", nargs="?")
     ap.add_argument("--tolerance", type=float, default=0.10,
                     help="max relative deviation per metric (default 0.10)")
+    ap.add_argument("--wall-tolerance", type=float, default=3.0,
+                    help="one-sided slowdown factor allowed on wall-clock "
+                         "metrics before failing (default 3.0; runners vary)")
     ap.add_argument("--self-test", action="store_true",
                     help="verify the gate itself flags an injected regression")
     args = ap.parse_args()
@@ -93,7 +139,7 @@ def main():
         return 2
 
     if args.self_test:
-        return self_test(baseline, args.tolerance)
+        return self_test(baseline, args.tolerance, args.wall_tolerance)
 
     if not args.current:
         print("missing CURRENT dump (or use --self-test)")
@@ -106,17 +152,27 @@ def main():
         return 2
 
     problems = check(baseline, current, args.tolerance)
-    if problems:
-        print(f"bench regression vs {args.baseline} (tolerance {args.tolerance:.0%}):")
-        for key, base, cur, dev in problems:
-            shown = "MISSING" if cur is None else cur
-            print(f"  {key}: baseline {base} -> current {shown} ({dev:.1%})")
+    wall_problems = check_wall(baseline, current, args.wall_tolerance)
+    if problems or wall_problems:
+        if problems:
+            print(f"bench regression vs {args.baseline} (tolerance {args.tolerance:.0%}):")
+            for key, base, cur, dev in problems:
+                shown = "MISSING" if cur is None else cur
+                print(f"  {key}: baseline {base} -> current {shown} ({dev:.1%})")
+        for key, base, cur, limit in wall_problems:
+            shown = "MISSING" if cur is None else f"{cur:g}"
+            print(f"  {key}: baseline {base:g} -> current {shown} "
+                  f"(outside {args.wall_tolerance:g}x band, limit {limit:g})")
         print("If this change is intentional, regenerate the baseline:")
-        print("  ./build/bench/fig2_baseline --runs=2 --counters=$(pwd)/BENCH_fig2.json \\")
-        print("      --trace=$(pwd)/BENCH_fig2_trace.json")
+        if "scale" in args.baseline:
+            print("  ./build/bench/cluster_scale --json=$(pwd)/BENCH_scale.json")
+        else:
+            print("  ./build/bench/fig2_baseline --runs=2 --counters=$(pwd)/BENCH_fig2.json \\")
+            print("      --trace=$(pwd)/BENCH_fig2_trace.json")
         return 1
-    print(f"bench gate clean: {len(flatten(baseline))} metrics within "
-          f"{args.tolerance:.0%} of {args.baseline}")
+    gated = len(flatten(baseline)) + sum(k in baseline for k in WALL_KEYS)
+    print(f"bench gate clean: {gated} metrics within {args.tolerance:.0%} "
+          f"(wall: {args.wall_tolerance:g}x band) of {args.baseline}")
     return 0
 
 

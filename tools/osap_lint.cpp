@@ -21,6 +21,10 @@
 //   AUD-1  every class deriving InvariantAuditor registers with exactly
 //          one AuditRegistry: one audits().add(this) balanced by one
 //          audits().remove(this) in its header/source pair.
+//   MUT-1  no const_cast. Mutation hidden behind a const view is how the
+//          old EventQueue::next_time() advanced its calendar cursor from
+//          a const method — invisible to readers and to the audit layer.
+//          Make the mutating path non-const instead.
 //
 // A finding is silenced by an inline comment on the same line or the
 // line above:   // osap-lint: allow(DET-1) <reason>
@@ -56,6 +60,7 @@ constexpr RuleInfo kRules[] = {
     {"DET-2", "no wall-clock, ambient randomness, or pointer-keyed ordered containers"},
     {"LIF-1", "no shared_ptr<std::function> (self-capture continuation cycles)"},
     {"AUD-1", "every InvariantAuditor registers with exactly one AuditRegistry"},
+    {"MUT-1", "no const_cast: mutation must not hide behind a const view"},
 };
 
 bool known_rule(const std::string& id) {
@@ -512,6 +517,19 @@ void check_det2(const SourceFile& f, std::vector<Finding>& findings) {
   }
 }
 
+// --- MUT-1 ----------------------------------------------------------------
+
+void check_mut1(const SourceFile& f, std::vector<Finding>& findings) {
+  const std::string& code = f.code;
+  std::size_t i = 0;
+  while ((i = find_word(code, "const_cast", i)) != std::string::npos) {
+    findings.push_back({f.path, f.line_of(i), "MUT-1",
+                        "'const_cast' — mutation hidden behind a const view; make the "
+                        "mutating path non-const"});
+    i += std::strlen("const_cast");
+  }
+}
+
 // --- LIF-1 ----------------------------------------------------------------
 
 void check_lif1(const SourceFile& f, std::vector<Finding>& findings) {
@@ -716,6 +734,7 @@ int main(int argc, char** argv) {
     check_det1(f, names, findings);
     check_det2(f, findings);
     check_lif1(f, findings);
+    check_mut1(f, findings);
     collect_aud1(f, aud_pairs);
   }
   check_aud1(aud_pairs, findings);
