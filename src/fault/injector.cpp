@@ -4,6 +4,7 @@
 
 #include "common/det.hpp"
 #include "common/log.hpp"
+#include "trace/names.hpp"
 
 namespace osap::fault {
 
@@ -18,11 +19,11 @@ FaultInjector::FaultInjector(Cluster& cluster, FaultPlan plan)
   tracer_ = &sim.trace().tracer();
   trk_ = tracer_->track("cluster", "faults");
   trace::CounterRegistry& counters = sim.trace().counters();
-  ctr_crashes_ = &counters.counter("fault.node_crashes");
-  ctr_hangs_ = &counters.counter("fault.tracker_hangs");
-  ctr_checkpoint_losses_ = &counters.counter("fault.checkpoint_losses");
-  ctr_msgs_dropped_ = &counters.counter("fault.messages_dropped");
-  ctr_msgs_delayed_ = &counters.counter("fault.messages_delayed");
+  ctr_crashes_ = &counters.counter(trace::names::kFaultNodeCrashes);
+  ctr_hangs_ = &counters.counter(trace::names::kFaultTrackerHangs);
+  ctr_checkpoint_losses_ = &counters.counter(trace::names::kFaultCheckpointLosses);
+  ctr_msgs_dropped_ = &counters.counter(trace::names::kFaultMessagesDropped);
+  ctr_msgs_delayed_ = &counters.counter(trace::names::kFaultMessagesDelayed);
   arm();
 }
 

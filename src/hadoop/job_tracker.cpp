@@ -11,6 +11,7 @@
 #include "common/log.hpp"
 #include "hadoop/task_tracker.hpp"
 #include "trace/context.hpp"
+#include "trace/names.hpp"
 
 namespace osap {
 
@@ -59,24 +60,24 @@ JobTracker::JobTracker(Simulation& sim, Network& net, NodeId master, HadoopConfi
   sched_trk_ = tracer_->track("cluster", "scheduler");
   shuffle_trk_ = tracer_->track("cluster", "shuffle");
   trace::CounterRegistry& counters = sim_.trace().counters();
-  ctr_heartbeats_ = &counters.counter("jobtracker.heartbeats_handled");
-  ctr_actions_ = &counters.counter("jobtracker.actions_sent");
-  ctr_oob_maps_done_ = &counters.counter("jobtracker.oob_maps_done_pushes");
-  ctr_assignments_ = &counters.counter("scheduler.assignments");
-  ctr_suspends_ = &counters.counter("jobtracker.suspend_requests");
-  ctr_resumes_ = &counters.counter("jobtracker.resume_requests");
-  ctr_trackers_lost_ = &counters.counter("jobtracker.trackers_lost");
-  ctr_tracker_reinits_ = &counters.counter("jobtracker.tracker_reinits");
-  ctr_trackers_blacklisted_ = &counters.counter("jobtracker.trackers_blacklisted");
-  ctr_tasks_lost_ = &counters.counter("jobtracker.tasks_lost");
-  ctr_task_failures_ = &counters.counter("jobtracker.task_failures");
-  ctr_map_outputs_lost_ = &counters.counter("jobtracker.map_outputs_lost");
-  ctr_checkpoints_lost_ = &counters.counter("jobtracker.checkpoints_lost");
-  ctr_jobs_failed_ = &counters.counter("jobtracker.jobs_failed");
-  ctr_spec_launched_ = &counters.counter("speculation.launched");
-  ctr_spec_won_ = &counters.counter("speculation.won");
-  ctr_spec_lost_ = &counters.counter("speculation.lost");
-  ctr_spec_killed_ = &counters.counter("speculation.killed");
+  ctr_heartbeats_ = &counters.counter(trace::names::kJtHeartbeatsHandled);
+  ctr_actions_ = &counters.counter(trace::names::kJtActionsSent);
+  ctr_oob_maps_done_ = &counters.counter(trace::names::kJtOobMapsDonePushes);
+  ctr_assignments_ = &counters.counter(trace::names::kSchedAssignments);
+  ctr_suspends_ = &counters.counter(trace::names::kJtSuspendRequests);
+  ctr_resumes_ = &counters.counter(trace::names::kJtResumeRequests);
+  ctr_trackers_lost_ = &counters.counter(trace::names::kJtTrackersLost);
+  ctr_tracker_reinits_ = &counters.counter(trace::names::kJtTrackerReinits);
+  ctr_trackers_blacklisted_ = &counters.counter(trace::names::kJtTrackersBlacklisted);
+  ctr_tasks_lost_ = &counters.counter(trace::names::kJtTasksLost);
+  ctr_task_failures_ = &counters.counter(trace::names::kJtTaskFailures);
+  ctr_map_outputs_lost_ = &counters.counter(trace::names::kJtMapOutputsLost);
+  ctr_checkpoints_lost_ = &counters.counter(trace::names::kJtCheckpointsLost);
+  ctr_jobs_failed_ = &counters.counter(trace::names::kJtJobsFailed);
+  ctr_spec_launched_ = &counters.counter(trace::names::kSpecLaunched);
+  ctr_spec_won_ = &counters.counter(trace::names::kSpecWon);
+  ctr_spec_lost_ = &counters.counter(trace::names::kSpecLost);
+  ctr_spec_killed_ = &counters.counter(trace::names::kSpecKilled);
   if (cfg_.tracker_expiry > 0 && cfg_.expiry_check_interval > 0) {
     lease_timer_ = sim_.after(cfg_.expiry_check_interval, [this] { check_leases(); });
   }

@@ -7,6 +7,7 @@
 #include "common/log.hpp"
 #include "hadoop/job_tracker.hpp"
 #include "trace/context.hpp"
+#include "trace/names.hpp"
 
 namespace osap {
 
@@ -22,10 +23,9 @@ TaskTracker::TaskTracker(Simulation& sim, Kernel& kernel, Network& net, TrackerI
   trk_ = tracer_->track(kernel_.name(), "tasktracker");
   shuffle_trk_ = tracer_->track("cluster", "shuffle");
   trace::CounterRegistry& counters = sim_.trace().counters();
-  const std::string prefix = kernel_.name() + ".tasktracker.";
-  ctr_heartbeats_ = &counters.counter(prefix + "heartbeats_sent");
-  ctr_oob_heartbeats_ = &counters.counter(prefix + "oob_heartbeats");
-  ctr_actions_ = &counters.counter(prefix + "actions_applied");
+  ctr_heartbeats_ = &counters.counter(kernel_.name() + trace::names::kTtHeartbeatsSent);
+  ctr_oob_heartbeats_ = &counters.counter(kernel_.name() + trace::names::kTtOobHeartbeats);
+  ctr_actions_ = &counters.counter(kernel_.name() + trace::names::kTtActionsApplied);
 }
 
 TaskTracker::~TaskTracker() { sim_.audits().remove(this); }

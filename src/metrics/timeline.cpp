@@ -59,7 +59,21 @@ std::string TimelineRecorder::render_gantt(double seconds_per_cell) const {
       case ClusterEventType::TaskLost: glyph = ' '; break;
       case ClusterEventType::TaskSpeculated: glyph = '~'; break;
       case ClusterEventType::SpeculationPromoted: glyph = '='; break;
-      default: continue;
+      // Every other kind carries no per-task occupancy to draw; listed
+      // explicitly (EVT-1) so a future kind must decide its glyph here.
+      case ClusterEventType::JobSubmitted:
+      case ClusterEventType::JobCompleted:
+      case ClusterEventType::JobFailed:
+      case ClusterEventType::TaskSuspendRequested:
+      case ClusterEventType::TaskResumeRequested:
+      case ClusterEventType::TaskKillRequested:
+      case ClusterEventType::MapOutputLost:
+      case ClusterEventType::TrackerLost:
+      case ClusterEventType::TrackerBlacklisted:
+      case ClusterEventType::SpeculationWon:
+      case ClusterEventType::SpeculationLost:
+      case ClusterEventType::SpeculationKilled:
+        continue;
     }
     tasks[e.task].push_back(Span{e.time, glyph});
     if (!labels.contains(e.task)) {

@@ -6,6 +6,7 @@
 #include "common/error.hpp"
 #include "common/log.hpp"
 #include "trace/context.hpp"
+#include "trace/names.hpp"
 
 namespace osap {
 
@@ -25,9 +26,9 @@ Kernel::Kernel(Simulation& sim, OsConfig cfg, std::string name)
   tracer_ = &sim_.trace().tracer();
   trk_ = tracer_->track(name_, "kernel");
   trace::CounterRegistry& counters = sim_.trace().counters();
-  ctr_spawned_ = &counters.counter(name_ + ".kernel.spawned");
-  ctr_signals_ = &counters.counter(name_ + ".kernel.signals");
-  ctr_oom_kills_ = &counters.counter(name_ + ".kernel.oom_kills");
+  ctr_spawned_ = &counters.counter(name_ + trace::names::kKernelSpawned);
+  ctr_signals_ = &counters.counter(name_ + trace::names::kKernelSignals);
+  ctr_oom_kills_ = &counters.counter(name_ + trace::names::kKernelOomKills);
 }
 
 Kernel::~Kernel() { sim_.audits().remove(this); }

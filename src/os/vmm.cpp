@@ -6,6 +6,7 @@
 #include "common/log.hpp"
 #include "sim/simulation.hpp"
 #include "trace/context.hpp"
+#include "trace/names.hpp"
 
 namespace osap {
 
@@ -34,11 +35,11 @@ Vmm::Vmm(Simulation& sim, Disk& disk, const OsConfig& cfg, std::string name)
   const std::string thread = dot == std::string::npos ? name_ : name_.substr(dot + 1);
   trk_ = tracer_->track(process, thread);
   trace::CounterRegistry& counters = sim_.trace().counters();
-  ctr_paged_out_ = &counters.counter(name_ + ".paged_out_bytes");
-  ctr_paged_in_ = &counters.counter(name_ + ".paged_in_bytes");
-  ctr_discarded_ = &counters.counter(name_ + ".swap_discarded_bytes");
-  ctr_swap_out_io_ = &counters.counter(name_ + ".swap_out_io_bytes");
-  ctr_swap_in_io_ = &counters.counter(name_ + ".swap_in_io_bytes");
+  ctr_paged_out_ = &counters.counter(name_ + trace::names::kVmmPagedOutBytes);
+  ctr_paged_in_ = &counters.counter(name_ + trace::names::kVmmPagedInBytes);
+  ctr_discarded_ = &counters.counter(name_ + trace::names::kVmmSwapDiscardedBytes);
+  ctr_swap_out_io_ = &counters.counter(name_ + trace::names::kVmmSwapOutIoBytes);
+  ctr_swap_in_io_ = &counters.counter(name_ + trace::names::kVmmSwapInIoBytes);
 }
 
 Vmm::~Vmm() { sim_.audits().remove(this); }

@@ -84,7 +84,20 @@ struct ProtocolAuditor::Observer {
         // its node, so its next launch starts a fresh protocol).
         phase = Phase::None;
         break;
-      default:
+      // Job- and tracker-level kinds don't advance a task's
+      // suspend/resume round trip; listed explicitly (EVT-1) so a new
+      // kind must declare its protocol effect here.
+      case ClusterEventType::JobSubmitted:
+      case ClusterEventType::JobCompleted:
+      case ClusterEventType::JobFailed:
+      case ClusterEventType::MapOutputLost:
+      case ClusterEventType::TrackerLost:
+      case ClusterEventType::TrackerBlacklisted:
+      case ClusterEventType::TaskSpeculated:
+      case ClusterEventType::SpeculationWon:
+      case ClusterEventType::SpeculationLost:
+      case ClusterEventType::SpeculationKilled:
+      case ClusterEventType::SpeculationPromoted:
         break;
     }
   }

@@ -1,0 +1,111 @@
+// The central string-identifier registry (lint rule SID-1).
+//
+// Every dotted counter/gauge name and every trace span/instant name the
+// simulator emits is declared here, once. osap-lint parses this header
+// (--names=src/trace/names.hpp) and flags any identifier used at a
+// counter()/gauge()/value()/begin()/instant()/async_*() call site that
+// is not declared — including edit-distance-1 near-misses, the typo
+// class that silently forks a metric into two series and breaks every
+// A/B comparison derived from it (the HFSP scheduler study reads these
+// exact names).
+//
+// Two kinds of entry:
+//   * full names ("jobtracker.heartbeats_handled") — global series;
+//   * suffixes, value starting with '.' (".kernel.spawned") — per-node
+//     series composed as <node-name> + suffix at attach time. A used
+//     name matches a suffix entry by its tail.
+//
+// Keep the values byte-identical when refactoring: they feed the
+// counters JSON, the Chrome trace, and golden digests.
+#pragma once
+
+namespace osap::trace::names {
+
+// --- global counters ------------------------------------------------------
+
+// Fault injection (src/fault/injector.cpp).
+inline constexpr const char* kFaultNodeCrashes = "fault.node_crashes";
+inline constexpr const char* kFaultTrackerHangs = "fault.tracker_hangs";
+inline constexpr const char* kFaultCheckpointLosses = "fault.checkpoint_losses";
+inline constexpr const char* kFaultMessagesDropped = "fault.messages_dropped";
+inline constexpr const char* kFaultMessagesDelayed = "fault.messages_delayed";
+
+// JobTracker control plane (src/hadoop/job_tracker.cpp).
+inline constexpr const char* kJtHeartbeatsHandled = "jobtracker.heartbeats_handled";
+inline constexpr const char* kJtActionsSent = "jobtracker.actions_sent";
+inline constexpr const char* kJtOobMapsDonePushes = "jobtracker.oob_maps_done_pushes";
+inline constexpr const char* kJtSuspendRequests = "jobtracker.suspend_requests";
+inline constexpr const char* kJtResumeRequests = "jobtracker.resume_requests";
+inline constexpr const char* kJtTrackersLost = "jobtracker.trackers_lost";
+inline constexpr const char* kJtTrackerReinits = "jobtracker.tracker_reinits";
+inline constexpr const char* kJtTrackersBlacklisted = "jobtracker.trackers_blacklisted";
+inline constexpr const char* kJtTasksLost = "jobtracker.tasks_lost";
+inline constexpr const char* kJtTaskFailures = "jobtracker.task_failures";
+inline constexpr const char* kJtMapOutputsLost = "jobtracker.map_outputs_lost";
+inline constexpr const char* kJtCheckpointsLost = "jobtracker.checkpoints_lost";
+inline constexpr const char* kJtJobsFailed = "jobtracker.jobs_failed";
+
+// Scheduling and speculation.
+inline constexpr const char* kSchedAssignments = "scheduler.assignments";
+inline constexpr const char* kSpecLaunched = "speculation.launched";
+inline constexpr const char* kSpecWon = "speculation.won";
+inline constexpr const char* kSpecLost = "speculation.lost";
+inline constexpr const char* kSpecKilled = "speculation.killed";
+
+// --- global gauges --------------------------------------------------------
+
+inline constexpr const char* kClusterJobsRunning = "cluster.jobs_running";
+
+// --- per-node counter suffixes (<node-name> + suffix) ---------------------
+
+// Virtual memory manager (src/os/vmm.cpp).
+inline constexpr const char* kVmmPagedOutBytes = ".paged_out_bytes";
+inline constexpr const char* kVmmPagedInBytes = ".paged_in_bytes";
+inline constexpr const char* kVmmSwapDiscardedBytes = ".swap_discarded_bytes";
+inline constexpr const char* kVmmSwapOutIoBytes = ".swap_out_io_bytes";
+inline constexpr const char* kVmmSwapInIoBytes = ".swap_in_io_bytes";
+
+// Kernel (src/os/kernel.cpp).
+inline constexpr const char* kKernelSpawned = ".kernel.spawned";
+inline constexpr const char* kKernelSignals = ".kernel.signals";
+inline constexpr const char* kKernelOomKills = ".kernel.oom_kills";
+
+// TaskTracker (src/hadoop/task_tracker.cpp).
+inline constexpr const char* kTtHeartbeatsSent = ".tasktracker.heartbeats_sent";
+inline constexpr const char* kTtOobHeartbeats = ".tasktracker.oob_heartbeats";
+inline constexpr const char* kTtActionsApplied = ".tasktracker.actions_applied";
+
+// --- async span names (TRC-1 pairs these project-wide) --------------------
+
+inline constexpr const char* kSpanJob = "job";
+inline constexpr const char* kSpanTask = "task";
+inline constexpr const char* kSpanSuspend = "suspend";
+inline constexpr const char* kSpanResume = "resume";
+inline constexpr const char* kSpanMapsDoneDelivery = "maps_done_delivery";
+inline constexpr const char* kSpanHeartbeat = "heartbeat";
+inline constexpr const char* kSpanOobHeartbeat = "oob_heartbeat";
+inline constexpr const char* kSpanSigtstpWindow = "sigtstp_window";
+inline constexpr const char* kSpanStopped = "stopped";
+inline constexpr const char* kSpanSwapIn = "swap_in";
+inline constexpr const char* kSpanSwapOut = "swap_out";
+
+// --- instant event names --------------------------------------------------
+
+inline constexpr const char* kInstSpawn = "spawn";
+inline constexpr const char* kInstExit = "exit";
+inline constexpr const char* kInstOomKill = "oom_kill";
+inline constexpr const char* kInstNodeCrash = "node_crash";
+inline constexpr const char* kInstTrackerHang = "tracker_hang";
+inline constexpr const char* kInstCheckpointLoss = "checkpoint_loss";
+inline constexpr const char* kInstPreempt = "preempt";
+inline constexpr const char* kInstRestore = "restore";
+inline constexpr const char* kInstResumeCheckpointed = "resume_checkpointed";
+inline constexpr const char* kInstSpeculationDeadHeat = "speculation_dead_heat";
+inline constexpr const char* kInstSpeculationPromoted = "speculation_promoted";
+inline constexpr const char* kInstSpeculate = "speculate";
+inline constexpr const char* kInstAssign = "assign";
+inline constexpr const char* kInstTrackerLost = "tracker_lost";
+inline constexpr const char* kInstTrackerBlacklisted = "tracker_blacklisted";
+inline constexpr const char* kInstTrackerReinit = "tracker_reinit";
+
+}  // namespace osap::trace::names

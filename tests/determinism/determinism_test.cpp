@@ -1,4 +1,4 @@
-// The runtime witness behind osap-lint: a scenario run twice from the
+// The runtime witness behind the linter: a scenario run twice from the
 // same seed must replay the exact same event stream, bit for bit. The
 // Simulation folds every fired event's (time, id) into an FNV-1a digest;
 // the workloads live in workloads.hpp (shared with the golden-digest

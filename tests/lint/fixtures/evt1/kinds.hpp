@@ -1,0 +1,14 @@
+// A miniature watched kind enum for the EVT-1 fixtures. The name
+// shadows the real ReportKind on purpose: the linter watches enums by
+// name, and these fixtures are only ever scanned on their own.
+#pragma once
+
+namespace fx {
+
+enum class ReportKind {
+  Progress,
+  Suspended,
+  Succeeded,
+};
+
+}  // namespace fx

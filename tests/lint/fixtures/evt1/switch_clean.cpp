@@ -1,0 +1,16 @@
+// Clean negative: every kind enumerated, no default — adding a kind to
+// ReportKind makes this switch fail to compile, which is the point.
+#include "kinds.hpp"
+
+namespace fx {
+
+int clean(ReportKind k) {
+  switch (k) {
+    case ReportKind::Progress: return 1;
+    case ReportKind::Suspended: return 2;
+    case ReportKind::Succeeded: return 3;
+  }
+  return 0;
+}
+
+}  // namespace fx

@@ -1,0 +1,15 @@
+// EVT-1 positive: default: over a watched kind enum swallows any kind
+// added later instead of failing the build.
+#include "kinds.hpp"
+
+namespace fx {
+
+int weight(ReportKind k) {
+  switch (k) {
+    case ReportKind::Progress: return 1;
+    case ReportKind::Suspended: return 2;
+    default: return 0;
+  }
+}
+
+}  // namespace fx

@@ -1,0 +1,14 @@
+// EVT-1 positive: no default, but Succeeded is not handled either.
+#include "kinds.hpp"
+
+namespace fx {
+
+int missing(ReportKind k) {
+  switch (k) {
+    case ReportKind::Progress: return 1;
+    case ReportKind::Suspended: return 2;
+  }
+  return 0;
+}
+
+}  // namespace fx

@@ -1,0 +1,6 @@
+// Bottom of the fixture DAG: no includes, everyone may reach down here.
+#pragma once
+
+namespace fx {
+inline int base_value() { return 1; }
+}  // namespace fx

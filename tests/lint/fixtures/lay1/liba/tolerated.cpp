@@ -1,0 +1,6 @@
+// A tolerated upward edge: suppression carries a reason, as required.
+#include "libc/other.hpp"  // osap-lint: allow(LAY-1) legacy edge pending the libc split; tracked in the fixture brief
+
+namespace fx {
+int tolerated() { return other(); }
+}  // namespace fx

@@ -1,0 +1,6 @@
+// LAY-1 positive: the base layer reaches UP into the mid layer.
+#include "libb/feature.hpp"
+
+namespace fx {
+int upward() { return feature(); }
+}  // namespace fx

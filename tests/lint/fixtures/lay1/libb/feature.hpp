@@ -1,0 +1,8 @@
+// Mid layer: including the base layer is a legal downward edge.
+#pragma once
+
+#include "liba/base.hpp"
+
+namespace fx {
+inline int feature() { return base_value() + 1; }
+}  // namespace fx

@@ -1,0 +1,6 @@
+// LAY-1 positive: libb and libc share the mid layer — sideways include.
+#include "libc/other.hpp"
+
+namespace fx {
+int sibling() { return other(); }
+}  // namespace fx

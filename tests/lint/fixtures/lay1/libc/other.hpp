@@ -1,0 +1,6 @@
+// The other mid-layer sibling; leaf on purpose.
+#pragma once
+
+namespace fx {
+inline int other() { return 3; }
+}  // namespace fx

@@ -1,0 +1,8 @@
+// Clean negative: the top layer may include every layer below itself.
+#include "liba/base.hpp"
+#include "libb/feature.hpp"
+#include "libc/other.hpp"
+
+namespace fx {
+int app() { return base_value() + feature() + other(); }
+}  // namespace fx

@@ -1,0 +1,12 @@
+// Miniature identifier registry for the SID-1 fixtures, in the same
+// shape as src/trace/names.hpp: globals are full dotted names, entries
+// starting with '.' are per-node suffixes matched by tail.
+#pragma once
+
+namespace fx::names {
+
+inline constexpr const char* kAlpha = "fx.alpha";
+inline constexpr const char* kBetaTotal = "fx.beta_total";
+inline constexpr const char* kPagedBytes = ".fx.paged_bytes";
+
+}  // namespace fx::names

@@ -1,0 +1,18 @@
+// Clean negative: a per-node name built from a registered suffix
+// matches the registry by tail, whatever the node prefix is.
+#include "names_fixture.hpp"
+
+#include <string>
+
+namespace fx {
+
+struct Registry {
+  long& counter(const char* name);
+};
+
+void per_node(Registry& r, const std::string& node) {
+  r.counter((node + ".fx.paged_bytes").c_str());
+  r.counter((node + fx::names::kPagedBytes).c_str());
+}
+
+}  // namespace fx

@@ -1,0 +1,24 @@
+// SID-1 fixtures: every dotted name fed to a counter sink must be
+// declared in the registry the linter was pointed at
+// (names_fixture.hpp). Inert unless the driver gets --names=.
+#include "names_fixture.hpp"
+
+namespace fx {
+
+struct Registry {
+  long& counter(const char* name);
+  long& gauge(const char* name);
+};
+
+const char* node_name();
+
+void exercise(Registry& r) {
+  r.counter("fx.alpha");              // declared: exact registry value
+  r.counter(fx::names::kBetaTotal);   // declared by construction
+  r.counter("fx.alpja");              // near miss: one edit from fx.alpha
+  r.counter("fx.totally_new");        // undeclared outright
+  r.gauge("node7.fx.paged_byte");     // near miss against the suffix entry
+  r.counter("fx.gamma");  // osap-lint: allow(SID-1) throwaway name; fixture asserts suppression plumbing
+}
+
+}  // namespace fx

@@ -1,0 +1,20 @@
+// TRC-1 fixtures: async span names must pair project-wide — every
+// async_begin name needs an async_end somewhere in the tree and vice
+// versa. "paired" is the clean negative; the two orphans are the
+// positives; the tolerated orphan shows a suppression with its reason.
+namespace fx {
+
+struct Tracer {
+  void async_begin(int track, const char* name, int id);
+  void async_end(int track, const char* name, int id);
+};
+
+void run(Tracer& t) {
+  t.async_begin(0, "paired", 1);
+  t.async_end(0, "paired", 1);
+  t.async_begin(0, "orphan_begin", 2);
+  t.async_end(0, "orphan_end", 3);
+  t.async_begin(0, "tolerated_orphan", 4);  // osap-lint: allow(TRC-1) closed by the viewer on teardown, not by us
+}
+
+}  // namespace fx

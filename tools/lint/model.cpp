@@ -1,0 +1,277 @@
+#include "model.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <cstring>
+
+namespace osaplint {
+
+const RuleInfo kRules[9] = {
+    {"DET-1", "no hash-order traversal of unordered containers in modeled layers"},
+    {"DET-2", "no wall-clock, ambient randomness, or pointer-keyed ordered containers"},
+    {"LIF-1", "no shared_ptr<std::function> (self-capture continuation cycles)"},
+    {"AUD-1", "every InvariantAuditor registers with exactly one AuditRegistry"},
+    {"MUT-1", "no const_cast: mutation must not hide behind a const view"},
+    {"LAY-1", "includes must follow the layer DAG (tools/lint/layers.txt)"},
+    {"SID-1", "counter/gauge/span identifiers must be declared in src/trace/names.hpp"},
+    {"TRC-1", "async trace spans must pair begin/end project-wide"},
+    {"EVT-1", "switches over kind enums must be exhaustive, with no default:"},
+};
+
+bool known_rule(const std::string& id) {
+  for (const RuleInfo& r : kRules) {
+    if (id == r.id) return true;
+  }
+  return false;
+}
+
+bool ident_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c == '_';
+}
+
+int SourceFile::line_of(std::size_t offset) const {
+  const auto it = std::upper_bound(line_starts.begin(), line_starts.end(), offset);
+  return static_cast<int>(it - line_starts.begin());
+}
+
+bool SourceFile::code_blank(int line) const {
+  if (line < 1 || line > static_cast<int>(line_starts.size())) return true;
+  std::size_t begin = line_starts[static_cast<std::size_t>(line - 1)];
+  std::size_t end = line < static_cast<int>(line_starts.size())
+                        ? line_starts[static_cast<std::size_t>(line)]
+                        : code.size();
+  for (std::size_t i = begin; i < end; ++i) {
+    if (!std::isspace(static_cast<unsigned char>(code[i]))) return false;
+  }
+  return true;
+}
+
+std::vector<const Literal*> SourceFile::literals_in(std::size_t begin, std::size_t end) const {
+  std::vector<const Literal*> out;
+  for (const Literal& lit : literals) {
+    if (lit.offset >= begin && lit.offset < end) out.push_back(&lit);
+  }
+  return out;
+}
+
+void strip(SourceFile& f) {
+  const std::string& s = f.raw;
+  f.code.assign(s.size(), ' ');
+  f.line_starts.push_back(0);
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '\n') {
+      f.code[i] = '\n';
+      f.line_starts.push_back(i + 1);
+    }
+  }
+
+  const auto record_comment = [&f](std::size_t begin, std::size_t end) {
+    int line = f.line_of(begin);
+    std::string text;
+    for (std::size_t i = begin; i < end; ++i) {
+      if (f.raw[i] == '\n') {
+        f.comments[line] += text;
+        text.clear();
+        ++line;
+      } else {
+        text += f.raw[i];
+      }
+    }
+    f.comments[line] += text;
+  };
+
+  std::size_t i = 0;
+  while (i < s.size()) {
+    const char c = s[i];
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '/') {
+      std::size_t j = i;
+      while (j < s.size() && s[j] != '\n') ++j;
+      record_comment(i, j);
+      i = j;
+      continue;
+    }
+    if (c == '/' && i + 1 < s.size() && s[i + 1] == '*') {
+      std::size_t j = i + 2;
+      while (j + 1 < s.size() && !(s[j] == '*' && s[j + 1] == '/')) ++j;
+      j = std::min(j + 2, s.size());
+      record_comment(i, j);
+      i = j;
+      continue;
+    }
+    if (c == 'R' && i + 1 < s.size() && s[i + 1] == '"' &&
+        (i == 0 || !ident_char(s[i - 1]))) {
+      // Raw string: R"delim( ... )delim"
+      std::size_t p = i + 2;
+      std::string delim;
+      while (p < s.size() && s[p] != '(') delim += s[p++];
+      const std::string close = ")" + delim + "\"";
+      const std::size_t end = s.find(close, p);
+      i = end == std::string::npos ? s.size() : end + close.size();
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      std::size_t j = i + 1;
+      while (j < s.size() && s[j] != c) {
+        if (s[j] == '\\') ++j;
+        ++j;
+      }
+      if (c == '"') {
+        f.literals.push_back({i + 1, s.substr(i + 1, std::min(j, s.size()) - (i + 1))});
+      }
+      i = std::min(j + 1, s.size());
+      continue;
+    }
+    f.code[i] = c;
+    ++i;
+  }
+
+  // Include directives: the directive survives in the code view, the
+  // quoted path is blanked there but recorded in the literal table.
+  std::size_t at = 0;
+  while ((at = find_word(f.code, "include", at)) != std::string::npos) {
+    const std::size_t word_end = at + std::strlen("include");
+    std::size_t h = at;
+    while (h > 0 && std::isspace(static_cast<unsigned char>(f.code[h - 1])) &&
+           f.code[h - 1] != '\n') {
+      --h;
+    }
+    at = word_end;
+    if (h == 0 || f.code[h - 1] != '#') continue;
+    // The quote and the path are blanked in the code view; walk the raw
+    // text (same offsets) to find them.
+    std::size_t q = word_end;
+    while (q < f.raw.size() && (f.raw[q] == ' ' || f.raw[q] == '\t')) ++q;
+    if (q >= f.raw.size() || f.raw[q] != '"') continue;
+    for (const Literal& lit : f.literals) {
+      if (lit.offset == q + 1) {
+        f.includes.push_back({f.line_of(at), lit.text});
+        break;
+      }
+    }
+  }
+}
+
+void parse_suppressions(SourceFile& f, std::vector<Finding>& findings) {
+  for (const auto& [line, text] : f.comments) {
+    std::size_t at = 0;
+    while ((at = text.find("osap-lint:", at)) != std::string::npos) {
+      std::size_t p = at + std::strlen("osap-lint:");
+      while (p < text.size() && text[p] == ' ') ++p;
+      if (text.compare(p, 6, "allow(") != 0) {
+        findings.push_back({f.path, line, "SUP",
+                            "malformed osap-lint comment — expected 'osap-lint: allow(RULE) reason'"});
+        break;
+      }
+      p += 6;
+      const std::size_t close = text.find(')', p);
+      if (close == std::string::npos) {
+        findings.push_back({f.path, line, "SUP", "unterminated allow( in osap-lint comment"});
+        break;
+      }
+      const std::string rule = text.substr(p, close - p);
+      std::string reason = text.substr(close + 1);
+      reason.erase(0, reason.find_first_not_of(" \t"));
+      if (!known_rule(rule)) {
+        findings.push_back({f.path, line, "SUP", "allow(" + rule + ") names an unknown rule"});
+      } else if (reason.empty()) {
+        findings.push_back(
+            {f.path, line, "SUP", "allow(" + rule + ") without a reason — say why"});
+      } else {
+        Suppression sup;
+        sup.line = line;
+        sup.rule = rule;
+        sup.applies_to = line;
+        if (f.code_blank(line)) {
+          int next = line + 1;
+          const int last = static_cast<int>(f.line_starts.size());
+          while (next <= last && f.code_blank(next)) ++next;
+          sup.applies_to = next;
+        }
+        f.suppressions.push_back(sup);
+      }
+      at = close;
+    }
+  }
+}
+
+std::size_t skip_ws(const std::string& code, std::size_t i) {
+  while (i < code.size() && std::isspace(static_cast<unsigned char>(code[i]))) ++i;
+  return i;
+}
+
+std::size_t find_word(const std::string& code, const std::string& word, std::size_t from) {
+  std::size_t i = from;
+  while ((i = code.find(word, i)) != std::string::npos) {
+    const bool left_ok = i == 0 || !ident_char(code[i - 1]);
+    const std::size_t end = i + word.size();
+    const bool right_ok = end >= code.size() || !ident_char(code[end]);
+    if (left_ok && right_ok) return i;
+    i = end;
+  }
+  return std::string::npos;
+}
+
+std::size_t skip_balanced(const std::string& code, std::size_t i, char open, char close) {
+  int depth = 0;
+  for (; i < code.size(); ++i) {
+    if (code[i] == open) ++depth;
+    if (code[i] == close && --depth == 0) return i + 1;
+  }
+  return std::string::npos;
+}
+
+std::size_t skip_angles(const std::string& code, std::size_t i) {
+  int depth = 0;
+  for (; i < code.size(); ++i) {
+    if (code[i] == '<') ++depth;
+    if (code[i] == '>' && --depth == 0) return i + 1;
+    if (code[i] == ';') return std::string::npos;  // not a template after all
+  }
+  return std::string::npos;
+}
+
+std::string ident_at(const std::string& code, std::size_t i) {
+  std::size_t j = i;
+  while (j < code.size() && ident_char(code[j])) ++j;
+  return code.substr(i, j - i);
+}
+
+std::string ident_before(const std::string& code, std::size_t end) {
+  std::size_t i = end;
+  while (i > 0 && ident_char(code[i - 1])) --i;
+  return code.substr(i, end - i);
+}
+
+bool edit_distance_one(const std::string& a, const std::string& b) {
+  if (a == b) return false;
+  const std::size_t la = a.size();
+  const std::size_t lb = b.size();
+  if (la > lb + 1 || lb > la + 1) return false;
+  if (la == lb) {
+    int diff = 0;
+    for (std::size_t i = 0; i < la; ++i) {
+      if (a[i] != b[i] && ++diff > 1) return false;
+    }
+    return diff == 1;
+  }
+  // One insertion: walk the longer string past a single extra character.
+  const std::string& lng = la > lb ? a : b;
+  const std::string& sht = la > lb ? b : a;
+  std::size_t i = 0;
+  std::size_t j = 0;
+  bool skipped = false;
+  while (i < lng.size() && j < sht.size()) {
+    if (lng[i] == sht[j]) {
+      ++i;
+      ++j;
+    } else if (!skipped) {
+      skipped = true;
+      ++i;
+    } else {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace osaplint

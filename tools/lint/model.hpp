@@ -1,0 +1,123 @@
+// osap-lint file model: one scanned translation unit plus the shared
+// comment/string-aware tokenizer front-end every pass reads from.
+//
+// The linter deliberately has no libclang dependency — a same-length
+// `code` view with comments and literals blanked out (newlines kept so
+// offsets map to lines), a recorded literal table, and a few structural
+// scanners are enough for the patterns the rules match. Each file is
+// lexed exactly once; every rule pass, single-file or project-wide,
+// works off the same SourceFile.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace osaplint {
+
+// --- rule table -----------------------------------------------------------
+
+struct RuleInfo {
+  const char* id;
+  const char* summary;
+};
+
+/// All nine rule classes, in documentation order (docs/LINT.md).
+extern const RuleInfo kRules[9];
+
+bool known_rule(const std::string& id);
+
+// --- findings & suppressions ---------------------------------------------
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+  bool suppressed = false;
+  bool baselined = false;
+};
+
+struct Suppression {
+  int line = 0;        // line the allow-comment sits on
+  int applies_to = 0;  // line whose findings it silences
+  std::string rule;
+  bool used = false;
+};
+
+/// A double-quoted string literal as it appeared in the raw text
+/// (escape sequences unprocessed — the identifiers and include paths the
+/// project rules read never contain any).
+struct Literal {
+  std::size_t offset = 0;  // of the first character after the open quote
+  std::string text;
+};
+
+/// One `#include "..."` directive (angle includes are system headers and
+/// out of scope for the layer check).
+struct Include {
+  int line = 0;
+  std::string path;
+};
+
+// --- the file model -------------------------------------------------------
+
+struct SourceFile {
+  std::string path;  // as reported in findings
+  std::string raw;
+  std::string code;                      // raw with comments/literals blanked
+  std::vector<std::size_t> line_starts;  // offset of each line's first char
+  std::map<int, std::string> comments;   // line -> concatenated comment text
+  std::vector<Literal> literals;
+  std::vector<Include> includes;
+  std::vector<Suppression> suppressions;
+  bool det1_watched = false;
+
+  [[nodiscard]] int line_of(std::size_t offset) const;
+
+  /// True when the given line holds nothing but whitespace in the code
+  /// view (i.e. the line is blank or comment-only).
+  [[nodiscard]] bool code_blank(int line) const;
+
+  /// The recorded literals whose offset falls inside [begin, end).
+  [[nodiscard]] std::vector<const Literal*> literals_in(std::size_t begin,
+                                                        std::size_t end) const;
+};
+
+/// Blank out comments and literals, record comment text per line, the
+/// literal table, and the include directives.
+void strip(SourceFile& f);
+
+/// Parse `allow(RULE) reason` suppression comments (written after the
+/// tool-name marker) out of the comment map. A suppression on a
+/// comment-only line applies to the next line carrying code; a trailing
+/// comment applies to its own line.
+void parse_suppressions(SourceFile& f, std::vector<Finding>& findings);
+
+// --- token scanning helpers ----------------------------------------------
+
+bool ident_char(char c);
+std::size_t skip_ws(const std::string& code, std::size_t i);
+
+/// Find the next whole-word occurrence of `word` at or after `from`.
+std::size_t find_word(const std::string& code, const std::string& word, std::size_t from);
+
+/// With code[i] == open, return the index one past the matching close.
+std::size_t skip_balanced(const std::string& code, std::size_t i, char open, char close);
+
+/// Skip a template argument list: code[i] == '<'; returns one past the
+/// matching '>'. Handles nesting; no shift operators occur inside the
+/// declarations this tool inspects.
+std::size_t skip_angles(const std::string& code, std::size_t i);
+
+std::string ident_at(const std::string& code, std::size_t i);
+
+/// Identifier ending just before `end` (exclusive); empty if none.
+std::string ident_before(const std::string& code, std::size_t end);
+
+/// True when the Levenshtein distance between a and b is exactly 1 — the
+/// SID-1 "near miss" band: one typo'd, dropped, or doubled character.
+bool edit_distance_one(const std::string& a, const std::string& b);
+
+}  // namespace osaplint

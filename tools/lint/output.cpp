@@ -1,0 +1,358 @@
+#include "output.hpp"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace osaplint {
+
+namespace {
+
+constexpr const char* kRepoRoots[] = {"src", "tools", "tests", "bench", "examples"};
+
+bool repo_root_component(const std::string& part) {
+  for (const char* root : kRepoRoots) {
+    if (part == root) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string rel_key(const std::string& path) {
+  std::size_t best = std::string::npos;
+  std::size_t at = 0;
+  while (at <= path.size()) {
+    const std::size_t slash = path.find('/', at);
+    const std::size_t end = slash == std::string::npos ? path.size() : slash;
+    if (repo_root_component(path.substr(at, end - at))) best = at;
+    if (slash == std::string::npos) break;
+    at = slash + 1;
+  }
+  return best == std::string::npos ? path : path.substr(best);
+}
+
+// --- minimal JSON reader --------------------------------------------------
+//
+// Reads exactly the subset save_baseline() writes, tolerantly enough to
+// survive hand-edits: objects, arrays, strings with the common escapes,
+// and integers. Anything structurally unexpected fails the load — a
+// broken ratchet file should stop CI, not silently admit findings.
+
+namespace {
+
+struct JsonReader {
+  const std::string& s;
+  std::size_t i = 0;
+  bool ok = true;
+
+  void skip_ws() {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+
+  char peek() {
+    skip_ws();
+    return i < s.size() ? s[i] : '\0';
+  }
+
+  std::string string() {
+    std::string out;
+    if (!consume('"')) {
+      ok = false;
+      return out;
+    }
+    while (i < s.size() && s[i] != '"') {
+      char c = s[i++];
+      if (c == '\\' && i < s.size()) {
+        const char esc = s[i++];
+        switch (esc) {
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          case 'b': c = '\b'; break;
+          case 'f': c = '\f'; break;
+          default: c = esc; break;  // \" \\ \/ and anything exotic verbatim
+        }
+      }
+      out += c;
+    }
+    if (i >= s.size()) {
+      ok = false;
+      return out;
+    }
+    ++i;  // closing quote
+    return out;
+  }
+
+  long number() {
+    skip_ws();
+    std::size_t end = i;
+    if (end < s.size() && (s[end] == '-' || s[end] == '+')) ++end;
+    while (end < s.size() && std::isdigit(static_cast<unsigned char>(s[end]))) ++end;
+    if (end == i) {
+      ok = false;
+      return 0;
+    }
+    const long v = std::stol(s.substr(i, end - i));
+    i = end;
+    return v;
+  }
+
+  void skip_value() {
+    skip_ws();
+    const char c = peek();
+    if (c == '"') {
+      string();
+    } else if (c == '{') {
+      ++i;
+      if (!consume('}')) {
+        do {
+          string();
+          if (!consume(':')) ok = false;
+          skip_value();
+        } while (ok && consume(','));
+        if (!consume('}')) ok = false;
+      }
+    } else if (c == '[') {
+      ++i;
+      if (!consume(']')) {
+        do {
+          skip_value();
+        } while (ok && consume(','));
+        if (!consume(']')) ok = false;
+      }
+    } else {
+      // number / true / false / null
+      while (i < s.size() && (ident_char(s[i]) || s[i] == '-' || s[i] == '+' || s[i] == '.')) ++i;
+    }
+  }
+};
+
+BaselineEntry read_entry(JsonReader& r) {
+  BaselineEntry e;
+  if (!r.consume('{')) {
+    r.ok = false;
+    return e;
+  }
+  if (r.consume('}')) return e;
+  do {
+    const std::string key = r.string();
+    if (!r.consume(':')) r.ok = false;
+    if (key == "file") {
+      e.file = r.string();
+    } else if (key == "line") {
+      e.line = static_cast<int>(r.number());
+    } else if (key == "rule") {
+      e.rule = r.string();
+    } else if (key == "message") {
+      e.message = r.string();
+    } else {
+      r.skip_value();
+    }
+  } while (r.ok && r.consume(','));
+  if (!r.consume('}')) r.ok = false;
+  return e;
+}
+
+}  // namespace
+
+bool load_baseline(const std::string& path, std::vector<BaselineEntry>& entries,
+                   std::string& err) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    err = "cannot open baseline " + path;
+    return false;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string text = buf.str();
+
+  JsonReader r{text};
+  if (!r.consume('{')) {
+    err = path + ": expected a JSON object";
+    return false;
+  }
+  bool saw_findings = false;
+  if (!r.consume('}')) {
+    do {
+      const std::string key = r.string();
+      if (!r.consume(':')) r.ok = false;
+      if (key == "findings") {
+        saw_findings = true;
+        if (!r.consume('[')) {
+          r.ok = false;
+          break;
+        }
+        if (!r.consume(']')) {
+          do {
+            entries.push_back(read_entry(r));
+          } while (r.ok && r.consume(','));
+          if (!r.consume(']')) r.ok = false;
+        }
+      } else {
+        r.skip_value();
+      }
+    } while (r.ok && r.consume(','));
+    if (!r.consume('}')) r.ok = false;
+  }
+  if (!r.ok || !saw_findings) {
+    err = path + ": malformed baseline (expected {\"version\":1,\"findings\":[...]})";
+    entries.clear();
+    return false;
+  }
+  return true;
+}
+
+void apply_baseline(std::vector<Finding>& findings, std::vector<BaselineEntry>& entries) {
+  for (Finding& f : findings) {
+    if (f.suppressed) continue;
+    const std::string key = rel_key(f.file);
+    for (BaselineEntry& e : entries) {
+      if (e.consumed || e.rule != f.rule || e.message != f.message) continue;
+      if (rel_key(e.file) != key) continue;
+      e.consumed = true;
+      f.baselined = true;
+      break;
+    }
+  }
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+bool save_baseline(const std::string& path, const std::vector<Finding>& findings) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << "{\n  \"version\": 1,\n  \"findings\": [";
+  bool first = true;
+  for (const Finding& f : findings) {
+    if (f.suppressed) continue;
+    out << (first ? "\n" : ",\n");
+    first = false;
+    out << "    {\"file\": \"" << json_escape(rel_key(f.file)) << "\", \"line\": " << f.line
+        << ", \"rule\": \"" << json_escape(f.rule) << "\", \"message\": \""
+        << json_escape(f.message) << "\"}";
+  }
+  out << (first ? "]\n}\n" : "\n  ]\n}\n");
+  return static_cast<bool>(out);
+}
+
+// --- back-ends ------------------------------------------------------------
+
+void print_text(const Report& r, bool verbose) {
+  for (const Finding& f : r.findings) {
+    if (f.suppressed) {
+      if (verbose) {
+        std::printf("%s:%d: %s: suppressed: %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                    f.message.c_str());
+      }
+      continue;
+    }
+    if (f.baselined) {
+      if (verbose) {
+        std::printf("%s:%d: %s: baselined: %s\n", f.file.c_str(), f.line, f.rule.c_str(),
+                    f.message.c_str());
+      }
+      continue;
+    }
+    std::printf("%s:%d: %s: %s\n", f.file.c_str(), f.line, f.rule.c_str(), f.message.c_str());
+  }
+  for (const StaleSuppression& s : r.stale_suppressions) {
+    std::printf("%s:%d: note: allow(%s) suppresses nothing (stale suppression?)\n",
+                s.file.c_str(), s.line, s.rule.c_str());
+  }
+  for (const BaselineEntry& e : r.stale_baseline) {
+    std::printf("%s: note: stale baseline entry (%s: %s) matches nothing — remove it\n",
+                e.file.c_str(), e.rule.c_str(), e.message.c_str());
+  }
+  if (r.baseline_active) {
+    std::printf("osap-lint: %d new violation%s, %d baselined, %d suppressed\n", r.new_count,
+                r.new_count == 1 ? "" : "s", r.baselined, r.suppressed);
+  } else {
+    std::printf("osap-lint: %d violation%s, %d suppressed\n", r.new_count,
+                r.new_count == 1 ? "" : "s", r.suppressed);
+  }
+}
+
+void print_json(const Report& r) {
+  std::printf("{\n  \"version\": 1,\n  \"tool\": \"osap-lint\",\n");
+  std::printf("  \"new\": %d,\n  \"baselined\": %d,\n  \"suppressed\": %d,\n", r.new_count,
+              r.baselined, r.suppressed);
+  std::printf("  \"findings\": [");
+  bool first = true;
+  for (const Finding& f : r.findings) {
+    const char* status = f.suppressed ? "suppressed" : f.baselined ? "baselined" : "new";
+    std::printf("%s    {\"file\": \"%s\", \"line\": %d, \"rule\": \"%s\", \"status\": \"%s\", "
+                "\"message\": \"%s\"}",
+                first ? "\n" : ",\n", json_escape(f.file).c_str(), f.line,
+                json_escape(f.rule).c_str(), status, json_escape(f.message).c_str());
+    first = false;
+  }
+  std::printf("%s  ],\n", first ? "" : "\n");
+  std::printf("  \"stale_baseline\": [");
+  first = true;
+  for (const BaselineEntry& e : r.stale_baseline) {
+    std::printf("%s    {\"file\": \"%s\", \"rule\": \"%s\", \"message\": \"%s\"}",
+                first ? "\n" : ",\n", json_escape(e.file).c_str(), json_escape(e.rule).c_str(),
+                json_escape(e.message).c_str());
+    first = false;
+  }
+  std::printf("%s  ],\n", first ? "" : "\n");
+  std::printf("  \"stale_suppressions\": [");
+  first = true;
+  for (const StaleSuppression& s : r.stale_suppressions) {
+    std::printf("%s    {\"file\": \"%s\", \"line\": %d, \"rule\": \"%s\"}", first ? "\n" : ",\n",
+                json_escape(s.file).c_str(), s.line, json_escape(s.rule).c_str());
+    first = false;
+  }
+  std::printf("%s  ]\n}\n", first ? "" : "\n");
+}
+
+void print_github(const Report& r) {
+  for (const Finding& f : r.findings) {
+    if (f.suppressed || f.baselined) continue;
+    // Workflow commands don't parse newlines or '::' inside the value;
+    // findings contain neither, but escape '%' per the protocol.
+    std::string msg;
+    for (const char c : f.message) {
+      if (c == '%') {
+        msg += "%25";
+      } else {
+        msg += c;
+      }
+    }
+    std::printf("::error file=%s,line=%d,title=osap-lint %s::%s\n", rel_key(f.file).c_str(),
+                f.line, f.rule.c_str(), msg.c_str());
+  }
+}
+
+}  // namespace osaplint

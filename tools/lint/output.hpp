@@ -1,0 +1,70 @@
+// Reporting back-ends and the committed-findings baseline.
+//
+// The baseline file (tools/lint/baseline.json) is the CI ratchet: known
+// findings listed there are demoted to "baselined" (exit stays 0) so a
+// rule can land before every pre-existing hit is fixed, while any NEW
+// finding still fails the build and any entry that no longer matches is
+// flagged as stale so the file only ever shrinks.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "model.hpp"
+
+namespace osaplint {
+
+/// One committed baseline entry. `file` is stored as a repo-relative
+/// key (see rel_key) so the file survives being generated from either
+/// the repo root or a build directory; matching ignores the line number
+/// because unrelated edits shift it.
+struct BaselineEntry {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+  bool consumed = false;
+};
+
+/// Path from its last component naming a top-level repo root (src,
+/// tools, tests, bench, examples) — "/abs/repo/src/os/vmm.cpp" and
+/// "src/os/vmm.cpp" both key as "src/os/vmm.cpp".
+std::string rel_key(const std::string& path);
+
+/// False (with `err` set) on unreadable file or malformed JSON.
+bool load_baseline(const std::string& path, std::vector<BaselineEntry>& entries,
+                   std::string& err);
+
+/// Demote findings matching an unconsumed entry by (rel_key(file),
+/// rule, message); each entry absorbs at most one finding.
+void apply_baseline(std::vector<Finding>& findings, std::vector<BaselineEntry>& entries);
+
+/// Rewrite the baseline to the current unsuppressed findings.
+bool save_baseline(const std::string& path, const std::vector<Finding>& findings);
+
+std::string json_escape(const std::string& s);
+
+struct StaleSuppression {
+  std::string file;
+  int line = 0;
+  std::string rule;
+};
+
+/// Everything the back-ends print, assembled once by the driver.
+struct Report {
+  std::vector<Finding> findings;  // sorted by (file, line, rule, message)
+  std::vector<BaselineEntry> stale_baseline;
+  std::vector<StaleSuppression> stale_suppressions;
+  bool baseline_active = false;
+  int new_count = 0;
+  int baselined = 0;
+  int suppressed = 0;
+};
+
+void print_text(const Report& r, bool verbose);
+void print_json(const Report& r);
+/// GitHub workflow-command annotations (::error file=…,line=…) for the
+/// new findings, in addition to whatever format already printed.
+void print_github(const Report& r);
+
+}  // namespace osaplint

@@ -1,0 +1,158 @@
+// osap-lint analysis passes.
+//
+// The driver runs them in dependency order over one shared vector of
+// lexed SourceFiles:
+//
+//   artifact passes   collect_unordered_names  (DET-1's global name set)
+//                     NameRegistry::load       (SID-1's identifier registry)
+//                     IdentifierIndex::build   (every name-consuming call site)
+//                     LayerManifest::load      (LAY-1's layer DAG)
+//                     collect_kind_enums       (EVT-1's enumerator lists)
+//   single-file rules check_det1/det2/lif1/mut1, collect_aud1
+//   project rules     check_aud1/lay1/sid1/trc1/evt1
+//
+// Project rules see every file at once: an include edge, a typo'd
+// counter name, or an unpaired async span is visible only against the
+// whole tree's artifacts.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "model.hpp"
+
+namespace osaplint {
+
+// --- single-file rules (DET-1/DET-2/LIF-1/MUT-1/AUD-1) --------------------
+
+/// Names of variables/members declared as unordered_map/unordered_set, and
+/// names of functions returning one, across every scanned file. A global
+/// union is deliberate: kernel.cpp iterates Process members declared in
+/// process.hpp, so per-file scoping would go blind exactly where it
+/// matters. A same-named ordered container elsewhere is a tolerable
+/// false-positive source (none exist today; suppress if one appears).
+struct UnorderedNames {
+  std::set<std::string> vars;
+  std::set<std::string> fns;
+};
+
+void collect_unordered_names(const SourceFile& f, UnorderedNames& names);
+void check_det1(const SourceFile& f, const UnorderedNames& names,
+                std::vector<Finding>& findings);
+void check_det2(const SourceFile& f, std::vector<Finding>& findings);
+void check_lif1(const SourceFile& f, std::vector<Finding>& findings);
+void check_mut1(const SourceFile& f, std::vector<Finding>& findings);
+
+struct AuditorPair {
+  std::vector<std::pair<std::string, std::pair<const SourceFile*, int>>> classes;
+  int adds = 0;
+  int removes = 0;
+};
+
+void collect_aud1(const SourceFile& f, std::map<std::string, AuditorPair>& pairs);
+void check_aud1(const std::map<std::string, AuditorPair>& pairs,
+                std::vector<Finding>& findings);
+
+// --- LAY-1: the layer DAG -------------------------------------------------
+
+/// Parsed layers.txt: an ordered list of layers, each naming the source
+/// directories that live in it. Rank increases with file order; an
+/// include may only reach a strictly lower rank (or stay inside its own
+/// directory) — siblings inside one layer stay independent.
+class LayerManifest {
+ public:
+  /// Throws std::runtime_error with a line-numbered message on a
+  /// malformed manifest.
+  static LayerManifest load(const std::string& path);
+
+  [[nodiscard]] bool loaded() const { return !rank_by_dir_.empty(); }
+  /// Rank of the first path component that names a manifest directory,
+  /// scanning left to right; -1 when the path maps to no layer.
+  [[nodiscard]] int rank_of_path(const std::string& path) const;
+  [[nodiscard]] int rank_of_dir(const std::string& dir) const;
+  /// Directory a path belongs to ("" when unmapped).
+  [[nodiscard]] std::string dir_of_path(const std::string& path) const;
+  [[nodiscard]] const std::string& layer_name(int rank) const { return layer_names_.at(static_cast<std::size_t>(rank)); }
+
+ private:
+  std::map<std::string, int> rank_by_dir_;
+  std::vector<std::string> layer_names_;
+};
+
+void check_lay1(const SourceFile& f, const LayerManifest& layers,
+                std::vector<Finding>& findings);
+
+// --- SID-1 / TRC-1: the string-identifier index ---------------------------
+
+/// The central identifier registry parsed out of src/trace/names.hpp:
+/// every string literal in that header is a declared identifier, keyed
+/// both by value and by the constant name it initializes. Entries whose
+/// value starts with '.' are per-node suffixes ("nodeN" + suffix at run
+/// time); a used name matches a suffix entry by its tail.
+class NameRegistry {
+ public:
+  struct Entry {
+    std::string constant;  // kFoo, or "" for a bare literal
+    std::string value;
+    int line = 0;
+  };
+
+  static NameRegistry load(const SourceFile& f);
+
+  [[nodiscard]] bool loaded() const { return !entries_.empty(); }
+  [[nodiscard]] const std::string& path() const { return path_; }
+  [[nodiscard]] bool declared(const std::string& name) const;
+  /// A declared entry within edit distance 1 of `name` (tail-compared for
+  /// suffix entries); empty when none.
+  [[nodiscard]] std::string near_miss(const std::string& name) const;
+  /// Value of the registry constant `ident`; empty when unknown.
+  [[nodiscard]] std::string value_of_constant(const std::string& ident) const;
+
+ private:
+  std::string path_;
+  std::vector<Entry> entries_;
+  std::set<std::string> values_;
+  std::map<std::string, std::string> value_by_constant_;
+};
+
+/// One resolved identifier use at a name-consuming call site.
+struct NameUse {
+  const SourceFile* file = nullptr;
+  int line = 0;
+  std::string call;     // counter, gauge, value, instant, async_begin, ...
+  std::string name;     // literal text, or a registry constant's value
+  bool from_literal = true;
+};
+
+/// Every name-consuming call site in the tree: CounterRegistry::counter/
+/// gauge/value and Tracer::begin/instant/async_begin/async_end/
+/// async_duration. Built once; SID-1 checks literals against the
+/// registry, TRC-1 pairs async span names project-wide.
+struct IdentifierIndex {
+  std::vector<NameUse> uses;
+
+  void build(const SourceFile& f, const NameRegistry& registry);
+};
+
+void check_sid1(const IdentifierIndex& index, const NameRegistry& registry,
+                std::vector<Finding>& findings);
+void check_trc1(const IdentifierIndex& index, std::vector<Finding>& findings);
+
+// --- EVT-1: kind-enum switch exhaustiveness -------------------------------
+
+/// Enumerator lists of the watched kind enums, collected from their
+/// definitions anywhere in the scanned set.
+struct KindEnums {
+  std::map<std::string, std::vector<std::string>> enumerators;
+};
+
+bool watched_kind_enum(const std::string& name);
+void collect_kind_enums(const SourceFile& f, KindEnums& enums);
+void check_evt1(const SourceFile& f, const KindEnums& enums,
+                std::vector<Finding>& findings);
+
+}  // namespace osaplint

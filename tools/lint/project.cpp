@@ -1,0 +1,445 @@
+// Project-wide passes: the layer DAG (LAY-1), the string-identifier
+// registry and index (SID-1), async span pairing (TRC-1), and kind-enum
+// switch exhaustiveness (EVT-1). These are the rules the old
+// single-file linter could not express: each one needs an artifact
+// assembled from every scanned translation unit before any file can be
+// judged.
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "passes.hpp"
+
+namespace osaplint {
+
+// --- LAY-1 ----------------------------------------------------------------
+
+LayerManifest LayerManifest::load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open layer manifest " + path);
+  LayerManifest m;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    std::istringstream fields(line);
+    std::string name;
+    if (!(fields >> name)) continue;  // blank / comment-only
+    if (name.empty() || name.back() != ':') {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) +
+                               ": expected 'layer-name: dir dir ...'");
+    }
+    name.pop_back();
+    const int rank = static_cast<int>(m.layer_names_.size());
+    m.layer_names_.push_back(name);
+    std::string dir;
+    int dirs = 0;
+    while (fields >> dir) {
+      if (!m.rank_by_dir_.emplace(dir, rank).second) {
+        throw std::runtime_error(path + ":" + std::to_string(lineno) + ": directory '" + dir +
+                                 "' already assigned to a lower layer");
+      }
+      ++dirs;
+    }
+    if (dirs == 0) {
+      throw std::runtime_error(path + ":" + std::to_string(lineno) + ": layer '" + name +
+                               "' names no directories");
+    }
+  }
+  if (m.layer_names_.empty()) throw std::runtime_error(path + ": empty layer manifest");
+  return m;
+}
+
+namespace {
+
+/// First '/'-separated component of `path` that names a manifest
+/// directory; empty when none does.
+std::string first_mapped_component(const std::map<std::string, int>& ranks,
+                                   const std::string& path) {
+  std::size_t at = 0;
+  while (at < path.size()) {
+    const std::size_t slash = path.find('/', at);
+    const std::size_t end = slash == std::string::npos ? path.size() : slash;
+    const std::string part = path.substr(at, end - at);
+    if (ranks.contains(part)) return part;
+    if (slash == std::string::npos) break;
+    at = slash + 1;
+  }
+  return {};
+}
+
+}  // namespace
+
+int LayerManifest::rank_of_path(const std::string& path) const {
+  const std::string dir = first_mapped_component(rank_by_dir_, path);
+  return dir.empty() ? -1 : rank_by_dir_.at(dir);
+}
+
+int LayerManifest::rank_of_dir(const std::string& dir) const {
+  const auto it = rank_by_dir_.find(dir);
+  return it == rank_by_dir_.end() ? -1 : it->second;
+}
+
+std::string LayerManifest::dir_of_path(const std::string& path) const {
+  return first_mapped_component(rank_by_dir_, path);
+}
+
+void check_lay1(const SourceFile& f, const LayerManifest& layers,
+                std::vector<Finding>& findings) {
+  if (!layers.loaded()) return;
+  const std::string from_dir = layers.dir_of_path(f.path);
+  if (from_dir.empty()) return;  // file lives outside the layered tree
+  const int from_rank = layers.rank_of_dir(from_dir);
+  for (const Include& inc : f.includes) {
+    const std::string to_dir = layers.dir_of_path(inc.path);
+    // Same-directory includes carry no path component and unmapped
+    // targets are out of the DAG's jurisdiction.
+    if (to_dir.empty() || to_dir == from_dir) continue;
+    const int to_rank = layers.rank_of_dir(to_dir);
+    if (to_rank < from_rank) continue;  // downward edge: legal
+    const char* shape = to_rank == from_rank ? "sideways into sibling" : "upward into";
+    findings.push_back({f.path, inc.line, "LAY-1",
+                        "include of \"" + inc.path + "\" reaches " + shape + " '" + to_dir +
+                            "' (layer " + layers.layer_name(to_rank) + "); '" + from_dir +
+                            "' (layer " + layers.layer_name(from_rank) +
+                            ") may only include below itself — see tools/lint/layers.txt"});
+  }
+}
+
+// --- SID-1 ----------------------------------------------------------------
+
+NameRegistry NameRegistry::load(const SourceFile& f) {
+  NameRegistry r;
+  r.path_ = f.path;
+  for (const Literal& lit : f.literals) {
+    Entry e;
+    e.value = lit.text;
+    e.line = f.line_of(lit.offset);
+    // The initialized constant: the identifier before the '=' that
+    // precedes this literal's open quote.
+    std::size_t p = lit.offset - 1;  // the (blanked) open quote
+    while (p > 0 && std::isspace(static_cast<unsigned char>(f.code[p - 1]))) --p;
+    if (p > 0 && f.code[p - 1] == '=') {
+      std::size_t q = p - 1;
+      while (q > 0 && std::isspace(static_cast<unsigned char>(f.code[q - 1]))) --q;
+      e.constant = ident_before(f.code, q);
+    }
+    r.values_.insert(e.value);
+    if (!e.constant.empty()) r.value_by_constant_[e.constant] = e.value;
+    r.entries_.push_back(std::move(e));
+  }
+  return r;
+}
+
+bool NameRegistry::declared(const std::string& name) const {
+  if (values_.contains(name)) return true;
+  for (const Entry& e : entries_) {
+    if (e.value.size() > 1 && e.value.front() == '.' && name.size() > e.value.size() &&
+        name.compare(name.size() - e.value.size(), e.value.size(), e.value) == 0) {
+      return true;  // per-node suffix entry: "<node>.swap_out_io_bytes"
+    }
+  }
+  return false;
+}
+
+std::string NameRegistry::near_miss(const std::string& name) const {
+  for (const Entry& e : entries_) {
+    if (e.value.size() > 1 && e.value.front() == '.') {
+      // Suffix entry: compare against tails one character shorter,
+      // equal, and longer — an edit inside the suffix shifts its start.
+      for (std::size_t n : {e.value.size() - 1, e.value.size(), e.value.size() + 1}) {
+        if (n == 0 || n >= name.size()) continue;
+        if (edit_distance_one(name.substr(name.size() - n), e.value)) return e.value;
+      }
+    }
+    if (edit_distance_one(name, e.value)) return e.value;
+  }
+  return {};
+}
+
+std::string NameRegistry::value_of_constant(const std::string& ident) const {
+  const auto it = value_by_constant_.find(ident);
+  return it == value_by_constant_.end() ? std::string{} : it->second;
+}
+
+namespace {
+
+/// The name-consuming calls and which argument carries the identifier.
+struct NameCall {
+  const char* fn;
+  int name_arg;
+};
+
+constexpr NameCall kNameCalls[] = {
+    {"counter", 0},        {"gauge", 0},     {"value", 0},     {"async_duration", 0},
+    {"instant", 1},        {"begin", 1},     {"async_begin", 1}, {"async_end", 1},
+};
+
+/// Argument spans of the call whose '(' is at `open` in the code view:
+/// [begin, end) offsets split at top-level commas (()/[]/{} tracked; the
+/// name arguments these rules read never involve template commas).
+std::vector<std::pair<std::size_t, std::size_t>> split_args(const std::string& code,
+                                                            std::size_t open,
+                                                            std::size_t close) {
+  std::vector<std::pair<std::size_t, std::size_t>> args;
+  int depth = 0;
+  std::size_t begin = open + 1;
+  for (std::size_t i = open + 1; i < close; ++i) {
+    const char c = code[i];
+    if (c == '(' || c == '[' || c == '{') ++depth;
+    if (c == ')' || c == ']' || c == '}') --depth;
+    if (c == ',' && depth == 0) {
+      args.emplace_back(begin, i);
+      begin = i + 1;
+    }
+  }
+  args.emplace_back(begin, close);
+  return args;
+}
+
+}  // namespace
+
+void IdentifierIndex::build(const SourceFile& f, const NameRegistry& registry) {
+  if (registry.loaded() && f.path == registry.path()) return;
+  const std::string& code = f.code;
+  for (const NameCall& call : kNameCalls) {
+    std::size_t i = 0;
+    while ((i = find_word(code, call.fn, i)) != std::string::npos) {
+      const std::size_t at = i;
+      i += std::strlen(call.fn);
+      const std::size_t open = skip_ws(code, at + std::strlen(call.fn));
+      if (open >= code.size() || code[open] != '(') continue;
+      const std::size_t end = skip_balanced(code, open, '(', ')');
+      if (end == std::string::npos) continue;
+      const auto args = split_args(code, open, end - 1);
+      if (static_cast<std::size_t>(call.name_arg) >= args.size()) continue;
+      const auto [abegin, aend] = args[static_cast<std::size_t>(call.name_arg)];
+
+      // Literals in the name slot, including both arms of a ternary and
+      // any composed-suffix pieces.
+      for (const Literal* lit : f.literals_in(abegin, aend)) {
+        uses.push_back({&f, f.line_of(lit->offset), call.fn, lit->text, true});
+      }
+      // Identifiers resolving to registry constants (names::kFoo).
+      for (std::size_t p = abegin; p < aend;) {
+        if (!ident_char(code[p])) {
+          ++p;
+          continue;
+        }
+        const std::string ident = ident_at(code, p);
+        p += ident.size();
+        const std::string val = registry.value_of_constant(ident);
+        if (!val.empty()) uses.push_back({&f, f.line_of(p - 1), call.fn, val, false});
+      }
+    }
+  }
+}
+
+void check_sid1(const IdentifierIndex& index, const NameRegistry& registry,
+                std::vector<Finding>& findings) {
+  if (!registry.loaded()) return;
+  for (const NameUse& use : index.uses) {
+    if (!use.from_literal) continue;  // registry constants are declared by construction
+    if (use.name.empty() || registry.declared(use.name)) continue;
+    const std::string miss = registry.near_miss(use.name);
+    std::string msg;
+    if (!miss.empty()) {
+      msg = "identifier \"" + use.name + "\" is one edit away from registered \"" + miss +
+            "\" — typo, or a genuinely new name missing from " + registry.path();
+    } else {
+      msg = "identifier \"" + use.name + "\" is not declared in " + registry.path() +
+            " — register it (or use the registry constant)";
+    }
+    findings.push_back({use.file->path, use.line, "SID-1", std::move(msg)});
+  }
+}
+
+// --- TRC-1 ----------------------------------------------------------------
+
+void check_trc1(const IdentifierIndex& index, std::vector<Finding>& findings) {
+  struct Side {
+    int count = 0;
+    const SourceFile* file = nullptr;
+    int line = 0;
+  };
+  std::map<std::string, std::pair<Side, Side>> spans;  // name -> (begin, end)
+  for (const NameUse& use : index.uses) {
+    Side* side = nullptr;
+    if (use.call == "async_begin") side = &spans[use.name].first;
+    if (use.call == "async_end") side = &spans[use.name].second;
+    if (side == nullptr) continue;
+    if (side->count++ == 0) {
+      side->file = use.file;
+      side->line = use.line;
+    }
+  }
+  for (const auto& [name, sides] : spans) {
+    const auto& [b, e] = sides;
+    if (b.count > 0 && e.count == 0) {
+      findings.push_back({b.file->path, b.line, "TRC-1",
+                          "async span \"" + name +
+                              "\" has async_begin but no async_end anywhere in the tree — "
+                              "the span never closes in the trace"});
+    } else if (e.count > 0 && b.count == 0) {
+      findings.push_back({e.file->path, e.line, "TRC-1",
+                          "async span \"" + name +
+                              "\" has async_end but no async_begin anywhere in the tree — "
+                              "the end is orphaned"});
+    }
+  }
+}
+
+// --- EVT-1 ----------------------------------------------------------------
+
+bool watched_kind_enum(const std::string& name) {
+  // The kind enums whose values grow when the model grows: cluster
+  // events, and the heartbeat report/action messages. A default: in a
+  // switch over one of these swallows every future kind silently.
+  return name == "ClusterEventType" || name == "ReportKind" || name == "ActionKind";
+}
+
+void collect_kind_enums(const SourceFile& f, KindEnums& enums) {
+  const std::string& code = f.code;
+  std::size_t i = 0;
+  while ((i = find_word(code, "enum", i)) != std::string::npos) {
+    i += 4;
+    std::size_t p = skip_ws(code, i);
+    for (const char* kw : {"class", "struct"}) {
+      if (ident_at(code, p) == kw) p = skip_ws(code, p + std::strlen(kw));
+    }
+    const std::string name = ident_at(code, p);
+    if (name.empty() || !watched_kind_enum(name)) continue;
+    p = skip_ws(code, p + name.size());
+    if (p < code.size() && code[p] == ':') {  // underlying type
+      while (p < code.size() && code[p] != '{' && code[p] != ';') ++p;
+    }
+    if (p >= code.size() || code[p] != '{') continue;  // opaque declaration
+    const std::size_t close = skip_balanced(code, p, '{', '}');
+    if (close == std::string::npos) continue;
+    std::vector<std::string> values;
+    for (const auto& [abegin, aend] : split_args(code, p, close - 1)) {
+      const std::size_t v = skip_ws(code, abegin);
+      if (v >= aend) continue;
+      const std::string enumerator = ident_at(code, v);
+      if (!enumerator.empty()) values.push_back(enumerator);
+    }
+    if (!values.empty()) enums.enumerators[name] = std::move(values);
+  }
+}
+
+namespace {
+
+/// Scan one switch body for its own case/default labels, hopping over
+/// nested switches (their labels belong to the inner statement).
+void scan_switch_body(const std::string& code, std::size_t begin, std::size_t end,
+                      std::string& enum_name, std::set<std::string>& covered,
+                      std::size_t& default_at) {
+  std::size_t i = begin;
+  while (i < end) {
+    const std::size_t nested = find_word(code, "switch", i);
+    const std::size_t kase = find_word(code, "case", i);
+    const std::size_t dflt = find_word(code, "default", i);
+    std::size_t next = std::min({nested, kase, dflt});
+    if (next == std::string::npos || next >= end) return;
+    if (next == nested) {
+      std::size_t p = skip_ws(code, nested + 6);
+      if (p < end && code[p] == '(') p = skip_balanced(code, p, '(', ')');
+      p = p == std::string::npos ? end : skip_ws(code, p);
+      if (p < end && code[p] == '{') {
+        const std::size_t body_end = skip_balanced(code, p, '{', '}');
+        i = body_end == std::string::npos ? end : body_end;
+      } else {
+        i = nested + 6;
+      }
+      continue;
+    }
+    if (next == dflt) {
+      const std::size_t p = skip_ws(code, dflt + 7);
+      if (p < end && code[p] == ':') default_at = dflt;
+      i = dflt + 7;
+      continue;
+    }
+    // A case label: the enumerator is the identifier before the ':',
+    // the enum its '::'-qualifier.
+    std::size_t colon = kase + 4;
+    while (colon < end && code[colon] != ':' && code[colon] != ';') ++colon;
+    // Step over '::' scope separators inside the label.
+    while (colon + 1 < end && code[colon] == ':' && code[colon + 1] == ':') {
+      colon += 2;
+      while (colon < end && code[colon] != ':' && code[colon] != ';') ++colon;
+    }
+    if (colon >= end || code[colon] != ':') {
+      i = kase + 4;
+      continue;
+    }
+    const std::string enumerator = ident_before(code, colon);
+    std::size_t q = colon - enumerator.size();
+    if (q >= 2 && code[q - 1] == ':' && code[q - 2] == ':') {
+      const std::string qualifier = ident_before(code, q - 2);
+      if (!qualifier.empty() && !enumerator.empty()) {
+        if (enum_name.empty()) enum_name = qualifier;
+        if (qualifier == enum_name) covered.insert(enumerator);
+      }
+    }
+    i = colon + 1;
+  }
+}
+
+}  // namespace
+
+void check_evt1(const SourceFile& f, const KindEnums& enums,
+                std::vector<Finding>& findings) {
+  const std::string& code = f.code;
+  std::size_t i = 0;
+  while ((i = find_word(code, "switch", i)) != std::string::npos) {
+    const std::size_t at = i;
+    i += 6;
+    std::size_t p = skip_ws(code, at + 6);
+    if (p >= code.size() || code[p] != '(') continue;
+    p = skip_balanced(code, p, '(', ')');
+    if (p == std::string::npos) continue;
+    p = skip_ws(code, p);
+    if (p >= code.size() || code[p] != '{') continue;
+    const std::size_t body_end = skip_balanced(code, p, '{', '}');
+    if (body_end == std::string::npos) continue;
+
+    std::string enum_name;
+    std::set<std::string> covered;
+    std::size_t default_at = std::string::npos;
+    scan_switch_body(code, p + 1, body_end - 1, enum_name, covered, default_at);
+    if (enum_name.empty() || !watched_kind_enum(enum_name)) {
+      i = at + 6;  // inner switches still get their own visit
+      continue;
+    }
+
+    if (default_at != std::string::npos) {
+      findings.push_back({f.path, f.line_of(default_at), "EVT-1",
+                          "default: in a switch over " + enum_name +
+                              " — new kinds would be swallowed silently; enumerate every "
+                              "case so additions fail the build"});
+    } else {
+      const auto def = enums.enumerators.find(enum_name);
+      if (def != enums.enumerators.end()) {
+        std::string missing;
+        int n = 0;
+        for (const std::string& v : def->second) {
+          if (!covered.contains(v)) {
+            missing += (n++ ? ", " : "") + v;
+          }
+        }
+        if (n > 0) {
+          findings.push_back({f.path, f.line_of(at), "EVT-1",
+                              "switch over " + enum_name + " does not handle " +
+                                  std::to_string(n) + " kind(s): " + missing});
+        }
+      }
+    }
+    i = at + 6;
+  }
+}
+
+}  // namespace osaplint
