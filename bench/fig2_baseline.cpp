@@ -21,6 +21,10 @@
 #include <string>
 
 #include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "core/run.hpp"
+#include "osapd/expand.hpp"
+#include "osapd/matrix.hpp"
 
 namespace {
 
@@ -38,7 +42,6 @@ std::string flag_value(int argc, char** argv, const char* name) {
 
 int main(int argc, char** argv) {
   using namespace osap;
-  using bench::run_point;
 
   const std::string runs_flag = flag_value(argc, argv, "runs");
   const int runs = runs_flag.empty() ? bench::kRuns : std::stoi(runs_flag);
@@ -47,18 +50,44 @@ int main(int argc, char** argv) {
 
   bench::print_header("Baseline: light-weight tasks", "Figures 2a and 2b");
 
-  const PreemptPrimitive primitives[] = {PreemptPrimitive::Wait, PreemptPrimitive::Kill,
-                                         PreemptPrimitive::Suspend};
+  // The sweep grid is the osapd matrix expansion (docs/OSAPD.md) — the
+  // same axes `osapd run configs/fig2.matrix` shards across workers —
+  // with the seed axis drawn from the ExperimentRunner's Rng(42) stream
+  // so the per-point averages match `osap two-job --runs` exactly.
+  osapd::MatrixSpec spec;
+  spec.axes["workload"] = {"two_job"};
+  spec.axes["primitive"] = {"wait", "kill", "susp"};
+  spec.axes["r"] = {"0.1", "0.2", "0.3", "0.4", "0.5", "0.6", "0.7", "0.8", "0.9"};
+  Rng seeder(42);
+  for (int i = 0; i < runs; ++i) {
+    spec.axes["seed"].push_back(std::to_string(seeder.next_u64()));
+  }
+
+  // Aggregate per (r, primitive) cell group across the seed replicates.
+  std::map<std::string, std::map<std::string, bench::TwoJobStats>> grid;
+  for (const core::RunDescriptor& d : osapd::expand(spec)) {
+    const core::ResultRecord rec = core::run_descriptor(d);
+    if (!rec.ok) {
+      std::fprintf(stderr, "cell failed (%s): %s\n", d.canonical().c_str(),
+                   rec.error.c_str());
+      return 1;
+    }
+    bench::TwoJobStats& stats = grid[d.get("r", "")][d.get("primitive", "")];
+    stats.sojourn_th.add(rec.sojourn_th);
+    stats.sojourn_tl.add(rec.sojourn_tl);
+    stats.makespan.add(rec.makespan);
+    stats.tl_swapped_out_mib.add(rec.tl_swapped_out_mib);
+  }
 
   Table sojourn({"tl progress at launch of th (%)", "wait (s)", "kill (s)", "susp (s)"});
   Table makespan({"tl progress at launch of th (%)", "wait (s)", "kill (s)", "susp (s)"});
   double max_spread = 0;
   for (int rp = 10; rp <= 90; rp += 10) {
-    const double r = rp / 100.0;
+    const std::string r = "0." + std::to_string(rp / 10);
     std::vector<std::string> srow{std::to_string(rp)};
     std::vector<std::string> mrow{std::to_string(rp)};
-    for (PreemptPrimitive p : primitives) {
-      const auto stats = run_point(p, r, 0, 0, runs);
+    for (const char* prim : {"wait", "kill", "susp"}) {
+      const bench::TwoJobStats& stats = grid[r][prim];
       srow.push_back(Table::num(stats.sojourn_th.mean()));
       mrow.push_back(Table::num(stats.makespan.mean()));
       max_spread = std::max({max_spread, stats.sojourn_th.spread(), stats.makespan.spread()});

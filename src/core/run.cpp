@@ -1,0 +1,312 @@
+#include "core/run.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/det.hpp"
+#include "common/error.hpp"
+#include "common/rng.hpp"
+#include "common/units.hpp"
+#include "fault/injector.hpp"
+#include "sched/capacity.hpp"
+#include "sched/deadline.hpp"
+#include "sched/fair.hpp"
+#include "sched/fifo.hpp"
+#include "sched/hfsp.hpp"
+#include "trace/names.hpp"
+#include "workload/dummy_config.hpp"
+#include "workload/swim.hpp"
+#include "workload/two_job.hpp"
+
+namespace osap::core {
+
+namespace {
+
+/// Descriptor keys every workload shares. `faults` is an inline fault
+/// plan (';'-separated lines, docs/FAULTS.md); `fault_worker` is the
+/// osapd worker-pool fault-injection hook (docs/OSAPD.md) — the library
+/// runner ignores it, but it must stay digest-visible.
+constexpr const char* kCommonKeys[] = {"workload", "faults", "fault_worker"};
+
+constexpr const char* kTwoJobKeys[] = {"primitive", "r", "seed", "tl_state", "th_state",
+                                       "jitter"};
+constexpr const char* kTraceKeys[] = {"scheduler", "primitive", "jobs", "nodes", "seed"};
+
+template <std::size_t N>
+bool contains(const char* const (&keys)[N], const std::string& key) {
+  return std::find_if(std::begin(keys), std::end(keys),
+                      [&](const char* k) { return key == k; }) != std::end(keys);
+}
+
+void set_default(RunDescriptor& d, const char* key, const char* value) {
+  if (d.find(key) == nullptr) d.set(key, value);
+}
+
+/// The counters subset shipped per cell: the preemption protocol's
+/// round trips, scheduler pressure, failures, speculation. Names come
+/// from the registry (src/trace/names.hpp, lint rule SID-1).
+std::vector<std::pair<std::string, std::uint64_t>> counter_subset(Cluster& cluster) {
+  const trace::CounterRegistry& reg = cluster.sim().trace().counters();
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (const char* name : {trace::names::kJtSuspendRequests, trace::names::kJtResumeRequests,
+                           trace::names::kJtTasksLost, trace::names::kJtTaskFailures,
+                           trace::names::kJtJobsFailed, trace::names::kSchedAssignments,
+                           trace::names::kSpecLaunched, trace::names::kSpecWon}) {
+    out.emplace_back(name, reg.value(name));
+  }
+  return out;
+}
+
+std::string inline_fault_plan(const RunDescriptor& d) {
+  std::string plan = d.get("faults", "");
+  std::replace(plan.begin(), plan.end(), ';', '\n');
+  return plan;
+}
+
+void apply_observability(const RunOptions& opts, ClusterConfig& cfg) {
+  if (opts.counters_file.empty() && opts.trace_file.empty()) return;
+  cfg.trace.enabled = true;
+  cfg.trace.counters_file = opts.counters_file;
+  cfg.trace.trace_file = opts.trace_file;
+}
+
+void run_two_job_cell(const RunDescriptor& d, const RunOptions& opts, ResultRecord& rec) {
+  TwoJobParams params;
+  params.primitive = parse_primitive(d.get("primitive", "susp"));
+  params.progress_at_launch = d.num("r", 0.5);
+  params.tl_state = parse_size(d.get("tl_state", "0"));
+  params.th_state = parse_size(d.get("th_state", "0"));
+  params.seed = static_cast<std::uint64_t>(d.num("seed", 1));
+  params.jitter = d.num("jitter", 0.02);
+  params.fault_plan = inline_fault_plan(d);
+  params.tick = opts.tick;
+  apply_observability(opts, params.cluster);
+  // Extraction runs before the success check so failed runs still stamp
+  // their digest when the simulation itself completed.
+  params.inspect = [&rec](Cluster& cluster) {
+    rec.trace_digest = cluster.trace_digest();
+    rec.events = cluster.sim().events_processed();
+    rec.counters = counter_subset(cluster);
+  };
+  const TwoJobResult res = run_two_job(params);
+  rec.jobs = 2;
+  rec.sojourn_th = res.sojourn_th;
+  rec.sojourn_tl = res.sojourn_tl;
+  rec.makespan = res.makespan;
+  rec.tl_swapped_out_mib = to_mib(res.tl_swapped_out);
+  rec.ok = true;
+}
+
+void run_trace_cell(const RunDescriptor& d, const RunOptions& opts, ResultRecord& rec) {
+  ClusterConfig cfg = paper_cluster();
+  cfg.num_nodes = static_cast<int>(d.num("nodes", 4));
+  cfg.seed = static_cast<std::uint64_t>(d.num("seed", 7));
+  apply_observability(opts, cfg);
+  Cluster cluster(cfg);
+
+  const PreemptPrimitive primitive = parse_primitive(d.get("primitive", "susp"));
+  const std::string which = d.get("scheduler", "hfsp");
+  if (which == "hfsp") {
+    HfspScheduler::Options options;
+    options.primitive = primitive;
+    cluster.set_scheduler(std::make_unique<HfspScheduler>(options));
+  } else if (which == "fair") {
+    FairScheduler::Options options;
+    options.cluster_map_slots = cfg.num_nodes * cfg.hadoop.map_slots;
+    options.primitive = primitive;
+    cluster.set_scheduler(std::make_unique<FairScheduler>(options));
+  } else if (which == "deadline") {
+    DeadlineScheduler::Options options;
+    options.primitive = primitive;
+    cluster.set_scheduler(std::make_unique<DeadlineScheduler>(options));
+  } else if (which == "capacity") {
+    CapacityScheduler::Options options;
+    options.cluster_map_slots = cfg.num_nodes * cfg.hadoop.map_slots;
+    options.queues = {{"default", 1.0}};
+    options.primitive = primitive;
+    cluster.set_scheduler(std::make_unique<CapacityScheduler>(options));
+  } else if (which == "fifo") {
+    cluster.set_scheduler(std::make_unique<FifoScheduler>());
+  } else {
+    throw SimError("unknown scheduler '" + which + "' (fifo|fair|hfsp|capacity|deadline)");
+  }
+
+  SwimConfig swim;
+  swim.jobs = static_cast<int>(d.num("jobs", 12));
+  Rng rng(cfg.seed);
+  std::vector<SwimJob> trace = generate_swim_trace(swim, rng);
+  auto ids = std::make_shared<std::vector<JobId>>();
+  for (SwimJob& job : trace) {
+    cluster.sim().at(job.arrival, [&cluster, ids, spec = std::move(job.spec)]() mutable {
+      ids->push_back(cluster.submit(std::move(spec)));
+    });
+  }
+
+  std::unique_ptr<fault::FaultInjector> injector;
+  const std::string plan = inline_fault_plan(d);
+  if (!plan.empty()) {
+    std::istringstream in(plan);
+    injector = std::make_unique<fault::FaultInjector>(cluster, fault::parse_fault_plan(in));
+  }
+
+  cluster.run(opts.tick);
+
+  const JobTracker& jt = cluster.job_tracker();
+  double sojourn_sum = 0;
+  double first_submit = -1, last_done = 0;
+  int succeeded = 0;
+  for (JobId id : *ids) {
+    const Job& job = jt.job(id);
+    if (job.state != JobState::Succeeded) continue;
+    ++succeeded;
+    sojourn_sum += job.sojourn();
+    if (first_submit < 0 || job.submitted_at < first_submit) first_submit = job.submitted_at;
+    if (job.completed_at > last_done) last_done = job.completed_at;
+  }
+  rec.jobs = static_cast<int>(ids->size());
+  rec.sojourn_th = succeeded > 0 ? sojourn_sum / succeeded : 0;
+  rec.sojourn_tl = 0;
+  rec.makespan = succeeded > 0 ? last_done - first_submit : 0;
+  rec.trace_digest = cluster.trace_digest();
+  rec.events = cluster.sim().events_processed();
+  rec.counters = counter_subset(cluster);
+  rec.ok = true;
+}
+
+}  // namespace
+
+void RunDescriptor::set(const std::string& key, const std::string& value) {
+  const auto at = std::lower_bound(
+      kv_.begin(), kv_.end(), key,
+      [](const std::pair<std::string, std::string>& e, const std::string& k) {
+        return e.first < k;
+      });
+  if (at != kv_.end() && at->first == key) {
+    at->second = value;
+  } else {
+    kv_.insert(at, {key, value});
+  }
+}
+
+const std::string* RunDescriptor::find(const std::string& key) const {
+  const auto at = std::lower_bound(
+      kv_.begin(), kv_.end(), key,
+      [](const std::pair<std::string, std::string>& e, const std::string& k) {
+        return e.first < k;
+      });
+  return at != kv_.end() && at->first == key ? &at->second : nullptr;
+}
+
+std::string RunDescriptor::get(const std::string& key, const std::string& fallback) const {
+  const std::string* v = find(key);
+  return v == nullptr ? fallback : *v;
+}
+
+double RunDescriptor::num(const std::string& key, double fallback) const {
+  const std::string* v = find(key);
+  if (v == nullptr) return fallback;
+  try {
+    return std::stod(*v);
+  } catch (const std::exception&) {
+    throw SimError("descriptor key '" + key + "' is not numeric: '" + *v + "'");
+  }
+}
+
+std::string RunDescriptor::canonical() const {
+  std::string out;
+  for (const auto& [key, value] : kv_) {
+    if (!out.empty()) out += ';';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+std::uint64_t RunDescriptor::digest() const {
+  det::Fnv1a fnv;
+  const std::string text = canonical();
+  fnv.mix_bytes(reinterpret_cast<const unsigned char*>(text.data()), text.size());
+  return fnv.value();
+}
+
+std::string RunDescriptor::digest_hex() const {
+  static const char* kHex = "0123456789abcdef";
+  std::uint64_t v = digest();
+  std::string out(16, '0');
+  for (int i = 15; i >= 0; --i) {
+    out[static_cast<std::size_t>(i)] = kHex[v & 0xf];
+    v >>= 4;
+  }
+  return out;
+}
+
+RunDescriptor RunDescriptor::parse(const std::string& text) {
+  RunDescriptor d;
+  std::size_t at = 0;
+  while (at < text.size()) {
+    std::size_t end = text.find_first_of(";,", at);
+    if (end == std::string::npos) end = text.size();
+    const std::string item = text.substr(at, end - at);
+    at = end + 1;
+    if (item.empty()) continue;
+    const std::size_t eq = item.find('=');
+    OSAP_CHECK_MSG(eq != std::string::npos && eq > 0,
+                   "descriptor item '" << item << "' is not key=value");
+    d.set(item.substr(0, eq), item.substr(eq + 1));
+  }
+  return d;
+}
+
+RunDescriptor normalize_descriptor(RunDescriptor d) {
+  const std::string workload = d.get("workload", "two_job");
+  d.set("workload", workload);
+  if (workload == "two_job") {
+    set_default(d, "primitive", "susp");
+    set_default(d, "r", "0.5");
+    set_default(d, "seed", "1");
+    set_default(d, "tl_state", "0");
+    set_default(d, "th_state", "0");
+    set_default(d, "jitter", "0.02");
+  } else if (workload == "trace") {
+    set_default(d, "scheduler", "hfsp");
+    set_default(d, "primitive", "susp");
+    set_default(d, "jobs", "12");
+    set_default(d, "nodes", "4");
+    set_default(d, "seed", "7");
+  } else {
+    throw SimError("unknown workload '" + workload + "' (two_job|trace)");
+  }
+  // A mis-keyed axis silently running the default experiment is the bug
+  // class the osap CLI's unknown-flag check exists for; reject it here
+  // too so a sweep fails its cells loudly instead of caching nonsense.
+  for (const auto& [key, value] : d.items()) {
+    (void)value;
+    const bool known = contains(kCommonKeys, key) ||
+                       (workload == "two_job" && contains(kTwoJobKeys, key)) ||
+                       (workload == "trace" && contains(kTraceKeys, key));
+    OSAP_CHECK_MSG(known, "descriptor key '" << key << "' is not understood by workload '"
+                                             << workload << "'");
+  }
+  return d;
+}
+
+ResultRecord run_descriptor(const RunDescriptor& din, const RunOptions& opts) {
+  ResultRecord rec;
+  try {
+    const RunDescriptor d = normalize_descriptor(din);
+    rec.config_digest = d.digest();
+    const std::string workload = d.get("workload", "two_job");
+    if (workload == "two_job") {
+      run_two_job_cell(d, opts, rec);
+    } else {
+      run_trace_cell(d, opts, rec);
+    }
+  } catch (const std::exception& e) {
+    rec.ok = false;
+    rec.error = e.what();
+  }
+  return rec;
+}
+
+}  // namespace osap::core

@@ -80,14 +80,20 @@ void Cluster::watch_task_progress(TaskId id, double fraction, std::function<void
   sim_.after(0, [poll] { poll(poll); });
 }
 
-void Cluster::run() {
+void Cluster::run() { run(std::function<void()>()); }
+
+void Cluster::run(const std::function<void()>& tick) {
   // Heartbeat timers re-arm forever, so "queue empty" never happens; stop
   // once every submitted job has completed (trigger-submitted jobs arrive
   // while their predecessors still run, so this is safe for experiments)
   // AND no out-of-band work — a driver's async continuation between two
   // of its jobs, say — is still in flight.
+  std::uint64_t fired = 0;
   while (!(!jt_.jobs_in_order().empty() && jt_.all_jobs_done() && open_work_ == 0) &&
          sim_.step()) {
+    // The tick stride is in fired events, not time, so it is identical
+    // across runs; the hook itself never touches simulation state.
+    if (tick && (++fired & 0x7ff) == 0) tick();
   }
   if (cfg_.print_trace_digest) {
     std::ostringstream os;

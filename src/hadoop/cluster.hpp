@@ -75,6 +75,12 @@ class Cluster {
 
   /// Run until the event queue drains (all jobs done) or `deadline`.
   void run();
+  /// run() with a periodic passive hook: `tick` is called every few
+  /// thousand fired events from inside the loop. It must not schedule
+  /// events (tracing invariance: the digest is identical with or without
+  /// a tick), but it may throw to abort the run — the osapd worker RSS
+  /// watchdog aborts exactly this way and records the reason.
+  void run(const std::function<void()>& tick);
   void run_until(SimTime t);
 
   /// Digest of the event stream executed so far (see Simulation).

@@ -1,0 +1,233 @@
+#include "osapd/aggregate.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <ostream>
+#include <set>
+
+#include "osapd/expand.hpp"
+#include "osapd/record.hpp"
+
+namespace osap::osapd {
+
+namespace {
+
+/// Nearest-rank percentile over an ascending sample vector.
+double percentile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  const std::size_t rank = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::ceil(q * static_cast<double>(sorted.size()))));
+  return sorted[std::min(rank, sorted.size()) - 1];
+}
+
+bool all_numeric(const std::vector<std::string>& values) {
+  for (const std::string& v : values) {
+    char* end = nullptr;
+    std::strtod(v.c_str(), &end);
+    if (end == v.c_str() || *end != '\0') return false;
+  }
+  return true;
+}
+
+void sort_axis_values(std::vector<std::string>& values) {
+  if (all_numeric(values)) {
+    std::sort(values.begin(), values.end(), [](const std::string& a, const std::string& b) {
+      return std::strtod(a.c_str(), nullptr) < std::strtod(b.c_str(), nullptr);
+    });
+  } else {
+    std::sort(values.begin(), values.end());
+  }
+}
+
+}  // namespace
+
+std::vector<GroupStats> group_stats(const std::vector<core::RunDescriptor>& descriptors,
+                                    const std::vector<CellResult>& cells) {
+  struct Acc {
+    std::vector<double> sojourns;
+    double makespan_sum = 0;
+    int failed = 0;
+  };
+  std::map<std::string, Acc> by_key;
+  for (const CellResult& cell : cells) {
+    Acc& acc = by_key[cell_key(descriptors[cell.index])];
+    if (!cell.ok) {
+      ++acc.failed;
+      continue;
+    }
+    acc.sojourns.push_back(cell.record.sojourn_th);
+    acc.makespan_sum += cell.record.makespan;
+  }
+
+  std::vector<GroupStats> out;
+  out.reserve(by_key.size());
+  for (auto& [key, acc] : by_key) {
+    GroupStats g;
+    g.cell_key = key;
+    g.runs = static_cast<int>(acc.sojourns.size());
+    g.failed = acc.failed;
+    if (g.runs > 0) {
+      std::sort(acc.sojourns.begin(), acc.sojourns.end());
+      double sum = 0;
+      for (const double s : acc.sojourns) sum += s;
+      g.mean = sum / g.runs;
+      g.p50 = percentile(acc.sojourns, 0.50);
+      g.p99 = percentile(acc.sojourns, 0.99);
+      g.min = acc.sojourns.front();
+      g.max = acc.sojourns.back();
+      g.makespan_mean = acc.makespan_sum / g.runs;
+    }
+    out.push_back(std::move(g));
+  }
+  return out;
+}
+
+PivotTable pivot(const std::vector<core::RunDescriptor>& descriptors,
+                 const std::vector<CellResult>& cells) {
+  PivotTable table;
+  // Axis inventory over the descriptors that actually ran.
+  std::map<std::string, std::set<std::string>> axis_values;
+  for (const CellResult& cell : cells) {
+    for (const auto& [key, val] : descriptors[cell.index].items()) {
+      axis_values[key].insert(val);
+    }
+  }
+  if (axis_values.empty()) return table;
+
+  // The paper's fig2 layout when available; otherwise the first two
+  // multi-valued non-seed axes in sorted key order.
+  const bool fig2_shape = axis_values.contains("r") && axis_values.contains("primitive");
+  if (fig2_shape) {
+    table.row_axis = "r";
+    table.col_axis = "primitive";
+  } else {
+    for (const auto& [key, vals] : axis_values) {
+      if (key == "seed" || vals.size() < 2) continue;
+      if (table.row_axis.empty()) {
+        table.row_axis = key;
+      } else if (table.col_axis.empty()) {
+        table.col_axis = key;
+        break;
+      }
+    }
+    if (table.row_axis.empty()) table.row_axis = axis_values.begin()->first;
+  }
+
+  table.rows.assign(axis_values[table.row_axis].begin(), axis_values[table.row_axis].end());
+  sort_axis_values(table.rows);
+  if (!table.col_axis.empty()) {
+    table.cols.assign(axis_values[table.col_axis].begin(), axis_values[table.col_axis].end());
+    sort_axis_values(table.cols);
+  } else {
+    table.cols = {"all"};
+  }
+
+  table.values.assign(table.rows.size(), std::vector<double>(table.cols.size(), -1));
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    for (std::size_t c = 0; c < table.cols.size(); ++c) {
+      double sum = 0;
+      int n = 0;
+      for (const CellResult& cell : cells) {
+        if (!cell.ok) continue;
+        const core::RunDescriptor& d = descriptors[cell.index];
+        if (d.get(table.row_axis, "") != table.rows[r]) continue;
+        if (!table.col_axis.empty() && d.get(table.col_axis, "") != table.cols[c]) continue;
+        sum += cell.record.sojourn_th;
+        ++n;
+      }
+      if (n > 0) table.values[r][c] = sum / n;
+    }
+  }
+  return table;
+}
+
+void write_summary_json(std::ostream& out,
+                        const std::vector<core::RunDescriptor>& descriptors,
+                        const std::vector<CellResult>& cells, bool cancelled,
+                        const std::vector<std::pair<std::string, std::uint64_t>>& harness,
+                        double wall_ms) {
+  // Completion order is pool-scheduling noise; canonical order is not.
+  std::vector<const CellResult*> ordered;
+  ordered.reserve(cells.size());
+  for (const CellResult& cell : cells) ordered.push_back(&cell);
+  std::sort(ordered.begin(), ordered.end(), [&](const CellResult* a, const CellResult* b) {
+    return descriptors[a->index].canonical() < descriptors[b->index].canonical();
+  });
+
+  int ok_count = 0;
+  for (const CellResult& cell : cells) ok_count += cell.ok ? 1 : 0;
+
+  out << "{\"schema\":\"osapd-summary-v1\"";
+  out << ",\"cancelled\":" << (cancelled ? "true" : "false");
+  out << ",\"cells_total\":" << descriptors.size();
+  out << ",\"cells_done\":" << cells.size();
+  out << ",\"cells_ok\":" << ok_count;
+  out << ",\"cells_failed\":" << (cells.size() - static_cast<std::size_t>(ok_count));
+
+  out << ",\"results\":[";
+  bool first = true;
+  for (const CellResult* cell : ordered) {
+    const core::ResultRecord& rec = cell->record;
+    if (!first) out << ',';
+    first = false;
+    out << "{\"descriptor\":\"" << json_escape(descriptors[cell->index].canonical()) << '"'
+        << ",\"config_digest\":\"" << hex_u64(descriptors[cell->index].digest()) << '"'
+        << ",\"ok\":" << (cell->ok ? "true" : "false") << ",\"error\":\""
+        << json_escape(cell->error) << '"' << ",\"trace_digest\":\""
+        << hex_u64(rec.trace_digest) << '"' << ",\"events\":" << rec.events
+        << ",\"jobs\":" << rec.jobs << ",\"sojourn_th\":" << json_num(rec.sojourn_th)
+        << ",\"sojourn_tl\":" << json_num(rec.sojourn_tl)
+        << ",\"makespan\":" << json_num(rec.makespan)
+        << ",\"tl_swapped_out_mib\":" << json_num(rec.tl_swapped_out_mib) << '}';
+  }
+  out << ']';
+
+  out << ",\"groups\":[";
+  first = true;
+  for (const GroupStats& g : group_stats(descriptors, cells)) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"cell\":\"" << json_escape(g.cell_key) << "\",\"runs\":" << g.runs
+        << ",\"failed\":" << g.failed << ",\"sojourn_th\":{\"mean\":" << json_num(g.mean)
+        << ",\"p50\":" << json_num(g.p50) << ",\"p99\":" << json_num(g.p99)
+        << ",\"min\":" << json_num(g.min) << ",\"max\":" << json_num(g.max)
+        << "},\"makespan_mean\":" << json_num(g.makespan_mean) << '}';
+  }
+  out << ']';
+
+  const PivotTable table = pivot(descriptors, cells);
+  out << ",\"pivot\":{\"row_axis\":\"" << json_escape(table.row_axis) << "\",\"col_axis\":\""
+      << json_escape(table.col_axis) << "\",\"rows\":[";
+  for (std::size_t r = 0; r < table.rows.size(); ++r) {
+    out << (r > 0 ? "," : "") << '"' << json_escape(table.rows[r]) << '"';
+  }
+  out << "],\"cols\":[";
+  for (std::size_t c = 0; c < table.cols.size(); ++c) {
+    out << (c > 0 ? "," : "") << '"' << json_escape(table.cols[c]) << '"';
+  }
+  out << "],\"values\":[";
+  for (std::size_t r = 0; r < table.values.size(); ++r) {
+    out << (r > 0 ? "," : "") << '[';
+    for (std::size_t c = 0; c < table.values[r].size(); ++c) {
+      out << (c > 0 ? "," : "") << json_num(table.values[r][c]);
+    }
+    out << ']';
+  }
+  out << "]}";
+
+  // Volatile tail: harness counters and wall time vary run to run (cache
+  // hits, worker deaths, real time) — CI strips these before diffing.
+  out << ",\"counters\":{";
+  first = true;
+  for (const auto& [name, count] : harness) {
+    if (!first) out << ',';
+    first = false;
+    out << '"' << json_escape(name) << "\":" << count;
+  }
+  out << "},\"wall_ms\":" << json_num(wall_ms);
+  out << "}\n";
+}
+
+}  // namespace osap::osapd

@@ -1,0 +1,69 @@
+// Streamed-result aggregation: cells grouped across seeds, summary
+// statistics, and the fig2-style pivot table.
+//
+// A "group" is every cell sharing a cell_key (canonical descriptor
+// minus the seed axis); its seeds are replicates and the summary
+// reports mean/p50/p99/min/max of the TH sojourn and the makespan per
+// group. The pivot table rearranges groups along two axes — by default
+// the paper's figure 2 layout, r down the rows and primitive across the
+// columns — with the mean TH sojourn in each cell.
+//
+// All traversal is over sorted keys (std::map, sorted vectors), so the
+// summary JSON is byte-deterministic for a given result set no matter
+// what order the pool completed cells in.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/run.hpp"
+#include "osapd/pool.hpp"
+
+namespace osap::osapd {
+
+struct GroupStats {
+  std::string cell_key;
+  int runs = 0;  // successful replicates
+  int failed = 0;
+  double mean = 0, p50 = 0, p99 = 0, min = 0, max = 0;  // sojourn_th
+  double makespan_mean = 0;
+};
+
+struct PivotTable {
+  std::string row_axis;  // "" when the matrix has no second dimension
+  std::string col_axis;
+  std::vector<std::string> rows;
+  std::vector<std::string> cols;
+  /// values[r][c] = mean TH sojourn of the matching group; NaN-free:
+  /// cells with no successful run hold -1.
+  std::vector<std::vector<double>> values;
+};
+
+/// Group terminal cell results by cell_key and compute per-group stats.
+/// `descriptors` backs the CellResult indices.
+[[nodiscard]] std::vector<GroupStats> group_stats(
+    const std::vector<core::RunDescriptor>& descriptors,
+    const std::vector<CellResult>& cells);
+
+/// Choose pivot axes (prefers "r" rows x "primitive" cols, else the
+/// first two multi-valued non-seed axes) and fill the table with mean
+/// TH sojourns. Values sort numerically when every value parses as a
+/// number, lexicographically otherwise.
+[[nodiscard]] PivotTable pivot(const std::vector<core::RunDescriptor>& descriptors,
+                               const std::vector<CellResult>& cells);
+
+/// The final matrix summary JSON (docs/OSAPD.md). Deterministic given
+/// the same records: per-cell results sorted by canonical descriptor
+/// (wall time, cache provenance, and attempt counts are excluded from
+/// the "results" section and reported separately), then groups, then
+/// the pivot.
+void write_summary_json(std::ostream& out,
+                        const std::vector<core::RunDescriptor>& descriptors,
+                        const std::vector<CellResult>& cells, bool cancelled,
+                        const std::vector<std::pair<std::string, std::uint64_t>>& harness,
+                        double wall_ms);
+
+}  // namespace osap::osapd

@@ -1,0 +1,65 @@
+#include "osapd/cache.hpp"
+
+#include <fstream>
+#include <system_error>
+
+#include "common/error.hpp"
+#include "osapd/record.hpp"
+
+namespace osap::osapd {
+
+namespace {
+
+std::filesystem::path entry_path(const std::filesystem::path& dir,
+                                 const core::RunDescriptor& d) {
+  return dir / (d.digest_hex() + ".json");
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::filesystem::path dir) : dir_(std::move(dir)) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  OSAP_CHECK_MSG(!ec, "cache dir '" << dir_.string() << "': " << ec.message());
+}
+
+std::optional<ResultCache::Hit> ResultCache::lookup(const core::RunDescriptor& d) {
+  const std::filesystem::path path = entry_path(dir_, d);
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return std::nullopt;
+  std::string bytes((std::istreambuf_iterator<char>(in)), std::istreambuf_iterator<char>());
+  in.close();
+
+  std::optional<ParsedRecord> parsed = parse_record(bytes);
+  const bool trusted = parsed.has_value() && parsed->descriptor == d.canonical() &&
+                       parsed->record.config_digest == d.digest();
+  if (!trusted) {
+    // Corrupt or colliding entry: move it aside so it can never answer
+    // again, and keep the bytes on disk for post-mortem.
+    std::error_code ec;
+    std::filesystem::rename(path, path.string() + ".quarantined", ec);
+    if (ec) std::filesystem::remove(path, ec);
+    ++quarantined_;
+    return std::nullopt;
+  }
+  return Hit{std::move(parsed->record), std::move(bytes)};
+}
+
+void ResultCache::store(const core::RunDescriptor& d, const std::string& record_json) {
+  const std::filesystem::path path = entry_path(dir_, d);
+  const std::filesystem::path tmp = path.string() + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    OSAP_CHECK_MSG(out.good(), "cache store: cannot open '" << tmp.string() << "'");
+    out << record_json;
+    out.flush();
+    OSAP_CHECK_MSG(out.good(), "cache store: short write to '" << tmp.string() << "'");
+  }
+  // rename(2) within one directory is atomic: readers see old or new
+  // bytes, never a torn file.
+  std::error_code ec;
+  std::filesystem::rename(tmp, path, ec);
+  OSAP_CHECK_MSG(!ec, "cache store: rename to '" << path.string() << "': " << ec.message());
+}
+
+}  // namespace osap::osapd

@@ -1,0 +1,57 @@
+// Digest-keyed on-disk result cache.
+//
+// One file per cell: `<cache-dir>/<config-digest-hex>.json`, holding the
+// exact serialized record bytes the first successful run produced. The
+// soundness argument (docs/OSAPD.md) rests on the repo's determinism
+// law: the event-trace digest proves a descriptor replays bit-
+// identically, so equal config digests imply equal results and a hit may
+// be returned verbatim. Two defenses stay on anyway:
+//
+//  * every hit re-checks the stored descriptor text against the probing
+//    descriptor (a 64-bit digest collision yields a miss, not a lie);
+//  * records that fail to parse, or that disagree with the probing
+//    descriptor, are QUARANTINED — renamed to `<stem>.quarantined` — so
+//    a corrupted file can never satisfy a lookup twice and the evidence
+//    survives for inspection.
+//
+// Writes are atomic (tmp file + rename in the same directory), so a
+// sweep killed mid-store leaves either the old bytes or the new bytes,
+// never a torn file. Failed runs are never stored.
+#pragma once
+
+#include <filesystem>
+#include <optional>
+#include <string>
+
+#include "core/run.hpp"
+
+namespace osap::osapd {
+
+class ResultCache {
+ public:
+  /// Creates `dir` (and parents) if missing.
+  explicit ResultCache(std::filesystem::path dir);
+
+  struct Hit {
+    core::ResultRecord record;
+    /// The verbatim stored bytes — byte-identical to what `store` wrote.
+    std::string record_json;
+  };
+
+  /// Look up a normalized descriptor. Misses on: absent file, unreadable
+  /// file, parse failure (quarantines), descriptor mismatch (quarantines).
+  [[nodiscard]] std::optional<Hit> lookup(const core::RunDescriptor& d);
+
+  /// Atomically persist the serialized record bytes for `d`.
+  void store(const core::RunDescriptor& d, const std::string& record_json);
+
+  [[nodiscard]] const std::filesystem::path& dir() const noexcept { return dir_; }
+  /// Files moved aside by this instance because they could not be trusted.
+  [[nodiscard]] std::uint64_t quarantined() const noexcept { return quarantined_; }
+
+ private:
+  std::filesystem::path dir_;
+  std::uint64_t quarantined_ = 0;
+};
+
+}  // namespace osap::osapd

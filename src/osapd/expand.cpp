@@ -1,0 +1,45 @@
+#include "osapd/expand.hpp"
+
+#include "common/error.hpp"
+
+namespace osap::osapd {
+
+std::vector<core::RunDescriptor> expand(const MatrixSpec& spec) {
+  OSAP_CHECK_MSG(!spec.axes.empty(), "cannot expand an empty matrix");
+  std::vector<core::RunDescriptor> out;
+  out.reserve(spec.cells());
+  // Odometer over the sorted axis list; digits[k] indexes axis k's value
+  // list and the last axis increments first.
+  std::vector<const std::pair<const std::string, std::vector<std::string>>*> axes;
+  axes.reserve(spec.axes.size());
+  for (const auto& axis : spec.axes) axes.push_back(&axis);
+  std::vector<std::size_t> digits(axes.size(), 0);
+  for (;;) {
+    core::RunDescriptor d;
+    for (std::size_t k = 0; k < axes.size(); ++k) {
+      d.set(axes[k]->first, axes[k]->second[digits[k]]);
+    }
+    out.push_back(core::normalize_descriptor(std::move(d)));
+    std::size_t k = axes.size();
+    while (k > 0) {
+      --k;
+      if (++digits[k] < axes[k]->second.size()) break;
+      digits[k] = 0;
+      if (k == 0) return out;
+    }
+  }
+}
+
+std::string cell_key(const core::RunDescriptor& d) {
+  std::string out;
+  for (const auto& [key, value] : d.items()) {
+    if (key == "seed") continue;
+    if (!out.empty()) out += ';';
+    out += key;
+    out += '=';
+    out += value;
+  }
+  return out;
+}
+
+}  // namespace osap::osapd

@@ -1,0 +1,30 @@
+// Matrix expansion: MatrixSpec cross product -> normalized run
+// descriptors, in a deterministic order.
+//
+// Axes are walked in sorted key order and the odometer spins the LAST
+// key fastest (row-major over the sorted key list), so the cell at index
+// i is a pure function of the spec. Every descriptor is normalized
+// through the core facade before it is returned: defaults are
+// materialized, so the config digest of a cell never depends on whether
+// the matrix spelled a default out.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/run.hpp"
+#include "osapd/matrix.hpp"
+
+namespace osap::osapd {
+
+/// Expand the cross product. Throws SimError (via normalization) when an
+/// axis key is unknown to the declared workload — a sweep full of
+/// mis-keyed cells must fail loudly before anything runs.
+[[nodiscard]] std::vector<core::RunDescriptor> expand(const MatrixSpec& spec);
+
+/// The aggregation identity of a descriptor: its canonical text minus
+/// the `seed` axis. Cells equal up to seed form one matrix cell whose
+/// seeds are replicates (mean/p50/p99 in the summary).
+[[nodiscard]] std::string cell_key(const core::RunDescriptor& d);
+
+}  // namespace osap::osapd

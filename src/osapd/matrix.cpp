@@ -1,0 +1,90 @@
+#include "osapd/matrix.hpp"
+
+#include <istream>
+#include <numeric>
+
+#include "common/error.hpp"
+
+namespace osap::osapd {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && (s[b] == ' ' || s[b] == '\t')) ++b;
+  while (e > b && (s[e - 1] == ' ' || s[e - 1] == '\t' || s[e - 1] == '\r')) --e;
+  return s.substr(b, e - b);
+}
+
+bool valid_key(const std::string& key) {
+  if (key.empty()) return false;
+  for (const char c : key) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+std::vector<std::string> split_values(const std::string& text) {
+  std::vector<std::string> values;
+  std::size_t at = 0;
+  while (at <= text.size()) {
+    std::size_t end = text.find(',', at);
+    if (end == std::string::npos) end = text.size();
+    const std::string v = trim(text.substr(at, end - at));
+    if (!v.empty()) values.push_back(v);
+    at = end + 1;
+  }
+  return values;
+}
+
+void add_axis(MatrixSpec& spec, const std::string& key, const std::string& rhs,
+              const std::string& where, bool replace) {
+  OSAP_CHECK_MSG(valid_key(key), where << ": axis key '" << key << "' is not [a-z0-9_]+");
+  const std::vector<std::string> values = split_values(rhs);
+  OSAP_CHECK_MSG(!values.empty(), where << ": axis '" << key << "' has no values");
+  if (!replace) {
+    OSAP_CHECK_MSG(!spec.axes.contains(key), where << ": duplicate axis '" << key << "'");
+  }
+  spec.axes[key] = values;
+}
+
+}  // namespace
+
+std::size_t MatrixSpec::cells() const {
+  if (axes.empty()) return 0;
+  return std::accumulate(axes.begin(), axes.end(), std::size_t{1},
+                         [](std::size_t acc, const auto& axis) {
+                           return acc * axis.second.size();
+                         });
+}
+
+MatrixSpec parse_matrix(std::istream& in, const std::string& source) {
+  MatrixSpec spec;
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip trailing comments; '#' never appears in descriptor values.
+    if (const std::size_t hash = line.find('#'); hash != std::string::npos) {
+      line.resize(hash);
+    }
+    const std::string body = trim(line);
+    if (body.empty()) continue;
+    const std::size_t eq = body.find('=');
+    const std::string where = source + ":" + std::to_string(lineno);
+    OSAP_CHECK_MSG(eq != std::string::npos, where << ": expected 'key = v1, v2, ...'");
+    add_axis(spec, trim(body.substr(0, eq)), body.substr(eq + 1), where, /*replace=*/false);
+  }
+  OSAP_CHECK_MSG(!spec.axes.empty(), source << ": matrix declares no axes");
+  return spec;
+}
+
+void apply_set(MatrixSpec& spec, const std::string& overlay) {
+  const std::size_t eq = overlay.find('=');
+  OSAP_CHECK_MSG(eq != std::string::npos, "--set '" << overlay << "': expected key=v1,v2,...");
+  add_axis(spec, trim(overlay.substr(0, eq)), overlay.substr(eq + 1),
+           "--set " + overlay.substr(0, eq), /*replace=*/true);
+}
+
+}  // namespace osap::osapd

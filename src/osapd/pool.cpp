@@ -1,0 +1,339 @@
+#include "osapd/pool.hpp"
+
+#include <poll.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <fstream>
+#include <optional>
+
+#include "common/error.hpp"
+#include "osapd/record.hpp"
+
+namespace osap::osapd {
+
+const char* const kRssAbortPrefix = "rss budget exceeded";
+
+namespace {
+
+/// Built-in resident-set probe: /proc/self/statm field 2 is the RSS in
+/// pages. Reading a proc file is not a clock and not randomness, so it
+/// stays inside the determinism rules — and it only ever runs inside a
+/// worker's watchdog tick, never in the simulation itself.
+std::uint64_t read_self_rss_bytes() {
+  std::ifstream statm("/proc/self/statm");
+  std::uint64_t vsz_pages = 0, rss_pages = 0;
+  if (!(statm >> vsz_pages >> rss_pages)) return 0;
+  return rss_pages * static_cast<std::uint64_t>(::sysconf(_SC_PAGESIZE));
+}
+
+void write_all(int fd, const std::string& bytes) {
+  std::size_t at = 0;
+  while (at < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + at, bytes.size() - at);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;  // EPIPE after a worker died: the EOF path owns recovery.
+    }
+    at += static_cast<std::size_t>(n);
+  }
+}
+
+std::string describe_status(int status) {
+  if (WIFEXITED(status)) return "worker exited (status " + std::to_string(WEXITSTATUS(status)) + ")";
+  if (WIFSIGNALED(status)) return "worker killed (signal " + std::to_string(WTERMSIG(status)) + ")";
+  return "worker vanished";
+}
+
+[[noreturn]] void worker_main(const std::vector<core::RunDescriptor>& descriptors,
+                              const PoolOptions& opts, int cmd_fd, int res_fd) {
+  // The terminal delivers SIGINT to the whole foreground process group;
+  // workers must finish their in-flight cell so the parent can drain.
+  std::signal(SIGINT, SIG_IGN);
+  std::uint64_t (*probe)() = opts.rss_probe != nullptr ? opts.rss_probe : &read_self_rss_bytes;
+  std::string buf;
+  char chunk[4096];
+  for (;;) {
+    std::size_t nl;
+    while ((nl = buf.find('\n')) == std::string::npos) {
+      const ssize_t n = ::read(cmd_fd, chunk, sizeof(chunk));
+      if (n < 0 && errno == EINTR) continue;
+      if (n <= 0) ::_exit(0);
+      buf.append(chunk, static_cast<std::size_t>(n));
+    }
+    const std::string line = buf.substr(0, nl);
+    buf.erase(0, nl + 1);
+    if (line == "EXIT") ::_exit(0);
+    unsigned long idx = 0;
+    int attempt = 0;
+    if (std::sscanf(line.c_str(), "RUN %lu %d", &idx, &attempt) != 2 ||
+        idx >= descriptors.size()) {
+      ::_exit(3);
+    }
+    const core::RunDescriptor& d = descriptors[idx];
+
+    // Worker-pool fault injection hook (docs/OSAPD.md): digest-visible
+    // descriptor key the library runner ignores. Simulates a worker
+    // crash before any result is shipped.
+    const std::string fault = d.get("fault_worker", "none");
+    if (fault == "exit_always" || (fault == "exit_first_attempt" && attempt == 1)) {
+      ::_exit(17);
+    }
+
+    core::RunOptions ropts;
+    const std::uint64_t budget = opts.max_rss_bytes;
+    if (budget > 0) {
+      ropts.tick = [budget, probe]() {
+        const std::uint64_t rss = probe();
+        if (rss > budget) {
+          throw SimError(std::string(kRssAbortPrefix) + ": " +
+                         std::to_string(rss / (1024 * 1024)) + " MiB > " +
+                         std::to_string(budget / (1024 * 1024)) + " MiB");
+        }
+      };
+    }
+    const double t0 = opts.now_ms != nullptr ? opts.now_ms() : 0;
+    core::ResultRecord rec = core::run_descriptor(d, ropts);
+    if (opts.now_ms != nullptr) rec.wall_ms = opts.now_ms() - t0;
+
+    const std::string json = serialize_record(d.canonical(), rec);
+    write_all(res_fd, "RES " + std::to_string(idx) + " " + std::to_string(attempt) + " " +
+                          json + "\n");
+    const bool rss_abort =
+        !rec.ok && rec.error.compare(0, std::strlen(kRssAbortPrefix), kRssAbortPrefix) == 0;
+    // An RSS abort leaves this address space bloated; exit so the parent
+    // recycles the worker, reclaiming the memory before the next cell.
+    if (rss_abort) ::_exit(0);
+  }
+}
+
+struct Worker {
+  pid_t pid = -1;
+  int wfd = -1;  // parent -> child commands
+  int rfd = -1;  // child -> parent results
+  std::string buf;
+  long cell = -1;  // in-flight cell index, -1 when idle
+  int attempt = 0;
+  bool draining = false;  // reported an RSS abort; EOF is expected next
+};
+
+Worker spawn_worker(const std::vector<core::RunDescriptor>& descriptors,
+                    const PoolOptions& opts) {
+  int cmd[2], res[2];
+  OSAP_CHECK_MSG(::pipe(cmd) == 0 && ::pipe(res) == 0, "pool: pipe() failed");
+  const pid_t pid = ::fork();
+  OSAP_CHECK_MSG(pid >= 0, "pool: fork() failed");
+  if (pid == 0) {
+    ::close(cmd[1]);
+    ::close(res[0]);
+    worker_main(descriptors, opts, cmd[0], res[1]);
+  }
+  ::close(cmd[0]);
+  ::close(res[1]);
+  Worker w;
+  w.pid = pid;
+  w.wfd = cmd[1];
+  w.rfd = res[0];
+  return w;
+}
+
+void close_worker(Worker& w) {
+  if (w.wfd >= 0) ::close(w.wfd);
+  if (w.rfd >= 0) ::close(w.rfd);
+  w.wfd = w.rfd = -1;
+  w.pid = -1;
+}
+
+}  // namespace
+
+bool WorkerPool::run(const std::vector<core::RunDescriptor>& descriptors,
+                     const std::vector<std::size_t>& todo, const PoolOptions& opts,
+                     const std::function<void(CellResult&&)>& on_result,
+                     const std::function<void(const PoolEvent&)>& on_event) {
+  const std::size_t total = todo.size();
+  if (total == 0) return true;
+  const int nworkers = static_cast<int>(
+      std::min<std::size_t>(static_cast<std::size_t>(std::max(opts.workers, 1)), total));
+  const int max_attempts = std::max(opts.max_attempts, 1);
+
+  // A worker dying mid-write must not take the parent down with SIGPIPE.
+  using SigHandler = void (*)(int);
+  const SigHandler old_pipe = std::signal(SIGPIPE, SIG_IGN);
+
+  std::deque<std::size_t> pending(todo.begin(), todo.end());
+  std::vector<int> attempts(descriptors.size(), 0);
+  std::vector<Worker> workers;
+  std::size_t done = 0;
+  bool cancelled = false;
+
+  const auto emit = [&](const char* kind, std::size_t cell, int detail) {
+    if (on_event) on_event(PoolEvent{kind, cell, detail});
+  };
+
+  const auto finish_cell = [&](CellResult&& res) {
+    ++done;
+    if (on_result) on_result(std::move(res));
+  };
+
+  // A cell came back without a usable result: reschedule once, then
+  // record it failed-with-reason. Every cell reaches a terminal result
+  // exactly once.
+  const auto bounce_cell = [&](std::size_t cell, const std::string& reason,
+                               core::ResultRecord&& rec, std::string&& json) {
+    if (attempts[cell] < max_attempts) {
+      pending.push_back(cell);
+      emit("reschedule", cell, attempts[cell]);
+      return;
+    }
+    CellResult res;
+    res.index = cell;
+    res.attempts = attempts[cell];
+    res.ok = false;
+    res.error = reason;
+    res.record = std::move(rec);
+    res.record_json = std::move(json);
+    finish_cell(std::move(res));
+  };
+
+  const auto handle_line = [&](Worker& w, const std::string& line) {
+    unsigned long idx = 0;
+    int attempt = 0;
+    int consumed = 0;
+    if (std::sscanf(line.c_str(), "RES %lu %d %n", &idx, &attempt, &consumed) != 2 ||
+        idx >= descriptors.size()) {
+      return;  // protocol garbage; the EOF path will reconcile the cell
+    }
+    std::string json = line.substr(static_cast<std::size_t>(consumed));
+    std::optional<ParsedRecord> parsed = parse_record(json);
+    w.cell = -1;
+    if (!parsed.has_value()) {
+      bounce_cell(idx, "worker returned an unparseable record", {}, {});
+      return;
+    }
+    core::ResultRecord& rec = parsed->record;
+    const bool rss_abort =
+        !rec.ok && rec.error.compare(0, std::strlen(kRssAbortPrefix), kRssAbortPrefix) == 0;
+    if (rss_abort) {
+      w.draining = true;  // the worker exits after an RSS report
+      emit("rss_abort", idx, attempt);
+      bounce_cell(idx, rec.error, std::move(rec), std::move(json));
+      return;
+    }
+    CellResult res;
+    res.index = idx;
+    res.attempts = attempts[idx];
+    res.ok = rec.ok;
+    res.error = rec.error;
+    res.record = std::move(rec);
+    res.record_json = json;
+    finish_cell(std::move(res));
+  };
+
+  const auto handle_eof = [&](Worker& w) {
+    int status = 0;
+    ::waitpid(w.pid, &status, 0);
+    const long cell = w.cell;
+    const bool draining = w.draining;
+    close_worker(w);
+    if (cell >= 0) {
+      emit("worker_exit", static_cast<std::size_t>(cell), status);
+      bounce_cell(static_cast<std::size_t>(cell), describe_status(status), {}, {});
+    } else if (!draining) {
+      emit("worker_exit", 0, status);
+    }
+  };
+
+  while (true) {
+    if (opts.cancel != nullptr && *opts.cancel != 0) cancelled = true;
+    if (done == total) break;
+
+    // Dispatch: fill idle workers, spawning up to the cap as needed.
+    if (!cancelled) {
+      while (!pending.empty()) {
+        Worker* idle = nullptr;
+        int live = 0;
+        for (Worker& w : workers) {
+          if (w.pid < 0) continue;
+          ++live;
+          if (w.cell < 0 && !w.draining && idle == nullptr) idle = &w;
+        }
+        if (idle == nullptr) {
+          if (live >= nworkers) break;
+          workers.push_back(spawn_worker(descriptors, opts));
+          emit("spawn", 0, static_cast<int>(workers.back().pid));
+          continue;
+        }
+        const std::size_t cell = pending.front();
+        pending.pop_front();
+        idle->cell = static_cast<long>(cell);
+        idle->attempt = ++attempts[cell];
+        write_all(idle->wfd, "RUN " + std::to_string(cell) + " " +
+                                 std::to_string(idle->attempt) + "\n");
+      }
+    }
+
+    std::size_t inflight = 0;
+    for (const Worker& w : workers) {
+      if (w.pid >= 0 && w.cell >= 0) ++inflight;
+    }
+    if (cancelled && inflight == 0) break;
+    if (inflight == 0 && pending.empty()) break;
+
+    std::vector<pollfd> fds;
+    std::vector<std::size_t> owner;
+    for (std::size_t i = 0; i < workers.size(); ++i) {
+      if (workers[i].pid < 0) continue;
+      fds.push_back(pollfd{workers[i].rfd, POLLIN, 0});
+      owner.push_back(i);
+    }
+    if (fds.empty()) continue;
+    const int nready = ::poll(fds.data(), fds.size(), 200);
+    if (nready < 0 && errno != EINTR) {
+      throw SimError(std::string("pool: poll() failed: ") + std::strerror(errno));
+    }
+    if (nready <= 0) continue;
+    for (std::size_t k = 0; k < fds.size(); ++k) {
+      if ((fds[k].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      Worker& w = workers[owner[k]];
+      char chunk[8192];
+      const ssize_t n = ::read(w.rfd, chunk, sizeof(chunk));
+      if (n < 0) {
+        if (errno == EINTR || errno == EAGAIN) continue;
+        handle_eof(w);
+        continue;
+      }
+      if (n == 0) {
+        handle_eof(w);
+        continue;
+      }
+      w.buf.append(chunk, static_cast<std::size_t>(n));
+      std::size_t nl;
+      while ((nl = w.buf.find('\n')) != std::string::npos) {
+        const std::string line = w.buf.substr(0, nl);
+        w.buf.erase(0, nl + 1);
+        handle_line(w, line);
+      }
+    }
+  }
+
+  // Shutdown: politely ask live workers to exit, then reap everyone.
+  for (Worker& w : workers) {
+    if (w.pid < 0) continue;
+    write_all(w.wfd, "EXIT\n");
+  }
+  for (Worker& w : workers) {
+    if (w.pid < 0) continue;
+    int status = 0;
+    ::waitpid(w.pid, &status, 0);
+    close_worker(w);
+  }
+  std::signal(SIGPIPE, old_pipe);
+  return done == total;
+}
+
+}  // namespace osap::osapd

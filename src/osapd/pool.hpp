@@ -1,0 +1,105 @@
+// Forked worker pool: shards run descriptors across N child processes,
+// one simulation in flight per worker, results shipped back over pipes.
+//
+// Protocol (newline-framed text, parent -> child on one pipe, child ->
+// parent on another):
+//
+//   parent: "RUN <cell-index> <attempt>\n"   assign a cell
+//   parent: "EXIT\n"                         drain and quit
+//   child:  "RES <cell-index> <attempt> <record-json>\n"
+//
+// Failure semantics (docs/OSAPD.md):
+//
+//  * worker dies mid-cell (EOF before RES)  -> cell rescheduled ONCE on
+//    a fresh worker; a second death records the cell failed-with-reason;
+//  * RSS watchdog abort (tick hook throws)  -> the child reports the
+//    aborted record, then exits so its bloated address space is
+//    reclaimed; the cell is rescheduled once like a death;
+//  * deterministic failure (sim invariant, bad descriptor) -> recorded
+//    as-is, never retried: rerunning a deterministic program does not
+//    change its output.
+//
+// Cancellation: when *cancel flips nonzero the pool stops dispatching,
+// drains every in-flight cell, and returns with the remaining cells
+// untouched. Workers ignore SIGINT themselves — the terminal delivers
+// the signal to the whole foreground process group, and an interrupted
+// worker would tear a cell the parent still wants drained.
+//
+// Determinism: the pool itself is OS-async (poll order varies run to
+// run) but the cells are not — each worker runs the same deterministic
+// simulation the in-process path runs, so per-cell records are
+// byte-identical no matter which worker computed them or in what order
+// (pool_test asserts this against core::run_descriptor).
+#pragma once
+
+#include <csignal>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/run.hpp"
+
+namespace osap::osapd {
+
+struct PoolOptions {
+  /// Worker process count; clamped to >= 1.
+  int workers = 1;
+  /// Total attempts allowed per cell (2 = reschedule once).
+  int max_attempts = 2;
+  /// Per-worker RSS budget in bytes; 0 disables the watchdog.
+  std::uint64_t max_rss_bytes = 0;
+  /// Resident-set probe used by the watchdog inside workers; nullptr
+  /// selects the built-in /proc/self/statm reader. Tests inject fakes.
+  std::uint64_t (*rss_probe)() = nullptr;
+  /// Wall clock used ONLY to stamp wall_ms on records; the library never
+  /// reads real time (lint rule DET-2), so the harness must inject it.
+  /// nullptr leaves wall_ms at 0.
+  double (*now_ms)() = nullptr;
+  /// Cancellation flag, typically set by a SIGINT handler. nullptr means
+  /// not cancellable.
+  const volatile std::sig_atomic_t* cancel = nullptr;
+};
+
+/// Terminal outcome of one cell.
+struct CellResult {
+  std::size_t index = 0;
+  int attempts = 0;
+  bool ok = false;
+  /// Failure reason when !ok ("worker exited (status 9)", the watchdog
+  /// message, a sim invariant...).
+  std::string error;
+  core::ResultRecord record;
+  /// Exact serialized bytes as shipped by the worker — what the cache
+  /// stores. Empty when the worker died before reporting.
+  std::string record_json;
+  /// True when the sweep layer satisfied this cell from the result cache
+  /// (the pool itself never sets it).
+  bool cached = false;
+};
+
+/// Pool lifecycle events the sweep layer turns into ndjson progress
+/// records: "worker_exit", "reschedule", "spawn".
+struct PoolEvent {
+  std::string kind;
+  std::size_t cell = 0;
+  int detail = 0;
+};
+
+class WorkerPool {
+ public:
+  /// Run every cell index in `todo` (indices into `descriptors`) to a
+  /// terminal CellResult, invoking `on_result` exactly once per cell in
+  /// completion order. Returns true if all of `todo` completed, false if
+  /// cancelled first. Not reentrant.
+  static bool run(const std::vector<core::RunDescriptor>& descriptors,
+                  const std::vector<std::size_t>& todo, const PoolOptions& opts,
+                  const std::function<void(CellResult&&)>& on_result,
+                  const std::function<void(const PoolEvent&)>& on_event);
+};
+
+/// The message prefix a worker uses when the RSS watchdog aborts a run;
+/// the parent keys its retry decision on it.
+extern const char* const kRssAbortPrefix;
+
+}  // namespace osap::osapd

@@ -1,0 +1,262 @@
+#include "osapd/record.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace osap::osapd {
+
+std::string hex_u64(std::uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof(buf), "%016llx", static_cast<unsigned long long>(v));
+  return buf;
+}
+
+namespace {
+
+// --- tolerant scanner over the one record shape we emit ------------------
+
+struct Scanner {
+  const std::string& text;
+  std::size_t at = 0;
+  bool ok = true;
+
+  void skip_ws() {
+    while (at < text.size() &&
+           (text[at] == ' ' || text[at] == '\t' || text[at] == '\n' || text[at] == '\r')) {
+      ++at;
+    }
+  }
+
+  void expect(char c) {
+    skip_ws();
+    if (at < text.size() && text[at] == c) {
+      ++at;
+    } else {
+      ok = false;
+    }
+  }
+
+  [[nodiscard]] bool peek_is(char c) {
+    skip_ws();
+    return at < text.size() && text[at] == c;
+  }
+
+  std::string take_string() {
+    expect('"');
+    std::string out;
+    while (ok && at < text.size() && text[at] != '"') {
+      char c = text[at++];
+      if (c == '\\') {
+        if (at >= text.size()) {
+          ok = false;
+          break;
+        }
+        const char esc = text[at++];
+        switch (esc) {
+          case '"': c = '"'; break;
+          case '\\': c = '\\'; break;
+          case 'n': c = '\n'; break;
+          case 't': c = '\t'; break;
+          case 'r': c = '\r'; break;
+          default: ok = false; continue;
+        }
+      }
+      out += c;
+    }
+    expect('"');
+    return out;
+  }
+
+  std::string take_raw_number() {
+    skip_ws();
+    const std::size_t start = at;
+    while (at < text.size()) {
+      const char c = text[at];
+      const bool numeric = (c >= '0' && c <= '9') || c == '-' || c == '+' || c == '.' ||
+                           c == 'e' || c == 'E';
+      if (!numeric) break;
+      ++at;
+    }
+    if (at == start) ok = false;
+    return text.substr(start, at - start);
+  }
+
+  double take_double() {
+    const std::string raw = take_raw_number();
+    if (!ok) return 0;
+    char* end = nullptr;
+    const double v = std::strtod(raw.c_str(), &end);
+    if (end == nullptr || *end != '\0') ok = false;
+    return v;
+  }
+
+  std::uint64_t take_u64() {
+    const std::string raw = take_raw_number();
+    if (!ok) return 0;
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(raw.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') ok = false;
+    return v;
+  }
+
+  std::uint64_t take_hex_string() {
+    const std::string raw = take_string();
+    if (!ok || raw.empty() || raw.size() > 16) {
+      ok = false;
+      return 0;
+    }
+    char* end = nullptr;
+    const std::uint64_t v = std::strtoull(raw.c_str(), &end, 16);
+    if (end == nullptr || *end != '\0') ok = false;
+    return v;
+  }
+
+  bool take_bool() {
+    skip_ws();
+    if (text.compare(at, 4, "true") == 0) {
+      at += 4;
+      return true;
+    }
+    if (text.compare(at, 5, "false") == 0) {
+      at += 5;
+      return false;
+    }
+    ok = false;
+    return false;
+  }
+
+  void key(const char* name) {
+    const std::string got = take_string();
+    if (got != name) ok = false;
+    expect(':');
+  }
+};
+
+}  // namespace
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+std::string json_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string serialize_record(const std::string& descriptor, const core::ResultRecord& rec) {
+  std::string out = "{\"descriptor\":\"";
+  out += json_escape(descriptor);
+  out += "\",\"config_digest\":\"";
+  out += hex_u64(rec.config_digest);
+  out += "\",\"ok\":";
+  out += rec.ok ? "true" : "false";
+  out += ",\"error\":\"";
+  out += json_escape(rec.error);
+  out += "\",\"trace_digest\":\"";
+  out += hex_u64(rec.trace_digest);
+  out += "\",\"events\":";
+  out += std::to_string(rec.events);
+  out += ",\"jobs\":";
+  out += std::to_string(rec.jobs);
+  out += ",\"sojourn_th\":";
+  out += json_num(rec.sojourn_th);
+  out += ",\"sojourn_tl\":";
+  out += json_num(rec.sojourn_tl);
+  out += ",\"makespan\":";
+  out += json_num(rec.makespan);
+  out += ",\"tl_swapped_out_mib\":";
+  out += json_num(rec.tl_swapped_out_mib);
+  out += ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, count] : rec.counters) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(name);
+    out += "\":";
+    out += std::to_string(count);
+  }
+  out += "},\"wall_ms\":";
+  out += json_num(rec.wall_ms);
+  out += '}';
+  return out;
+}
+
+std::optional<ParsedRecord> parse_record(const std::string& json) {
+  Scanner sc{json};
+  ParsedRecord parsed;
+  core::ResultRecord& rec = parsed.record;
+  sc.expect('{');
+  sc.key("descriptor");
+  parsed.descriptor = sc.take_string();
+  sc.expect(',');
+  sc.key("config_digest");
+  rec.config_digest = sc.take_hex_string();
+  sc.expect(',');
+  sc.key("ok");
+  rec.ok = sc.take_bool();
+  sc.expect(',');
+  sc.key("error");
+  rec.error = sc.take_string();
+  sc.expect(',');
+  sc.key("trace_digest");
+  rec.trace_digest = sc.take_hex_string();
+  sc.expect(',');
+  sc.key("events");
+  rec.events = sc.take_u64();
+  sc.expect(',');
+  sc.key("jobs");
+  rec.jobs = static_cast<int>(sc.take_u64());
+  sc.expect(',');
+  sc.key("sojourn_th");
+  rec.sojourn_th = sc.take_double();
+  sc.expect(',');
+  sc.key("sojourn_tl");
+  rec.sojourn_tl = sc.take_double();
+  sc.expect(',');
+  sc.key("makespan");
+  rec.makespan = sc.take_double();
+  sc.expect(',');
+  sc.key("tl_swapped_out_mib");
+  rec.tl_swapped_out_mib = sc.take_double();
+  sc.expect(',');
+  sc.key("counters");
+  sc.expect('{');
+  if (!sc.peek_is('}')) {
+    for (;;) {
+      const std::string name = sc.take_string();
+      sc.expect(':');
+      const std::uint64_t count = sc.take_u64();
+      if (!sc.ok) break;
+      rec.counters.emplace_back(name, count);
+      if (sc.peek_is(',')) {
+        sc.expect(',');
+        continue;
+      }
+      break;
+    }
+  }
+  sc.expect('}');
+  sc.expect(',');
+  sc.key("wall_ms");
+  rec.wall_ms = sc.take_double();
+  sc.expect('}');
+  sc.skip_ws();
+  if (!sc.ok || sc.at != json.size()) return std::nullopt;
+  return parsed;
+}
+
+}  // namespace osap::osapd

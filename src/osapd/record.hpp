@@ -1,0 +1,44 @@
+// Result-record serialization: the one JSON shape that flows over the
+// worker pipe, into the content-addressed cache, and into the summary.
+//
+// Serialization is canonical — fixed field order, %.17g doubles — so "a
+// cache hit returns a byte-identical record" is a meaningful guarantee:
+// the stored bytes are the record, and equality of bytes is equality of
+// results. The parser accepts exactly what serialize_record emits (plus
+// whitespace); anything else is a parse failure, which the cache treats
+// as corruption and quarantines.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/run.hpp"
+
+namespace osap::osapd {
+
+/// One line, no trailing newline. `descriptor` must be the normalized
+/// canonical text the record was computed from — the cache verifies it
+/// against the probing descriptor on every hit (digest-collision guard).
+[[nodiscard]] std::string serialize_record(const std::string& descriptor,
+                                           const core::ResultRecord& rec);
+
+struct ParsedRecord {
+  std::string descriptor;
+  core::ResultRecord record;
+};
+
+/// std::nullopt on any malformed input — never a half-filled record.
+[[nodiscard]] std::optional<ParsedRecord> parse_record(const std::string& json);
+
+/// JSON string escaping for the few free-text fields (error reasons,
+/// descriptor texts) embedded in records and summaries.
+[[nodiscard]] std::string json_escape(const std::string& s);
+
+/// %.17g — shortest text that round-trips a double bit-exactly.
+[[nodiscard]] std::string json_num(double v);
+
+/// 16 lowercase hex digits — digests are serialized as strings because
+/// JSON numbers cannot carry 64 bits exactly.
+[[nodiscard]] std::string hex_u64(std::uint64_t v);
+
+}  // namespace osap::osapd

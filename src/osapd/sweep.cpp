@@ -1,0 +1,126 @@
+#include "osapd/sweep.hpp"
+
+#include <memory>
+#include <ostream>
+
+#include "osapd/cache.hpp"
+#include "osapd/record.hpp"
+#include "trace/names.hpp"
+
+namespace osap::osapd {
+
+namespace {
+
+void progress_line(std::ostream* out, const std::string& body) {
+  if (out == nullptr) return;
+  *out << '{' << body << "}\n";
+  out->flush();  // each line must survive a SIGINT that lands mid-sweep
+}
+
+std::string cell_body(const core::RunDescriptor& d, const CellResult& res,
+                      const char* source) {
+  std::string body = "\"event\":\"cell\",\"index\":" + std::to_string(res.index) +
+                     ",\"descriptor\":\"" + json_escape(d.canonical()) +
+                     "\",\"config_digest\":\"" + d.digest_hex() + "\",\"ok\":" +
+                     (res.ok ? "true" : "false") + ",\"source\":\"" + source +
+                     "\",\"attempts\":" + std::to_string(res.attempts);
+  if (!res.ok) body += ",\"error\":\"" + json_escape(res.error) + "\"";
+  return body;
+}
+
+}  // namespace
+
+SweepOutcome run_sweep(const std::vector<core::RunDescriptor>& descriptors,
+                       const SweepOptions& opts) {
+  SweepOutcome outcome;
+  std::unique_ptr<ResultCache> cache;
+  if (!opts.cache_dir.empty()) cache = std::make_unique<ResultCache>(opts.cache_dir);
+
+  // Phase 1: satisfy what we can from the cache; collect the rest.
+  std::vector<std::size_t> todo;
+  for (std::size_t i = 0; i < descriptors.size(); ++i) {
+    if (cache) {
+      if (std::optional<ResultCache::Hit> hit = cache->lookup(descriptors[i])) {
+        ++outcome.cache_hits;
+        CellResult res;
+        res.index = i;
+        res.attempts = 0;
+        res.ok = hit->record.ok;
+        res.error = hit->record.error;
+        res.record = std::move(hit->record);
+        res.record_json = std::move(hit->record_json);
+        res.cached = true;
+        outcome.cells.push_back(std::move(res));
+        continue;
+      }
+      ++outcome.cache_misses;
+    }
+    todo.push_back(i);
+  }
+
+  progress_line(opts.progress, "\"event\":\"start\",\"cells_total\":" +
+                                   std::to_string(descriptors.size()) + ",\"from_cache\":" +
+                                   std::to_string(outcome.cache_hits) + ",\"to_run\":" +
+                                   std::to_string(todo.size()));
+  for (const CellResult& res : outcome.cells) {
+    progress_line(opts.progress, cell_body(descriptors[res.index], res, "cache"));
+  }
+
+  // Phase 2: the worker pool resolves the misses; every fresh success is
+  // persisted the moment it lands, so cancellation never loses work.
+  const auto on_result = [&](CellResult&& res) {
+    if (res.ok && cache && !res.record_json.empty()) {
+      cache->store(descriptors[res.index], res.record_json);
+      ++outcome.cache_stores;
+    }
+    progress_line(opts.progress, cell_body(descriptors[res.index], res, "run"));
+    outcome.cells.push_back(std::move(res));
+  };
+  const auto on_event = [&](const PoolEvent& ev) {
+    if (ev.kind == "worker_exit") {
+      ++outcome.worker_deaths;
+      progress_line(opts.progress, "\"event\":\"worker_exit\",\"cell\":" +
+                                       std::to_string(ev.cell) + ",\"status\":" +
+                                       std::to_string(ev.detail));
+    } else if (ev.kind == "reschedule") {
+      ++outcome.rescheduled;
+      progress_line(opts.progress, "\"event\":\"reschedule\",\"cell\":" +
+                                       std::to_string(ev.cell) + ",\"attempt\":" +
+                                       std::to_string(ev.detail));
+    } else if (ev.kind == "rss_abort") {
+      ++outcome.rss_aborts;
+      progress_line(opts.progress, "\"event\":\"rss_abort\",\"cell\":" + std::to_string(ev.cell));
+    }
+  };
+  const bool complete = WorkerPool::run(descriptors, todo, opts.pool, on_result, on_event);
+  outcome.cancelled = !complete;
+  if (cache) outcome.cache_quarantined = cache->quarantined();
+  if (outcome.cancelled) {
+    progress_line(opts.progress, "\"event\":\"cancelled\",\"done\":" +
+                                     std::to_string(outcome.cells.size()) + ",\"cells_total\":" +
+                                     std::to_string(descriptors.size()));
+  }
+  return outcome;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> harness_counters(
+    const SweepOutcome& outcome, std::size_t cells_total) {
+  std::uint64_t failed = 0;
+  for (const CellResult& res : outcome.cells) failed += res.ok ? 0 : 1;
+  namespace names = trace::names;
+  return {
+      {names::kOsapdCellsTotal, cells_total},
+      {names::kOsapdCellsCompleted, outcome.cells.size()},
+      {names::kOsapdCellsFailed, failed},
+      {names::kOsapdCacheHits, outcome.cache_hits},
+      {names::kOsapdCacheMisses, outcome.cache_misses},
+      {names::kOsapdCacheStores, outcome.cache_stores},
+      {names::kOsapdCacheQuarantined, outcome.cache_quarantined},
+      {names::kOsapdWorkerDeaths, outcome.worker_deaths},
+      {names::kOsapdCellsRescheduled, outcome.rescheduled},
+      {names::kOsapdRssAborts, outcome.rss_aborts},
+      {names::kOsapdCancelled, outcome.cancelled ? 1u : 0u},
+  };
+}
+
+}  // namespace osap::osapd

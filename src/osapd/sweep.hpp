@@ -1,0 +1,62 @@
+// Sweep orchestration: cache scan -> worker pool -> streamed progress.
+//
+// `run_sweep` is the one entry point both the osapd CLI and the tests
+// drive. It resolves every descriptor to a terminal CellResult: cache
+// hits immediately (byte-identical stored records), the rest through
+// the forked worker pool, storing each fresh success back into the
+// cache as it lands — so a sweep interrupted by SIGINT leaves every
+// completed cell on disk and the next invocation picks up where it
+// stopped. Failed cells are never cached (a transient worker death must
+// not poison future sweeps).
+//
+// Progress streams as ndjson, one object per line, on the supplied
+// stream: {"event":"start"...}, one {"event":"cell"...} per terminal
+// cell with its provenance ("cache" or "run"), pool lifecycle events,
+// and {"event":"cancelled"...} when draining after SIGINT.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/run.hpp"
+#include "osapd/pool.hpp"
+
+namespace osap::osapd {
+
+struct SweepOptions {
+  PoolOptions pool;
+  /// On-disk result cache directory; "" disables caching entirely.
+  std::string cache_dir;
+  /// ndjson progress stream; nullptr silences progress.
+  std::ostream* progress = nullptr;
+};
+
+struct SweepOutcome {
+  /// One terminal result per resolved cell, in completion order (cache
+  /// hits first, then pool completion order).
+  std::vector<CellResult> cells;
+  /// True when SIGINT drained the sweep before every cell resolved; the
+  /// summary is partial but every resolved cell is final.
+  bool cancelled = false;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_stores = 0;
+  std::uint64_t cache_quarantined = 0;
+  std::uint64_t worker_deaths = 0;
+  std::uint64_t rescheduled = 0;
+  std::uint64_t rss_aborts = 0;
+};
+
+/// Resolve every descriptor (must already be normalized, as expand()
+/// returns them) to a terminal result.
+[[nodiscard]] SweepOutcome run_sweep(const std::vector<core::RunDescriptor>& descriptors,
+                                     const SweepOptions& opts);
+
+/// The harness counter block for the summary JSON, under the names
+/// registered in src/trace/names.hpp (osapd.*).
+[[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>> harness_counters(
+    const SweepOutcome& outcome, std::size_t cells_total);
+
+}  // namespace osap::osapd

@@ -52,6 +52,21 @@ inline constexpr const char* kSpecWon = "speculation.won";
 inline constexpr const char* kSpecLost = "speculation.lost";
 inline constexpr const char* kSpecKilled = "speculation.killed";
 
+// osapd sweep harness (src/osapd/sweep.cpp). These count harness-side
+// work — cache traffic, worker lifecycle — not simulated events, and
+// surface in the matrix summary's "counters" block.
+inline constexpr const char* kOsapdCellsTotal = "osapd.cells_total";
+inline constexpr const char* kOsapdCellsCompleted = "osapd.cells_completed";
+inline constexpr const char* kOsapdCellsFailed = "osapd.cells_failed";
+inline constexpr const char* kOsapdCacheHits = "osapd.cache_hits";
+inline constexpr const char* kOsapdCacheMisses = "osapd.cache_misses";
+inline constexpr const char* kOsapdCacheStores = "osapd.cache_stores";
+inline constexpr const char* kOsapdCacheQuarantined = "osapd.cache_quarantined";
+inline constexpr const char* kOsapdWorkerDeaths = "osapd.worker_deaths";
+inline constexpr const char* kOsapdCellsRescheduled = "osapd.cells_rescheduled";
+inline constexpr const char* kOsapdRssAborts = "osapd.rss_aborts";
+inline constexpr const char* kOsapdCancelled = "osapd.cancelled";
+
 // --- global gauges --------------------------------------------------------
 
 inline constexpr const char* kClusterJobsRunning = "cluster.jobs_running";

@@ -1,6 +1,10 @@
 #include "workload/two_job.hpp"
 
+#include <memory>
+#include <sstream>
+
 #include "common/error.hpp"
+#include "fault/injector.hpp"
 #include "sched/dummy.hpp"
 
 namespace osap {
@@ -40,7 +44,14 @@ TwoJobResult run_two_job(const TwoJobParams& params) {
   // Once th completes, give the slot back to tl.
   ds.on_complete("th", [&ds, primitive] { ds.restore("tl", 0, primitive); });
 
-  cluster.run();
+  std::unique_ptr<fault::FaultInjector> injector;
+  if (!params.fault_plan.empty()) {
+    std::istringstream plan(params.fault_plan);
+    injector = std::make_unique<fault::FaultInjector>(cluster, fault::parse_fault_plan(plan));
+  }
+
+  cluster.run(params.tick);
+  if (params.inspect) params.inspect(cluster);
 
   const JobTracker& jt = cluster.job_tracker();
   const Job& tl = jt.job(ds.job_of("tl"));

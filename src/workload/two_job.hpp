@@ -14,6 +14,9 @@
 // the bytes paged out by tl's process (Fig. 4).
 #pragma once
 
+#include <functional>
+#include <string>
+
 #include "hadoop/cluster.hpp"
 #include "preempt/primitive.hpp"
 #include "workload/profiles.hpp"
@@ -33,6 +36,16 @@ struct TwoJobParams {
   std::uint64_t seed = 1;
   /// Service-demand jitter across runs (fraction).
   double jitter = 0.02;
+  /// Inline fault plan (newline-separated lines, docs/FAULTS.md syntax);
+  /// "" = no injection.
+  std::string fault_plan;
+  /// Periodic passive hook forwarded to Cluster::run(tick) — may throw
+  /// to abort the run (the osapd RSS watchdog does).
+  std::function<void()> tick;
+  /// Called with the finished cluster before the success check and before
+  /// teardown, so harness callers (core::run_descriptor) can extract the
+  /// trace digest and counters even from runs whose jobs failed.
+  std::function<void(Cluster&)> inspect;
 };
 
 struct TwoJobResult {

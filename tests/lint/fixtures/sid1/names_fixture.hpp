@@ -8,5 +8,6 @@ namespace fx::names {
 inline constexpr const char* kAlpha = "fx.alpha";
 inline constexpr const char* kBetaTotal = "fx.beta_total";
 inline constexpr const char* kPagedBytes = ".fx.paged_bytes";
+inline constexpr const char* kCellsDone = "osapd.cells_done";
 
 }  // namespace fx::names

@@ -1,0 +1,19 @@
+// SID-1 positive in the osapd harness style: sweep-level counters use
+// full dotted names under the osapd. prefix. The registry constant is
+// declared by construction; the literal one character short of it is
+// the typo class SID-1 exists for. Inert unless the driver gets
+// --names=.
+#include "names_fixture.hpp"
+
+namespace fx {
+
+struct Registry {
+  long& counter(const char* name);
+};
+
+void report_sweep(Registry& r) {
+  r.counter(fx::names::kCellsDone);  // declared by construction
+  r.counter("osapd.cells_don");      // near miss: one edit from osapd.cells_done
+}
+
+}  // namespace fx

@@ -240,11 +240,15 @@ TEST(LintSid1, RegistryCatchesTyposAndUndeclaredNames) {
   // one-edit-off tail is flagged against the suffix it nearly matches.
   EXPECT_HAS(out, "use.cpp:20: SID-1: identifier \"node7.fx.paged_byte\" is one edit away "
                   "from registered \".fx.paged_bytes\"");
+  // The osapd-style fixture: the registry constant passes, the literal
+  // one edit short of osapd.cells_done is flagged.
+  EXPECT_HAS(out, "osapd_use.cpp:16: SID-1: identifier \"osapd.cells_don\" is one edit away "
+                  "from registered \"osapd.cells_done\"");
   EXPECT_EQ(out.find("suffix_clean.cpp"), std::string::npos) << out;
   // Exact literals and registry constants are declared by construction.
   EXPECT_EQ(out.find("fx.alpha\" is not declared"), std::string::npos) << out;
-  EXPECT_EQ(count(out, " SID-1: "), 3) << out;
-  EXPECT_HAS(out, "osap-lint: 3 violations, 1 suppressed");
+  EXPECT_EQ(count(out, " SID-1: "), 4) << out;
+  EXPECT_HAS(out, "osap-lint: 4 violations, 1 suppressed");
 }
 
 TEST(LintTrc1, AsyncSpansMustPairProjectWide) {

@@ -1,0 +1,177 @@
+// Aggregation over terminal cell results: seed replicates group by
+// cell_key, percentiles are nearest-rank, the pivot reproduces the
+// paper's fig2 layout when the axes allow it, and the summary JSON is
+// invariant under the pool's completion order — the whole point of
+// sorting every traversal.
+#include "osapd/aggregate.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <sstream>
+
+#include "osapd/expand.hpp"
+
+namespace osap::osapd {
+namespace {
+
+core::RunDescriptor cell(const std::string& text) {
+  return core::normalize_descriptor(core::RunDescriptor::parse(text));
+}
+
+CellResult ok_cell(std::size_t index, double sojourn_th, double makespan) {
+  CellResult res;
+  res.index = index;
+  res.attempts = 1;
+  res.ok = true;
+  res.record.ok = true;
+  res.record.sojourn_th = sojourn_th;
+  res.record.makespan = makespan;
+  return res;
+}
+
+CellResult failed_cell(std::size_t index, const std::string& error) {
+  CellResult res;
+  res.index = index;
+  res.attempts = 1;
+  res.ok = false;
+  res.error = error;
+  return res;
+}
+
+TEST(Aggregate, GroupsSeedReplicatesWithNearestRankPercentiles) {
+  std::vector<core::RunDescriptor> descriptors;
+  std::vector<CellResult> cells;
+  const double sojourns[] = {30, 10, 50, 20, 40};  // deliberately unsorted
+  for (std::size_t i = 0; i < 5; ++i) {
+    descriptors.push_back(cell("primitive=susp;r=0.5;seed=" + std::to_string(i + 1)));
+    cells.push_back(ok_cell(i, sojourns[i], 100 + static_cast<double>(i)));
+  }
+  descriptors.push_back(cell("primitive=susp;r=0.5;seed=6"));
+  cells.push_back(failed_cell(5, "worker exited (status 9)"));
+
+  const std::vector<GroupStats> groups = group_stats(descriptors, cells);
+  ASSERT_EQ(groups.size(), 1u);  // all six cells share one cell_key
+  const GroupStats& g = groups[0];
+  EXPECT_EQ(g.cell_key, cell_key(descriptors[0]));
+  EXPECT_EQ(g.runs, 5);
+  EXPECT_EQ(g.failed, 1);
+  EXPECT_DOUBLE_EQ(g.mean, 30);
+  EXPECT_DOUBLE_EQ(g.p50, 30);  // nearest rank: ceil(0.50 * 5) = 3rd of sorted
+  EXPECT_DOUBLE_EQ(g.p99, 50);  // ceil(0.99 * 5) = 5th
+  EXPECT_DOUBLE_EQ(g.min, 10);
+  EXPECT_DOUBLE_EQ(g.max, 50);
+  EXPECT_DOUBLE_EQ(g.makespan_mean, 102);
+}
+
+TEST(Aggregate, PivotPrefersTheFig2Layout) {
+  std::vector<core::RunDescriptor> descriptors = {
+      cell("primitive=kill;r=0.1"), cell("primitive=susp;r=0.1"),
+      cell("primitive=kill;r=0.2"),  // (r=0.2, susp) deliberately absent
+  };
+  std::vector<CellResult> cells = {ok_cell(0, 85, 0), ok_cell(1, 78, 0), ok_cell(2, 86, 0)};
+  const PivotTable table = pivot(descriptors, cells);
+  EXPECT_EQ(table.row_axis, "r");
+  EXPECT_EQ(table.col_axis, "primitive");
+  EXPECT_EQ(table.rows, (std::vector<std::string>{"0.1", "0.2"}));
+  EXPECT_EQ(table.cols, (std::vector<std::string>{"kill", "susp"}));
+  ASSERT_EQ(table.values.size(), 2u);
+  ASSERT_EQ(table.values[0].size(), 2u);
+  EXPECT_DOUBLE_EQ(table.values[0][0], 85);
+  EXPECT_DOUBLE_EQ(table.values[0][1], 78);
+  EXPECT_DOUBLE_EQ(table.values[1][0], 86);
+  EXPECT_DOUBLE_EQ(table.values[1][1], -1);  // empty cell, not NaN
+}
+
+TEST(Aggregate, PivotRowsSortNumericallyNotLexically) {
+  // Lexicographic order would put "0.100" < "0.55" < "0.9" too, so use
+  // a value set where the two orders genuinely disagree: lexically
+  // "0.100" < "0.55" but also "0.9" > "0.55"; the tell is "0.100" vs
+  // "0.55" against plain integers.
+  const std::vector<core::RunDescriptor> descriptors = {
+      cell("primitive=susp;r=10"), cell("primitive=susp;r=9"),
+      cell("primitive=susp;r=0.55")};
+  const std::vector<CellResult> cells = {ok_cell(0, 1, 0), ok_cell(1, 2, 0),
+                                         ok_cell(2, 3, 0)};
+  const PivotTable table = pivot(descriptors, cells);
+  // Lexically the order would be {"0.55", "10", "9"}.
+  EXPECT_EQ(table.rows, (std::vector<std::string>{"0.55", "9", "10"}));
+}
+
+TEST(Aggregate, PivotFallsBackToTheFirstTwoMultiValuedAxes) {
+  // The trace workload has a primitive axis but no r, so the fig2 shape
+  // is unavailable; sorted multi-valued non-seed axes take over.
+  std::vector<core::RunDescriptor> descriptors = {
+      cell("workload=trace;jobs=8;scheduler=fifo"),
+      cell("workload=trace;jobs=8;scheduler=hfsp"),
+      cell("workload=trace;jobs=16;scheduler=fifo"),
+      cell("workload=trace;jobs=16;scheduler=hfsp"),
+  };
+  std::vector<CellResult> cells = {ok_cell(0, 10, 0), ok_cell(1, 11, 0), ok_cell(2, 12, 0),
+                                   ok_cell(3, 13, 0)};
+  const PivotTable table = pivot(descriptors, cells);
+  EXPECT_EQ(table.row_axis, "jobs");       // first multi-valued key in sorted order
+  EXPECT_EQ(table.col_axis, "scheduler");  // second
+  EXPECT_EQ(table.rows, (std::vector<std::string>{"8", "16"}));  // numeric sort
+  EXPECT_EQ(table.cols, (std::vector<std::string>{"fifo", "hfsp"}));
+}
+
+TEST(Aggregate, SummaryJsonIsInvariantUnderCompletionOrder) {
+  std::vector<core::RunDescriptor> descriptors;
+  std::vector<CellResult> cells;
+  std::size_t i = 0;
+  for (const char* prim : {"kill", "susp"}) {
+    for (const char* seed : {"1", "2"}) {
+      descriptors.push_back(
+          cell(std::string("primitive=") + prim + ";r=0.5;seed=" + seed));
+      CellResult res = ok_cell(i, 70 + static_cast<double>(i), 600);
+      res.record.trace_digest = 0x1000 + i;
+      res.record.events = 700 + i;
+      res.record.jobs = 2;
+      cells.push_back(res);
+      ++i;
+    }
+  }
+  const std::vector<std::pair<std::string, std::uint64_t>> harness = {
+      {"osapd.cells_total", 4}, {"osapd.cells_completed", 4}};
+
+  std::ostringstream forward;
+  write_summary_json(forward, descriptors, cells, false, harness, 12.5);
+
+  std::vector<CellResult> shuffled(cells.rbegin(), cells.rend());
+  std::ostringstream backward;
+  write_summary_json(backward, descriptors, shuffled, false, harness, 12.5);
+  EXPECT_EQ(forward.str(), backward.str());
+
+  const std::string json = forward.str();
+  EXPECT_NE(json.find("\"schema\":\"osapd-summary-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"cells_total\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"cells_ok\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"osapd.cells_total\":4"), std::string::npos);
+  EXPECT_NE(json.find("\"wall_ms\":12.5"), std::string::npos);
+  // The volatile fields stay out of the results section entirely.
+  EXPECT_EQ(json.find("\"cached\""), std::string::npos);
+  EXPECT_EQ(json.find("\"attempts\""), std::string::npos);
+}
+
+TEST(Aggregate, PartialSummariesCountFailuresAndCancellation) {
+  std::vector<core::RunDescriptor> descriptors = {cell("primitive=kill;r=0.5"),
+                                                  cell("primitive=susp;r=0.5"),
+                                                  cell("primitive=wait;r=0.5")};
+  // Only two of three cells resolved (SIGINT drained the sweep), one of
+  // them failed.
+  std::vector<CellResult> cells = {ok_cell(0, 80, 600),
+                                   failed_cell(1, "worker exited (status 9)")};
+  std::ostringstream out;
+  write_summary_json(out, descriptors, cells, true, {}, 1.0);
+  const std::string json = out.str();
+  EXPECT_NE(json.find("\"cancelled\":true"), std::string::npos);
+  EXPECT_NE(json.find("\"cells_total\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"cells_done\":2"), std::string::npos);
+  EXPECT_NE(json.find("\"cells_ok\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"cells_failed\":1"), std::string::npos);
+  EXPECT_NE(json.find("worker exited (status 9)"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace osap::osapd

@@ -1,0 +1,133 @@
+// The digest-keyed result cache: hits return the stored bytes verbatim,
+// anything untrustworthy is quarantined (renamed aside, never believed
+// twice), and stores are atomic — no torn files, no stray temp files.
+#include "osapd/cache.hpp"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "osapd/record.hpp"
+
+namespace osap::osapd {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh per-test directory under the gtest temp root. Named after the
+/// test (not a random suffix — the determinism rules ban randomness in
+/// tests) and wiped on entry so reruns start clean.
+fs::path fresh_dir() {
+  const testing::TestInfo* info = testing::UnitTest::GetInstance()->current_test_info();
+  fs::path dir = fs::path(testing::TempDir()) / "osapd_cache_test" / info->name();
+  fs::remove_all(dir);
+  return dir;
+}
+
+core::RunDescriptor cell(const std::string& text) {
+  return core::normalize_descriptor(core::RunDescriptor::parse(text));
+}
+
+std::string record_bytes(const core::RunDescriptor& d) {
+  core::ResultRecord rec;
+  rec.ok = true;
+  rec.config_digest = d.digest();
+  rec.trace_digest = 0x1122334455667788ull;
+  rec.events = 742;
+  rec.jobs = 2;
+  rec.sojourn_th = 78.5;
+  rec.makespan = 600.25;
+  return serialize_record(d.canonical(), rec);
+}
+
+TEST(Cache, HitReturnsTheStoredBytesVerbatim) {
+  ResultCache cache(fresh_dir());
+  const core::RunDescriptor d = cell("primitive=susp;r=0.5");
+  EXPECT_FALSE(cache.lookup(d).has_value());  // cold
+
+  const std::string bytes = record_bytes(d);
+  cache.store(d, bytes);
+  const std::optional<ResultCache::Hit> hit = cache.lookup(d);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->record_json, bytes);  // byte-identical, not re-serialized
+  EXPECT_TRUE(hit->record.ok);
+  EXPECT_EQ(hit->record.trace_digest, 0x1122334455667788ull);
+  EXPECT_EQ(cache.quarantined(), 0u);
+}
+
+TEST(Cache, AMutatedDescriptorMisses) {
+  ResultCache cache(fresh_dir());
+  const core::RunDescriptor d = cell("primitive=susp;r=0.5");
+  cache.store(d, record_bytes(d));
+  // One axis nudged -> different digest -> different file -> miss; the
+  // stored cell is untouched.
+  EXPECT_FALSE(cache.lookup(cell("primitive=susp;r=0.6")).has_value());
+  EXPECT_FALSE(cache.lookup(cell("primitive=kill;r=0.5")).has_value());
+  EXPECT_TRUE(cache.lookup(d).has_value());
+  EXPECT_EQ(cache.quarantined(), 0u);
+}
+
+TEST(Cache, CorruptedEntriesAreQuarantinedNotTrusted) {
+  const fs::path dir = fresh_dir();
+  ResultCache cache(dir);
+  const core::RunDescriptor d = cell("primitive=susp;r=0.5");
+  const fs::path entry = dir / (d.digest_hex() + ".json");
+  {
+    std::ofstream out(entry);
+    out << "{\"descriptor\":\"pri";  // a torn write
+  }
+  EXPECT_FALSE(cache.lookup(d).has_value());
+  EXPECT_EQ(cache.quarantined(), 1u);
+  // The evidence survives for inspection; the entry itself is gone, so
+  // the corrupted bytes can never satisfy a second lookup.
+  EXPECT_FALSE(fs::exists(entry));
+  EXPECT_TRUE(fs::exists(dir / (d.digest_hex() + ".json.quarantined")));
+  EXPECT_FALSE(cache.lookup(d).has_value());
+  EXPECT_EQ(cache.quarantined(), 1u);  // a miss, not a second quarantine
+
+  // A fresh store repopulates the slot.
+  cache.store(d, record_bytes(d));
+  EXPECT_TRUE(cache.lookup(d).has_value());
+}
+
+TEST(Cache, ADigestCollisionYieldsAMissNotALie) {
+  const fs::path dir = fresh_dir();
+  ResultCache cache(dir);
+  const core::RunDescriptor d = cell("primitive=susp;r=0.5");
+  const core::RunDescriptor other = cell("primitive=kill;r=0.9");
+  // Plant a well-formed record for ANOTHER cell at d's path — what a
+  // 64-bit digest collision would look like on disk.
+  {
+    std::ofstream out(dir / (d.digest_hex() + ".json"));
+    out << record_bytes(other);
+  }
+  EXPECT_FALSE(cache.lookup(d).has_value());
+  EXPECT_EQ(cache.quarantined(), 1u);
+}
+
+TEST(Cache, StoresAreAtomicAndLeaveNoTempFiles) {
+  const fs::path dir = fresh_dir();
+  ResultCache cache(dir);
+  const core::RunDescriptor d = cell("primitive=susp;r=0.5");
+  cache.store(d, record_bytes(d));
+  std::size_t files = 0;
+  for (const fs::directory_entry& e : fs::directory_iterator(dir)) {
+    ++files;
+    EXPECT_EQ(e.path().extension(), ".json") << e.path();
+  }
+  EXPECT_EQ(files, 1u);
+}
+
+TEST(Cache, CreatesItsDirectoryTree) {
+  const fs::path dir = fresh_dir() / "nested" / "deeper";
+  ResultCache cache(dir);
+  EXPECT_TRUE(fs::is_directory(dir));
+  const core::RunDescriptor d = cell("primitive=wait");
+  cache.store(d, record_bytes(d));
+  EXPECT_TRUE(cache.lookup(d).has_value());
+}
+
+}  // namespace
+}  // namespace osap::osapd

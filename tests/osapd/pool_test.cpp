@@ -1,0 +1,250 @@
+// The forked worker pool and the sweep orchestration above it. The
+// determinism law does the heavy lifting: a cell's record is a pure
+// function of its descriptor, so pool records must be byte-identical to
+// in-process runs no matter which worker computed them, how often a
+// worker died first, or whether the bytes came back from the cache.
+//
+// Fault injection rides the digest-visible `fault_worker` descriptor
+// key (the library runner ignores it; the worker honors it before
+// running the cell), so worker crashes are reproducible test fixtures
+// rather than races.
+#include "osapd/pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <csignal>
+#include <filesystem>
+#include <set>
+
+#include "osapd/cache.hpp"
+#include "osapd/expand.hpp"
+#include "osapd/record.hpp"
+#include "osapd/sweep.hpp"
+
+namespace osap::osapd {
+namespace {
+
+namespace fs = std::filesystem;
+
+// See run_test.cpp: big enough to cross the 2048-event tick stride, so
+// the RSS watchdog actually gets to fire.
+constexpr const char* kTickableCell = "workload=trace;jobs=32;nodes=16;seed=7";
+
+// Injected resident-set probe: pretends every worker is enormous, so a
+// 1-byte budget aborts on the first watchdog tick.
+std::uint64_t fake_huge_rss() { return 64ull << 30; }
+
+// Cancellation flag for the drain test; file-scope because PoolOptions
+// carries a pointer to it, mirroring the CLI's SIGINT handler.
+volatile std::sig_atomic_t g_cancel = 0;
+
+fs::path fresh_dir() {
+  const testing::TestInfo* info = testing::UnitTest::GetInstance()->current_test_info();
+  fs::path dir = fs::path(testing::TempDir()) / "osapd_pool_test" / info->name();
+  fs::remove_all(dir);
+  return dir;
+}
+
+std::vector<core::RunDescriptor> small_grid() {
+  MatrixSpec spec;
+  spec.axes["primitive"] = {"kill", "susp"};
+  spec.axes["r"] = {"0.3", "0.7"};
+  return expand(spec);
+}
+
+core::RunDescriptor cell(const std::string& text) {
+  return core::normalize_descriptor(core::RunDescriptor::parse(text));
+}
+
+/// What the worker should have shipped: the in-process run serialized
+/// the same way the worker serializes it.
+std::string in_process_bytes(const core::RunDescriptor& d) {
+  return serialize_record(d.canonical(), core::run_descriptor(d));
+}
+
+TEST(Pool, RecordsAreByteIdenticalToInProcessRuns) {
+  const std::vector<core::RunDescriptor> grid = small_grid();
+  SweepOptions opts;
+  opts.pool.workers = 3;
+  const SweepOutcome outcome = run_sweep(grid, opts);
+  ASSERT_FALSE(outcome.cancelled);
+  ASSERT_EQ(outcome.cells.size(), grid.size());
+
+  std::set<std::size_t> seen;
+  for (const CellResult& res : outcome.cells) {
+    EXPECT_TRUE(seen.insert(res.index).second) << "cell resolved twice: " << res.index;
+    EXPECT_TRUE(res.ok) << res.error;
+    EXPECT_EQ(res.attempts, 1);
+    EXPECT_FALSE(res.cached);
+    EXPECT_EQ(res.record_json, in_process_bytes(grid[res.index]))
+        << grid[res.index].canonical();
+  }
+  EXPECT_EQ(seen.size(), grid.size());
+}
+
+TEST(Pool, AWorkerDeathReschedulesTheCellOnce) {
+  const std::vector<core::RunDescriptor> grid = {
+      cell(std::string("fault_worker=exit_first_attempt;") + "primitive=susp;r=0.5")};
+  SweepOptions opts;
+  opts.pool.workers = 1;
+  const SweepOutcome outcome = run_sweep(grid, opts);
+  ASSERT_EQ(outcome.cells.size(), 1u);
+  const CellResult& res = outcome.cells[0];
+  EXPECT_TRUE(res.ok) << res.error;
+  EXPECT_EQ(res.attempts, 2);  // died once, succeeded on the retry
+  EXPECT_EQ(outcome.worker_deaths, 1u);
+  EXPECT_EQ(outcome.rescheduled, 1u);
+  // The retry's record is still the deterministic record.
+  EXPECT_EQ(res.record_json, in_process_bytes(grid[0]));
+}
+
+TEST(Pool, APersistentlyDyingCellFailsWithReasonExactlyOnce) {
+  // Cell 0 kills its worker every attempt; cell 1 is healthy and must
+  // be unaffected by its neighbour's crashes.
+  const std::vector<core::RunDescriptor> grid = {
+      cell("fault_worker=exit_always;primitive=susp;r=0.5"),
+      cell("primitive=kill;r=0.5")};
+  const fs::path dir = fresh_dir();
+  SweepOptions opts;
+  opts.pool.workers = 2;
+  opts.cache_dir = dir.string();
+  const SweepOutcome outcome = run_sweep(grid, opts);
+  ASSERT_FALSE(outcome.cancelled);
+  ASSERT_EQ(outcome.cells.size(), 2u);
+
+  int failed = 0;
+  for (const CellResult& res : outcome.cells) {
+    if (res.index == 1) {
+      EXPECT_TRUE(res.ok) << res.error;
+      continue;
+    }
+    ++failed;
+    EXPECT_FALSE(res.ok);
+    EXPECT_EQ(res.attempts, 2);  // both attempts allowed, then terminal
+    EXPECT_NE(res.error.find("worker exited (status 17)"), std::string::npos) << res.error;
+    EXPECT_TRUE(res.record_json.empty());  // died before reporting
+  }
+  EXPECT_EQ(failed, 1);
+  EXPECT_EQ(outcome.worker_deaths, 2u);
+  EXPECT_EQ(outcome.rescheduled, 1u);
+  // Failed cells are never cached: only the healthy cell is on disk.
+  EXPECT_EQ(outcome.cache_stores, 1u);
+  EXPECT_FALSE(fs::exists(dir / (grid[0].digest_hex() + ".json")));
+  EXPECT_TRUE(fs::exists(dir / (grid[1].digest_hex() + ".json")));
+}
+
+TEST(Pool, RssBudgetAbortsAreRecordedWithTheWatchdogReason) {
+  const std::vector<core::RunDescriptor> grid = {cell(kTickableCell)};
+  SweepOptions opts;
+  opts.pool.workers = 1;
+  opts.pool.max_rss_bytes = 1;
+  opts.pool.rss_probe = &fake_huge_rss;
+  const SweepOutcome outcome = run_sweep(grid, opts);
+  ASSERT_EQ(outcome.cells.size(), 1u);
+  const CellResult& res = outcome.cells[0];
+  EXPECT_FALSE(res.ok);
+  EXPECT_EQ(res.error.rfind(kRssAbortPrefix, 0), 0u) << res.error;
+  EXPECT_EQ(res.attempts, 2);  // an abort is retried once, like a death
+  EXPECT_EQ(outcome.rss_aborts, 2u);
+  EXPECT_EQ(outcome.rescheduled, 1u);
+  // The worker reported before exiting, so this is a graceful recycle,
+  // not a death — and the aborted record itself came back intact.
+  EXPECT_EQ(outcome.worker_deaths, 0u);
+  EXPECT_FALSE(res.record_json.empty());
+  EXPECT_EQ(res.record.error, res.error);
+}
+
+TEST(Pool, CancellationDrainsInFlightAndTheCacheStaysResumable) {
+  const std::vector<core::RunDescriptor> grid = small_grid();
+  const fs::path dir = fresh_dir();
+
+  // Phase 1: one worker, cancel as soon as the first cell lands —
+  // exactly what a SIGINT mid-sweep looks like to the pool.
+  g_cancel = 0;
+  PoolOptions popts;
+  popts.workers = 1;
+  popts.cancel = &g_cancel;
+  std::vector<CellResult> drained;
+  {
+    ResultCache cache(dir);
+    const std::vector<std::size_t> todo = {0, 1, 2, 3};
+    const bool complete = WorkerPool::run(
+        grid, todo, popts,
+        [&](CellResult&& res) {
+          if (res.ok) cache.store(grid[res.index], res.record_json);
+          drained.push_back(std::move(res));
+          g_cancel = 1;
+        },
+        nullptr);
+    EXPECT_FALSE(complete);
+  }
+  ASSERT_EQ(drained.size(), 1u);  // in-flight drained, nothing new dispatched
+  EXPECT_TRUE(drained[0].ok) << drained[0].error;
+
+  // Phase 2: a fresh sweep over the same grid resumes from the cache —
+  // the drained cell is a hit with the exact bytes phase 1 stored, and
+  // every cell resolves exactly once.
+  SweepOptions sopts;
+  sopts.pool.workers = 2;
+  sopts.cache_dir = dir.string();
+  const SweepOutcome outcome = run_sweep(grid, sopts);
+  ASSERT_FALSE(outcome.cancelled);
+  ASSERT_EQ(outcome.cells.size(), grid.size());
+  EXPECT_EQ(outcome.cache_hits, 1u);
+  EXPECT_EQ(outcome.cache_misses, grid.size() - 1);
+  std::set<std::size_t> seen;
+  for (const CellResult& res : outcome.cells) {
+    EXPECT_TRUE(seen.insert(res.index).second);
+    EXPECT_TRUE(res.ok) << res.error;
+    if (res.index == drained[0].index) {
+      EXPECT_TRUE(res.cached);
+      EXPECT_EQ(res.record_json, drained[0].record_json);
+    }
+  }
+  EXPECT_EQ(seen.size(), grid.size());
+}
+
+TEST(Sweep, SecondPassServesEveryCellFromTheCacheByteIdentically) {
+  const std::vector<core::RunDescriptor> grid = small_grid();
+  const fs::path dir = fresh_dir();
+  SweepOptions opts;
+  opts.pool.workers = 2;
+  opts.cache_dir = dir.string();
+
+  const SweepOutcome first = run_sweep(grid, opts);
+  ASSERT_EQ(first.cells.size(), grid.size());
+  EXPECT_EQ(first.cache_hits, 0u);
+  EXPECT_EQ(first.cache_stores, grid.size());
+
+  const SweepOutcome second = run_sweep(grid, opts);
+  ASSERT_EQ(second.cells.size(), grid.size());
+  EXPECT_EQ(second.cache_hits, grid.size());
+  EXPECT_EQ(second.cache_stores, 0u);
+  for (const CellResult& res : second.cells) {
+    EXPECT_TRUE(res.cached);
+    const auto match = std::find_if(
+        first.cells.begin(), first.cells.end(),
+        [&](const CellResult& f) { return f.index == res.index; });
+    ASSERT_NE(match, first.cells.end());
+    EXPECT_EQ(res.record_json, match->record_json);
+  }
+}
+
+TEST(Sweep, DeterministicCellFailuresAreNeverRetried) {
+  // An unknown workload fails identically every time; retrying would
+  // just burn a worker. The record lands as-is with one attempt.
+  const std::vector<core::RunDescriptor> grid = {
+      core::RunDescriptor::parse("workload=nope")};
+  SweepOptions opts;
+  opts.pool.workers = 1;
+  const SweepOutcome outcome = run_sweep(grid, opts);
+  ASSERT_EQ(outcome.cells.size(), 1u);
+  EXPECT_FALSE(outcome.cells[0].ok);
+  EXPECT_EQ(outcome.cells[0].attempts, 1);
+  EXPECT_EQ(outcome.rescheduled, 0u);
+  EXPECT_NE(outcome.cells[0].error.find("unknown workload"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace osap::osapd

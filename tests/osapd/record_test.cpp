@@ -1,0 +1,100 @@
+// Record serialization is the cache's notion of identity: the stored
+// bytes ARE the result, so serialize -> parse -> serialize must be the
+// identity on bytes, and the parser must reject anything it did not
+// emit — a half-parsed record is how a corrupted cache would lie.
+#include "osapd/record.hpp"
+
+#include <gtest/gtest.h>
+
+namespace osap::osapd {
+namespace {
+
+core::ResultRecord sample_record() {
+  core::ResultRecord rec;
+  rec.ok = true;
+  rec.config_digest = 0x0123456789abcdefull;
+  rec.trace_digest = 0xfedcba9876543210ull;
+  rec.events = 3180;
+  rec.jobs = 2;
+  rec.sojourn_th = 78.25;
+  rec.sojourn_tl = 0.1 + 0.2;  // not exactly representable: %.17g must round-trip it
+  rec.makespan = 1234.5;
+  rec.tl_swapped_out_mib = 0;
+  rec.counters = {{"jt.suspend_requests", 7}, {"sched.assignments", 41}};
+  rec.wall_ms = 12.5;
+  return rec;
+}
+
+TEST(Record, SerializeParseSerializeIsTheIdentityOnBytes) {
+  const std::string descriptor = "primitive=susp;r=0.5;seed=1;workload=two_job";
+  const std::string json = serialize_record(descriptor, sample_record());
+  const std::optional<ParsedRecord> parsed = parse_record(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->descriptor, descriptor);
+  EXPECT_EQ(serialize_record(parsed->descriptor, parsed->record), json);
+}
+
+TEST(Record, ParsePreservesEveryField) {
+  const core::ResultRecord rec = sample_record();
+  const std::optional<ParsedRecord> parsed = parse_record(serialize_record("d=1", rec));
+  ASSERT_TRUE(parsed.has_value());
+  const core::ResultRecord& got = parsed->record;
+  EXPECT_EQ(got.ok, rec.ok);
+  EXPECT_EQ(got.config_digest, rec.config_digest);
+  EXPECT_EQ(got.trace_digest, rec.trace_digest);
+  EXPECT_EQ(got.events, rec.events);
+  EXPECT_EQ(got.jobs, rec.jobs);
+  EXPECT_EQ(got.sojourn_th, rec.sojourn_th);
+  EXPECT_EQ(got.sojourn_tl, rec.sojourn_tl);  // bit-exact through %.17g
+  EXPECT_EQ(got.makespan, rec.makespan);
+  EXPECT_EQ(got.counters, rec.counters);
+  EXPECT_EQ(got.wall_ms, rec.wall_ms);
+}
+
+TEST(Record, FailedRecordsCarryTheirReasonThroughEscaping) {
+  core::ResultRecord rec;
+  rec.ok = false;
+  rec.error = "invariant \"slots >= 0\" violated\n\tat node-3";
+  const std::string json = serialize_record("workload=two_job", rec);
+  const std::optional<ParsedRecord> parsed = parse_record(json);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_FALSE(parsed->record.ok);
+  EXPECT_EQ(parsed->record.error, rec.error);
+}
+
+TEST(Record, EveryTruncationIsRejected) {
+  // No prefix of a valid record parses: truncation (a torn write, a
+  // worker dying mid-line) can never produce a half-filled record.
+  const std::string json = serialize_record("d=1", sample_record());
+  for (std::size_t len = 0; len < json.size(); ++len) {
+    EXPECT_FALSE(parse_record(json.substr(0, len)).has_value()) << "prefix length " << len;
+  }
+}
+
+TEST(Record, GarbageAndNearMissesAreRejected) {
+  EXPECT_FALSE(parse_record("").has_value());
+  EXPECT_FALSE(parse_record("not json at all").has_value());
+  EXPECT_FALSE(parse_record("{}").has_value());
+  const std::string json = serialize_record("d=1", sample_record());
+  EXPECT_FALSE(parse_record(json + "trailing garbage").has_value());
+  // A field renamed (wrong shape) must not be accepted.
+  std::string renamed = json;
+  renamed.replace(renamed.find("\"events\""), 8, "\"eventz\"");
+  EXPECT_FALSE(parse_record(renamed).has_value());
+  // A digest string longer than 16 hex digits cannot be a u64.
+  std::string long_digest = json;
+  long_digest.replace(long_digest.find("0123456789abcdef"), 16, "00123456789abcdef");
+  EXPECT_FALSE(parse_record(long_digest).has_value());
+}
+
+TEST(Record, JsonHelpers) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b\\c\nd\te\rf"), "a\\\"b\\\\c\\nd\\te\\rf");
+  EXPECT_EQ(hex_u64(0), "0000000000000000");
+  EXPECT_EQ(hex_u64(0xdeadbeefull), "00000000deadbeef");
+  EXPECT_EQ(json_num(0), "0");
+  EXPECT_EQ(json_num(0.5), "0.5");
+}
+
+}  // namespace
+}  // namespace osap::osapd

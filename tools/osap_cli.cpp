@@ -4,8 +4,14 @@
 //                 [--tl-state 0MiB] [--th-state 0MiB] [--runs 20] [--seed 42]
 //       The paper's two-job experiment; prints the §IV metrics.
 //
-//   osap sweep    [--tl-state ...] [--th-state ...] [--runs ...]
-//       Full r x primitive sweep (Figures 2/3 in one table).
+//   osap sweep    [--tl-state ...] [--th-state ...] [--seed 42]
+//                 [--matrix file.matrix] [--set key=v1,v2]... [--digests]
+//       Full r x primitive sweep (Figures 2/3 in one table). A thin
+//       client of the osapd matrix expansion (docs/OSAPD.md): the
+//       default matrix is the paper's fig2 grid, `--matrix` loads a
+//       checked-in spec instead, and `--digests` prints one
+//       "<config-digest> <trace-digest> <descriptor>" line per cell —
+//       the bit-for-bit comparison anchor for `osapd run`.
 //
 //   osap gantt    [--primitive susp] [--r 0.5] [--tl-state ...] [--th-state ...]
 //       One run, rendered as a Figure-1-style schedule.
@@ -31,7 +37,10 @@
 // speculative backup attempts; see docs/SPECULATION.md) with optional
 // `--spec-slowness`, `--spec-cap` and `--spec-min-runtime` tuning knobs.
 //
-// Flags take either `--key value` or `--key=value` form.
+// Flags take either `--key value` or `--key=value` form. Unknown flags
+// are an error, never silently ignored — a typoed flag quietly running
+// the default experiment has burned enough sweep hours already.
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -41,7 +50,10 @@
 
 #include "common/error.hpp"
 
+#include "core/run.hpp"
 #include "fault/injector.hpp"
+#include "osapd/expand.hpp"
+#include "osapd/matrix.hpp"
 #include "metrics/stats.hpp"
 #include "metrics/table.hpp"
 #include "metrics/timeline.hpp"
@@ -79,6 +91,18 @@ struct Args {
       }
     }
     return args;
+  }
+
+  /// Reject any flag outside `allowed` (satellite of docs/OSAPD.md's
+  /// mis-keyed-axis rule): unknown flags are an error, not a shrug.
+  void check_allowed(const char* subcommand, const std::vector<std::string>& allowed) const {
+    for (const auto& [key, value] : flags) {
+      (void)value;
+      bool ok = false;
+      for (const std::string& a : allowed) ok = ok || key == a;
+      OSAP_CHECK_MSG(ok, "osap " << subcommand << ": unknown flag --" << key
+                                 << " (run 'osap' for the flag reference)");
+    }
   }
 
   [[nodiscard]] std::string get(const std::string& key, const std::string& fallback) const {
@@ -159,19 +183,67 @@ int cmd_two_job(const Args& args) {
   return 0;
 }
 
+/// The paper's fig2 grid as a matrix spec — the same default the
+/// checked-in configs/fig2.matrix spells out (modulo the seed axis).
+osapd::MatrixSpec default_sweep_matrix(const Args& args) {
+  osapd::MatrixSpec spec;
+  spec.axes["workload"] = {"two_job"};
+  spec.axes["primitive"] = {"wait", "kill", "susp"};
+  spec.axes["r"] = {"0.1", "0.2", "0.3", "0.4", "0.5", "0.6", "0.7", "0.8", "0.9"};
+  spec.axes["seed"] = {args.get("seed", "42")};
+  spec.axes["tl_state"] = {args.get("tl-state", "0")};
+  spec.axes["th_state"] = {args.get("th-state", "0")};
+  return spec;
+}
+
 int cmd_sweep(const Args& args) {
-  Table table({"r (%)", "wait sojourn", "kill sojourn", "susp sojourn", "wait makespan",
-               "kill makespan", "susp makespan"});
-  for (int rp = 10; rp <= 90; rp += 10) {
-    std::vector<std::string> row{std::to_string(rp)};
+  // Thin client of the osapd matrix expansion: identical cell order and
+  // identical config digests to `osapd expand`/`osapd run`, computed
+  // in-process.
+  osapd::MatrixSpec spec;
+  if (args.flags.contains("matrix")) {
+    const std::string path = args.get("matrix", "");
+    std::ifstream in(path);
+    OSAP_CHECK_MSG(in, "cannot open matrix file " << path);
+    spec = osapd::parse_matrix(in, path);
+  } else {
+    spec = default_sweep_matrix(args);
+  }
+  if (args.flags.contains("set")) osapd::apply_set(spec, args.get("set", ""));
+  const std::vector<core::RunDescriptor> cells = osapd::expand(spec);
+
+  if (args.flags.contains("digests")) {
+    for (const core::RunDescriptor& d : cells) {
+      const core::ResultRecord rec = core::run_descriptor(d);
+      std::printf("%s %016llx %s%s\n", d.digest_hex().c_str(),
+                  static_cast<unsigned long long>(rec.trace_digest), d.canonical().c_str(),
+                  rec.ok ? "" : " FAILED");
+    }
+    return 0;
+  }
+
+  // Group results into the paper's table: r down the rows, one sojourn
+  // and one makespan column per primitive.
+  std::map<double, std::map<std::string, std::pair<double, double>>> grid;
+  std::vector<std::string> prims;
+  for (const core::RunDescriptor& d : cells) {
+    const core::ResultRecord rec = core::run_descriptor(d);
+    OSAP_CHECK_MSG(rec.ok, "sweep cell failed (" << d.canonical() << "): " << rec.error);
+    const std::string prim = d.get("primitive", "susp");
+    grid[d.num("r", 0.5)][prim] = {rec.sojourn_th, rec.makespan};
+    if (std::find(prims.begin(), prims.end(), prim) == prims.end()) prims.push_back(prim);
+  }
+  std::vector<std::string> headers{"r (%)"};
+  for (const std::string& p : prims) headers.push_back(p + " sojourn");
+  for (const std::string& p : prims) headers.push_back(p + " makespan");
+  Table table(headers);
+  for (const auto& [r, by_prim] : grid) {
+    std::vector<std::string> row{std::to_string(static_cast<int>(r * 100 + 0.5))};
     std::vector<std::string> tail;
-    for (const char* prim : {"wait", "kill", "susp"}) {
-      TwoJobParams params = params_from(args);
-      params.primitive = parse_primitive(prim);
-      params.progress_at_launch = rp / 100.0;
-      const TwoJobResult res = run_two_job(params);
-      row.push_back(Table::num(res.sojourn_th));
-      tail.push_back(Table::num(res.makespan));
+    for (const std::string& p : prims) {
+      const auto it = by_prim.find(p);
+      row.push_back(it != by_prim.end() ? Table::num(it->second.first) : "-");
+      tail.push_back(it != by_prim.end() ? Table::num(it->second.second) : "-");
     }
     row.insert(row.end(), tail.begin(), tail.end());
     table.row(row);
@@ -322,8 +394,37 @@ int cmd_trace(const Args& args) {
 int usage() {
   std::fprintf(stderr,
                "usage: osap <two-job|sweep|gantt|config|trace> [flags]\n"
-               "run 'head tools/osap_cli.cpp' for the full flag reference\n");
+               "\n"
+               "  two-job  --primitive wait|kill|susp|natjam  --r 0.5\n"
+               "           --tl-state 0MiB  --th-state 0MiB  --runs 20  --seed 42\n"
+               "  sweep    --tl-state SZ  --th-state SZ  --seed 42\n"
+               "           --matrix file.matrix  --set key=v1,v2  --digests\n"
+               "  gantt    --primitive P  --r 0.5  --tl-state SZ  --th-state SZ\n"
+               "           --seed 42  --cell 3.0  + common flags\n"
+               "  config   <file>  --nodes 1  --seed 1  + common flags\n"
+               "  trace    --scheduler fifo|fair|hfsp|capacity|deadline  --primitive P\n"
+               "           --jobs 12  --nodes 4  --seed 7  --file trace.txt  + common flags\n"
+               "\n"
+               "common flags (gantt, config, trace):\n"
+               "  --digest             print the event-trace FNV digest after the run\n"
+               "  --trace=FILE         write a Chrome trace-event JSON (docs/OBSERVABILITY.md)\n"
+               "  --counters=FILE      write the observability JSON\n"
+               "  --faults=FILE        inject a scripted failure plan (docs/FAULTS.md)\n"
+               "  --speculation        enable speculative execution (docs/SPECULATION.md)\n"
+               "  --spec-slowness X  --spec-cap N  --spec-min-runtime S\n"
+               "\n"
+               "flags take --key value or --key=value; unknown flags are an error\n");
   return 1;
+}
+
+/// The common observability/fault/speculation flags gantt, config and
+/// trace all share.
+std::vector<std::string> with_common(std::vector<std::string> allowed) {
+  for (const char* f : {"digest", "trace", "counters", "faults", "speculation",
+                        "spec-slowness", "spec-cap", "spec-min-runtime"}) {
+    allowed.emplace_back(f);
+  }
+  return allowed;
 }
 
 }  // namespace
@@ -335,11 +436,28 @@ int main(int argc, char** argv) {
   const std::string cmd = argv[1];
   const Args args = Args::parse(argc, argv, 2);
   try {
-    if (cmd == "two-job") return cmd_two_job(args);
-    if (cmd == "sweep") return cmd_sweep(args);
-    if (cmd == "gantt") return cmd_gantt(args);
-    if (cmd == "config") return cmd_config(args);
-    if (cmd == "trace") return cmd_trace(args);
+    if (cmd == "two-job") {
+      args.check_allowed("two-job", {"primitive", "r", "tl-state", "th-state", "runs", "seed"});
+      return cmd_two_job(args);
+    }
+    if (cmd == "sweep") {
+      args.check_allowed("sweep", {"tl-state", "th-state", "seed", "matrix", "set", "digests"});
+      return cmd_sweep(args);
+    }
+    if (cmd == "gantt") {
+      args.check_allowed("gantt", with_common({"primitive", "r", "tl-state", "th-state",
+                                               "seed", "cell"}));
+      return cmd_gantt(args);
+    }
+    if (cmd == "config") {
+      args.check_allowed("config", with_common({"nodes", "seed"}));
+      return cmd_config(args);
+    }
+    if (cmd == "trace") {
+      args.check_allowed("trace", with_common({"scheduler", "primitive", "jobs", "nodes",
+                                               "seed", "file"}));
+      return cmd_trace(args);
+    }
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
