@@ -8,6 +8,9 @@
 #include "common/rng.hpp"
 #include "common/units.hpp"
 #include "fault/injector.hpp"
+#include "policy/decision.hpp"
+#include "policy/gang.hpp"
+#include "policy/policy.hpp"
 #include "sched/capacity.hpp"
 #include "sched/deadline.hpp"
 #include "sched/fair.hpp"
@@ -30,7 +33,10 @@ constexpr const char* kCommonKeys[] = {"workload", "faults", "fault_worker"};
 
 constexpr const char* kTwoJobKeys[] = {"primitive", "r", "seed", "tl_state", "th_state",
                                        "jitter"};
-constexpr const char* kTraceKeys[] = {"scheduler", "primitive", "jobs", "nodes", "seed"};
+constexpr const char* kTraceKeys[] = {"scheduler", "primitive", "jobs",  "nodes",
+                                      "seed",      "policy",    "gang_slice",
+                                      "swap_watermark", "queues", "state",
+                                      "stateful",  "deadline_factor"};
 
 template <std::size_t N>
 bool contains(const char* const (&keys)[N], const std::string& key) {
@@ -51,7 +57,11 @@ std::vector<std::pair<std::string, std::uint64_t>> counter_subset(Cluster& clust
   for (const char* name : {trace::names::kJtSuspendRequests, trace::names::kJtResumeRequests,
                            trace::names::kJtTasksLost, trace::names::kJtTaskFailures,
                            trace::names::kJtJobsFailed, trace::names::kSchedAssignments,
-                           trace::names::kSpecLaunched, trace::names::kSpecWon}) {
+                           trace::names::kSpecLaunched, trace::names::kSpecWon,
+                           trace::names::kPolicyDecisions, trace::names::kPolicySwapDemotions,
+                           trace::names::kPolicyOrdersRefused,
+                           trace::names::kPolicyGangRotations,
+                           trace::names::kPolicyGangAdmissionRefused}) {
     out.emplace_back(name, reg.value(name));
   }
   return out;
@@ -97,33 +107,97 @@ void run_two_job_cell(const RunDescriptor& d, const RunOptions& opts, ResultReco
   rec.ok = true;
 }
 
+/// Queue axis of the trace workload: `name:capacity[:preempt]|...`.
+/// Descriptor values cannot carry ';' or ',' (RunDescriptor::parse
+/// splits on both), so the queue list uses '|' and ':' instead.
+std::vector<CapacityScheduler::QueueConfig> parse_queue_spec(const std::string& spec) {
+  std::vector<CapacityScheduler::QueueConfig> out;
+  std::size_t at = 0;
+  while (at < spec.size()) {
+    std::size_t end = spec.find('|', at);
+    if (end == std::string::npos) end = spec.size();
+    const std::string item = spec.substr(at, end - at);
+    at = end + 1;
+    if (item.empty()) continue;
+    const std::size_t c1 = item.find(':');
+    OSAP_CHECK_MSG(c1 != std::string::npos && c1 > 0,
+                   "queue spec '" << item << "' is not name:capacity[:preempt]");
+    CapacityScheduler::QueueConfig q;
+    q.name = item.substr(0, c1);
+    const std::size_t c2 = item.find(':', c1 + 1);
+    const std::string cap =
+        item.substr(c1 + 1, (c2 == std::string::npos ? item.size() : c2) - c1 - 1);
+    try {
+      q.capacity = std::stod(cap);
+    } catch (const std::exception&) {
+      throw SimError("queue '" + q.name + "' capacity is not numeric: '" + cap + "'");
+    }
+    if (c2 != std::string::npos) q.preempt = item.substr(c2 + 1);
+    out.push_back(std::move(q));
+  }
+  OSAP_CHECK_MSG(!out.empty(), "queue spec '" << spec << "' names no queues");
+  return out;
+}
+
 void run_trace_cell(const RunDescriptor& d, const RunOptions& opts, ResultRecord& rec) {
   ClusterConfig cfg = paper_cluster();
   cfg.num_nodes = static_cast<int>(d.num("nodes", 4));
   cfg.seed = static_cast<std::uint64_t>(d.num("seed", 7));
+  const double swap_watermark = d.num("swap_watermark", 0.5);
+  cfg.hadoop.suspend_swap_watermark = swap_watermark;
   apply_observability(opts, cfg);
   Cluster cluster(cfg);
 
+  // Swap pressure as seen by the policy layer: the per-node VMM's used
+  // fraction of its swap device. Safe to capture the cluster by
+  // reference — schedulers and the gang rotator die before it does.
+  policy::MemoryProbe probe = [&cluster](NodeId node) {
+    return cluster.kernel(node).vmm().swap_pressure();
+  };
+
   const PreemptPrimitive primitive = parse_primitive(d.get("primitive", "susp"));
+
+  // policy=off keeps the legacy direct-primitive path (digest-stable);
+  // policy=primitive lifts the `primitive` axis into the engine; any
+  // decision spelling forces that decision for every victim.
+  std::optional<policy::PolicyOptions> popts;
+  const std::string policy_spec = d.get("policy", "off");
+  if (policy_spec != "off") {
+    policy::PolicyOptions p;
+    p.default_decision = policy_spec == "primitive"
+                             ? policy::decision_from_primitive(primitive)
+                             : policy::parse_decision(policy_spec);
+    p.swap_watermark = swap_watermark;
+    p.probe = probe;
+    popts = std::move(p);
+  }
+
+  std::vector<CapacityScheduler::QueueConfig> queues =
+      parse_queue_spec(d.get("queues", "default:1"));
+
   const std::string which = d.get("scheduler", "hfsp");
   if (which == "hfsp") {
     HfspScheduler::Options options;
     options.primitive = primitive;
+    options.policy = popts;
     cluster.set_scheduler(std::make_unique<HfspScheduler>(options));
   } else if (which == "fair") {
     FairScheduler::Options options;
     options.cluster_map_slots = cfg.num_nodes * cfg.hadoop.map_slots;
     options.primitive = primitive;
+    options.policy = popts;
     cluster.set_scheduler(std::make_unique<FairScheduler>(options));
   } else if (which == "deadline") {
     DeadlineScheduler::Options options;
     options.primitive = primitive;
+    options.policy = popts;
     cluster.set_scheduler(std::make_unique<DeadlineScheduler>(options));
   } else if (which == "capacity") {
     CapacityScheduler::Options options;
     options.cluster_map_slots = cfg.num_nodes * cfg.hadoop.map_slots;
-    options.queues = {{"default", 1.0}};
+    options.queues = queues;
     options.primitive = primitive;
+    options.policy = popts;
     cluster.set_scheduler(std::make_unique<CapacityScheduler>(options));
   } else if (which == "fifo") {
     cluster.set_scheduler(std::make_unique<FifoScheduler>());
@@ -133,13 +207,43 @@ void run_trace_cell(const RunDescriptor& d, const RunOptions& opts, ResultRecord
 
   SwimConfig swim;
   swim.jobs = static_cast<int>(d.num("jobs", 12));
+  swim.state_memory = parse_size(d.get("state", "1GiB"));
+  swim.stateful_fraction = d.num("stateful", 0.2);
+  const double deadline_factor = d.num("deadline_factor", 0);
   Rng rng(cfg.seed);
   std::vector<SwimJob> trace = generate_swim_trace(swim, rng);
   auto ids = std::make_shared<std::vector<JobId>>();
+  std::size_t job_index = 0;
   for (SwimJob& job : trace) {
+    // Round-robin queue assignment; with the default single queue this
+    // restates JobSpec's own default and perturbs nothing.
+    job.spec.queue = queues[job_index % queues.size()].name;
+    if (deadline_factor > 0) {
+      job.spec.deadline =
+          job.arrival + deadline_factor * static_cast<double>(job.spec.tasks.size());
+    }
+    ++job_index;
+    // A pending arrival is open work: without the retain, the run loop
+    // would exit at the first full drain and silently drop every job
+    // scheduled to arrive later — `jobs=N` must mean N jobs ran.
+    cluster.retain_work();
     cluster.sim().at(job.arrival, [&cluster, ids, spec = std::move(job.spec)]() mutable {
       ids->push_back(cluster.submit(std::move(spec)));
+      cluster.release_work();
     });
+  }
+
+  // Gang scheduling: a slice > 0 arms the rotation timer; the rotator
+  // re-arms itself, and Cluster::run terminates on all-jobs-done
+  // regardless of the pending timer.
+  std::unique_ptr<policy::GangRotator> gang;
+  if (const double gang_slice = d.num("gang_slice", 0); gang_slice > 0) {
+    policy::GangOptions gopts;
+    gopts.slice = gang_slice;
+    gopts.swap_watermark = swap_watermark;
+    gopts.probe = probe;
+    gang = std::make_unique<policy::GangRotator>(cluster.job_tracker(), gopts);
+    gang->start();
   }
 
   std::unique_ptr<fault::FaultInjector> injector;
@@ -274,6 +378,13 @@ RunDescriptor normalize_descriptor(RunDescriptor d) {
     set_default(d, "jobs", "12");
     set_default(d, "nodes", "4");
     set_default(d, "seed", "7");
+    set_default(d, "policy", "off");
+    set_default(d, "gang_slice", "0");
+    set_default(d, "swap_watermark", "0.5");
+    set_default(d, "queues", "default:1");
+    set_default(d, "state", "1GiB");
+    set_default(d, "stateful", "0.2");
+    set_default(d, "deadline_factor", "0");
   } else {
     throw SimError("unknown workload '" + workload + "' (two_job|trace)");
   }

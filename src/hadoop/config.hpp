@@ -28,6 +28,12 @@ struct HadoopConfig {
   /// Upper bound on suspended tasks parked on one TaskTracker, ensuring
   /// aggregate memory stays under RAM + swap (§III-A).
   int max_suspended_per_tracker = 4;
+  /// Swap-used fraction past which the policy layer treats a node as
+  /// memory-pressured: the preemption-policy engine demotes suspend-family
+  /// decisions to kill there, and the gang rotator refuses to park more
+  /// tasks on it (docs/POLICY.md). Only consulted when a policy engine or
+  /// gang rotation is armed; the bare schedulers ignore it. 1.0 disables.
+  double suspend_swap_watermark = 0.5;
   /// Duration of the cleanup attempt that removes a killed task's
   /// temporary output; it occupies the slot before a successor can start.
   Duration kill_cleanup_duration = seconds(4.0);

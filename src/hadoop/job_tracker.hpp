@@ -146,6 +146,12 @@ class JobTracker final : public InvariantAuditor {
   void testing_emit_event(ClusterEventType type, JobId job, TaskId task, NodeId node) {
     emit(type, job, task, node);
   }
+  /// Testing-only: blacklist a tracker directly, without burning through
+  /// `tracker_blacklist_failures` real attempt failures first (exercises
+  /// the preempt-order refusal path mid-heartbeat).
+  void testing_blacklist_tracker(TrackerId id) {
+    if (TrackerSlot* s = slot(id)) s->blacklisted = true;
+  }
 
  private:
   /// A pending Kill command addressed to one specific attempt. The classic

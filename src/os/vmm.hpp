@@ -103,6 +103,13 @@ class Vmm final : public InvariantAuditor {
   [[nodiscard]] Bytes free_ram() const noexcept { return free_; }
   [[nodiscard]] Bytes fs_cache() const noexcept { return fs_cache_; }
   [[nodiscard]] Bytes swap_used() const noexcept { return swap_used_; }
+  /// Swap-used fraction in [0,1] (0 when the node has no swap device) —
+  /// the policy layer's memory-pressure watermark probe.
+  [[nodiscard]] double swap_pressure() const noexcept {
+    return cfg_.swap_size == 0
+               ? 0.0
+               : static_cast<double>(swap_used_) / static_cast<double>(cfg_.swap_size);
+  }
   [[nodiscard]] Bytes resident(Pid pid) const;
   [[nodiscard]] Bytes swapped(Pid pid) const;
   /// Cumulative bytes ever paged out for this process — Fig. 4's metric.

@@ -96,10 +96,20 @@ PivotTable pivot(const std::vector<core::RunDescriptor>& descriptors,
   }
   if (axis_values.empty()) return table;
 
-  // The paper's fig2 layout when available; otherwise the first two
-  // multi-valued non-seed axes in sorted key order.
+  // The scheduler × primitive sojourn matrix when both axes are really
+  // swept (the policy.matrix shape), then the paper's fig2 layout when
+  // available; otherwise the first two multi-valued non-seed axes in
+  // sorted key order.
+  const auto multi = [&](const char* key) {
+    const auto at = axis_values.find(key);
+    return at != axis_values.end() && at->second.size() >= 2;
+  };
+  const bool sched_shape = multi("scheduler") && multi("primitive");
   const bool fig2_shape = axis_values.contains("r") && axis_values.contains("primitive");
-  if (fig2_shape) {
+  if (sched_shape) {
+    table.row_axis = "scheduler";
+    table.col_axis = "primitive";
+  } else if (fig2_shape) {
     table.row_axis = "r";
     table.col_axis = "primitive";
   } else {
@@ -125,19 +135,25 @@ PivotTable pivot(const std::vector<core::RunDescriptor>& descriptors,
   }
 
   table.values.assign(table.rows.size(), std::vector<double>(table.cols.size(), -1));
+  table.p50.assign(table.rows.size(), std::vector<double>(table.cols.size(), -1));
+  table.p99.assign(table.rows.size(), std::vector<double>(table.cols.size(), -1));
   for (std::size_t r = 0; r < table.rows.size(); ++r) {
     for (std::size_t c = 0; c < table.cols.size(); ++c) {
-      double sum = 0;
-      int n = 0;
+      std::vector<double> samples;
       for (const CellResult& cell : cells) {
         if (!cell.ok) continue;
         const core::RunDescriptor& d = descriptors[cell.index];
         if (d.get(table.row_axis, "") != table.rows[r]) continue;
         if (!table.col_axis.empty() && d.get(table.col_axis, "") != table.cols[c]) continue;
-        sum += cell.record.sojourn_th;
-        ++n;
+        samples.push_back(cell.record.sojourn_th);
       }
-      if (n > 0) table.values[r][c] = sum / n;
+      if (samples.empty()) continue;
+      std::sort(samples.begin(), samples.end());
+      double sum = 0;
+      for (const double s : samples) sum += s;
+      table.values[r][c] = sum / static_cast<double>(samples.size());
+      table.p50[r][c] = percentile(samples, 0.50);
+      table.p99[r][c] = percentile(samples, 0.99);
     }
   }
   return table;
@@ -208,13 +224,20 @@ void write_summary_json(std::ostream& out,
     out << (c > 0 ? "," : "") << '"' << json_escape(table.cols[c]) << '"';
   }
   out << "],\"values\":[";
-  for (std::size_t r = 0; r < table.values.size(); ++r) {
-    out << (r > 0 ? "," : "") << '[';
-    for (std::size_t c = 0; c < table.values[r].size(); ++c) {
-      out << (c > 0 ? "," : "") << json_num(table.values[r][c]);
+  const auto write_matrix = [&out](const std::vector<std::vector<double>>& m) {
+    for (std::size_t r = 0; r < m.size(); ++r) {
+      out << (r > 0 ? "," : "") << '[';
+      for (std::size_t c = 0; c < m[r].size(); ++c) {
+        out << (c > 0 ? "," : "") << json_num(m[r][c]);
+      }
+      out << ']';
     }
-    out << ']';
-  }
+  };
+  write_matrix(table.values);
+  out << "],\"p50\":[";
+  write_matrix(table.p50);
+  out << "],\"p99\":[";
+  write_matrix(table.p99);
   out << "]}";
 
   // Volatile tail: harness counters and wall time vary run to run (cache

@@ -4,9 +4,11 @@
 // A "group" is every cell sharing a cell_key (canonical descriptor
 // minus the seed axis); its seeds are replicates and the summary
 // reports mean/p50/p99/min/max of the TH sojourn and the makespan per
-// group. The pivot table rearranges groups along two axes — by default
-// the paper's figure 2 layout, r down the rows and primitive across the
-// columns — with the mean TH sojourn in each cell.
+// group. The pivot table rearranges groups along two axes — the
+// scheduler × primitive sojourn matrix when both axes are swept
+// (configs/policy.matrix), else the paper's figure 2 layout (r down the
+// rows, primitive across the columns) — with the mean, p50, and p99 TH
+// sojourn in each cell.
 //
 // All traversal is over sorted keys (std::map, sorted vectors), so the
 // summary JSON is byte-deterministic for a given result set no matter
@@ -38,8 +40,11 @@ struct PivotTable {
   std::vector<std::string> rows;
   std::vector<std::string> cols;
   /// values[r][c] = mean TH sojourn of the matching group; NaN-free:
-  /// cells with no successful run hold -1.
+  /// cells with no successful run hold -1. p50/p99 are the nearest-rank
+  /// percentiles over the same sample set, same -1 convention.
   std::vector<std::vector<double>> values;
+  std::vector<std::vector<double>> p50;
+  std::vector<std::vector<double>> p99;
 };
 
 /// Group terminal cell results by cell_key and compute per-group stats.
@@ -48,9 +53,10 @@ struct PivotTable {
     const std::vector<core::RunDescriptor>& descriptors,
     const std::vector<CellResult>& cells);
 
-/// Choose pivot axes (prefers "r" rows x "primitive" cols, else the
-/// first two multi-valued non-seed axes) and fill the table with mean
-/// TH sojourns. Values sort numerically when every value parses as a
+/// Choose pivot axes (prefers "scheduler" rows x "primitive" cols when
+/// both are multi-valued, then "r" x "primitive", else the first two
+/// multi-valued non-seed axes) and fill the table with mean/p50/p99 TH
+/// sojourns. Values sort numerically when every value parses as a
 /// number, lexicographically otherwise.
 [[nodiscard]] PivotTable pivot(const std::vector<core::RunDescriptor>& descriptors,
                                const std::vector<CellResult>& cells);

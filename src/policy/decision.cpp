@@ -1,0 +1,38 @@
+#include "policy/decision.hpp"
+
+#include "common/error.hpp"
+
+namespace osap::policy {
+
+const char* to_string(Decision d) noexcept {
+  switch (d) {
+    case Decision::Wait: return "wait";
+    case Decision::Suspend: return "susp";
+    case Decision::Kill: return "kill";
+    case Decision::NatjamCheckpoint: return "natjam";
+    case Decision::Requeue: return "requeue";
+  }
+  return "?";
+}
+
+Decision parse_decision(std::string_view name) {
+  if (name == "wait") return Decision::Wait;
+  if (name == "kill") return Decision::Kill;
+  if (name == "susp" || name == "suspend") return Decision::Suspend;
+  if (name == "natjam" || name == "checkpoint") return Decision::NatjamCheckpoint;
+  if (name == "requeue") return Decision::Requeue;
+  throw SimError("unknown preemption decision '" + std::string(name) +
+                 "' (expected one of: " + kDecisionSpellings + ")");
+}
+
+Decision decision_from_primitive(PreemptPrimitive p) noexcept {
+  switch (p) {
+    case PreemptPrimitive::Wait: return Decision::Wait;
+    case PreemptPrimitive::Kill: return Decision::Kill;
+    case PreemptPrimitive::Suspend: return Decision::Suspend;
+    case PreemptPrimitive::NatjamCheckpoint: return Decision::NatjamCheckpoint;
+  }
+  return Decision::Wait;
+}
+
+}  // namespace osap::policy

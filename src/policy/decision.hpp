@@ -1,0 +1,39 @@
+// Preemption-policy decisions (docs/POLICY.md).
+//
+// The policy layer separates *what the queue wants done* from the
+// primitive that executes it. A decision is a superset of the preempt
+// primitives: the four mechanisms of §II plus Requeue — SLURM's
+// "requeue on other resources" mode, realized here as kill + clearing
+// the victim's locality pin so it reschedules anywhere.
+#pragma once
+
+#include <string_view>
+
+#include "preempt/primitive.hpp"
+
+namespace osap::policy {
+
+enum class Decision { Wait, Suspend, Kill, NatjamCheckpoint, Requeue };
+
+/// Every enumerator, for exhaustive iteration (round-trip tests).
+inline constexpr Decision kAllDecisions[] = {
+    Decision::Wait, Decision::Suspend, Decision::Kill,
+    Decision::NatjamCheckpoint, Decision::Requeue,
+};
+
+/// Accepted spellings, embedded in every parse error (matches the
+/// preempt-primitive spellings plus "requeue").
+inline constexpr const char* kDecisionSpellings =
+    "wait, kill, susp, suspend, natjam, checkpoint, requeue";
+
+const char* to_string(Decision d) noexcept;
+
+/// Parse any spelling in kDecisionSpellings; throws SimError naming the
+/// offending value and the full list otherwise.
+Decision parse_decision(std::string_view name);
+
+/// The decision equivalent of a bare primitive (schedulers that predate
+/// the policy layer configure a primitive; this lifts it).
+Decision decision_from_primitive(PreemptPrimitive p) noexcept;
+
+}  // namespace osap::policy

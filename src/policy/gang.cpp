@@ -1,0 +1,100 @@
+#include "policy/gang.hpp"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/error.hpp"
+#include "hadoop/job_tracker.hpp"
+#include "trace/context.hpp"
+#include "trace/names.hpp"
+
+namespace osap::policy {
+
+GangRotator::GangRotator(JobTracker& jt, GangOptions options)
+    : jt_(&jt), preemptor_(jt), options_(std::move(options)) {
+  OSAP_CHECK_MSG(options_.slice > 0, "gang slice must be positive");
+  trace::CounterRegistry& reg = jt_->sim().trace().counters();
+  ctr_rotations_ = &reg.counter(trace::names::kPolicyGangRotations);
+  ctr_suspends_ = &reg.counter(trace::names::kPolicyGangSuspends);
+  ctr_resumes_ = &reg.counter(trace::names::kPolicyGangResumes);
+  ctr_refused_ = &reg.counter(trace::names::kPolicyGangAdmissionRefused);
+}
+
+void GangRotator::start() {
+  jt_->sim().at(jt_->now() + options_.slice, [this] { tick(); });
+}
+
+void GangRotator::resume_parked_except(JobId keep) {
+  for (JobId jid : parked_jobs_) {
+    if (jid == keep) continue;
+    // Snapshot: resume_task mutates the suspended index mid-iteration.
+    const auto& suspended = jt_->job(jid).suspended;
+    std::vector<TaskId> parked(suspended.begin(), suspended.end());
+    for (TaskId tid : parked) {
+      if (preemptor_.restore(tid, PreemptPrimitive::Suspend)) ctr_resumes_->add();
+    }
+  }
+}
+
+void GangRotator::park(JobId job) {
+  // Ascending-id walk of the live index; only Running tasks can park
+  // (MustSuspend/MustResume commands are already in flight).
+  const auto& live = jt_->job(job).live;
+  std::vector<TaskId> running;
+  for (TaskId tid : live) {
+    if (jt_->task(tid).state == TaskState::Running) running.push_back(tid);
+  }
+  for (TaskId tid : running) {
+    const NodeId node = jt_->task(tid).node;
+    if (options_.probe && node.valid() &&
+        options_.probe(node) >= options_.swap_watermark) {
+      ++admissions_refused_;
+      ctr_refused_->add();
+      continue;  // the task keeps its slot; no more swap debt for this node
+    }
+    if (preemptor_.preempt(tid, PreemptPrimitive::Suspend)) ctr_suspends_->add();
+  }
+  if (std::find(parked_jobs_.begin(), parked_jobs_.end(), job) == parked_jobs_.end()) {
+    parked_jobs_.push_back(job);
+  }
+}
+
+void GangRotator::tick() {
+  // Active = running jobs that still have work.
+  std::vector<JobId> active;
+  bool contended = false;
+  for (JobId jid : jt_->running_jobs()) {
+    const Job& job = jt_->job(jid);
+    if (job.not_done.empty()) continue;
+    active.push_back(jid);
+    if (!job.unassigned.empty() || !job.suspended.empty()) contended = true;
+  }
+
+  if (active.size() < 2 || !contended) {
+    // Not oversubscribed (any more): dissolve the rotation entirely.
+    current_parked_ = JobId{};
+    resume_parked_except(JobId{});
+    parked_jobs_.clear();
+  } else {
+    // Next victim in ascending-id cyclic order after the last one.
+    JobId next = active.front();
+    for (JobId jid : active) {
+      if (cursor_.valid() && jid > cursor_) {
+        next = jid;
+        break;
+      }
+    }
+    cursor_ = next;
+    current_parked_ = next;
+    ++rotations_;
+    ctr_rotations_->add();
+    trace::Tracer& tracer = jt_->sim().trace().tracer();
+    tracer.instant(tracer.track("cluster", "gang"), trace::names::kInstGangRotate,
+                   {{"job", next.value()}});
+    resume_parked_except(next);
+    park(next);
+  }
+  jt_->sim().at(jt_->now() + options_.slice, [this] { tick(); });
+}
+
+}  // namespace osap::policy

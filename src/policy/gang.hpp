@@ -1,0 +1,75 @@
+// SLURM-style gang scheduling: time-sliced suspend/resume rotation of
+// oversubscribed jobs (docs/POLICY.md).
+//
+// Every `slice` seconds the rotator checks whether the cluster is
+// contended — at least two active jobs, and someone either has tasks
+// waiting for a slot or is parked from a previous rotation. If so, the
+// next job in ascending-id cyclic order is *parked*: its running tasks
+// are suspended (SIGTSTP, the paper's primitive), and every job the
+// rotator parked earlier gets its suspended tasks resumed into the
+// freed slots. Rotation dissolves (everything resumed) once fewer than
+// two jobs remain active.
+//
+// Swap-aware admission: parking a task commits its memory to the node
+// until the task is resumed. A node whose swap-used fraction is already
+// past the watermark refuses the admission — the task keeps running and
+// the refusal is counted — mirroring SLURM's warning that gang-scheduled
+// suspended jobs over-allocate memory. The simulator's VMM makes the
+// hazard real: parked state competes for RAM + swap (§III-A).
+//
+// The rotator owns both directions of its rotation. It only ever
+// resumes tasks of jobs *it* parked, so it composes with schedulers
+// that do not preempt on their own (fifo being the canonical pairing);
+// pairing it with a preempting scheduler makes both fight over the
+// suspended set.
+#pragma once
+
+#include <vector>
+
+#include "policy/policy.hpp"
+#include "preempt/preemptor.hpp"
+
+namespace osap::policy {
+
+struct GangOptions {
+  Duration slice = seconds(30);
+  /// Refuse to park a task on a node whose swap-used fraction is already
+  /// >= this. 1.0 effectively disables the check.
+  double swap_watermark = 1.0;
+  MemoryProbe probe;
+};
+
+class GangRotator {
+ public:
+  GangRotator(JobTracker& jt, GangOptions options);
+
+  /// Arm the slice timer. Ticks re-arm themselves every `slice` seconds;
+  /// the cluster run loop terminates on job completion regardless of the
+  /// pending timer, so the rotation needs no explicit stop.
+  void start();
+
+  [[nodiscard]] int rotations() const noexcept { return rotations_; }
+  [[nodiscard]] int admissions_refused() const noexcept { return admissions_refused_; }
+
+ private:
+  void tick();
+  void resume_parked_except(JobId keep);
+  void park(JobId job);
+
+  JobTracker* jt_;
+  Preemptor preemptor_;
+  GangOptions options_;
+  /// Every job this rotator ever parked; only `current_parked_` may hold
+  /// gang-suspended tasks after a tick, the rest are swept back in.
+  std::vector<JobId> parked_jobs_;
+  JobId current_parked_;
+  JobId cursor_;
+  int rotations_ = 0;
+  int admissions_refused_ = 0;
+  trace::Counter* ctr_rotations_;
+  trace::Counter* ctr_suspends_;
+  trace::Counter* ctr_resumes_;
+  trace::Counter* ctr_refused_;
+};
+
+}  // namespace osap::policy

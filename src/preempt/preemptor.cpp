@@ -2,6 +2,7 @@
 
 #include "common/error.hpp"
 #include "trace/context.hpp"
+#include "trace/names.hpp"
 
 namespace osap {
 
@@ -20,13 +21,30 @@ PreemptPrimitive parse_primitive(std::string_view name) {
   if (name == "kill") return PreemptPrimitive::Kill;
   if (name == "susp" || name == "suspend") return PreemptPrimitive::Suspend;
   if (name == "natjam" || name == "checkpoint") return PreemptPrimitive::NatjamCheckpoint;
-  throw SimError("unknown preemption primitive: " + std::string(name));
+  throw SimError("unknown preemption primitive '" + std::string(name) +
+                 "' (expected one of: " + kPrimitiveSpellings + ")");
 }
 
 bool Preemptor::preempt(TaskId victim, PreemptPrimitive primitive) {
   trace::Tracer& tracer = jt_->sim().trace().tracer();
-  tracer.instant(tracer.track("cluster", "preemptor"), "preempt",
+  tracer.instant(tracer.track("cluster", "preemptor"), trace::names::kInstPreempt,
                  {{"primitive", to_string(primitive)}, {"task", victim.value()}});
+  // A suspend-family order aimed at a lost or blacklisted tracker is a
+  // no-op: the parked JVM would die with its node (lost) or never be
+  // resumed (blacklisted — the tracker gets no new work, so the freed
+  // slot buys nothing). Refuse it so schedulers pick another victim
+  // instead of burning their per-heartbeat budget on dead orders. Kill
+  // stays allowed — getting work off a failing tracker is the point.
+  if (primitive == PreemptPrimitive::Suspend ||
+      primitive == PreemptPrimitive::NatjamCheckpoint) {
+    const TrackerId tracker = jt_->task(victim).tracker;
+    if (tracker.valid() &&
+        (jt_->tracker_lost(tracker) || jt_->tracker_blacklisted(tracker))) {
+      tracer.instant(tracer.track("cluster", "preemptor"), trace::names::kInstPreemptRefused,
+                     {{"primitive", to_string(primitive)}, {"task", victim.value()}});
+      return false;
+    }
+  }
   switch (primitive) {
     case PreemptPrimitive::Wait:
       return true;  // deliberately do nothing
@@ -42,7 +60,7 @@ bool Preemptor::preempt(TaskId victim, PreemptPrimitive primitive) {
 
 bool Preemptor::restore(TaskId victim, PreemptPrimitive primitive) {
   trace::Tracer& tracer = jt_->sim().trace().tracer();
-  tracer.instant(tracer.track("cluster", "preemptor"), "restore",
+  tracer.instant(tracer.track("cluster", "preemptor"), trace::names::kInstRestore,
                  {{"primitive", to_string(primitive)}, {"task", victim.value()}});
   switch (primitive) {
     case PreemptPrimitive::Wait:

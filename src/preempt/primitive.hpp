@@ -18,10 +18,25 @@ namespace osap {
 
 enum class PreemptPrimitive { Wait, Kill, Suspend, NatjamCheckpoint };
 
+/// Every enumerator, for exhaustive iteration (round-trip tests, CLI
+/// usage strings). Extending the enum without extending this list trips
+/// the exhaustive round-trip test in tests/preempt/eviction_test.cpp.
+inline constexpr PreemptPrimitive kAllPrimitives[] = {
+    PreemptPrimitive::Wait,
+    PreemptPrimitive::Kill,
+    PreemptPrimitive::Suspend,
+    PreemptPrimitive::NatjamCheckpoint,
+};
+
+/// The accepted spellings, embedded in every parse error so osap and
+/// osapd report the same actionable message for a typoed axis value.
+inline constexpr const char* kPrimitiveSpellings =
+    "wait, kill, susp, suspend, natjam, checkpoint";
+
 const char* to_string(PreemptPrimitive p) noexcept;
 
-/// Parse "wait" / "kill" / "susp" / "suspend" / "natjam"; throws SimError
-/// on anything else.
+/// Parse any spelling in kPrimitiveSpellings; throws SimError naming the
+/// offending value and the full list otherwise.
 PreemptPrimitive parse_primitive(std::string_view name);
 
 }  // namespace osap

@@ -14,6 +14,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "policy/policy.hpp"
 #include "preempt/eviction.hpp"
 #include "preempt/preemptor.hpp"
 #include "preempt/resume_locality.hpp"
@@ -27,6 +28,13 @@ class CapacityScheduler : public Scheduler {
     std::string name;
     /// Guaranteed fraction of the cluster's map slots, in (0,1].
     double capacity = 0.5;
+    /// Per-queue preemption mode (docs/POLICY.md): how tasks *of this
+    /// queue* are evicted when another queue reclaims its guarantee —
+    /// SLURM keys PreemptMode on the preempted partition the same way.
+    /// Any spelling in policy::kDecisionSpellings; "" inherits the
+    /// scheduler-wide `primitive` (or the engine default when `policy`
+    /// is set).
+    std::string preempt;
   };
   struct Options {
     int cluster_map_slots = 2;
@@ -35,6 +43,10 @@ class CapacityScheduler : public Scheduler {
     PreemptPrimitive primitive = PreemptPrimitive::Suspend;
     EvictionPolicy eviction = EvictionPolicy::LastLaunched;
     Duration resume_locality_threshold = seconds(30);
+    /// Explicit policy engine; per-queue `preempt=` attributes are
+    /// merged on top of it. Left empty, an engine is still built when
+    /// any queue sets `preempt=` (default = `primitive`).
+    std::optional<policy::PolicyOptions> policy;
   };
 
   explicit CapacityScheduler(Options options);
@@ -53,10 +65,12 @@ class CapacityScheduler : public Scheduler {
   [[nodiscard]] const std::string& queue_of(JobId id) const;
   [[nodiscard]] bool queue_has_demand(const std::string& queue) const;
   void check_guarantees();
+  bool issue_preemption(TaskId victim);
 
   Options options_;
   std::optional<Preemptor> preemptor_;
   std::optional<ResumeLocalityPolicy> resume_policy_;
+  std::optional<policy::PreemptionPolicy> policy_engine_;
   std::unordered_map<std::string, SimTime> satisfied_at_;
   int preemptions_ = 0;
 };

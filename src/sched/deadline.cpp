@@ -14,6 +14,12 @@ constexpr const char* kLog = "deadline";
 void DeadlineScheduler::attached() {
   preemptor_.emplace(*jt_);
   resume_policy_.emplace(*jt_, options_.resume_locality_threshold);
+  if (options_.policy) policy_engine_.emplace(*jt_, *options_.policy);
+}
+
+bool DeadlineScheduler::issue_preemption(TaskId victim) {
+  if (policy_engine_) return policy_engine_->preempt(*preemptor_, victim).issued;
+  return preemptor_->preempt(victim, options_.primitive);
 }
 
 Duration DeadlineScheduler::remaining_work(JobId id) const {
@@ -83,31 +89,48 @@ std::vector<TaskId> DeadlineScheduler::assign(const TrackerStatus& status) {
       if (budget > 0) {
         out.push_back(tid);
         --budget;
-      } else if (laxity(jid) < options_.laxity_margin) {
-        // A deadline is at risk and there is no slot for it.
+      } else if (const Duration slack = laxity(jid);
+                 slack < options_.laxity_margin && slack >= options_.give_up_laxity) {
+        // A deadline is at risk, still plausibly meetable, and there is
+        // no slot for it. Hopeless jobs (slack below the give-up cutoff)
+        // fall back to plain EDF rather than preempting a slot they can
+        // no longer convert into a met deadline.
         ++urgent_unserved;
         if (!most_urgent.valid()) most_urgent = jid;
       }
     }
   }
 
-  // Take slots from the latest-deadline job for jobs about to miss.
+  // Take slots from the latest-deadline job for jobs about to miss. As
+  // in HFSP, the budget paces effective preemptions only: a refused
+  // order (lost/blacklisted tracker) excludes its victim and retries
+  // without consuming the budget.
   int budget = options_.max_preemptions_per_heartbeat;
+  std::vector<TaskId> refused;
   while (urgent_unserved > 0 && budget > 0) {
     TaskId victim;
     for (auto it = order.rbegin(); it != order.rend(); ++it) {
       if (*it == most_urgent) continue;
-      victim = pick_victim(options_.eviction, collect_candidates(*jt_, *it));
+      std::vector<EvictionCandidate> candidates = collect_candidates(*jt_, *it);
+      candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
+                                      [&refused](const EvictionCandidate& c) {
+                                        return std::find(refused.begin(), refused.end(),
+                                                         c.task) != refused.end();
+                                      }),
+                       candidates.end());
+      victim = pick_victim(options_.eviction, candidates);
       if (victim.valid()) break;
     }
     if (!victim.valid()) break;
     OSAP_LOG(Info, kLog) << "deadline of job " << most_urgent << " at risk (laxity "
                          << laxity(most_urgent) << "s); preempting " << victim;
-    if (preemptor_->preempt(victim, options_.primitive)) {
+    if (issue_preemption(victim)) {
       ++preemptions_;
       --urgent_unserved;
+      --budget;
+    } else {
+      refused.push_back(victim);
     }
-    --budget;
   }
   return out;
 }

@@ -13,6 +13,7 @@
 
 #include <optional>
 
+#include "policy/policy.hpp"
 #include "preempt/eviction.hpp"
 #include "preempt/preemptor.hpp"
 #include "preempt/resume_locality.hpp"
@@ -28,10 +29,19 @@ class DeadlineScheduler : public Scheduler {
     Duration resume_locality_threshold = seconds(30);
     /// Preempt for a job once its slack drops below this margin.
     Duration laxity_margin = seconds(20);
+    /// Below this (negative) slack the deadline is written off and the
+    /// job stops preempting others. Without the cutoff a cluster of
+    /// hopeless deadlines thrashes forever under checkpoint preemption:
+    /// every job evicts every other each heartbeat and the relaunch
+    /// fast-forward eats all the progress a slice ever makes.
+    Duration give_up_laxity = seconds(-60);
     /// Rough per-byte service-time estimate used for laxity (defaults to
     /// the synthetic mapper's parse rate).
     double seconds_per_byte = 1.0 / (6.7 * static_cast<double>(MiB));
     int max_preemptions_per_heartbeat = 1;
+    /// Per-queue policy engine (docs/POLICY.md). When set, eviction
+    /// orders route through it and `primitive` is ignored.
+    std::optional<policy::PolicyOptions> policy;
   };
 
   DeadlineScheduler() : options_(Options{}) {}
@@ -48,10 +58,12 @@ class DeadlineScheduler : public Scheduler {
  private:
   void attached() override;
   [[nodiscard]] std::vector<JobId> edf_order() const;
+  bool issue_preemption(TaskId victim);
 
   Options options_;
   std::optional<Preemptor> preemptor_;
   std::optional<ResumeLocalityPolicy> resume_policy_;
+  std::optional<policy::PreemptionPolicy> policy_engine_;
   int preemptions_ = 0;
 };
 

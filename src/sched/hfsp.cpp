@@ -1,5 +1,7 @@
 #include "sched/hfsp.hpp"
 
+#include <algorithm>
+
 #include "common/log.hpp"
 #include "hadoop/job_tracker.hpp"
 
@@ -12,6 +14,12 @@ constexpr const char* kLog = "hfsp";
 void HfspScheduler::attached() {
   preemptor_.emplace(*jt_);
   resume_policy_.emplace(*jt_, options_.resume_locality_threshold);
+  if (options_.policy) policy_engine_.emplace(*jt_, *options_.policy);
+}
+
+bool HfspScheduler::issue_preemption(TaskId victim) {
+  if (policy_engine_) return policy_engine_->preempt(*preemptor_, victim).issued;
+  return preemptor_->preempt(victim, options_.primitive);
 }
 
 Bytes HfspScheduler::remaining_size(JobId id) const {
@@ -37,6 +45,17 @@ std::vector<TaskId> HfspScheduler::assign(const TrackerStatus& status) {
   // The head job gets its suspended tasks back first (request_resume only
   // queues; nothing transitions until resume_policy_->on_heartbeat below).
   for (TaskId tid : jt_->job(head).suspended) resume_policy_->request_resume(tid);
+  // Parked victims of other jobs come back once the head has no queued
+  // demand. Kill victims re-enter through the leftover-slot loop below;
+  // a suspend victim has no other path back, and without this an idle
+  // slot can sit next to a parked task until the victim's job finally
+  // becomes head — which for the fattest job means the end of the run.
+  if (jt_->job(head).unassigned.empty()) {
+    for (JobId jid : jt_->running_jobs()) {
+      if (jid == head) continue;
+      for (TaskId tid : jt_->job(jid).suspended) resume_policy_->request_resume(tid);
+    }
+  }
   int free_maps = status.free_map_slots;
   int free_reduces = status.free_reduce_slots;
   free_maps -= resume_policy_->on_heartbeat(status);
@@ -55,30 +74,46 @@ std::vector<TaskId> HfspScheduler::assign(const TrackerStatus& status) {
     }
   }
 
-  // Still starved? Take slots away from the largest job.
+  // Still starved? Take slots away from the largest job. The budget
+  // paces *effective* preemptions: an order the JobTracker refuses (the
+  // victim sits on a lost or blacklisted tracker, or a policy demotion
+  // hit a non-preemptable state) excludes that victim and retries the
+  // next candidate without consuming the budget — otherwise one dead
+  // order per heartbeat would starve the head job indefinitely.
   int budget = options_.max_preemptions_per_heartbeat;
+  std::vector<TaskId> refused;
   while (head_pending > 0 && budget > 0) {
     JobId fattest;
     Bytes fattest_size = 0;
+    std::vector<EvictionCandidate> pool;
     for (JobId jid : jt_->running_jobs()) {
       if (jid == head) continue;
       const Bytes size = remaining_size(jid);
-      if (size > fattest_size &&
-          !collect_candidates(*jt_, jid).empty()) {
-        fattest = jid;
-        fattest_size = size;
-      }
+      if (size <= fattest_size) continue;
+      std::vector<EvictionCandidate> candidates = collect_candidates(*jt_, jid);
+      candidates.erase(std::remove_if(candidates.begin(), candidates.end(),
+                                      [&refused](const EvictionCandidate& c) {
+                                        return std::find(refused.begin(), refused.end(),
+                                                         c.task) != refused.end();
+                                      }),
+                       candidates.end());
+      if (candidates.empty()) continue;
+      fattest = jid;
+      fattest_size = size;
+      pool = std::move(candidates);
     }
     if (!fattest.valid()) break;
-    const TaskId victim = pick_victim(options_.eviction, collect_candidates(*jt_, fattest));
+    const TaskId victim = pick_victim(options_.eviction, pool);
     if (!victim.valid()) break;
     OSAP_LOG(Info, kLog) << "preempting " << victim << " of job " << fattest << " for head job "
                          << head;
-    if (preemptor_->preempt(victim, options_.primitive)) {
+    if (issue_preemption(victim)) {
       ++preemptions_;
       --head_pending;
+      --budget;
+    } else {
+      refused.push_back(victim);
     }
-    --budget;
   }
 
   // Leftover slots go to the remaining jobs, smallest first. Only jobs

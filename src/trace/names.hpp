@@ -52,6 +52,22 @@ inline constexpr const char* kSpecWon = "speculation.won";
 inline constexpr const char* kSpecLost = "speculation.lost";
 inline constexpr const char* kSpecKilled = "speculation.killed";
 
+// Preemption-policy engine and gang rotator (src/policy). Decisions are
+// counted per outcome so a matrix cell's counters show which mechanism
+// actually fired for each queue (docs/POLICY.md).
+inline constexpr const char* kPolicyDecisions = "policy.decisions";
+inline constexpr const char* kPolicyWaits = "policy.wait_decisions";
+inline constexpr const char* kPolicyKills = "policy.kill_decisions";
+inline constexpr const char* kPolicySuspends = "policy.suspend_decisions";
+inline constexpr const char* kPolicyCheckpoints = "policy.checkpoint_decisions";
+inline constexpr const char* kPolicyRequeues = "policy.requeue_decisions";
+inline constexpr const char* kPolicySwapDemotions = "policy.swap_demotions";
+inline constexpr const char* kPolicyOrdersRefused = "policy.orders_refused";
+inline constexpr const char* kPolicyGangRotations = "policy.gang_rotations";
+inline constexpr const char* kPolicyGangSuspends = "policy.gang_suspends";
+inline constexpr const char* kPolicyGangResumes = "policy.gang_resumes";
+inline constexpr const char* kPolicyGangAdmissionRefused = "policy.gang_admission_refused";
+
 // osapd sweep harness (src/osapd/sweep.cpp). These count harness-side
 // work — cache traffic, worker lifecycle — not simulated events, and
 // surface in the matrix summary's "counters" block.
@@ -113,7 +129,9 @@ inline constexpr const char* kInstNodeCrash = "node_crash";
 inline constexpr const char* kInstTrackerHang = "tracker_hang";
 inline constexpr const char* kInstCheckpointLoss = "checkpoint_loss";
 inline constexpr const char* kInstPreempt = "preempt";
+inline constexpr const char* kInstPreemptRefused = "preempt_refused";
 inline constexpr const char* kInstRestore = "restore";
+inline constexpr const char* kInstGangRotate = "gang_rotate";
 inline constexpr const char* kInstResumeCheckpointed = "resume_checkpointed";
 inline constexpr const char* kInstSpeculationDeadHeat = "speculation_dead_heat";
 inline constexpr const char* kInstSpeculationPromoted = "speculation_promoted";

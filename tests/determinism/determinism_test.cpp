@@ -45,6 +45,12 @@ TEST(TraceDigest, SpeculationStormDoubleRunMatches) {
   EXPECT_EQ(first, second) << "speculation-storm event stream is not reproducible";
 }
 
+TEST(TraceDigest, TieHeavyDoubleRunMatches) {
+  const std::uint64_t first = run_tie_heavy(5);
+  const std::uint64_t second = run_tie_heavy(5);
+  EXPECT_EQ(first, second) << "tie-heavy event stream is not reproducible";
+}
+
 // The tracing-invariance law (docs/OBSERVABILITY.md): the tracer is a
 // pure observer, so flipping it on must not perturb the event stream.
 // One digest flip here means some recording call scheduled an event or
@@ -75,6 +81,11 @@ TEST(TraceDigest, SpeculationStormUnchangedByTracing) {
   EXPECT_EQ(run_speculation_storm(34, /*tracing=*/false),
             run_speculation_storm(34, /*tracing=*/true))
       << "enabling the tracer changed the speculation-storm event stream";
+}
+
+TEST(TraceDigest, TieHeavyUnchangedByTracing) {
+  EXPECT_EQ(run_tie_heavy(5, /*tracing=*/false), run_tie_heavy(5, /*tracing=*/true))
+      << "enabling the tracer changed the tie-heavy event stream";
 }
 
 TEST(TraceDigest, DifferentSeedsDiverge) {

@@ -16,6 +16,7 @@
 #include "fault/injector.hpp"
 #include "sched/dummy.hpp"
 #include "sched/fifo.hpp"
+#include "sched/hfsp.hpp"
 #include "sim/simulation.hpp"
 #include "workload/profiles.hpp"
 
@@ -204,6 +205,42 @@ inline std::uint64_t run_speculation_storm(std::uint64_t seed, bool tracing = fa
 
   cluster.run_until(3000.0);
   EXPECT_TRUE(jt.all_jobs_done());
+  return cluster.trace_digest();
+}
+
+/// A deliberate tie factory for victim selection: two byte-identical big
+/// jobs (same remaining size — a head-job tie) whose four identical
+/// tasks fill all four slots in the same heartbeat (progress, memory and
+/// launch-time ties across the whole eviction pool), then a stream of
+/// identical tiny jobs forcing HFSP to preempt over that tied pool again
+/// and again. Every choice must fall through to the task-id tie-break;
+/// anything order- or address-dependent in pick_victim lands here.
+inline std::uint64_t run_tie_heavy(std::uint64_t seed, bool tracing = false) {
+  ClusterConfig cfg = paper_cluster();
+  cfg.num_nodes = 2;
+  cfg.hadoop.map_slots = 2;
+  cfg.seed = seed;
+  cfg.trace.enabled = tracing;
+  Cluster cluster(cfg);
+  HfspScheduler::Options options;
+  options.primitive = PreemptPrimitive::Suspend;
+  options.max_preemptions_per_heartbeat = 2;
+  cluster.set_scheduler(std::make_unique<HfspScheduler>(options));
+  for (int i = 0; i < 2; ++i) {
+    JobSpec spec;
+    spec.name = "big" + std::to_string(i);
+    spec.tasks.push_back(light_map_task(256 * MiB));
+    spec.tasks.push_back(light_map_task(256 * MiB));
+    cluster.submit(spec);
+  }
+  for (int i = 0; i < 3; ++i) {
+    cluster.sim().at(10.0 + 10.0 * i, [&cluster, i] {
+      const std::string name = "tiny" + std::to_string(i);
+      cluster.submit(single_task_job(name, 0, light_map_task(32 * MiB)));
+    });
+  }
+  cluster.run_until(3000.0);
+  EXPECT_TRUE(cluster.job_tracker().all_jobs_done());
   return cluster.trace_digest();
 }
 

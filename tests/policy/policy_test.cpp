@@ -1,0 +1,169 @@
+// The per-queue preemption-policy engine: decision parsing round-trips,
+// rule lookup keyed on the victim's queue, memory-pressure demotion,
+// Requeue's pin-clearing kill, and the refused-order outcome.
+#include "policy/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/error.hpp"
+#include "policy/decision.hpp"
+#include "sched/fifo.hpp"
+#include "trace/names.hpp"
+#include "workload/profiles.hpp"
+
+namespace osap::policy {
+namespace {
+
+TEST(Decision, RoundTripsEveryEnumerator) {
+  for (const Decision d : kAllDecisions) {
+    EXPECT_STRNE(to_string(d), "?");
+    EXPECT_EQ(parse_decision(to_string(d)), d);
+  }
+  // Long-form aliases map onto the same enumerators.
+  EXPECT_EQ(parse_decision("suspend"), Decision::Suspend);
+  EXPECT_EQ(parse_decision("checkpoint"), Decision::NatjamCheckpoint);
+}
+
+TEST(Decision, ParseErrorNamesValueAndEverySpelling) {
+  try {
+    parse_decision("frobnicate");
+    FAIL() << "expected SimError";
+  } catch (const SimError& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("frobnicate"), std::string::npos) << msg;
+    EXPECT_NE(msg.find(kDecisionSpellings), std::string::npos) << msg;
+  }
+}
+
+TEST(Decision, LiftsEveryPrimitive) {
+  for (const PreemptPrimitive p : kAllPrimitives) {
+    EXPECT_EQ(decision_from_primitive(p), parse_decision(to_string(p)));
+  }
+}
+
+/// Two single-task jobs on different queues, both running by t=20 (two
+/// nodes, one map slot each).
+struct TwoQueueRig {
+  explicit TwoQueueRig(ClusterConfig cfg = paper_cluster()) {
+    cfg.num_nodes = 2;
+    cluster = std::make_unique<Cluster>(cfg);
+    cluster->set_scheduler(std::make_unique<FifoScheduler>());
+    JobSpec a = single_task_job("prod0", 0, light_map_task());
+    a.queue = "prod";
+    prod = cluster->submit(a);
+    JobSpec b = single_task_job("batch0", 0, light_map_task());
+    b.queue = "batch";
+    batch = cluster->submit(b);
+    cluster->run_until(20.0);
+  }
+  [[nodiscard]] TaskId task_of(JobId job) const {
+    return cluster->job_tracker().job(job).tasks.front();
+  }
+  std::unique_ptr<Cluster> cluster;
+  JobId prod, batch;
+};
+
+TEST(PreemptionPolicy, RulesKeyOnTheVictimsQueue) {
+  TwoQueueRig rig;
+  PolicyOptions opts;
+  opts.default_decision = Decision::Suspend;
+  opts.per_queue = {{"batch", Decision::Kill}};
+  PreemptionPolicy policy(rig.cluster->job_tracker(), opts);
+  EXPECT_EQ(policy.decide(rig.task_of(rig.prod)), Decision::Suspend);
+  EXPECT_EQ(policy.decide(rig.task_of(rig.batch)), Decision::Kill);
+}
+
+TEST(PreemptionPolicy, SwapPressureDemotesSuspendFamilyToKill) {
+  TwoQueueRig rig;
+  PolicyOptions opts;
+  opts.default_decision = Decision::Suspend;
+  opts.per_queue = {{"batch", Decision::NatjamCheckpoint}};
+  opts.swap_watermark = 0.9;
+  opts.probe = [](NodeId) { return 0.95; };
+  PreemptionPolicy hot(rig.cluster->job_tracker(), opts);
+  EXPECT_EQ(hot.decide(rig.task_of(rig.prod)), Decision::Kill);
+  EXPECT_EQ(hot.decide(rig.task_of(rig.batch)), Decision::Kill);
+
+  opts.probe = [](NodeId) { return 0.2; };
+  PreemptionPolicy cool(rig.cluster->job_tracker(), opts);
+  EXPECT_EQ(cool.decide(rig.task_of(rig.prod)), Decision::Suspend);
+  EXPECT_EQ(cool.decide(rig.task_of(rig.batch)), Decision::NatjamCheckpoint);
+
+  const auto& reg = rig.cluster->sim().trace().counters();
+  EXPECT_EQ(reg.value(trace::names::kPolicySwapDemotions), 0u)
+      << "decide() is read-only; only preempt() counts demotions";
+}
+
+TEST(PreemptionPolicy, KillRuleIsNotDemotionProof) {
+  // An explicit Kill rule under pressure is still just Kill — the
+  // demotion counter must not fire for it.
+  TwoQueueRig rig;
+  PolicyOptions opts;
+  opts.default_decision = Decision::Kill;
+  opts.swap_watermark = 0.9;
+  opts.probe = [](NodeId) { return 0.95; };
+  PreemptionPolicy policy(rig.cluster->job_tracker(), opts);
+  Preemptor preemptor(rig.cluster->job_tracker());
+  const Outcome out = policy.preempt(preemptor, rig.task_of(rig.batch));
+  EXPECT_TRUE(out.issued);
+  EXPECT_EQ(out.decision, Decision::Kill);
+  const auto& reg = rig.cluster->sim().trace().counters();
+  EXPECT_EQ(reg.value(trace::names::kPolicySwapDemotions), 0u);
+  EXPECT_EQ(reg.value(trace::names::kPolicyKills), 1u);
+}
+
+TEST(PreemptionPolicy, RequeueClearsTheLocalityPinAndKills) {
+  ClusterConfig cfg = paper_cluster();
+  cfg.num_nodes = 2;
+  Cluster cluster(cfg);
+  cluster.set_scheduler(std::make_unique<FifoScheduler>());
+  TaskSpec pinned = light_map_task(128 * MiB);
+  JobId job{};
+  cluster.sim().at(0.05, [&] {
+    JobSpec spec = single_task_job("pinned", 0, pinned);
+    spec.tasks[0].preferred_node = cluster.node(0);
+    job = cluster.submit(spec);
+  });
+
+  JobTracker& jt = cluster.job_tracker();
+  PolicyOptions opts;
+  opts.default_decision = Decision::Requeue;
+  auto policy = std::make_unique<PreemptionPolicy>(jt, opts);
+  auto preemptor = std::make_unique<Preemptor>(jt);
+  cluster.sim().at(10.0, [&] {
+    const TaskId tid = jt.job(job).tasks.front();
+    ASSERT_EQ(jt.task(tid).state, TaskState::Running);
+    const Outcome out = policy->preempt(*preemptor, tid);
+    EXPECT_TRUE(out.issued);
+    EXPECT_EQ(out.decision, Decision::Requeue);
+    EXPECT_FALSE(jt.task(tid).spec.preferred_node.valid());
+  });
+  cluster.run();
+
+  const Task& t = jt.task(jt.job(job).tasks.front());
+  EXPECT_EQ(jt.job(job).state, JobState::Succeeded);
+  EXPECT_EQ(t.attempts_started, 2);  // killed once, relaunched anywhere
+  const auto& reg = cluster.sim().trace().counters();
+  EXPECT_EQ(reg.value(trace::names::kPolicyRequeues), 1u);
+}
+
+TEST(PreemptionPolicy, RefusedOrderIsNotIssued) {
+  TwoQueueRig rig;
+  JobTracker& jt = rig.cluster->job_tracker();
+  const TaskId victim = rig.task_of(rig.batch);
+  jt.testing_blacklist_tracker(jt.task(victim).tracker);
+
+  PolicyOptions opts;
+  opts.default_decision = Decision::Suspend;
+  PreemptionPolicy policy(jt, opts);
+  Preemptor preemptor(jt);
+  const Outcome out = policy.preempt(preemptor, victim);
+  EXPECT_FALSE(out.issued);
+  const auto& reg = rig.cluster->sim().trace().counters();
+  EXPECT_EQ(reg.value(trace::names::kPolicyOrdersRefused), 1u);
+}
+
+}  // namespace
+}  // namespace osap::policy

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+
 #include "common/error.hpp"
+#include "hadoop/events.hpp"
 #include "workload/profiles.hpp"
 
 namespace osap {
@@ -96,6 +99,62 @@ TEST(Capacity, GuaranteeReclaimedByPreemption) {
   // protocol latency.
   const Task& prod_task = cluster.job_tracker().task(p.tasks[0]);
   EXPECT_LT(prod_task.first_launched_at, 40.0);
+}
+
+struct ReclaimEvents {
+  int kills = 0;
+  int suspends = 0;
+};
+
+// Two queues with opposite per-queue `preempt=` modes; `donor` borrows
+// both slots, then `claimant` arrives and reclaims its guarantee. The
+// event trace shows which primitive actually hit the donor's task.
+ReclaimEvents reclaim_guarantee(const std::string& donor, const std::string& claimant) {
+  ClusterConfig cfg = paper_cluster();
+  cfg.hadoop.map_slots = 2;
+  Cluster cluster(cfg);
+  CapacityScheduler::Options options;
+  options.cluster_map_slots = 2;
+  options.queues = {{"prod", 0.5, "susp"}, {"research", 0.5, "kill"}};
+  options.preemption_timeout = seconds(10);
+  auto sched = std::make_unique<CapacityScheduler>(options);
+  CapacityScheduler* cap = sched.get();
+  cluster.set_scheduler(std::move(sched));
+
+  for (int i = 0; i < 2; ++i) {
+    cluster.sim().at(0.05 + 0.05 * i, [&cluster, &donor, i] {
+      const std::string name = donor + std::to_string(i);
+      JobSpec spec = single_task_job(name, 0, light_map_task());
+      spec.queue = donor;
+      cluster.submit(spec);
+    });
+  }
+  cluster.sim().at(10.0, [&] {
+    JobSpec spec = single_task_job("claimant", 0, light_map_task(64 * MiB));
+    spec.queue = claimant;
+    cluster.submit(spec);
+  });
+
+  ReclaimEvents events;
+  cluster.job_tracker().add_event_hook([&events](const ClusterEvent& ev) {
+    if (ev.type == ClusterEventType::TaskKillRequested) ++events.kills;
+    if (ev.type == ClusterEventType::TaskSuspendRequested) ++events.suspends;
+  });
+  cluster.run();
+  EXPECT_GE(cap->preemptions_issued(), 1) << donor << " -> " << claimant;
+  EXPECT_TRUE(cluster.job_tracker().all_jobs_done());
+  return events;
+}
+
+TEST(Capacity, PerQueuePreemptModeSelectsThePrimitive) {
+  // research carries preempt=kill: reclaiming from it kills, never suspends.
+  const ReclaimEvents from_research = reclaim_guarantee("research", "prod");
+  EXPECT_GE(from_research.kills, 1);
+  EXPECT_EQ(from_research.suspends, 0);
+  // prod carries preempt=susp: reclaiming from it suspends, never kills.
+  const ReclaimEvents from_prod = reclaim_guarantee("prod", "research");
+  EXPECT_GE(from_prod.suspends, 1);
+  EXPECT_EQ(from_prod.kills, 0);
 }
 
 TEST(Capacity, GuaranteedSlotsFloorAtOne) {
