@@ -11,6 +11,8 @@
 #include "policy/decision.hpp"
 #include "policy/gang.hpp"
 #include "policy/policy.hpp"
+#include "revoke/lifetime.hpp"
+#include "revoke/manager.hpp"
 #include "sched/capacity.hpp"
 #include "sched/deadline.hpp"
 #include "sched/fair.hpp"
@@ -36,7 +38,10 @@ constexpr const char* kTwoJobKeys[] = {"primitive", "r", "seed", "tl_state", "th
 constexpr const char* kTraceKeys[] = {"scheduler", "primitive", "jobs",  "nodes",
                                       "seed",      "policy",    "gang_slice",
                                       "swap_watermark", "queues", "state",
-                                      "stateful",  "deadline_factor"};
+                                      "stateful",  "deadline_factor",
+                                      // Node-revocation axes (docs/REVOKE.md).
+                                      "node_mix",  "lifetime_model", "lifetime_mean_s",
+                                      "warning_s", "revoke_react"};
 
 template <std::size_t N>
 bool contains(const char* const (&keys)[N], const std::string& key) {
@@ -61,7 +66,19 @@ std::vector<std::pair<std::string, std::uint64_t>> counter_subset(Cluster& clust
                            trace::names::kPolicyDecisions, trace::names::kPolicySwapDemotions,
                            trace::names::kPolicyOrdersRefused,
                            trace::names::kPolicyGangRotations,
-                           trace::names::kPolicyGangAdmissionRefused}) {
+                           trace::names::kPolicyGangAdmissionRefused,
+                           trace::names::kFaultRevocationWarnings,
+                           trace::names::kFaultRevocations,
+                           trace::names::kRevokeWarningsHandled,
+                           trace::names::kRevokeWarningsLate,
+                           trace::names::kRevokeDrainCheckpoints,
+                           trace::names::kRevokeDrainMigrations,
+                           trace::names::kRevokeDrainKills,
+                           trace::names::kRevokeEvacuations,
+                           trace::names::kRevokeMigrationsDone,
+                           trace::names::kRevokeBlocksSteered,
+                           trace::names::kJtTrackersDraining,
+                           trace::names::kJtCheckpointsEvacuated}) {
     out.emplace_back(name, reg.value(name));
   }
   return out;
@@ -69,7 +86,13 @@ std::vector<std::pair<std::string, std::uint64_t>> counter_subset(Cluster& clust
 
 std::string inline_fault_plan(const RunDescriptor& d) {
   std::string plan = d.get("faults", "");
+  // Matrix axis values are comma-split by the expansion, so an inline
+  // plan from a `.matrix` faults axis separates its lines with '|'; the
+  // facade accepts both. "none" names the empty plan (a sweep axis needs
+  // a spellable baseline value).
+  if (plan == "none") return "";
   std::replace(plan.begin(), plan.end(), ';', '\n');
+  std::replace(plan.begin(), plan.end(), '|', '\n');
   return plan;
 }
 
@@ -246,11 +269,48 @@ void run_trace_cell(const RunDescriptor& d, const RunOptions& opts, ResultRecord
     gang->start();
   }
 
-  std::unique_ptr<fault::FaultInjector> injector;
+  fault::FaultPlan fplan;
   const std::string plan = inline_fault_plan(d);
   if (!plan.empty()) {
     std::istringstream in(plan);
-    injector = std::make_unique<fault::FaultInjector>(cluster, fault::parse_fault_plan(in));
+    fplan = fault::parse_fault_plan(in);
+  }
+
+  // Node-revocation axes (docs/REVOKE.md): a lifetime model samples a
+  // revocation schedule for the transient slice of the cluster, merged
+  // into the scripted fault plan so one injector executes both. Cells
+  // with a model are costed — including the all-on-demand node_mix=0
+  // baseline, so the frontier's cost axis is comparable across mixes.
+  const revoke::LifetimeModel lifetime_model =
+      revoke::parse_lifetime_model(d.get("lifetime_model", "none"));
+  revoke::RevocationPlan rplan;
+  const bool costed = lifetime_model != revoke::LifetimeModel::None;
+  if (costed) {
+    revoke::LifetimeOptions lopts;
+    lopts.model = lifetime_model;
+    lopts.node_mix = d.num("node_mix", 0);
+    lopts.mean_lifetime_s = d.num("lifetime_mean_s", 400);
+    lopts.warning_s = d.num("warning_s", 120);
+    lopts.seed = cfg.seed;
+    rplan = revoke::plan_revocations(static_cast<std::size_t>(cfg.num_nodes), lopts);
+    rplan.merge_into(fplan);
+    // Give each job an HDFS input so replica steering has blocks to
+    // move. The NameNode is metadata-only here (no rng, no scheduled
+    // events), so the trace digest is unaffected.
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+      cluster.create_input("swim_in_" + std::to_string(i), 128 * MiB,
+                           cluster.node(i % static_cast<std::size_t>(cfg.num_nodes)));
+    }
+  }
+
+  std::unique_ptr<fault::FaultInjector> injector;
+  std::unique_ptr<revoke::RevocationManager> manager;
+  if (!fplan.empty()) {
+    injector = std::make_unique<fault::FaultInjector>(cluster, std::move(fplan));
+  }
+  if (costed && injector != nullptr) {
+    manager = std::make_unique<revoke::RevocationManager>(
+        cluster, *injector, rplan, revoke::parse_reaction(d.get("revoke_react", "none")));
   }
 
   cluster.run(opts.tick);
@@ -271,6 +331,7 @@ void run_trace_cell(const RunDescriptor& d, const RunOptions& opts, ResultRecord
   rec.sojourn_th = succeeded > 0 ? sojourn_sum / succeeded : 0;
   rec.sojourn_tl = 0;
   rec.makespan = succeeded > 0 ? last_done - first_submit : 0;
+  if (costed) rec.cost = rplan.cost(cluster.sim().now());
   rec.trace_digest = cluster.trace_digest();
   rec.events = cluster.sim().events_processed();
   rec.counters = counter_subset(cluster);
@@ -385,6 +446,11 @@ RunDescriptor normalize_descriptor(RunDescriptor d) {
     set_default(d, "state", "1GiB");
     set_default(d, "stateful", "0.2");
     set_default(d, "deadline_factor", "0");
+    set_default(d, "node_mix", "0");
+    set_default(d, "lifetime_model", "none");
+    set_default(d, "lifetime_mean_s", "400");
+    set_default(d, "warning_s", "120");
+    set_default(d, "revoke_react", "none");
   } else {
     throw SimError("unknown workload '" + workload + "' (two_job|trace)");
   }

@@ -91,6 +91,9 @@ struct ResultRecord {
   double sojourn_th = 0;
   double sojourn_tl = 0;
   double makespan = 0;
+  /// Cluster cost of the run (per-class hourly rates × node lifetimes,
+  /// docs/REVOKE.md); 0 unless the cell enables a lifetime model.
+  double cost = 0;
   double tl_swapped_out_mib = 0;
   /// Fixed subset of the run's counters (suspend/resume round trips,
   /// scheduler assignments, speculation) — enough to diff sweeps without

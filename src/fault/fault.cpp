@@ -1,6 +1,8 @@
 #include "fault/fault.hpp"
 
+#include <set>
 #include <sstream>
+#include <utility>
 
 #include "common/error.hpp"
 
@@ -20,6 +22,15 @@ FaultPlan parse_fault_plan(std::istream& in) {
   FaultPlan plan;
   std::string raw;
   int lineno = 0;
+  // Node deaths already scheduled (crash or revoke): a second death of
+  // the same node at the same instant would double-tear-down.
+  std::set<std::pair<std::uint64_t, SimTime>> deaths;
+  const auto claim_death = [&deaths, &lineno](NodeId node, SimTime at) {
+    OSAP_CHECK_MSG(deaths.emplace(node.value(), at).second,
+                   "fault plan line " << lineno << ": node " << node.value()
+                                      << " already dies at t=" << at
+                                      << " (duplicate crash/revoke)");
+  };
   while (std::getline(in, raw)) {
     ++lineno;
     // Strip comments and whitespace-only lines.
@@ -33,6 +44,7 @@ FaultPlan parse_fault_plan(std::istream& in) {
       line >> f.at;
       f.node = node_arg(line);
       OSAP_CHECK_MSG(!line.fail(), "fault plan line " << lineno << ": crash <t> <node>");
+      claim_death(f.node, f.at);
       plan.crashes.push_back(f);
     } else if (verb == "hang") {
       TrackerHang f;
@@ -64,6 +76,15 @@ FaultPlan parse_fault_plan(std::istream& in) {
       f.node = node_arg(line);
       OSAP_CHECK_MSG(!line.fail(), "fault plan line " << lineno << ": lose-checkpoints <t> <node>");
       plan.checkpoint_losses.push_back(f);
+    } else if (verb == "revoke") {
+      NodeRevocation f;
+      line >> f.at;
+      f.node = node_arg(line);
+      line >> f.warning;
+      OSAP_CHECK_MSG(!line.fail() && f.warning > 0,
+                     "fault plan line " << lineno << ": revoke <t> <node> <warning_s>");
+      claim_death(f.node, f.at);
+      plan.revocations.push_back(f);
     } else {
       OSAP_CHECK_MSG(false, "fault plan line " << lineno << ": unknown verb '" << verb << "'");
     }

@@ -63,20 +63,32 @@ struct CheckpointLoss {
   NodeId node;
 };
 
+/// Spot-style node revocation (docs/REVOKE.md): the node dies at `at`
+/// exactly like a NodeCrash, but a RevocationWarning is delivered to the
+/// JobTracker `warning` seconds earlier (clamped to plan start), giving
+/// proactive policies — checkpoint-on-warning, suspend-and-migrate,
+/// replica steering — a window to drain the doomed node.
+struct NodeRevocation {
+  SimTime at = 0;
+  NodeId node;
+  Duration warning = 0;
+};
+
 struct FaultPlan {
   std::vector<NodeCrash> crashes;
   std::vector<TrackerHang> hangs;
   std::vector<HeartbeatDrop> heartbeat_drops;
   std::vector<MessageDelay> delays;
   std::vector<CheckpointLoss> checkpoint_losses;
+  std::vector<NodeRevocation> revocations;
 
   [[nodiscard]] bool empty() const noexcept {
     return crashes.empty() && hangs.empty() && heartbeat_drops.empty() && delays.empty() &&
-           checkpoint_losses.empty();
+           checkpoint_losses.empty() && revocations.empty();
   }
   [[nodiscard]] std::size_t size() const noexcept {
     return crashes.size() + hangs.size() + heartbeat_drops.size() + delays.size() +
-           checkpoint_losses.size();
+           checkpoint_losses.size() + revocations.size();
   }
 };
 
@@ -88,9 +100,12 @@ struct FaultPlan {
 ///   drop-heartbeats <from> <until> <node>
 ///   delay-messages <from> <until> <node> <extra>
 ///   lose-checkpoints <t> <node>
+///   revoke <t> <node> <warning_s>
 ///
 /// Times are simulated seconds, nodes are worker indices. Throws SimError
-/// on a malformed line.
+/// on a malformed line. Scheduling the same node's death twice at the
+/// same timestamp (crash+crash, crash+revoke or revoke+revoke) is a parse
+/// error: the injector would otherwise tear the node down twice.
 [[nodiscard]] FaultPlan parse_fault_plan(std::istream& in);
 [[nodiscard]] FaultPlan parse_fault_plan(const std::string& text);
 

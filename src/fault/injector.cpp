@@ -24,6 +24,8 @@ FaultInjector::FaultInjector(Cluster& cluster, FaultPlan plan)
   ctr_checkpoint_losses_ = &counters.counter(trace::names::kFaultCheckpointLosses);
   ctr_msgs_dropped_ = &counters.counter(trace::names::kFaultMessagesDropped);
   ctr_msgs_delayed_ = &counters.counter(trace::names::kFaultMessagesDelayed);
+  ctr_warnings_ = &counters.counter(trace::names::kFaultRevocationWarnings);
+  ctr_revocations_ = &counters.counter(trace::names::kFaultRevocations);
   arm();
 }
 
@@ -35,7 +37,8 @@ void FaultInjector::arm() {
   // faults become ordinary events. Scheduling order follows the plan's
   // vector order, which is part of the scenario definition — two runs of
   // one plan schedule identically.
-  if (!plan_.heartbeat_drops.empty() || !plan_.delays.empty() || !plan_.crashes.empty()) {
+  if (!plan_.heartbeat_drops.empty() || !plan_.delays.empty() || !plan_.crashes.empty() ||
+      !plan_.revocations.empty()) {
     cluster_.network().set_message_filter(
         [this](NodeId from, NodeId to) { return filter(from, to); });
   }
@@ -65,6 +68,31 @@ void FaultInjector::arm() {
       ctr_checkpoint_losses_->add();
       tracer_->instant(trk_, "checkpoint_loss", {{"node", f.node.value()}});
       cluster_.job_tracker().lose_checkpoints_on(f.node);
+    });
+  }
+  for (const NodeRevocation& f : plan_.revocations) {
+    // The warning lands `f.warning` before the death (clamped to now): the
+    // JobTracker drains the tracker, then the installed reaction handler
+    // gets its window. The death itself shares the crash teardown, guarded
+    // against a node already downed by an out-of-order crash verb.
+    sim.at(std::max(f.at - f.warning, sim.now()), [this, f] {
+      OSAP_LOG(Warn, kLog) << "revocation warning for node" << f.node.value() << " (dies at t="
+                           << f.at << ")";
+      ++warnings_fired_;
+      ctr_warnings_->add();
+      tracer_->instant(trk_, "revocation_warning", {{"node", f.node.value()}});
+      const bool accepted =
+          cluster_.job_tracker().warn_revocation(cluster_.tracker(f.node).id());
+      if (revocation_handler_) revocation_handler_(f, accepted);
+    });
+    sim.at(std::max(f.at, sim.now()), [this, f] {
+      if (crashed_.contains(f.node)) return;  // already downed elsewhere in the plan
+      OSAP_LOG(Warn, kLog) << "revoking node" << f.node.value();
+      ++revocations_fired_;
+      ctr_revocations_->add();
+      tracer_->instant(trk_, "node_revoked", {{"node", f.node.value()}});
+      crashed_.emplace(f.node, true);
+      cluster_.tracker(f.node).crash();
     });
   }
 }
@@ -114,8 +142,16 @@ void FaultInjector::audit(std::vector<std::string>& violations) const {
     flag("fired ", checkpoint_losses_fired_, " checkpoint losses for a plan of ",
          plan_.checkpoint_losses.size());
   }
-  if (crashed_.size() != crashes_fired_) {
-    flag(crashed_.size(), " crashed nodes but ", crashes_fired_, " crash faults fired");
+  if (warnings_fired_ > plan_.revocations.size()) {
+    flag("fired ", warnings_fired_, " revocation warnings for a plan of ",
+         plan_.revocations.size());
+  }
+  if (revocations_fired_ > plan_.revocations.size()) {
+    flag("fired ", revocations_fired_, " revocations for a plan of ", plan_.revocations.size());
+  }
+  if (crashed_.size() != crashes_fired_ + revocations_fired_) {
+    flag(crashed_.size(), " crashed nodes but ", crashes_fired_ + revocations_fired_,
+         " node-death faults fired");
   }
   for (NodeId node : det::sorted_keys(crashed_)) {
     if (!cluster_.tracker(node).crashed()) {
@@ -126,7 +162,8 @@ void FaultInjector::audit(std::vector<std::string>& violations) const {
 
 void FaultInjector::dump(std::ostream& os) const {
   os << plan_.size() << " planned faults; fired: " << crashes_fired_ << " crashes, "
-     << hangs_fired_ << " hangs, " << checkpoint_losses_fired_ << " checkpoint losses\n";
+     << hangs_fired_ << " hangs, " << checkpoint_losses_fired_ << " checkpoint losses, "
+     << warnings_fired_ << " warnings, " << revocations_fired_ << " revocations\n";
   for (NodeId node : det::sorted_keys(crashed_)) {
     os << "  node" << node.value() << " crashed\n";
   }

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 
 #include "audit/audit.hpp"
@@ -16,6 +17,12 @@
 #include "hadoop/cluster.hpp"
 
 namespace osap::fault {
+
+/// Invoked when a revocation warning fires, after the JobTracker has been
+/// told to drain the doomed tracker. `accepted` is false when the warning
+/// arrived too late (the node already died — out-of-order plan) and the
+/// drain was moot. The src/revoke reaction manager hooks in here.
+using RevocationHandler = std::function<void(const NodeRevocation&, bool accepted)>;
 
 class FaultInjector final : public InvariantAuditor {
  public:
@@ -28,6 +35,13 @@ class FaultInjector final : public InvariantAuditor {
   FaultInjector& operator=(const FaultInjector&) = delete;
 
   [[nodiscard]] bool node_crashed(NodeId node) const { return crashed_.contains(node); }
+
+  /// Install the proactive-reaction hook for revocation warnings. May be
+  /// set any time before the first warning fires; warnings delivered with
+  /// no handler installed still drain the tracker.
+  void set_revocation_handler(RevocationHandler handler) {
+    revocation_handler_ = std::move(handler);
+  }
 
   // --- invariant auditing ---------------------------------------------------
   [[nodiscard]] std::string audit_label() const override { return "fault-injector"; }
@@ -50,6 +64,10 @@ class FaultInjector final : public InvariantAuditor {
   std::uint64_t crashes_fired_ = 0;
   std::uint64_t hangs_fired_ = 0;
   std::uint64_t checkpoint_losses_fired_ = 0;
+  std::uint64_t warnings_fired_ = 0;
+  std::uint64_t revocations_fired_ = 0;
+
+  RevocationHandler revocation_handler_;
 
   trace::Tracer* tracer_ = nullptr;
   std::uint32_t trk_ = 0;  ///< ("cluster", "faults") track
@@ -58,6 +76,8 @@ class FaultInjector final : public InvariantAuditor {
   trace::Counter* ctr_checkpoint_losses_ = nullptr;
   trace::Counter* ctr_msgs_dropped_ = nullptr;
   trace::Counter* ctr_msgs_delayed_ = nullptr;
+  trace::Counter* ctr_warnings_ = nullptr;
+  trace::Counter* ctr_revocations_ = nullptr;
 };
 
 }  // namespace osap::fault

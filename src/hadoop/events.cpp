@@ -27,6 +27,7 @@ const char* to_string(ClusterEventType t) noexcept {
     case ClusterEventType::SpeculationLost: return "speculation-lost";
     case ClusterEventType::SpeculationKilled: return "speculation-killed";
     case ClusterEventType::SpeculationPromoted: return "speculation-promoted";
+    case ClusterEventType::NodeRevocationWarned: return "node-revocation-warned";
   }
   return "?";
 }

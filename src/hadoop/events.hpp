@@ -47,6 +47,10 @@ enum class ClusterEventType {
   /// while a copy was racing: the copy was promoted to primary instead of
   /// requeueing the task from scratch.
   SpeculationPromoted,
+  /// A revocation warning landed for `node` (docs/REVOKE.md): the node is
+  /// scripted to die after the notice window and its tracker drains (no
+  /// new work) while proactive reactions run.
+  NodeRevocationWarned,
 };
 
 const char* to_string(ClusterEventType t) noexcept;

@@ -74,6 +74,8 @@ JobTracker::JobTracker(Simulation& sim, Network& net, NodeId master, HadoopConfi
   ctr_map_outputs_lost_ = &counters.counter(trace::names::kJtMapOutputsLost);
   ctr_checkpoints_lost_ = &counters.counter(trace::names::kJtCheckpointsLost);
   ctr_jobs_failed_ = &counters.counter(trace::names::kJtJobsFailed);
+  ctr_trackers_draining_ = &counters.counter(trace::names::kJtTrackersDraining);
+  ctr_checkpoints_evacuated_ = &counters.counter(trace::names::kJtCheckpointsEvacuated);
   ctr_spec_launched_ = &counters.counter(trace::names::kSpecLaunched);
   ctr_spec_won_ = &counters.counter(trace::names::kSpecWon);
   ctr_spec_lost_ = &counters.counter(trace::names::kSpecLost);
@@ -828,6 +830,7 @@ void JobTracker::declare_lost(TrackerId id) {
   OSAP_CHECK_MSG(s != nullptr, "declaring unknown " << id << " lost");
   const NodeId node = s->tracker->node();
   s->lost = true;
+  s->draining = false;  // the drain window ends with the node
   s->lease_deadline = -1;  // out of the wheel until it rejoins
   ctr_trackers_lost_->add();
   tracer_->instant(trk_, "tracker_lost", {{"tracker", id.value()}});
@@ -911,6 +914,32 @@ void JobTracker::lose_checkpoints_on(NodeId node) {
   }
 }
 
+bool JobTracker::warn_revocation(TrackerId id) {
+  TrackerSlot* s = slot(id);
+  // Out-of-order plans deliver warnings for nodes that already died (or
+  // were never registered); the drain is simply moot then.
+  if (s == nullptr || s->lost || s->draining) return false;
+  s->draining = true;
+  ctr_trackers_draining_->add();
+  tracer_->instant(trk_, trace::names::kInstRevocationWarning, {{"tracker", id.value()}});
+  OSAP_LOG(Warn, kLog) << id << " revocation warning at t=" << sim_.now() << ", draining";
+  emit(ClusterEventType::NodeRevocationWarned, JobId{}, TaskId{}, s->tracker->node());
+  return true;
+}
+
+bool JobTracker::evacuate_checkpoint(TaskId id, NodeId target) {
+  Task& t = task_mutable(id);
+  if (t.state != TaskState::Suspended || !t.checkpointed) return false;
+  if (!target.valid() || t.checkpoint_node == target) return false;
+  // The serialized state now lives on `target`: losing the doomed node no
+  // longer voids the fast-forward, and a later disk loss on `target` does.
+  t.checkpoint_node = target;
+  ctr_checkpoints_evacuated_->add();
+  tracer_->instant(trk_, trace::names::kInstCheckpointEvacuated,
+                   {{"task", id.value()}, {"node", target.value()}});
+  return true;
+}
+
 void JobTracker::fail_job(JobId id, TaskId cause, NodeId node) {
   Job& job = job_ref(id);
   if (job.state != JobState::Running) return;
@@ -989,6 +1018,7 @@ void JobTracker::on_heartbeat(TrackerStatus status) {
     // and order a clean-slate reinitialization — Hadoop 1's answer to a
     // tracker that heartbeats after being declared lost.
     s->lost = false;
+    s->draining = false;  // any pre-death warning is void after the rejoin
     s->last_heartbeat = sim_.now();
     file_lease(static_cast<std::uint32_t>(s - tracker_slots_.data()));
     ctr_tracker_reinits_->add();
@@ -1045,9 +1075,10 @@ void JobTracker::on_heartbeat(TrackerStatus status) {
     }
   }
 
-  // Ask the scheduler for work for the free slots. Blacklisted trackers
-  // still heartbeat (their in-flight acks matter) but get no new work.
-  if (scheduler_ != nullptr && !s->blacklisted) {
+  // Ask the scheduler for work for the free slots. Blacklisted and
+  // revocation-draining trackers still heartbeat (their in-flight acks
+  // matter) but get no new work.
+  if (scheduler_ != nullptr && !s->blacklisted && !s->draining) {
     int free_maps = status.free_map_slots;
     int free_reduces = status.free_reduce_slots;
     const std::vector<TaskId> assigned = scheduler_->assign(status);

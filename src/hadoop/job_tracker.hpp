@@ -92,6 +92,24 @@ class JobTracker final : public InvariantAuditor {
     return s != nullptr && s->blacklisted;
   }
 
+  // --- node revocation (docs/REVOKE.md) ------------------------------------
+  /// A revocation warning landed for this tracker's node: mark it draining
+  /// (no new work; in-flight acks still process) and emit
+  /// NodeRevocationWarned. Returns false when the tracker is unknown,
+  /// already lost or already draining — a warning arriving after its node
+  /// died (out-of-order plan) is a counted no-op, never a wedge.
+  bool warn_revocation(TrackerId id);
+  /// True while a revocation warning is outstanding for the tracker.
+  [[nodiscard]] bool tracker_draining(TrackerId id) const {
+    const TrackerSlot* s = slot(id);
+    return s != nullptr && s->draining;
+  }
+  /// Natjam checkpoint evacuation: rebind a checkpoint-parked task's saved
+  /// fast-forward state to `target` (modeling the upload of its checkpoint
+  /// files off the doomed node before it dies). Returns false unless the
+  /// task is parked with a checkpoint and `target` differs.
+  bool evacuate_checkpoint(TaskId id, NodeId target);
+
   // --- heartbeat entry point (via network) ---------------------------------
   void on_heartbeat(TrackerStatus status);
 
@@ -183,6 +201,9 @@ class JobTracker final : public InvariantAuditor {
     SimTime lease_deadline = -1;
     bool lost = false;
     bool blacklisted = false;
+    /// Revocation warning outstanding: assign no new work, but keep the
+    /// tracker out of maybe_fail_cluster — it still acks until it dies.
+    bool draining = false;
     /// Unrequested attempt failures (blacklist bookkeeping).
     int failures = 0;
   };
@@ -330,6 +351,9 @@ class JobTracker final : public InvariantAuditor {
   trace::Counter* ctr_map_outputs_lost_ = nullptr;
   trace::Counter* ctr_checkpoints_lost_ = nullptr;
   trace::Counter* ctr_jobs_failed_ = nullptr;
+  // Revocation counters (docs/REVOKE.md).
+  trace::Counter* ctr_trackers_draining_ = nullptr;
+  trace::Counter* ctr_checkpoints_evacuated_ = nullptr;
   // Speculation counters (speculation.* namespace; see docs/SPECULATION.md).
   trace::Counter* ctr_spec_launched_ = nullptr;
   trace::Counter* ctr_spec_won_ = nullptr;

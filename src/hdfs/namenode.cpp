@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/det.hpp"
 #include "common/error.hpp"
 
 namespace osap {
@@ -71,6 +72,24 @@ NodeId NameNode::pick_replica(BlockId id, NodeId reader) {
   if (info.is_local_to(reader)) return reader;
   OSAP_CHECK(!info.replicas.empty());
   return info.replicas[rng_.uniform_int(0, info.replicas.size() - 1)];
+}
+
+std::size_t NameNode::re_replicate_away(NodeId doomed, const std::vector<NodeId>& targets) {
+  std::size_t moved = 0;
+  for (BlockId bid : det::sorted_keys(blocks_)) {
+    BlockInfo& info = blocks_.at(bid);
+    for (NodeId& replica : info.replicas) {
+      if (replica != doomed) continue;
+      for (NodeId target : targets) {
+        if (target == doomed || !target.valid() || info.is_local_to(target)) continue;
+        replica = target;
+        ++moved;
+        break;
+      }
+      break;  // at most one replica of a block per node
+    }
+  }
+  return moved;
 }
 
 void NameNode::remove_file(FileId id) {

@@ -69,6 +69,14 @@ class NameNode {
 
   void remove_file(FileId id);
 
+  /// Revocation-aware re-replication (docs/REVOKE.md): move every replica
+  /// held by `doomed` onto a node from `targets` (first target not already
+  /// holding the block, in the given order — callers pass on-demand nodes
+  /// first). Blocks whose every target already holds a replica keep the
+  /// doomed copy. Returns the number of replicas moved. Deterministic:
+  /// blocks are visited in ascending id order.
+  std::size_t re_replicate_away(NodeId doomed, const std::vector<NodeId>& targets);
+
  private:
   HdfsConfig cfg_;
   Rng rng_;

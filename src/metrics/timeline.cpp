@@ -73,6 +73,7 @@ std::string TimelineRecorder::render_gantt(double seconds_per_cell) const {
       case ClusterEventType::SpeculationWon:
       case ClusterEventType::SpeculationLost:
       case ClusterEventType::SpeculationKilled:
+      case ClusterEventType::NodeRevocationWarned:
         continue;
     }
     tasks[e.task].push_back(Span{e.time, glyph});

@@ -48,6 +48,7 @@ std::vector<GroupStats> group_stats(const std::vector<core::RunDescriptor>& desc
   struct Acc {
     std::vector<double> sojourns;
     double makespan_sum = 0;
+    double cost_sum = 0;
     int failed = 0;
   };
   std::map<std::string, Acc> by_key;
@@ -59,6 +60,7 @@ std::vector<GroupStats> group_stats(const std::vector<core::RunDescriptor>& desc
     }
     acc.sojourns.push_back(cell.record.sojourn_th);
     acc.makespan_sum += cell.record.makespan;
+    acc.cost_sum += cell.record.cost;
   }
 
   std::vector<GroupStats> out;
@@ -78,6 +80,7 @@ std::vector<GroupStats> group_stats(const std::vector<core::RunDescriptor>& desc
       g.min = acc.sojourns.front();
       g.max = acc.sojourns.back();
       g.makespan_mean = acc.makespan_sum / g.runs;
+      g.cost_mean = acc.cost_sum / g.runs;
     }
     out.push_back(std::move(g));
   }
@@ -159,6 +162,49 @@ PivotTable pivot(const std::vector<core::RunDescriptor>& descriptors,
   return table;
 }
 
+std::vector<FrontierPoint> frontier(const std::vector<core::RunDescriptor>& descriptors,
+                                    const std::vector<CellResult>& cells) {
+  struct Acc {
+    int runs = 0;
+    double cost_sum = 0, sojourn_sum = 0, makespan_sum = 0;
+  };
+  // Key: (node_mix text, revoke_react text). std::map gives sorted
+  // traversal; the final sort below fixes numeric node_mix order.
+  std::map<std::pair<std::string, std::string>, Acc> by_point;
+  for (const CellResult& cell : cells) {
+    if (!cell.ok) continue;
+    const core::RunDescriptor& d = descriptors[cell.index];
+    const std::string* mix = d.find("node_mix");
+    const std::string* react = d.find("revoke_react");
+    if (mix == nullptr || react == nullptr) continue;
+    Acc& acc = by_point[{*mix, *react}];
+    ++acc.runs;
+    acc.cost_sum += cell.record.cost;
+    acc.sojourn_sum += cell.record.sojourn_th;
+    acc.makespan_sum += cell.record.makespan;
+  }
+
+  std::vector<FrontierPoint> out;
+  out.reserve(by_point.size());
+  for (const auto& [key, acc] : by_point) {
+    FrontierPoint p;
+    p.node_mix = key.first;
+    p.revoke_react = key.second;
+    p.runs = acc.runs;
+    p.cost_mean = acc.cost_sum / acc.runs;
+    p.sojourn_mean = acc.sojourn_sum / acc.runs;
+    p.makespan_mean = acc.makespan_sum / acc.runs;
+    out.push_back(std::move(p));
+  }
+  std::sort(out.begin(), out.end(), [](const FrontierPoint& a, const FrontierPoint& b) {
+    const double am = std::strtod(a.node_mix.c_str(), nullptr);
+    const double bm = std::strtod(b.node_mix.c_str(), nullptr);
+    if (am != bm) return am < bm;
+    return a.revoke_react < b.revoke_react;
+  });
+  return out;
+}
+
 void write_summary_json(std::ostream& out,
                         const std::vector<core::RunDescriptor>& descriptors,
                         const std::vector<CellResult>& cells, bool cancelled,
@@ -195,7 +241,7 @@ void write_summary_json(std::ostream& out,
         << hex_u64(rec.trace_digest) << '"' << ",\"events\":" << rec.events
         << ",\"jobs\":" << rec.jobs << ",\"sojourn_th\":" << json_num(rec.sojourn_th)
         << ",\"sojourn_tl\":" << json_num(rec.sojourn_tl)
-        << ",\"makespan\":" << json_num(rec.makespan)
+        << ",\"makespan\":" << json_num(rec.makespan) << ",\"cost\":" << json_num(rec.cost)
         << ",\"tl_swapped_out_mib\":" << json_num(rec.tl_swapped_out_mib) << '}';
   }
   out << ']';
@@ -209,7 +255,8 @@ void write_summary_json(std::ostream& out,
         << ",\"failed\":" << g.failed << ",\"sojourn_th\":{\"mean\":" << json_num(g.mean)
         << ",\"p50\":" << json_num(g.p50) << ",\"p99\":" << json_num(g.p99)
         << ",\"min\":" << json_num(g.min) << ",\"max\":" << json_num(g.max)
-        << "},\"makespan_mean\":" << json_num(g.makespan_mean) << '}';
+        << "},\"makespan_mean\":" << json_num(g.makespan_mean)
+        << ",\"cost_mean\":" << json_num(g.cost_mean) << '}';
   }
   out << ']';
 
@@ -239,6 +286,21 @@ void write_summary_json(std::ostream& out,
   out << "],\"p99\":[";
   write_matrix(table.p99);
   out << "]}";
+
+  // Cost vs. mean-sojourn frontier (docs/REVOKE.md) — empty for
+  // matrices without the revocation axes.
+  out << ",\"frontier\":[";
+  first = true;
+  for (const FrontierPoint& p : frontier(descriptors, cells)) {
+    if (!first) out << ',';
+    first = false;
+    out << "{\"node_mix\":\"" << json_escape(p.node_mix) << "\",\"revoke_react\":\""
+        << json_escape(p.revoke_react) << "\",\"runs\":" << p.runs
+        << ",\"cost_mean\":" << json_num(p.cost_mean)
+        << ",\"sojourn_mean\":" << json_num(p.sojourn_mean)
+        << ",\"makespan_mean\":" << json_num(p.makespan_mean) << '}';
+  }
+  out << ']';
 
   // Volatile tail: harness counters and wall time vary run to run (cache
   // hits, worker deaths, real time) — CI strips these before diffing.

@@ -32,6 +32,19 @@ struct GroupStats {
   int failed = 0;
   double mean = 0, p50 = 0, p99 = 0, min = 0, max = 0;  // sojourn_th
   double makespan_mean = 0;
+  double cost_mean = 0;
+};
+
+/// One point of the cost vs. mean-sojourn frontier: all successful cells
+/// sharing a (node_mix, revoke_react) pair, averaged across every other
+/// axis (seeds, schedulers). docs/REVOKE.md.
+struct FrontierPoint {
+  std::string node_mix;
+  std::string revoke_react;
+  int runs = 0;
+  double cost_mean = 0;
+  double sojourn_mean = 0;
+  double makespan_mean = 0;
 };
 
 struct PivotTable {
@@ -60,6 +73,15 @@ struct PivotTable {
 /// number, lexicographically otherwise.
 [[nodiscard]] PivotTable pivot(const std::vector<core::RunDescriptor>& descriptors,
                                const std::vector<CellResult>& cells);
+
+/// The revocation frontier: one point per (node_mix, revoke_react) pair,
+/// sorted by numeric node_mix then reaction name. Empty unless both axes
+/// appear in the descriptors: two_job matrices never have them; trace
+/// matrices always do after normalization (legacy ones collapse to the
+/// single inert node_mix=0/revoke_react=none point).
+[[nodiscard]] std::vector<FrontierPoint> frontier(
+    const std::vector<core::RunDescriptor>& descriptors,
+    const std::vector<CellResult>& cells);
 
 /// The final matrix summary JSON (docs/OSAPD.md). Deterministic given
 /// the same records: per-cell results sorted by canonical descriptor

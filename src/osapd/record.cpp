@@ -177,6 +177,8 @@ std::string serialize_record(const std::string& descriptor, const core::ResultRe
   out += json_num(rec.sojourn_tl);
   out += ",\"makespan\":";
   out += json_num(rec.makespan);
+  out += ",\"cost\":";
+  out += json_num(rec.cost);
   out += ",\"tl_swapped_out_mib\":";
   out += json_num(rec.tl_swapped_out_mib);
   out += ",\"counters\":{";
@@ -229,6 +231,9 @@ std::optional<ParsedRecord> parse_record(const std::string& json) {
   sc.expect(',');
   sc.key("makespan");
   rec.makespan = sc.take_double();
+  sc.expect(',');
+  sc.key("cost");
+  rec.cost = sc.take_double();
   sc.expect(',');
   sc.key("tl_swapped_out_mib");
   rec.tl_swapped_out_mib = sc.take_double();

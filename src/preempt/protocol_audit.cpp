@@ -98,6 +98,7 @@ struct ProtocolAuditor::Observer {
       case ClusterEventType::SpeculationLost:
       case ClusterEventType::SpeculationKilled:
       case ClusterEventType::SpeculationPromoted:
+      case ClusterEventType::NodeRevocationWarned:
         break;
     }
   }

@@ -29,6 +29,8 @@ inline constexpr const char* kFaultTrackerHangs = "fault.tracker_hangs";
 inline constexpr const char* kFaultCheckpointLosses = "fault.checkpoint_losses";
 inline constexpr const char* kFaultMessagesDropped = "fault.messages_dropped";
 inline constexpr const char* kFaultMessagesDelayed = "fault.messages_delayed";
+inline constexpr const char* kFaultRevocationWarnings = "fault.revocation_warnings";
+inline constexpr const char* kFaultRevocations = "fault.revocations";
 
 // JobTracker control plane (src/hadoop/job_tracker.cpp).
 inline constexpr const char* kJtHeartbeatsHandled = "jobtracker.heartbeats_handled";
@@ -44,6 +46,8 @@ inline constexpr const char* kJtTaskFailures = "jobtracker.task_failures";
 inline constexpr const char* kJtMapOutputsLost = "jobtracker.map_outputs_lost";
 inline constexpr const char* kJtCheckpointsLost = "jobtracker.checkpoints_lost";
 inline constexpr const char* kJtJobsFailed = "jobtracker.jobs_failed";
+inline constexpr const char* kJtTrackersDraining = "jobtracker.trackers_draining";
+inline constexpr const char* kJtCheckpointsEvacuated = "jobtracker.checkpoints_evacuated";
 
 // Scheduling and speculation.
 inline constexpr const char* kSchedAssignments = "scheduler.assignments";
@@ -67,6 +71,18 @@ inline constexpr const char* kPolicyGangRotations = "policy.gang_rotations";
 inline constexpr const char* kPolicyGangSuspends = "policy.gang_suspends";
 inline constexpr const char* kPolicyGangResumes = "policy.gang_resumes";
 inline constexpr const char* kPolicyGangAdmissionRefused = "policy.gang_admission_refused";
+
+// Node-revocation subsystem (src/revoke; docs/REVOKE.md). Warning
+// reactions are counted per mechanism so a frontier cell's counters show
+// how the drain of each doomed node actually resolved.
+inline constexpr const char* kRevokeWarningsHandled = "revoke.warnings_handled";
+inline constexpr const char* kRevokeWarningsLate = "revoke.warnings_late";
+inline constexpr const char* kRevokeDrainCheckpoints = "revoke.drain_checkpoints";
+inline constexpr const char* kRevokeDrainMigrations = "revoke.drain_migrations";
+inline constexpr const char* kRevokeDrainKills = "revoke.drain_kills";
+inline constexpr const char* kRevokeEvacuations = "revoke.evacuations";
+inline constexpr const char* kRevokeMigrationsDone = "revoke.migrations_done";
+inline constexpr const char* kRevokeBlocksSteered = "revoke.blocks_steered";
 
 // osapd sweep harness (src/osapd/sweep.cpp). These count harness-side
 // work — cache traffic, worker lifecycle — not simulated events, and
@@ -140,5 +156,8 @@ inline constexpr const char* kInstAssign = "assign";
 inline constexpr const char* kInstTrackerLost = "tracker_lost";
 inline constexpr const char* kInstTrackerBlacklisted = "tracker_blacklisted";
 inline constexpr const char* kInstTrackerReinit = "tracker_reinit";
+inline constexpr const char* kInstRevocationWarning = "revocation_warning";
+inline constexpr const char* kInstNodeRevoked = "node_revoked";
+inline constexpr const char* kInstCheckpointEvacuated = "checkpoint_evacuated";
 
 }  // namespace osap::trace::names

@@ -88,6 +88,18 @@ TEST(TraceDigest, TieHeavyUnchangedByTracing) {
       << "enabling the tracer changed the tie-heavy event stream";
 }
 
+TEST(TraceDigest, RevocationStormDoubleRunMatches) {
+  const std::uint64_t first = run_revocation_storm(11);
+  const std::uint64_t second = run_revocation_storm(11);
+  EXPECT_EQ(first, second) << "revocation-storm event stream is not reproducible";
+}
+
+TEST(TraceDigest, RevocationStormUnchangedByTracing) {
+  EXPECT_EQ(run_revocation_storm(11, /*tracing=*/false),
+            run_revocation_storm(11, /*tracing=*/true))
+      << "enabling the tracer changed the revocation-storm event stream";
+}
+
 TEST(TraceDigest, DifferentSeedsDiverge) {
   // The digest must actually see the event stream: a seed change reroutes
   // the storm, so identical digests would mean the witness is blind.

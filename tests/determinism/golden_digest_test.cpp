@@ -37,5 +37,12 @@ TEST(GoldenDigest, SpeculationStorm) {
   EXPECT_EQ(run_speculation_storm(34), 0xe09b767e883fc8e7ull);
 }
 
+// Captured at the introduction of the node-revocation subsystem: pins
+// the warning/drain/evacuation event stream (src/revoke) the same way
+// the constants above pin the simulator core.
+TEST(GoldenDigest, RevocationStorm) {
+  EXPECT_EQ(run_revocation_storm(11), 0x40bfb14cec8f5268ull);
+}
+
 }  // namespace
 }  // namespace osap

@@ -14,6 +14,8 @@
 
 #include "common/rng.hpp"
 #include "fault/injector.hpp"
+#include "revoke/lifetime.hpp"
+#include "revoke/manager.hpp"
 #include "sched/dummy.hpp"
 #include "sched/fifo.hpp"
 #include "sched/hfsp.hpp"
@@ -239,6 +241,47 @@ inline std::uint64_t run_tie_heavy(std::uint64_t seed, bool tracing = false) {
       cluster.submit(single_task_job(name, 0, light_map_task(32 * MiB)));
     });
   }
+  cluster.run_until(3000.0);
+  EXPECT_TRUE(cluster.job_tracker().all_jobs_done());
+  return cluster.trace_digest();
+}
+
+/// A revocation storm: half the cluster is transient with short sampled
+/// lifetimes, each death preceded by a warning, and the manager rescues
+/// work Natjam-style (checkpoint on warning, evacuate, resume). The
+/// warning handler, drain, evacuation and replica steering all feed the
+/// digest; the law is the whole storm replays bit-identically and the
+/// tracer observes without perturbing it.
+inline std::uint64_t run_revocation_storm(std::uint64_t seed, bool tracing = false) {
+  ClusterConfig cfg = paper_cluster();
+  cfg.num_nodes = 4;
+  cfg.hadoop.map_slots = 2;
+  cfg.hadoop.tracker_expiry = seconds(9);
+  cfg.hadoop.expiry_check_interval = seconds(1);
+  cfg.seed = seed;
+  cfg.trace.enabled = tracing;
+  Cluster cluster(cfg);
+  HfspScheduler::Options options;
+  options.primitive = PreemptPrimitive::Suspend;
+  cluster.set_scheduler(std::make_unique<HfspScheduler>(options));
+  Rng rng(seed);
+  for (int i = 0; i < 8; ++i) {
+    cluster.create_input("in" + std::to_string(i), 128 * MiB, cluster.node(i % 4));
+    cluster.submit(single_task_job("map" + std::to_string(i), i % 4,
+                                   jitter_task(light_map_task(128 * MiB), rng)));
+  }
+  revoke::LifetimeOptions lopts;
+  lopts.model = revoke::LifetimeModel::Exponential;
+  lopts.node_mix = 0.5;
+  lopts.mean_lifetime_s = 60;
+  lopts.warning_s = 15;
+  lopts.seed = seed;
+  revoke::RevocationPlan rplan = revoke::plan_revocations(4, lopts);
+  fault::FaultPlan fplan;
+  rplan.merge_into(fplan);
+  fault::FaultInjector injector(cluster, std::move(fplan));
+  revoke::RevocationManager manager(cluster, injector, rplan,
+                                    revoke::Reaction::Checkpoint);
   cluster.run_until(3000.0);
   EXPECT_TRUE(cluster.job_tracker().all_jobs_done());
   return cluster.trace_digest();

@@ -65,8 +65,9 @@ TEST(FaultPlan, ParsesEveryVerbAndComments) {
       "hang 10 1 15   # daemon wedges for 15 s\n"
       "drop-heartbeats 5 20 0\n"
       "delay-messages 0 60 1 0.25\n"
-      "lose-checkpoints 30 2\n");
-  EXPECT_EQ(plan.size(), 5u);
+      "lose-checkpoints 30 2\n"
+      "revoke 50 1 12   # 12 s of notice before node 1 dies\n");
+  EXPECT_EQ(plan.size(), 6u);
   ASSERT_EQ(plan.crashes.size(), 1u);
   EXPECT_DOUBLE_EQ(plan.crashes[0].at, 40.0);
   EXPECT_EQ(plan.crashes[0].node, NodeId{0});
@@ -78,6 +79,10 @@ TEST(FaultPlan, ParsesEveryVerbAndComments) {
   EXPECT_DOUBLE_EQ(plan.delays[0].extra, 0.25);
   ASSERT_EQ(plan.checkpoint_losses.size(), 1u);
   EXPECT_EQ(plan.checkpoint_losses[0].node, NodeId{2});
+  ASSERT_EQ(plan.revocations.size(), 1u);
+  EXPECT_DOUBLE_EQ(plan.revocations[0].at, 50.0);
+  EXPECT_EQ(plan.revocations[0].node, NodeId{1});
+  EXPECT_DOUBLE_EQ(plan.revocations[0].warning, 12.0);
 }
 
 TEST(FaultPlan, EmptyInputIsEmptyPlan) {
@@ -89,6 +94,27 @@ TEST(FaultPlan, RejectsMalformedLines) {
   EXPECT_THROW((void)parse_fault_plan("hang 10 0 0\n"), SimError);       // duration > 0
   EXPECT_THROW((void)parse_fault_plan("drop-heartbeats 20 5 0\n"), SimError);  // until > from
   EXPECT_THROW((void)parse_fault_plan("explode 10 0\n"), SimError);
+  EXPECT_THROW((void)parse_fault_plan("revoke 50 1\n"), SimError);     // missing warning
+  EXPECT_THROW((void)parse_fault_plan("revoke 50 1 0\n"), SimError);   // warning > 0
+}
+
+TEST(FaultPlan, DuplicateDeathOnOneNodeAtOneTimestampIsAParseError) {
+  // One teardown per (node, time): a plan scheduling the same death twice
+  // must fail at parse with the offending line number, not double-crash
+  // at run time.
+  try {
+    (void)parse_fault_plan(
+        "crash 40 0\n"
+        "revoke 40 0 10\n");
+    FAIL() << "duplicate death parsed";
+  } catch (const SimError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos) << e.what();
+  }
+  EXPECT_THROW((void)parse_fault_plan("crash 40 0\ncrash 40 0\n"), SimError);
+  EXPECT_THROW((void)parse_fault_plan("revoke 40 0 5\nrevoke 40 0 9\n"), SimError);
+  // Different timestamps (a revocation racing an earlier scripted crash)
+  // stay legal — the injector's crashed-guard resolves them at run time.
+  EXPECT_EQ(parse_fault_plan("crash 5 2\nrevoke 20 2 5\n").size(), 2u);
 }
 
 // --- tentpole: node crash during suspension --------------------------------

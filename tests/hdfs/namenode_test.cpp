@@ -102,6 +102,44 @@ TEST(NameNode, CreateWithoutDatanodesThrows) {
   EXPECT_THROW(nn.create_file("nope", 1 * MiB), SimError);
 }
 
+TEST(NameNode, ReReplicateAwayMovesEveryDoomedReplica) {
+  // Revocation-aware steering (docs/REVOKE.md): every replica on the
+  // doomed node relocates to the first target not already holding the
+  // block; untouched replicas stay put.
+  NameNode nn(cfg(512 * MiB, 2));
+  for (int i = 0; i < 4; ++i) nn.add_datanode(NodeId{static_cast<std::uint64_t>(i)});
+  const FileId f = nn.create_file("steered", gib(1.0), NodeId{3});  // both blocks local to 3
+  const std::size_t moved = nn.re_replicate_away(NodeId{3}, {NodeId{0}, NodeId{1}});
+  EXPECT_EQ(moved, 2u);
+  for (BlockId b : nn.file(f).blocks) {
+    const BlockInfo& block = nn.block(b);
+    std::set<NodeId> replicas(block.replicas.begin(), block.replicas.end());
+    EXPECT_FALSE(replicas.contains(NodeId{3})) << "replica left on the doomed node";
+    EXPECT_EQ(replicas.size(), block.replicas.size()) << "steering duplicated a replica";
+  }
+}
+
+TEST(NameNode, ReReplicateAwaySkipsTargetsAlreadyHoldingTheBlock) {
+  // Replication 2 on a 2-node cluster: the only non-doomed node already
+  // holds the second replica, so there is nowhere legal to move — the
+  // block must not end up with two replicas on one node.
+  NameNode nn(cfg(512 * MiB, 2));
+  nn.add_datanode(NodeId{0});
+  nn.add_datanode(NodeId{1});
+  const FileId f = nn.create_file("stuck", 512 * MiB, NodeId{1});
+  EXPECT_EQ(nn.re_replicate_away(NodeId{1}, {NodeId{0}}), 0u);
+  const BlockInfo& block = nn.block(nn.file(f).blocks[0]);
+  std::set<NodeId> replicas(block.replicas.begin(), block.replicas.end());
+  EXPECT_EQ(replicas.size(), 2u);
+}
+
+TEST(NameNode, ReReplicateAwayWithNoDoomedReplicasIsANoOp) {
+  NameNode nn(cfg());
+  for (int i = 0; i < 3; ++i) nn.add_datanode(NodeId{static_cast<std::uint64_t>(i)});
+  (void)nn.create_file("elsewhere", 512 * MiB, NodeId{0});
+  EXPECT_EQ(nn.re_replicate_away(NodeId{2}, {NodeId{1}}), 0u);
+}
+
 TEST(NameNode, RoundRobinSpreadsBlocks) {
   NameNode nn(cfg(512 * MiB, 1));
   for (int i = 0; i < 4; ++i) nn.add_datanode(NodeId{static_cast<std::uint64_t>(i)});

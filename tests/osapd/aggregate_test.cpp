@@ -154,6 +154,57 @@ TEST(Aggregate, SummaryJsonIsInvariantUnderCompletionOrder) {
   EXPECT_EQ(json.find("\"attempts\""), std::string::npos);
 }
 
+TEST(Aggregate, FrontierGroupsByMixAndReactionInNumericMixOrder) {
+  // Two mixes x two reactions, two seeds each; one failed cell must not
+  // pollute its point's means.
+  std::vector<core::RunDescriptor> descriptors;
+  std::vector<CellResult> cells;
+  std::size_t i = 0;
+  for (const char* mix : {"0.5", "0.25"}) {
+    for (const char* react : {"none", "checkpoint"}) {
+      for (const char* seed : {"7", "8"}) {
+        descriptors.push_back(cell(std::string("workload=trace;lifetime_model=exp;node_mix=") +
+                                   mix + ";revoke_react=" + react + ";seed=" + seed));
+        CellResult res = ok_cell(i, 100 + static_cast<double>(i), 500);
+        res.record.cost = 10 + static_cast<double>(i);
+        cells.push_back(res);
+        ++i;
+      }
+    }
+  }
+  cells.back() = failed_cell(i - 1, "worker exited (status 9)");
+
+  const std::vector<FrontierPoint> points = frontier(descriptors, cells);
+  ASSERT_EQ(points.size(), 4u);
+  // Numeric mix order: 0.25 before 0.5 (lexically "0.25" < "0.5" too,
+  // but the sort is numeric — see PivotRowsSortNumericallyNotLexically).
+  EXPECT_EQ(points[0].node_mix, "0.25");
+  EXPECT_EQ(points[0].revoke_react, "checkpoint");
+  EXPECT_EQ(points[1].node_mix, "0.25");
+  EXPECT_EQ(points[1].revoke_react, "none");
+  EXPECT_EQ(points[2].node_mix, "0.5");
+  EXPECT_EQ(points[3].node_mix, "0.5");
+  // cells 0,1 -> (0.5, none): cost 10,11 sojourn 100,101.
+  EXPECT_EQ(points[3].revoke_react, "none");
+  EXPECT_EQ(points[3].runs, 2);
+  EXPECT_DOUBLE_EQ(points[3].cost_mean, 10.5);
+  EXPECT_DOUBLE_EQ(points[3].sojourn_mean, 100.5);
+  // The failed seed drops out of (0.25, checkpoint): one run remains.
+  EXPECT_EQ(points[0].runs, 1);
+  EXPECT_DOUBLE_EQ(points[0].cost_mean, 16);
+
+  // Cells without the revocation axes contribute no frontier at all.
+  const std::vector<core::RunDescriptor> legacy = {cell("primitive=susp;r=0.5")};
+  const std::vector<CellResult> legacy_cells = {ok_cell(0, 80, 600)};
+  EXPECT_TRUE(frontier(legacy, legacy_cells).empty());
+
+  // And the summary JSON carries the block.
+  std::ostringstream out;
+  write_summary_json(out, descriptors, cells, false, {}, 1.0);
+  EXPECT_NE(out.str().find("\"frontier\":[{\"node_mix\":\"0.25\""), std::string::npos);
+  EXPECT_NE(out.str().find("\"cost_mean\":"), std::string::npos);
+}
+
 TEST(Aggregate, PartialSummariesCountFailuresAndCancellation) {
   std::vector<core::RunDescriptor> descriptors = {cell("primitive=kill;r=0.5"),
                                                   cell("primitive=susp;r=0.5"),

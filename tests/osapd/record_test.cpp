@@ -19,6 +19,7 @@ core::ResultRecord sample_record() {
   rec.sojourn_th = 78.25;
   rec.sojourn_tl = 0.1 + 0.2;  // not exactly representable: %.17g must round-trip it
   rec.makespan = 1234.5;
+  rec.cost = 6.125;
   rec.tl_swapped_out_mib = 0;
   rec.counters = {{"jt.suspend_requests", 7}, {"sched.assignments", 41}};
   rec.wall_ms = 12.5;
@@ -47,6 +48,7 @@ TEST(Record, ParsePreservesEveryField) {
   EXPECT_EQ(got.sojourn_th, rec.sojourn_th);
   EXPECT_EQ(got.sojourn_tl, rec.sojourn_tl);  // bit-exact through %.17g
   EXPECT_EQ(got.makespan, rec.makespan);
+  EXPECT_EQ(got.cost, rec.cost);
   EXPECT_EQ(got.counters, rec.counters);
   EXPECT_EQ(got.wall_ms, rec.wall_ms);
 }

@@ -19,13 +19,26 @@ Usage:
     bench_check.py BASELINE CURRENT [--tolerance 0.10] [--wall-tolerance 3.0]
     bench_check.py BASELINE --self-test
 
+Under GitHub Actions (GITHUB_ACTIONS=true, or --github anywhere) each
+gate failure is additionally emitted as a `::error` workflow annotation
+so regressions surface on the PR checks tab, not just in the job log.
+
 Exit status: 0 clean, 1 regression (or self-test failure), 2 bad input.
 """
 
 import argparse
 import copy
 import json
+import os
 import sys
+
+
+def annotate(github, title, message):
+    """Emit a GitHub Actions ::error annotation (single line, escaped)."""
+    if not github:
+        return
+    escaped = message.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    print(f"::error title={title}::{escaped}")
 
 
 # Wall-clock leaves: too noisy for the relative-deviation check, gated
@@ -129,6 +142,10 @@ def main():
                          "metrics before failing (default 3.0; runners vary)")
     ap.add_argument("--self-test", action="store_true",
                     help="verify the gate itself flags an injected regression")
+    ap.add_argument("--github", action="store_true",
+                    default=os.environ.get("GITHUB_ACTIONS") == "true",
+                    help="emit ::error annotations on failures (auto-enabled "
+                         "when GITHUB_ACTIONS=true)")
     args = ap.parse_args()
 
     try:
@@ -159,13 +176,23 @@ def main():
             for key, base, cur, dev in problems:
                 shown = "MISSING" if cur is None else cur
                 print(f"  {key}: baseline {base} -> current {shown} ({dev:.1%})")
+                annotate(args.github, "bench regression",
+                         f"{key}: baseline {base} -> current {shown} ({dev:.1%}) "
+                         f"vs {args.baseline}")
         for key, base, cur, limit in wall_problems:
             shown = "MISSING" if cur is None else f"{cur:g}"
             print(f"  {key}: baseline {base:g} -> current {shown} "
                   f"(outside {args.wall_tolerance:g}x band, limit {limit:g})")
+            annotate(args.github, "bench wall-clock regression",
+                     f"{key}: baseline {base:g} -> current {shown} outside "
+                     f"{args.wall_tolerance:g}x band (limit {limit:g}) "
+                     f"vs {args.baseline}")
         print("If this change is intentional, regenerate the baseline:")
         if "scale" in args.baseline:
             print("  ./build/bench/cluster_scale --json=$(pwd)/BENCH_scale.json")
+        elif "revoke" in args.baseline:
+            print("  ./build/tools/osapd run configs/revoke.matrix --out /tmp/revoke.json --quiet")
+            print("  ./tools/frontier_to_bench.py /tmp/revoke.json --out $(pwd)/BENCH_revoke.json")
         else:
             print("  ./build/bench/fig2_baseline --runs=2 --counters=$(pwd)/BENCH_fig2.json \\")
             print("      --trace=$(pwd)/BENCH_fig2_trace.json")

@@ -1,0 +1,117 @@
+#!/usr/bin/env python3
+"""Distill an osapd summary's frontier block into a bench-style dump.
+
+`osapd run configs/revoke.matrix` emits a cost vs. mean-sojourn frontier
+(one point per node_mix x revoke_react group, docs/REVOKE.md). This tool
+flattens those points into the {"counters": {...}} shape that
+tools/bench_check.py already gates, so the revocation headline numbers
+ride the same regression rail as BENCH_fig2/BENCH_scale: the committed
+baseline is BENCH_revoke.json at the repo root.
+
+Counter values are integers in milli-units (cost 1.266 -> 1266) so every
+gated leaf clears bench_check's relative-deviation floor of 10.
+
+--check-dominance additionally enforces the frontier's reason to exist:
+some transient-mix point running checkpoint-on-warning must beat the
+all-on-demand baseline (node_mix=0, revoke_react=none) on cost while
+staying within --sojourn-slack (default 5%) of its mean sojourn.
+
+Usage:
+    frontier_to_bench.py SUMMARY [--out BENCH_revoke.json]
+                         [--check-dominance] [--sojourn-slack 0.05]
+
+Exit status: 0 clean, 1 dominance violated, 2 bad input.
+"""
+
+import argparse
+import json
+import sys
+
+
+def milli(x):
+    return int(round(x * 1000.0))
+
+
+def to_bench(summary):
+    """Bench-style dump from a summary's frontier, {dotted-counter: int}."""
+    counters = {}
+    for p in summary.get("frontier", []):
+        stem = f"frontier.{p['node_mix']}.{p['revoke_react']}"
+        counters[f"{stem}.runs"] = p["runs"]
+        counters[f"{stem}.cost_milli"] = milli(p["cost_mean"])
+        counters[f"{stem}.sojourn_milli"] = milli(p["sojourn_mean"])
+        counters[f"{stem}.makespan_milli"] = milli(p["makespan_mean"])
+    return {
+        "frontier_points": len(summary.get("frontier", [])),
+        "cells_ok": summary.get("cells_ok", 0),
+        "counters": counters,
+    }
+
+
+def check_dominance(summary, slack):
+    """Return None if a transient checkpoint point dominates, else a reason."""
+    points = summary.get("frontier", [])
+    baseline = next((p for p in points
+                     if float(p["node_mix"]) == 0.0
+                     and p["revoke_react"] == "none"), None)
+    if baseline is None:
+        return "no all-on-demand baseline (node_mix=0, revoke_react=none) in frontier"
+    bar = baseline["sojourn_mean"] * (1.0 + slack)
+    candidates = [p for p in points
+                  if float(p["node_mix"]) > 0.0 and p["revoke_react"] == "checkpoint"]
+    if not candidates:
+        return "no transient-mix checkpoint points in frontier"
+    for p in candidates:
+        if p["cost_mean"] < baseline["cost_mean"] and p["sojourn_mean"] <= bar:
+            print(f"dominance holds: mix={p['node_mix']} checkpoint "
+                  f"cost {p['cost_mean']:.4f} < baseline {baseline['cost_mean']:.4f}, "
+                  f"sojourn {p['sojourn_mean']:.2f} <= {bar:.2f} "
+                  f"(baseline {baseline['sojourn_mean']:.2f} + {slack:.0%})")
+            return None
+    lines = [f"  mix={p['node_mix']} cost {p['cost_mean']:.4f} "
+             f"sojourn {p['sojourn_mean']:.2f}" for p in candidates]
+    return ("no checkpoint point beats the baseline "
+            f"(cost {baseline['cost_mean']:.4f}, sojourn bar {bar:.2f}):\n"
+            + "\n".join(lines))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("summary")
+    ap.add_argument("--out", help="write the bench-style dump here")
+    ap.add_argument("--check-dominance", action="store_true",
+                    help="fail unless a transient checkpoint point dominates "
+                         "the all-on-demand baseline")
+    ap.add_argument("--sojourn-slack", type=float, default=0.05,
+                    help="sojourn penalty allowed for a dominating point "
+                         "(default 0.05)")
+    args = ap.parse_args()
+
+    try:
+        with open(args.summary) as f:
+            summary = json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"cannot load summary {args.summary}: {e}")
+        return 2
+    if not summary.get("frontier"):
+        print(f"summary {args.summary} has no frontier block "
+              "(not a revocation matrix?)")
+        return 2
+
+    bench = to_bench(summary)
+    if args.out:
+        with open(args.out, "w") as f:
+            json.dump(bench, f, indent=1, sort_keys=True)
+            f.write("\n")
+        print(f"wrote {len(bench['counters'])} frontier counters to {args.out}")
+
+    if args.check_dominance:
+        reason = check_dominance(summary, args.sojourn_slack)
+        if reason is not None:
+            print(f"dominance check FAILED: {reason}")
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
